@@ -1,0 +1,132 @@
+// Command benchgen emits the synthetic benchmark circuits in the ISCAS85
+// .bench netlist format: the named ISCAS85-like profiles, array
+// multipliers, the figure-2 cell array, and custom random logic.
+//
+// Usage:
+//
+//	benchgen -list
+//	benchgen c1908 > c1908.bench
+//	benchgen -mult 8 > mult8x8.bench
+//	benchgen -grid 4x12 > grid.bench
+//	benchgen -random inputs=20,outputs=8,gates=300,depth=15,seed=7 > r.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/isc"
+	"iddqsyn/internal/verilog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	list := flag.Bool("list", false, "list the known ISCAS85-like profiles")
+	mult := flag.Int("mult", 0, "emit an NxN array multiplier")
+	grid := flag.String("grid", "", "emit a figure-2 cell array, RxC")
+	random := flag.String("random", "", "emit random logic: inputs=,outputs=,gates=,depth=,seed=")
+	format := flag.String("format", "bench", "output format: bench, isc, or verilog")
+	flag.Parse()
+
+	if *list {
+		for _, name := range circuits.Names() {
+			p, _ := circuits.ProfileFor(name)
+			fmt.Printf("%-8s %4d inputs %4d outputs %5d gates depth %d\n",
+				p.Name, p.Inputs, p.Outputs, p.Gates, p.Depth)
+		}
+		return nil
+	}
+
+	var c *circuit.Circuit
+	switch {
+	case *mult > 0:
+		c = circuits.ArrayMultiplier(*mult)
+	case *grid != "":
+		r, col, err := parseDims(*grid)
+		if err != nil {
+			return err
+		}
+		c = circuits.Grid2D(r, col, nil)
+	case *random != "":
+		spec, err := parseSpec(*random)
+		if err != nil {
+			return err
+		}
+		var err2 error
+		c, err2 = circuits.RandomLogic(spec)
+		if err2 != nil {
+			return err2
+		}
+	case flag.NArg() == 1:
+		var err error
+		c, err = circuits.ISCAS85Like(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("nothing to generate; see -h")
+	}
+	switch *format {
+	case "bench":
+		return bench.Write(os.Stdout, c)
+	case "isc":
+		return isc.Write(os.Stdout, c)
+	case "verilog":
+		return verilog.Write(os.Stdout, c)
+	}
+	return fmt.Errorf("unknown format %q", *format)
+}
+
+func parseDims(s string) (rows, cols int, err error) {
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("grid dims %q: want RxC", s)
+	}
+	rows, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	cols, err = strconv.Atoi(parts[1])
+	return rows, cols, err
+}
+
+func parseSpec(s string) (circuits.Spec, error) {
+	spec := circuits.Spec{Name: "random"}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return spec, fmt.Errorf("random spec %q: want key=value", kv)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return spec, fmt.Errorf("random spec %q: %v", kv, err)
+		}
+		switch parts[0] {
+		case "inputs":
+			spec.Inputs = n
+		case "outputs":
+			spec.Outputs = n
+		case "gates":
+			spec.Gates = n
+		case "depth":
+			spec.Depth = n
+		case "seed":
+			spec.Seed = int64(n)
+		default:
+			return spec, fmt.Errorf("random spec: unknown key %q", parts[0])
+		}
+	}
+	return spec, nil
+}

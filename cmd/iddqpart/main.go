@@ -1,0 +1,116 @@
+// Command iddqpart synthesizes an IDDQ-testable design from a gate-level
+// netlist: it partitions the circuit into BIC-sensor modules with the
+// evolution-based algorithm (or the greedy standard baseline), sizes one
+// Built-In Current sensor per module, and prints the design report.
+//
+// Usage:
+//
+//	iddqpart [-method evolution|standard] [-lib cells.lib] [-size N]
+//	         [-modules K] [-d 10] [-rail 0.2] [-gens 250] [-seed 1]
+//	         [-v] circuit.bench
+//
+// With no file argument, the netlist is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/core"
+	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/partition"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iddqpart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	method := flag.String("method", "evolution", "partitioning method: evolution or standard")
+	libPath := flag.String("lib", "", "cell library file (default: built-in 1µm CMOS library)")
+	size := flag.Int("size", 0, "module size (0 = estimate from averaged parameters)")
+	modules := flag.Int("modules", 0, "standard method: target module count (overrides -size)")
+	disc := flag.Float64("d", 10, "required discriminability d")
+	rail := flag.Float64("rail", 0.2, "maximum virtual-rail perturbation r*, volts")
+	gens := flag.Int("gens", 0, "override evolution generation budget")
+	seed := flag.Int64("seed", 1, "evolution seed")
+	verbose := flag.Bool("v", false, "trace evolution progress")
+	flag.Parse()
+
+	c, err := readCircuit(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	opt := core.Options{ModuleSize: *size, Modules: *modules}
+	switch *method {
+	case "evolution":
+		opt.Method = core.MethodEvolution
+	case "standard":
+		opt.Method = core.MethodStandard
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	if *libPath != "" {
+		f, err := os.Open(*libPath)
+		if err != nil {
+			return err
+		}
+		lib, err := celllib.ReadLibrary(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opt.Library = lib
+	}
+	prm := estimate.DefaultParams()
+	prm.RailLimit = *rail
+	opt.Params = &prm
+	cons := partition.Constraints{MinDiscriminability: *disc}
+	opt.Constraints = &cons
+	eprm := evolution.DefaultParams()
+	eprm.Seed = *seed
+	if *gens > 0 {
+		eprm.MaxGenerations = *gens
+	}
+	opt.Evolution = &eprm
+	if *verbose {
+		opt.Trace = func(gen int, best *partition.Partition, bestCost float64) {
+			if gen%10 == 0 {
+				fmt.Fprintf(os.Stderr, "generation %4d: K=%d C=%.6g\n",
+					gen, best.NumModules(), bestCost)
+			}
+		}
+	}
+
+	res, err := core.Synthesize(c, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
+}
+
+func readCircuit(path string) (*circuit.Circuit, error) {
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+		name = path
+	}
+	return bench.Read(r, name)
+}

@@ -1,0 +1,215 @@
+// Command iddqstudy reproduces every experiment beyond Table 1: the BIC
+// sensor demo of figure 1, the group-shape effect of figure 2, the C17
+// evolution trace of figures 3-5, the §5 convergence study, the §4
+// ablations (Monte-Carlo descendants, lifetime), the estimator-pessimism
+// bound, the optimizer comparison (evolution vs simulated annealing vs
+// hill climbing), the sensor-technology table, the readout-schedule
+// trade-off, the cost-aware technology-mapping study, the yield-vs-
+// threshold sweep, the scan-chain study, and the delta-IDDQ comparison.
+//
+// Usage:
+//
+//	iddqstudy [-circuit c432] [-gens 120] [-seed 1] [-study all|figure1|...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/experiments"
+)
+
+func main() {
+	circuit := flag.String("circuit", "c432", "circuit for the per-circuit studies")
+	gens := flag.Int("gens", 120, "evolution generation budget")
+	seed := flag.Int64("seed", 1, "seed")
+	study := flag.String("study", "all",
+		"which study to run: all, figure1, figure2, c17, convergence, ablations, pessimism, optimizers, sensors, schedule, techmap, sweep, yield, scan, delta")
+	flag.Parse()
+
+	prm := evolution.DefaultParams()
+	prm.MaxGenerations = *gens
+	prm.Seed = *seed
+
+	known := map[string]bool{"all": true, "figure1": true, "figure2": true,
+		"c17": true, "convergence": true, "ablations": true, "pessimism": true,
+		"optimizers": true, "sensors": true, "schedule": true, "techmap": true,
+		"sweep": true, "yield": true, "scan": true, "delta": true}
+	if !known[*study] {
+		fmt.Fprintf(os.Stderr, "iddqstudy: unknown study %q\n", *study)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *study == "all" || *study == name }
+	run := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "iddqstudy: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("figure1", func() error {
+		res, err := experiments.Figure1Demo()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sensor: %s\n", res.Sensor.String())
+		fmt.Printf("fault-free: IDDQ=%.3gA -> %s\n", res.FaultFreeIDDQ, passFail(res.FaultFreePass))
+		fmt.Printf("with bridge: IDDQ=%.3gA -> %s\n", res.DefectIDDQ, passFail(res.DefectPass))
+		return nil
+	})
+
+	run("figure2", func() error {
+		res, err := experiments.Figure2(3, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("row partition    (1 cell of each type/module): worst îDD=%.3gmA, area/sensor=%.4g\n",
+			1e3*res.RowMaxIDD, res.RowSensorArea/float64(res.RowModules))
+		fmt.Printf("column partition (same-type cells/module):     worst îDD=%.3gmA, area/sensor=%.4g\n",
+			1e3*res.ColMaxIDD, res.ColSensorArea/float64(res.ColModules))
+		fmt.Printf("per-sensor area ratio column/row = %.2f (partition 1 preferred, as in the paper)\n",
+			res.AreaRatio)
+		return nil
+	})
+
+	run("c17", func() error {
+		res, err := experiments.C17Trace(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatC17Trace(res))
+		return nil
+	})
+
+	run("convergence", func() error {
+		res, err := experiments.ConvergenceFrom(*circuit, 8, prm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (%d gates): %.6g -> %.6g in %d generations (%d evaluations)\n",
+			res.Circuit, res.Gates, res.StartCost, res.FinalCost, res.Generations, res.Evaluations)
+		return nil
+	})
+
+	run("ablations", func() error {
+		mc, err := experiments.AblateMonteCarlo(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		lt, err := experiments.AblateLifetime(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-22s baseline %.6g  variant %.6g  (ratio %.3f)\n",
+			mc.Feature, mc.Baseline, mc.Variant, mc.Variant/mc.Baseline)
+		fmt.Printf("%-22s baseline %.6g  variant %.6g  (ratio %.3f)\n",
+			lt.Feature, lt.Baseline, lt.Variant, lt.Variant/lt.Baseline)
+		return nil
+	})
+
+	run("pessimism", func() error {
+		points, err := experiments.Pessimism(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Printf("module %2d: estimate %.3gmA | grid-aligned peak %.3gmA (x%.2f) | timing-sim peak %.3gmA (x%.2f)\n",
+				p.Module, 1e3*p.Estimate, 1e3*p.Simulated, p.Ratio, 1e3*p.Timing, p.TimingRatio)
+		}
+		fmt.Println("(the §3.1 bound covers single transitions on the unit-delay grid; hazard")
+		fmt.Println(" multiplication under loaded delays can push the timing-simulated peak above it)")
+		return nil
+	})
+
+	run("optimizers", func() error {
+		rows, err := experiments.OptimizerComparison(*circuit, 8, prm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatOptimizers(rows))
+		return nil
+	})
+
+	run("sensors", func() error {
+		rows, err := experiments.SensorVariants(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatVariants(rows))
+		return nil
+	})
+
+	run("schedule", func() error {
+		rows, err := experiments.ScheduleStudy(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSchedules(rows))
+		return nil
+	})
+
+	run("techmap", func() error {
+		chosen, rows, err := experiments.TechmapStudy(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-8v %5d gates  evolved cost %.6g\n", r.Style, r.Gates, r.Cost)
+		}
+		fmt.Printf("mapper chose: %v\n", chosen)
+		return nil
+	})
+
+	run("sweep", func() error {
+		points, err := experiments.WeightSweep(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatWeightSweep(points))
+		return nil
+	})
+
+	run("yield", func() error {
+		points, zero, err := experiments.YieldStudy(*circuit, prm)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatYield(points))
+		fmt.Printf("smallest zero-overkill threshold: %.3g A (paper operating point: 1 µA)\n", zero)
+		return nil
+	})
+
+	run("scan", func() error {
+		rows, err := experiments.ScanStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScan(rows))
+		return nil
+	})
+
+	run("delta", func() error {
+		rows, err := experiments.DeltaStudy(*circuit, prm, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatDelta(rows))
+		fmt.Println("(fixed = the paper's 1 µA comparator; delta = current-signature analysis)")
+		return nil
+	})
+}
+
+func passFail(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,73 @@
+// Command table1 regenerates the paper's Table 1: standard vs
+// evolution-based partitioning across the ISCAS85 benchmark set.
+//
+// Usage:
+//
+//	table1 [-circuits c1908,c2670] [-gens 250] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iddqsyn/internal/experiments"
+	"iddqsyn/internal/report"
+)
+
+func main() {
+	circuitsFlag := flag.String("circuits", "", "comma-separated circuit subset (default: all of Table 1)")
+	gens := flag.Int("gens", 0, "override evolution generation budget")
+	seed := flag.Int64("seed", 1, "evolution seed")
+	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
+	mdPath := flag.String("md", "", "also write the rows as a Markdown table to this file")
+	flag.Parse()
+
+	cfg := experiments.Table1Config{}
+	if *circuitsFlag != "" {
+		cfg.Circuits = strings.Split(*circuitsFlag, ",")
+	}
+	prm := experiments.Table1DefaultEvolution()
+	prm.Seed = *seed
+	if *gens > 0 {
+		prm.MaxGenerations = *gens
+	}
+	cfg.Evolution = &prm
+
+	rows, err := experiments.Table1(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.FormatTable1(rows))
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%s: evolution converged in %d generations (%d evaluations); weighted cost %.6g vs standard %.6g\n",
+			r.Circuit, r.Generations, r.Evaluations, r.CostEvolution, r.CostStandard)
+	}
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(f *os.File) error { return report.Table1CSV(f, rows) }); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+	}
+	if *mdPath != "" {
+		if err := writeFile(*mdPath, func(f *os.File) error { return report.Table1Markdown(f, rows) }); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeFile(path string, emit func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,36 @@
+// The sweep example explores the Speed-Area-Testability design space of
+// §2: the weight factors αᵢ of the global cost function steer the
+// synthesis between fine-grain partitions (high discriminability, short
+// test, much sensor area) and coarse-grain ones (cheap, slower to test) —
+// the trade-off that motivates the paper's multi-target formulation.
+//
+// Run with:
+//
+//	go run ./examples/sweep [-circuit c432] [-gens 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/experiments"
+)
+
+func main() {
+	name := flag.String("circuit", "c432", "built-in circuit name")
+	gens := flag.Int("gens", 60, "evolution generation budget per point")
+	flag.Parse()
+
+	prm := evolution.DefaultParams()
+	prm.MaxGenerations = *gens
+	points, err := experiments.WeightSweep(*name, prm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design-space sweep on %s:\n\n%s", *name, experiments.FormatWeightSweep(points))
+	fmt.Println("\nreading the table: boosting α1 (area) or α5 (module count) coarsens the")
+	fmt.Println("partition and saves sensor area; boosting α2 (delay) favours partitions")
+	fmt.Println("whose simultaneously-switching gates are spread across modules.")
+}

@@ -1,0 +1,3 @@
+module iddqsyn
+
+go 1.22

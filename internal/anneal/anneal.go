@@ -1,0 +1,201 @@
+// Package anneal provides the comparison optimizers the paper lists as
+// alternatives for PART-IDDQ ("a variety of algorithms has been proposed
+// for such kind of problems (force-driven, simulated annealing, Monte
+// Carlo, genetic, e.g.)", §4): a simulated-annealing partitioner and a
+// zero-temperature greedy hill climber. Both operate on the same
+// partition moves as the evolution strategy, so the three optimizers are
+// directly comparable — the experiments use them to show that the
+// evolution strategy's Monte-Carlo descendants and lifetime-limited
+// selection earn their keep against simpler local search.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iddqsyn/internal/partition"
+)
+
+// Params configures the annealing schedule.
+type Params struct {
+	// InitialTemp sets T₀. Zero selects it automatically from the cost
+	// scale of random moves (a standard calibration pass).
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per epoch, in (0, 1).
+	Cooling float64
+	// MovesPerEpoch is the number of attempted moves at each temperature.
+	MovesPerEpoch int
+	// MinTemp ends the schedule.
+	MinTemp float64
+	// MaxMoves bounds the total number of attempted moves.
+	MaxMoves int
+	Seed     int64
+}
+
+// DefaultParams returns a schedule that converges on the benchmark
+// circuits in time comparable to the evolution strategy's budget.
+func DefaultParams() Params {
+	return Params{
+		Cooling:       0.92,
+		MovesPerEpoch: 400,
+		MinTemp:       1e-4,
+		MaxMoves:      200000,
+		Seed:          1,
+	}
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.Cooling <= 0 || p.Cooling >= 1:
+		return fmt.Errorf("anneal: cooling factor must be in (0,1)")
+	case p.MovesPerEpoch < 1:
+		return fmt.Errorf("anneal: moves per epoch must be >= 1")
+	case p.MinTemp <= 0:
+		return fmt.Errorf("anneal: minimum temperature must be positive")
+	case p.MaxMoves < 1:
+		return fmt.Errorf("anneal: move budget must be >= 1")
+	case p.InitialTemp < 0:
+		return fmt.Errorf("anneal: negative initial temperature")
+	}
+	return nil
+}
+
+// Result reports an annealing or hill-climbing run.
+type Result struct {
+	Best     *partition.Partition
+	BestCost float64
+	Moves    int // attempted moves
+	Accepted int
+}
+
+// penalised returns the cost with the same graded infeasibility penalty
+// the evolution strategy uses, so the optimizers chase the same landscape.
+func penalised(p *partition.Partition) float64 {
+	c := p.Cost()
+	if worst := p.WorstDiscriminability(); worst < p.Cons.MinDiscriminability {
+		c += 1e9 * (1 + math.Log(p.Cons.MinDiscriminability/worst))
+	}
+	return c
+}
+
+// randomMove applies one random boundary-gate move in place and returns
+// false if the partition has no legal move.
+func randomMove(p *partition.Partition, rng *rand.Rand) bool {
+	if p.NumModules() < 2 {
+		return false
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		src := rng.Intn(p.NumModules())
+		boundary := p.BoundaryGates(src)
+		if len(boundary) == 0 {
+			continue
+		}
+		g := boundary[rng.Intn(len(boundary))]
+		targets := p.ConnectedModules(g)
+		if len(targets) == 0 {
+			continue
+		}
+		if _, err := p.MoveGates([]int{g}, src, targets[rng.Intn(len(targets))]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Anneal runs simulated annealing from the start partition. The start is
+// not modified.
+func Anneal(start *partition.Partition, prm Params) (*Result, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(prm.Seed))
+	cur := start.Clone()
+	curCost := penalised(cur)
+	res := &Result{Best: cur.Clone(), BestCost: curCost}
+
+	temp := prm.InitialTemp
+	if temp == 0 {
+		temp = calibrateTemp(cur, curCost, rng)
+	}
+
+	for temp > prm.MinTemp && res.Moves < prm.MaxMoves {
+		for i := 0; i < prm.MovesPerEpoch && res.Moves < prm.MaxMoves; i++ {
+			cand := cur.Clone()
+			if !randomMove(cand, rng) {
+				res.Moves = prm.MaxMoves
+				break
+			}
+			res.Moves++
+			candCost := penalised(cand)
+			delta := candCost - curCost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				cur, curCost = cand, candCost
+				res.Accepted++
+				if curCost < res.BestCost {
+					res.BestCost = curCost
+					res.Best = cur.Clone()
+				}
+			}
+		}
+		temp *= prm.Cooling
+	}
+	return res, nil
+}
+
+// calibrateTemp samples random moves and sets T₀ so an average uphill
+// move is accepted with probability ≈ 0.8 (the classic Kirkpatrick
+// initialisation).
+func calibrateTemp(p *partition.Partition, baseCost float64, rng *rand.Rand) float64 {
+	var upSum float64
+	ups := 0
+	for i := 0; i < 24; i++ {
+		cand := p.Clone()
+		if !randomMove(cand, rng) {
+			break
+		}
+		if d := penalised(cand) - baseCost; d > 0 {
+			upSum += d
+			ups++
+		}
+	}
+	if ups == 0 {
+		return 1.0
+	}
+	return (upSum / float64(ups)) / -math.Log(0.8)
+}
+
+// HillClimb runs zero-temperature greedy local search: only improving
+// moves are accepted; the search stops after `patience` consecutive
+// rejected moves or when the move budget is exhausted. It is the
+// strawman the §4 Monte-Carlo descendants are designed to beat.
+func HillClimb(start *partition.Partition, maxMoves, patience int, seed int64) (*Result, error) {
+	if maxMoves < 1 || patience < 1 {
+		return nil, fmt.Errorf("anneal: hill climb needs positive budgets")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := start.Clone()
+	curCost := penalised(cur)
+	res := &Result{Best: cur.Clone(), BestCost: curCost}
+	rejected := 0
+	for res.Moves < maxMoves && rejected < patience {
+		cand := cur.Clone()
+		if !randomMove(cand, rng) {
+			break
+		}
+		res.Moves++
+		candCost := penalised(cand)
+		if candCost < curCost {
+			cur, curCost = cand, candCost
+			res.Accepted++
+			rejected = 0
+			if curCost < res.BestCost {
+				res.BestCost = curCost
+				res.Best = cur.Clone()
+			}
+		} else {
+			rejected++
+		}
+	}
+	return res, nil
+}

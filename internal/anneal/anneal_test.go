@@ -1,0 +1,196 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/partition"
+	"iddqsyn/internal/standard"
+)
+
+func startPartition(t *testing.T, name string, size int) *partition.Partition {
+	t.Helper()
+	c := circuits.MustISCAS85Like(name)
+	a, err := celllib.Annotate(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := estimate.New(a, estimate.DefaultParams())
+	groups := standard.ChainStartPartition(c, size, rand.New(rand.NewSource(1)))
+	p, err := partition.New(e, groups, partition.PaperWeights(), partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Cooling: 0, MovesPerEpoch: 1, MinTemp: 1, MaxMoves: 1},
+		{Cooling: 1, MovesPerEpoch: 1, MinTemp: 1, MaxMoves: 1},
+		{Cooling: 0.9, MovesPerEpoch: 0, MinTemp: 1, MaxMoves: 1},
+		{Cooling: 0.9, MovesPerEpoch: 1, MinTemp: 0, MaxMoves: 1},
+		{Cooling: 0.9, MovesPerEpoch: 1, MinTemp: 1, MaxMoves: 0},
+		{Cooling: 0.9, MovesPerEpoch: 1, MinTemp: 1, MaxMoves: 1, InitialTemp: -1},
+	}
+	for i, p := range bad {
+		if err := p.validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if err := DefaultParams().validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestAnnealImproves(t *testing.T) {
+	start := startPartition(t, "c432", 8)
+	startCost := start.Cost()
+	prm := DefaultParams()
+	prm.MaxMoves = 4000
+	res, err := Anneal(start, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= startCost {
+		t.Errorf("no improvement: %g -> %g", startCost, res.BestCost)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	if res.Accepted == 0 || res.Moves == 0 {
+		t.Error("no moves recorded")
+	}
+}
+
+func TestAnnealDoesNotMutateStart(t *testing.T) {
+	start := startPartition(t, "c432", 8)
+	before := start.Cost()
+	k := start.NumModules()
+	prm := DefaultParams()
+	prm.MaxMoves = 500
+	if _, err := Anneal(start, prm); err != nil {
+		t.Fatal(err)
+	}
+	if start.Cost() != before || start.NumModules() != k {
+		t.Error("Anneal mutated its start partition")
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	prm := DefaultParams()
+	prm.MaxMoves = 1500
+	r1, err := Anneal(startPartition(t, "c432", 8), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Anneal(startPartition(t, "c432", 8), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestCost != r2.BestCost || r1.Accepted != r2.Accepted {
+		t.Error("annealing must be deterministic for a fixed seed")
+	}
+}
+
+func TestAnnealRespectsBudget(t *testing.T) {
+	prm := DefaultParams()
+	prm.MaxMoves = 100
+	res, err := Anneal(startPartition(t, "c432", 8), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves > 100 {
+		t.Errorf("moves = %d, budget 100", res.Moves)
+	}
+}
+
+func TestAnnealSingleModule(t *testing.T) {
+	// A single-module partition has no moves: the result is the start.
+	c := circuits.C17()
+	a, err := celllib.Annotate(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := estimate.New(a, estimate.DefaultParams())
+	p, err := partition.New(e, [][]int{c.LogicGates()},
+		partition.PaperWeights(), partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := DefaultParams()
+	prm.MaxMoves = 50
+	res, err := Anneal(p, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 {
+		t.Error("no move should be possible")
+	}
+	if res.BestCost != p.Cost() {
+		t.Error("best must equal the start")
+	}
+}
+
+func TestHillClimbImproves(t *testing.T) {
+	start := startPartition(t, "c432", 8)
+	startCost := start.Cost()
+	res, err := HillClimb(start, 3000, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= startCost {
+		t.Errorf("no improvement: %g -> %g", startCost, res.BestCost)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestHillClimbNeverAcceptsWorse(t *testing.T) {
+	start := startPartition(t, "c432", 8)
+	res, err := HillClimb(start, 2000, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hill climbing's best IS its current: re-evaluating the returned
+	// partition must give the recorded cost.
+	if got := res.Best.Cost(); got != res.BestCost {
+		t.Errorf("best cost %g, partition says %g", res.BestCost, got)
+	}
+}
+
+func TestHillClimbBadArgs(t *testing.T) {
+	start := startPartition(t, "c432", 8)
+	if _, err := HillClimb(start, 0, 10, 1); err == nil {
+		t.Error("want error for zero budget")
+	}
+	if _, err := HillClimb(start, 10, 0, 1); err == nil {
+		t.Error("want error for zero patience")
+	}
+}
+
+// The comparison the experiments run: annealing with a decent budget
+// should land in the same cost region as hill climbing or better —
+// and both must produce valid, feasible partitions.
+func TestOptimizersProduceFeasible(t *testing.T) {
+	start := startPartition(t, "c432", 8)
+	prm := DefaultParams()
+	prm.MaxMoves = 3000
+	sa, err := Anneal(start, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := HillClimb(start, 3000, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*Result{"anneal": sa, "hillclimb": hc} {
+		if !r.Best.Feasible() {
+			t.Errorf("%s: infeasible result", name)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package atpg generates the "precomputed test vector set" the paper's
+// test-application-time estimator (§3.4) assumes: pseudo-random vectors
+// fault-simulated against the IDDQ defect universe, compacted so that
+// every kept vector detects at least one new fault, up to a coverage goal.
+//
+// IDDQ detection requires only defect excitation — not propagation to an
+// output — so pseudo-random generation saturates coverage quickly, which
+// matches industrial experience with IDDQ test sets being very short.
+package atpg
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/faults"
+	"iddqsyn/internal/logicsim"
+)
+
+// Options configures test generation.
+type Options struct {
+	TargetCoverage float64 // stop when detected/total reaches this (0..1]
+	MaxVectors     int     // random-vector budget (generated, not kept)
+	Seed           int64
+}
+
+// DefaultOptions returns the settings used by the experiments: 99.5 %
+// coverage within a 4096-vector budget.
+func DefaultOptions() Options {
+	return Options{TargetCoverage: 0.995, MaxVectors: 4096, Seed: 1}
+}
+
+// Detection records which kept vector first detects a fault and which
+// gate's module observes the defect current.
+type Detection struct {
+	Fault    int // index into the fault list
+	Vector   int // index into Result.Vectors
+	Observer int // gate ID whose ground path carries the defect current
+}
+
+// Result is a generated and compacted IDDQ test set.
+type Result struct {
+	Vectors    [][]bool    // kept vectors, in application order
+	Detections []Detection // one entry per detected fault
+	Total      int         // fault-list size
+	Generated  int         // random vectors simulated before stopping
+}
+
+// Detected returns the number of detected faults.
+func (r *Result) Detected() int { return len(r.Detections) }
+
+// Coverage returns detected/total.
+func (r *Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(len(r.Detections)) / float64(r.Total)
+}
+
+// Generate builds an IDDQ test set for the fault list.
+func Generate(c *circuit.Circuit, list []faults.Fault, opt Options) (*Result, error) {
+	if opt.TargetCoverage <= 0 || opt.TargetCoverage > 1 {
+		return nil, fmt.Errorf("atpg: target coverage %g out of (0,1]", opt.TargetCoverage)
+	}
+	if opt.MaxVectors <= 0 {
+		return nil, fmt.Errorf("atpg: non-positive vector budget")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{Total: len(list)}
+	if len(list) == 0 {
+		return res, nil
+	}
+	p := logicsim.NewParallel(c)
+	detected := make([]bool, len(list))
+	remaining := len(list)
+	target := int(opt.TargetCoverage * float64(len(list)))
+	if target == 0 {
+		target = 1
+	}
+
+	batch := make([][]bool, 0, 64)
+	for res.Generated < opt.MaxVectors && len(list)-remaining < target {
+		batch = batch[:0]
+		n := 64
+		if left := opt.MaxVectors - res.Generated; left < n {
+			n = left
+		}
+		for k := 0; k < n; k++ {
+			v := make([]bool, len(c.Inputs))
+			for i := range v {
+				v[i] = rng.Intn(2) == 1
+			}
+			batch = append(batch, v)
+		}
+		res.Generated += n
+		if err := p.ApplyBatch(batch); err != nil {
+			return nil, err
+		}
+
+		// newHits[k] lists faults first detected by pattern k.
+		var keepMask uint64
+		type hit struct{ fault, pattern int }
+		var hitList []hit
+		for fi := range list {
+			if detected[fi] {
+				continue
+			}
+			w := list[fi].ExcitedWord(c, p)
+			if n < 64 {
+				w &= (1 << uint(n)) - 1
+			}
+			if w == 0 {
+				continue
+			}
+			k := bits.TrailingZeros64(w)
+			detected[fi] = true
+			remaining--
+			keepMask |= 1 << uint(k)
+			hitList = append(hitList, hit{fi, k})
+		}
+		if keepMask == 0 {
+			continue
+		}
+		// Map kept pattern slots to vector indices and record detections.
+		slot := make(map[int]int)
+		for k := 0; k < n; k++ {
+			if keepMask&(1<<uint(k)) != 0 {
+				slot[k] = len(res.Vectors)
+				res.Vectors = append(res.Vectors, batch[k])
+			}
+		}
+		for _, h := range hitList {
+			res.Detections = append(res.Detections, Detection{
+				Fault:    h.fault,
+				Vector:   slot[h.pattern],
+				Observer: list[h.fault].Observer(c, p, h.pattern),
+			})
+		}
+	}
+	return res, nil
+}
+
+// FaultSim evaluates an existing vector set against a fault list,
+// returning the detections (first-detection per fault, in vector order).
+func FaultSim(c *circuit.Circuit, list []faults.Fault, vectors [][]bool) (*Result, error) {
+	res := &Result{Total: len(list), Vectors: vectors, Generated: len(vectors)}
+	if len(list) == 0 || len(vectors) == 0 {
+		return res, nil
+	}
+	p := logicsim.NewParallel(c)
+	detected := make([]bool, len(list))
+	for base := 0; base < len(vectors); base += 64 {
+		end := base + 64
+		if end > len(vectors) {
+			end = len(vectors)
+		}
+		if err := p.ApplyBatch(vectors[base:end]); err != nil {
+			return nil, err
+		}
+		n := end - base
+		for fi := range list {
+			if detected[fi] {
+				continue
+			}
+			w := list[fi].ExcitedWord(c, p)
+			if n < 64 {
+				w &= (1 << uint(n)) - 1
+			}
+			if w == 0 {
+				continue
+			}
+			k := bits.TrailingZeros64(w)
+			detected[fi] = true
+			res.Detections = append(res.Detections, Detection{
+				Fault:    fi,
+				Vector:   base + k,
+				Observer: list[fi].Observer(c, p, k),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package atpg
+
+import (
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/faults"
+	"iddqsyn/internal/logicsim"
+	"iddqsyn/internal/podem"
+)
+
+// TopUpResult extends a pseudo-random test set with deterministic vectors
+// for the random-resistant faults.
+type TopUpResult struct {
+	Added        int // deterministic vectors appended
+	NewDetected  int // previously undetected faults now detected
+	ProvenUnsat  int // faults proven unexcitable by any vector
+	Aborted      int // faults whose search hit the backtrack budget
+	FinalMissing int // faults still undetected (unsat + aborted)
+}
+
+// excitationObjectives returns the candidate objective sets whose
+// satisfaction excites the fault (any one suffices).
+func excitationObjectives(c *circuit.Circuit, f *faults.Fault) [][]podem.Objective {
+	switch f.Kind {
+	case faults.Bridge:
+		return [][]podem.Objective{
+			{{Gate: f.A, Value: true}, {Gate: f.B, Value: false}},
+			{{Gate: f.A, Value: false}, {Gate: f.B, Value: true}},
+		}
+	case faults.GateOxideShort:
+		pin := c.Gates[f.Gate].Fanin[f.Pin]
+		return [][]podem.Objective{{{Gate: pin, Value: true}}}
+	case faults.StuckOn:
+		return [][]podem.Objective{{{Gate: f.Gate, Value: !f.PMOS}}}
+	}
+	return nil
+}
+
+// TopUp runs the PODEM justification engine on every fault the random
+// set left undetected, appending the found vectors to res (and recording
+// their detections). Faults whose every excitation objective is proven
+// unsatisfiable are genuinely untestable by IDDQ (redundant under the
+// fault model); aborted searches count towards the remaining misses.
+func TopUp(c *circuit.Circuit, list []faults.Fault, res *Result, maxBacktracks int) (*TopUpResult, error) {
+	detected := make([]bool, len(list))
+	for _, d := range res.Detections {
+		detected[d.Fault] = true
+	}
+	out := &TopUpResult{}
+	sim := logicsim.New(c)
+	for fi := range list {
+		if detected[fi] {
+			continue
+		}
+		f := &list[fi]
+		status := podem.Unsat
+		var vec []bool
+		for _, objs := range excitationObjectives(c, f) {
+			v, st, err := podem.Justify(c, objs, maxBacktracks)
+			if err != nil {
+				return nil, err
+			}
+			if st == podem.Found {
+				vec, status = v, podem.Found
+				break
+			}
+			if st == podem.Aborted {
+				status = podem.Aborted
+			}
+		}
+		switch status {
+		case podem.Found:
+			if err := sim.ApplyBits(vec); err != nil {
+				return nil, err
+			}
+			obs, excited := f.Excited(c, sim.Values())
+			if !excited {
+				// The justification engine guarantees the objectives, so
+				// this indicates an objective/excitation mismatch.
+				out.Aborted++
+				continue
+			}
+			vi := len(res.Vectors)
+			res.Vectors = append(res.Vectors, vec)
+			res.Detections = append(res.Detections, Detection{
+				Fault: fi, Vector: vi, Observer: obs,
+			})
+			detected[fi] = true
+			out.Added++
+			out.NewDetected++
+			// The new vector may detect other stragglers too.
+			for fj := fi + 1; fj < len(list); fj++ {
+				if detected[fj] {
+					continue
+				}
+				if obs2, ok := list[fj].Excited(c, sim.Values()); ok {
+					detected[fj] = true
+					out.NewDetected++
+					res.Detections = append(res.Detections, Detection{
+						Fault: fj, Vector: vi, Observer: obs2,
+					})
+				}
+			}
+		case podem.Unsat:
+			out.ProvenUnsat++
+		case podem.Aborted:
+			out.Aborted++
+		}
+	}
+	out.FinalMissing = out.ProvenUnsat + out.Aborted
+	return out, nil
+}

@@ -1,0 +1,209 @@
+// Package bench reads and writes the ISCAS85 ".bench" netlist format, the
+// standard interchange format for the combinational benchmark circuits the
+// paper evaluates on (C1908 ... C7552).
+//
+// The format is line-oriented:
+//
+//	# comment
+//	INPUT(I1)
+//	OUTPUT(g5)
+//	g1 = NAND(I1, I3)
+//
+// Keywords are case-insensitive; net names are case-sensitive identifiers.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"iddqsyn/internal/circuit"
+)
+
+// Read parses a .bench netlist from r. The circuit name is taken from the
+// first "# name" comment if present, otherwise defaultName.
+func Read(r io.Reader, defaultName string) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	name := defaultName
+	b := circuit.NewBuilder(defaultName)
+	var named bool
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !named {
+				if c := strings.TrimSpace(strings.TrimPrefix(line, "#")); c != "" {
+					name = firstToken(c)
+					named = true
+				}
+			}
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	c, err := buildRenamed(b, name, defaultName)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return c, nil
+}
+
+func firstToken(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// buildRenamed builds the circuit and fixes up the name discovered in the
+// header comment. circuit.Builder fixes its name at construction, so we
+// rebuild the struct name after Build.
+func buildRenamed(b *circuit.Builder, name, defaultName string) (*circuit.Circuit, error) {
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if name != defaultName {
+		c.Name = name
+	}
+	return c, nil
+}
+
+func parseLine(b *circuit.Builder, line string) error {
+	if eq := strings.IndexByte(line, '='); eq >= 0 {
+		lhs := strings.TrimSpace(line[:eq])
+		rhs := strings.TrimSpace(line[eq+1:])
+		if lhs == "" {
+			return fmt.Errorf("missing net name before '='")
+		}
+		fn, args, err := splitCall(rhs)
+		if err != nil {
+			return err
+		}
+		typ, ok := circuit.ParseGateType(fn)
+		if !ok {
+			return fmt.Errorf("unknown gate function %q", fn)
+		}
+		if typ == circuit.Input {
+			return fmt.Errorf("INPUT cannot appear on the right-hand side")
+		}
+		b.AddGate(lhs, typ, args...)
+		return nil
+	}
+	fn, args, err := splitCall(line)
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("%s takes exactly one net, got %d", fn, len(args))
+	}
+	switch strings.ToUpper(fn) {
+	case "INPUT":
+		b.AddInput(args[0])
+	case "OUTPUT":
+		b.MarkOutput(args[0])
+	default:
+		return fmt.Errorf("unknown directive %q", fn)
+	}
+	return nil
+}
+
+// splitCall parses "FN(a, b, c)" into the function name and argument list.
+func splitCall(s string) (fn string, args []string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed expression %q", s)
+	}
+	fn = strings.TrimSpace(s[:open])
+	if fn == "" {
+		return "", nil, fmt.Errorf("malformed expression %q", s)
+	}
+	inner := s[open+1 : len(s)-1]
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, fmt.Errorf("empty argument in %q", s)
+		}
+		args = append(args, a)
+	}
+	if len(args) == 0 {
+		return "", nil, fmt.Errorf("no arguments in %q", s)
+	}
+	return fn, args, nil
+}
+
+// Write emits the circuit in .bench format. Gates are emitted in
+// topological order so that the file round-trips through Read and remains
+// human-auditable.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	stats := c.ComputeStats()
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates, depth %d\n",
+		stats.Inputs, stats.Outputs, stats.LogicGates, stats.Depth)
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.TopoOrder() {
+		g := &c.Gates[id]
+		if g.Type == circuit.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// Format renders the circuit to a .bench string (convenience for tests and
+// tools).
+func Format(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		// strings.Builder never fails; keep the signature simple.
+		panic(err)
+	}
+	return sb.String()
+}
+
+// Fingerprint returns a canonical structural summary string used to detect
+// accidental generator drift in tests: sorted gate lines independent of
+// declaration order.
+func Fingerprint(c *circuit.Circuit) string {
+	lines := make([]string, 0, c.NumGates())
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Type == circuit.Input {
+			lines = append(lines, "INPUT "+g.Name)
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			names[j] = c.Gates[f].Name
+		}
+		sort.Strings(names)
+		lines = append(lines, g.Name+" "+g.Type.String()+" "+strings.Join(names, " "))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

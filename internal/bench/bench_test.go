@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+)
+
+const c17Bench = `# c17
+# five inputs, two outputs
+INPUT(I1)
+INPUT(I2)
+INPUT(I3)
+INPUT(I4)
+INPUT(I5)
+OUTPUT(g5)
+OUTPUT(g6)
+g1 = NAND(I1, I3)
+g2 = NAND(I3, I4)
+g3 = NAND(I2, g2)
+g4 = NAND(g2, I5)
+g5 = NAND(g1, g3)
+g6 = NAND(g3, g4)
+`
+
+func TestReadC17(t *testing.T) {
+	c, err := Read(strings.NewReader(c17Bench), "unnamed")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if c.Name != "c17" {
+		t.Errorf("Name = %q, want c17 (from header comment)", c.Name)
+	}
+	if c.NumLogicGates() != 6 || len(c.Inputs) != 5 || len(c.Outputs) != 2 {
+		t.Errorf("structure: %s", c)
+	}
+	g3, ok := c.GateByName("g3")
+	if !ok {
+		t.Fatal("g3 missing")
+	}
+	if g3.Type != circuit.Nand || len(g3.Fanin) != 2 {
+		t.Errorf("g3 = %+v", g3)
+	}
+}
+
+func TestReadForwardReference(t *testing.T) {
+	src := `INPUT(a)
+OUTPUT(y)
+y = NOT(x)
+x = BUF(a)
+`
+	c, err := Read(strings.NewReader(src), "fwd")
+	if err != nil {
+		t.Fatalf("Read with forward reference: %v", err)
+	}
+	y, _ := c.GateByName("y")
+	x, _ := c.GateByName("x")
+	if len(y.Fanin) != 1 || y.Fanin[0] != x.ID {
+		t.Errorf("forward reference not resolved: y.Fanin=%v x.ID=%d", y.Fanin, x.ID)
+	}
+}
+
+func TestReadCaseInsensitiveKeywords(t *testing.T) {
+	src := `input(a)
+input(b)
+output(y)
+y = nand(a, b)
+`
+	c, err := Read(strings.NewReader(src), "lc")
+	if err != nil {
+		t.Fatalf("Read lowercase: %v", err)
+	}
+	if c.NumLogicGates() != 1 {
+		t.Errorf("gates = %d, want 1", c.NumLogicGates())
+	}
+}
+
+func TestReadDefaultName(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+	c, err := Read(strings.NewReader(src), "fallback")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if c.Name != "fallback" {
+		t.Errorf("Name = %q, want fallback", c.Name)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown function":  "INPUT(a)\nOUTPUT(y)\ny = MUX(a, a)\n",
+		"malformed expr":    "INPUT(a)\nOUTPUT(y)\ny = NOT a\n",
+		"empty arg":         "INPUT(a)\nOUTPUT(y)\ny = NAND(a, )\n",
+		"input rhs":         "INPUT(a)\nOUTPUT(y)\ny = INPUT(a)\n",
+		"two-arg OUTPUT":    "INPUT(a)\nOUTPUT(a, b)\n",
+		"unknown directive": "WIBBLE(a)\n",
+		"missing lhs":       "INPUT(a)\n = NOT(a)\n",
+		"unknown fanin":     "INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n",
+		"no parens":         "INPUT\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c1, err := Read(strings.NewReader(c17Bench), "x")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	text := Format(c1)
+	c2, err := Read(strings.NewReader(text), "x")
+	if err != nil {
+		t.Fatalf("re-Read: %v\n%s", err, text)
+	}
+	if Fingerprint(c1) != Fingerprint(c2) {
+		t.Errorf("round trip changed structure:\n%s\nvs\n%s", Fingerprint(c1), Fingerprint(c2))
+	}
+	if c2.Name != "c17" {
+		t.Errorf("round trip lost name: %q", c2.Name)
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n"
+	b := "INPUT(b)\nINPUT(a)\nOUTPUT(y)\ny = NAND(b, a)\n"
+	ca, err := Read(strings.NewReader(a), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Read(strings.NewReader(b), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(ca) != Fingerprint(cb) {
+		t.Error("fingerprint should be independent of declaration and fanin order")
+	}
+}
+
+func TestWriteIsTopological(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = BUF(a)\n"
+	c, err := Read(strings.NewReader(src), "fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(c)
+	ix := strings.Index(out, "x = BUF")
+	iy := strings.Index(out, "y = NOT")
+	if ix < 0 || iy < 0 || ix > iy {
+		t.Errorf("Write should emit x before y:\n%s", out)
+	}
+}
+
+// Property: any generated circuit round-trips through the .bench format
+// bit-exact in structure.
+func TestRoundTripRandomCircuits(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		c1, err := circuits.RandomLogic(circuits.Spec{
+			Name: "rt", Inputs: 5 + int(seed), Outputs: 3,
+			Gates: 40 + 10*int(seed), Depth: 6 + int(seed)%5, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Read(strings.NewReader(Format(c1)), "x")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if Fingerprint(c1) != Fingerprint(c2) {
+			t.Fatalf("seed %d: structure changed", seed)
+		}
+	}
+}
+
+// The shipped benchmark netlists in benchmarks/ must parse and match the
+// generators that produced them.
+func TestShippedBenchmarkFiles(t *testing.T) {
+	dir := "../../benchmarks"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("benchmarks directory not present: %v", err)
+	}
+	parsed := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".bench") {
+			continue
+		}
+		f, err := os.Open(dir + "/" + e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Read(f, e.Name())
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		parsed++
+		name := strings.TrimSuffix(e.Name(), ".bench")
+		if prof, ok := circuits.ProfileFor(name); ok && name != "c6288" {
+			if c.NumLogicGates() != prof.Gates {
+				t.Errorf("%s: %d gates, profile says %d — regenerate with cmd/benchgen",
+					name, c.NumLogicGates(), prof.Gates)
+			}
+			gen := circuits.MustISCAS85Like(name)
+			if Fingerprint(c) != Fingerprint(gen) {
+				t.Errorf("%s: shipped file drifted from the generator", name)
+			}
+		}
+	}
+	if parsed < 10 {
+		t.Errorf("parsed only %d shipped netlists", parsed)
+	}
+}

@@ -1,0 +1,130 @@
+package bic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Strategy selects how the per-module sensors are read out after each
+// test vector. The paper's cost c₅ charges every module for the test
+// clock and test output routing; sharing detection circuitry between
+// sensors trades that area against test application time (§3.4).
+type Strategy int
+
+// The modelled readout strategies.
+const (
+	// ReadParallel gives every sensor its own detection circuit: all
+	// modules are sensed simultaneously, so a vector costs the slowest
+	// module's settling time once.
+	ReadParallel Strategy = iota
+	// ReadSerial scan-chains all sensing devices through one shared
+	// detection circuit: cheapest area, but the settling+sensing times
+	// add up module by module.
+	ReadSerial
+	// ReadGrouped shares one detection circuit among each group of
+	// sensors: the middle ground.
+	ReadGrouped
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case ReadParallel:
+		return "parallel"
+	case ReadSerial:
+		return "serial"
+	case ReadGrouped:
+		return "grouped"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Schedule evaluates a readout strategy over a set of sized sensors.
+type Schedule struct {
+	Strategy Strategy
+	Groups   int // detection circuits (ReadGrouped: the group count)
+
+	VectorPeriod float64 // time per test vector, s (D_BIC + sensing)
+	TotalTime    float64 // VectorPeriod × vector count, s
+	SensorArea   float64 // total sensor area incl. shared detection
+}
+
+// PlanSchedule computes the schedule for nVectors test vectors with
+// circuit delay dBIC (the settled-logic time per vector). detectionArea
+// is the per-detection-circuit area (the A₀ of the §3.1 area model);
+// the per-sensor bypass/sensing area is taken from each sensor's sizing.
+// groups is used only by ReadGrouped and is clamped to [1, len(sensors)].
+func PlanSchedule(strategy Strategy, sensors []Sensor, nVectors int,
+	dBIC, detectionArea float64, groups int) (*Schedule, error) {
+	if len(sensors) == 0 {
+		return nil, fmt.Errorf("bic: schedule needs at least one sensor")
+	}
+	if nVectors < 1 {
+		return nil, fmt.Errorf("bic: schedule needs at least one vector")
+	}
+	if dBIC <= 0 || detectionArea <= 0 {
+		return nil, fmt.Errorf("bic: schedule needs positive delay and detection area")
+	}
+	s := &Schedule{Strategy: strategy}
+
+	// Sensing-element + bypass area (everything beyond the detection
+	// circuit) per sensor.
+	var deviceArea float64
+	var maxSettle, sumSettle float64
+	for i := range sensors {
+		da := sensors[i].Area - detectionArea
+		if da < 0 {
+			da = 0
+		}
+		deviceArea += da
+		if sensors[i].Settle > maxSettle {
+			maxSettle = sensors[i].Settle
+		}
+		sumSettle += sensors[i].Settle
+	}
+
+	switch strategy {
+	case ReadParallel:
+		s.Groups = len(sensors)
+		s.VectorPeriod = dBIC + maxSettle
+	case ReadSerial:
+		s.Groups = 1
+		s.VectorPeriod = dBIC + sumSettle
+	case ReadGrouped:
+		if groups < 1 {
+			groups = 1
+		}
+		if groups > len(sensors) {
+			groups = len(sensors)
+		}
+		s.Groups = groups
+		// Each detection circuit serves ceil(K/groups) sensors in turn;
+		// rounds run in parallel across groups, so the per-vector sensing
+		// time is the round count times the slowest settle.
+		rounds := int(math.Ceil(float64(len(sensors)) / float64(groups)))
+		s.VectorPeriod = dBIC + float64(rounds)*maxSettle
+	default:
+		return nil, fmt.Errorf("bic: unknown strategy %v", strategy)
+	}
+	s.SensorArea = deviceArea + float64(s.Groups)*detectionArea
+	s.TotalTime = s.VectorPeriod * float64(nVectors)
+	return s, nil
+}
+
+// BestSchedule evaluates all strategies (grouped at √K detection
+// circuits) and returns the one minimising area·time — a simple
+// area-delay-product figure of merit for the readout trade-off.
+func BestSchedule(sensors []Sensor, nVectors int, dBIC, detectionArea float64) (*Schedule, error) {
+	groups := int(math.Round(math.Sqrt(float64(len(sensors)))))
+	var best *Schedule
+	for _, strat := range []Strategy{ReadParallel, ReadSerial, ReadGrouped} {
+		s, err := PlanSchedule(strat, sensors, nVectors, dBIC, detectionArea, groups)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || s.SensorArea*s.TotalTime < best.SensorArea*best.TotalTime {
+			best = s
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,112 @@
+package bic
+
+import (
+	"fmt"
+	"math"
+
+	"iddqsyn/internal/estimate"
+)
+
+// Technology enumerates the BIC sensing-device classes surveyed in the
+// paper's introduction (references [7]-[12]). The paper's synthesis flow
+// targets the bypass-MOS class of figure 1 because "some BIC sensors
+// (i.e. pn junctions or bipolar devices) introduce a voltage drop during
+// transient switching which can be unacceptable" — the variants here make
+// that design decision quantitative.
+type Technology int
+
+// The modelled sensing-device classes.
+const (
+	// BypassMOS is the figure 1 architecture: a sensing device with a
+	// parallel bypass switch sized so the transient rail perturbation
+	// stays below r*. Area pays for the bypass width (A1/Rs).
+	BypassMOS Technology = iota
+	// PNJunction senses across a diode in the ground path. No bypass:
+	// tiny area, but the full transient current develops the diode drop
+	// (≈0.65 V) on the virtual rail during switching.
+	PNJunction
+	// Bipolar uses a bipolar transconductor (Maly/Nigh style): moderate
+	// area, a V_BE-class drop (≈0.3 V) during transients.
+	Bipolar
+	// Proportional is the Rius/Figueras proportional BIC sensor: the
+	// perturbation scales with the sensed current at a design ratio, at
+	// the price of a larger detection circuit.
+	Proportional
+)
+
+// String names the technology.
+func (t Technology) String() string {
+	switch t {
+	case BypassMOS:
+		return "bypass-mos"
+	case PNJunction:
+		return "pn-junction"
+	case Bipolar:
+		return "bipolar"
+	case Proportional:
+		return "proportional"
+	}
+	return fmt.Sprintf("Technology(%d)", int(t))
+}
+
+// Technologies lists all modelled classes.
+func Technologies() []Technology {
+	return []Technology{BypassMOS, PNJunction, Bipolar, Proportional}
+}
+
+// VariantSensor is a sensor of a specific technology sized for a module.
+type VariantSensor struct {
+	Technology   Technology
+	Sensor               // the common electrical summary
+	Perturbation float64 // worst-case transient rail excursion, V
+	Suitable     bool    // Perturbation ≤ the rail limit r*
+}
+
+// Thermal voltage at room temperature, used for junction small-signal
+// resistance.
+const thermalVoltage = 0.026
+
+// SizeVariant sizes a sensor of the given technology for a module
+// estimate under the estimator parameters, reporting the transient rail
+// perturbation the module would suffer and whether it respects r*.
+func SizeVariant(tech Technology, moduleIdx int, m *estimate.Module, p estimate.Params) VariantSensor {
+	v := VariantSensor{Technology: tech}
+	v.Module = moduleIdx
+	v.Threshold = p.IDDQth
+	v.RailLimit = p.RailLimit
+	v.IDDMax = m.IDDMax
+	v.Cs = m.Cs
+
+	switch tech {
+	case BypassMOS:
+		v.ROn = m.Rs
+		v.Area = m.SensorArea
+		v.Perturbation = m.Rs * m.IDDMax // = r* by construction
+	case PNJunction:
+		// The diode conducts the whole transient: the drop saturates
+		// near the junction voltage. The effective small-signal
+		// resistance at the quiescent operating point sets τ.
+		v.ROn = thermalVoltage / p.IDDQth
+		v.Area = p.AreaA0 // detection circuitry only
+		v.Perturbation = 0.65
+	case Bipolar:
+		v.ROn = thermalVoltage / (2 * p.IDDQth)
+		v.Area = 1.5 * p.AreaA0
+		v.Perturbation = 0.3
+	case Proportional:
+		// The proportional sensor regulates the drop to half the limit
+		// across the full current range: twice the bypass conductance
+		// (twice the device width) plus a detection circuit roughly
+		// twice the plain comparator.
+		v.ROn = 0.5 * p.RailLimit / m.IDDMax
+		v.Area = 2*p.AreaA0 + p.AreaA1/v.ROn
+		v.Perturbation = 0.5 * p.RailLimit
+	}
+	v.Tau = v.ROn * v.Cs
+	if v.IDDMax > v.Threshold {
+		// Settling to the sensing threshold with the variant's own τ.
+		v.Settle = v.Tau * math.Log(v.IDDMax/v.Threshold)
+	}
+	v.Suitable = v.Perturbation <= p.RailLimit+1e-12
+	return v
+}

@@ -1,0 +1,129 @@
+package bic
+
+import (
+	"testing"
+
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/estimate"
+)
+
+func moduleFixture(t *testing.T) (*estimate.Module, estimate.Params) {
+	t.Helper()
+	c := circuits.MustISCAS85Like("c432")
+	a, err := celllib.Annotate(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := estimate.New(a, estimate.DefaultParams())
+	return e.EvalModule(c.LogicGates()), e.P
+}
+
+func TestTechnologyString(t *testing.T) {
+	want := map[Technology]string{
+		BypassMOS: "bypass-mos", PNJunction: "pn-junction",
+		Bipolar: "bipolar", Proportional: "proportional",
+	}
+	for tech, name := range want {
+		if got := tech.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", int(tech), got, name)
+		}
+	}
+	if Technology(9).String() != "Technology(9)" {
+		t.Error("out-of-range Technology.String")
+	}
+	if len(Technologies()) != 4 {
+		t.Error("Technologies() should list all four classes")
+	}
+}
+
+func TestBypassMOSMeetsRailLimit(t *testing.T) {
+	m, p := moduleFixture(t)
+	v := SizeVariant(BypassMOS, 0, m, p)
+	if !v.Suitable {
+		t.Error("the paper's bypass-MOS sensor is sized to meet r* by construction")
+	}
+	if !approxRel(v.Perturbation, p.RailLimit, 1e-9) {
+		t.Errorf("perturbation = %g, want exactly r* = %g", v.Perturbation, p.RailLimit)
+	}
+	if v.ROn != m.Rs || v.Area != m.SensorArea {
+		t.Error("bypass-MOS variant must agree with the §3.1 sizing")
+	}
+}
+
+func TestJunctionSensorsViolateStringentLimit(t *testing.T) {
+	// The paper's motivation for the bypass device: diode and bipolar
+	// drops (0.65 V / 0.3 V) are far above the 100-300 mV limits.
+	m, p := moduleFixture(t)
+	for _, tech := range []Technology{PNJunction, Bipolar} {
+		v := SizeVariant(tech, 0, m, p)
+		if v.Suitable {
+			t.Errorf("%v should violate a %g V rail limit", tech, p.RailLimit)
+		}
+		if v.Perturbation <= p.RailLimit {
+			t.Errorf("%v perturbation %g should exceed r*", tech, v.Perturbation)
+		}
+	}
+}
+
+func TestJunctionSensorsSuitableWithRelaxedLimit(t *testing.T) {
+	m, p := moduleFixture(t)
+	p.RailLimit = 0.7 // noise-tolerant application
+	if v := SizeVariant(PNJunction, 0, m, p); !v.Suitable {
+		t.Error("pn-junction should be suitable at a 0.7 V limit")
+	}
+	if v := SizeVariant(Bipolar, 0, m, p); !v.Suitable {
+		t.Error("bipolar should be suitable at a 0.7 V limit")
+	}
+}
+
+func TestPNJunctionAreaAdvantage(t *testing.T) {
+	// The trade-off: the diode needs no bypass device, so it is far
+	// smaller than the r*-sized bypass MOS.
+	m, p := moduleFixture(t)
+	mos := SizeVariant(BypassMOS, 0, m, p)
+	pn := SizeVariant(PNJunction, 0, m, p)
+	if pn.Area >= mos.Area {
+		t.Errorf("pn-junction area %g should undercut bypass-MOS %g", pn.Area, mos.Area)
+	}
+}
+
+func TestProportionalHalvesPerturbation(t *testing.T) {
+	m, p := moduleFixture(t)
+	v := SizeVariant(Proportional, 0, m, p)
+	if !v.Suitable {
+		t.Error("proportional sensor regulates below r*")
+	}
+	if !approxRel(v.Perturbation, p.RailLimit/2, 1e-9) {
+		t.Errorf("perturbation = %g, want r*/2", v.Perturbation)
+	}
+	mos := SizeVariant(BypassMOS, 0, m, p)
+	if v.Area <= mos.Area {
+		t.Error("the proportional sensor pays area for its regulation")
+	}
+}
+
+func TestVariantSettleTimes(t *testing.T) {
+	m, p := moduleFixture(t)
+	for _, tech := range Technologies() {
+		v := SizeVariant(tech, 0, m, p)
+		if v.Settle <= 0 {
+			t.Errorf("%v: settle time must be positive for a real module", tech)
+		}
+		if v.Tau <= 0 {
+			t.Errorf("%v: time constant must be positive", tech)
+		}
+	}
+}
+
+func approxRel(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	s := b
+	if s < 0 {
+		s = -s
+	}
+	return d <= eps*(1+s)
+}

@@ -1,0 +1,132 @@
+package celllib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"iddqsyn/internal/circuit"
+)
+
+// The text library format is line-oriented:
+//
+//	# comment
+//	library <name> vdd <volts>
+//	cell <name> <FUNCTION> fanin <n> area <a> delay <s> dpf <s> peak <A> leakbase <A> leakperin <A> cin <F> cout <F> rg <ohm>
+//
+// It exists so cmd tools can load a custom technology instead of the
+// built-in Default library.
+
+// WriteLibrary serialises l in the text library format.
+func WriteLibrary(w io.Writer, l *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# iddqsyn cell library\n")
+	fmt.Fprintf(bw, "library %s vdd %g\n", l.Name, l.VDD)
+	for _, c := range l.Cells() {
+		fmt.Fprintf(bw, "cell %s %s fanin %d area %g delay %g dpf %g peak %g leakbase %g leakperin %g cin %g cout %g rg %g\n",
+			c.Name, c.Function, c.MaxFanin, c.Area, c.Delay, c.DelayPerFanout,
+			c.PeakCurrent, c.LeakBase, c.LeakPerIn, c.Cin, c.Cout, c.Rg)
+	}
+	return bw.Flush()
+}
+
+// ReadLibrary parses the text library format.
+func ReadLibrary(r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	var lib *Library
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "library":
+			if len(fields) != 4 || fields[2] != "vdd" {
+				return nil, fmt.Errorf("celllib: line %d: want 'library <name> vdd <volts>'", lineno)
+			}
+			vdd, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("celllib: line %d: bad vdd: %v", lineno, err)
+			}
+			lib = New(fields[1], vdd)
+		case "cell":
+			if lib == nil {
+				return nil, fmt.Errorf("celllib: line %d: cell before library header", lineno)
+			}
+			c, err := parseCellLine(fields)
+			if err != nil {
+				return nil, fmt.Errorf("celllib: line %d: %v", lineno, err)
+			}
+			if err := lib.Add(c); err != nil {
+				return nil, fmt.Errorf("celllib: line %d: %v", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("celllib: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lib == nil {
+		return nil, fmt.Errorf("celllib: no library header")
+	}
+	return lib, nil
+}
+
+func parseCellLine(fields []string) (*Cell, error) {
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("truncated cell line")
+	}
+	fn, ok := circuit.ParseGateType(fields[2])
+	if !ok || fn == circuit.Input {
+		return nil, fmt.Errorf("bad cell function %q", fields[2])
+	}
+	c := &Cell{Name: fields[1], Function: fn}
+	kv := fields[3:]
+	if len(kv)%2 != 0 {
+		return nil, fmt.Errorf("odd key/value list")
+	}
+	for i := 0; i < len(kv); i += 2 {
+		key, val := kv[i], kv[i+1]
+		if key == "fanin" {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad fanin %q", val)
+			}
+			c.MaxFanin = n
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value for %s: %q", key, val)
+		}
+		switch key {
+		case "area":
+			c.Area = f
+		case "delay":
+			c.Delay = f
+		case "dpf":
+			c.DelayPerFanout = f
+		case "peak":
+			c.PeakCurrent = f
+		case "leakbase":
+			c.LeakBase = f
+		case "leakperin":
+			c.LeakPerIn = f
+		case "cin":
+			c.Cin = f
+		case "cout":
+			c.Cout = f
+		case "rg":
+			c.Rg = f
+		default:
+			return nil, fmt.Errorf("unknown cell attribute %q", key)
+		}
+	}
+	return c, nil
+}

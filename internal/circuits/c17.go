@@ -1,0 +1,37 @@
+// Package circuits provides the benchmark circuits the experiments run on:
+// the exact ISCAS85 C17 netlist used in the paper's running example
+// (figures 3-5), a genuine n×n array multiplier standing in for C6288, a
+// reconvergent random-logic generator matched to the published structural
+// statistics of the remaining ISCAS85 circuits, and the two-dimensional
+// cell array of figure 2.
+//
+// The original ISCAS85 netlists are not redistributable inside this
+// offline module; DESIGN.md documents why structurally matched synthetic
+// circuits preserve the paper's experiments (all estimators consume only
+// graph structure plus cell-library data).
+package circuits
+
+import "iddqsyn/internal/circuit"
+
+// C17 returns the ISCAS85 benchmark C17 exactly as drawn in the paper's
+// figures 3-5: six 2-input NAND gates g1..g6 over inputs I1..I5 with
+// outputs g5 (named 02 in the figures) and g6 (03).
+func C17() *circuit.Circuit {
+	b := circuit.NewBuilder("c17")
+	for _, in := range []string{"I1", "I2", "I3", "I4", "I5"} {
+		b.AddInput(in)
+	}
+	b.AddGate("g1", circuit.Nand, "I1", "I3")
+	b.AddGate("g2", circuit.Nand, "I3", "I4")
+	b.AddGate("g3", circuit.Nand, "I2", "g2")
+	b.AddGate("g4", circuit.Nand, "g2", "I5")
+	b.AddGate("g5", circuit.Nand, "g1", "g3")
+	b.AddGate("g6", circuit.Nand, "g3", "g4")
+	b.MarkOutput("g5")
+	b.MarkOutput("g6")
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: C17 must build: " + err.Error())
+	}
+	return c
+}

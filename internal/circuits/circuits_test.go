@@ -1,0 +1,355 @@
+package circuits
+
+import (
+	"testing"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+)
+
+func TestC17Structure(t *testing.T) {
+	c := C17()
+	s := c.ComputeStats()
+	if s.Inputs != 5 || s.Outputs != 2 || s.LogicGates != 6 || s.Depth != 3 {
+		t.Errorf("C17 stats = %+v", s)
+	}
+	if s.ByType[circuit.Nand] != 6 {
+		t.Errorf("C17 should be six NANDs, got %v", s.ByType)
+	}
+}
+
+func TestC17Function(t *testing.T) {
+	// Spot-check the logic against hand evaluation.
+	c := C17()
+	eval := func(in map[string]bool) map[string]bool {
+		vals := make([]bool, c.NumGates())
+		for _, id := range c.TopoOrder() {
+			g := &c.Gates[id]
+			if g.Type == circuit.Input {
+				vals[id] = in[g.Name]
+				continue
+			}
+			args := make([]bool, len(g.Fanin))
+			for i, f := range g.Fanin {
+				args[i] = vals[f]
+			}
+			vals[id] = g.Type.Eval(args)
+		}
+		out := map[string]bool{}
+		for _, o := range c.Outputs {
+			out[c.Gates[o].Name] = vals[o]
+		}
+		return out
+	}
+	// All inputs 0: g1=g2=1, g3=NAND(0,1)=1, g4=NAND(1,0)=1, g5=NAND(1,1)=0, g6=0.
+	out := eval(map[string]bool{})
+	if out["g5"] || out["g6"] {
+		t.Errorf("all-zero inputs: got g5=%v g6=%v, want false,false", out["g5"], out["g6"])
+	}
+	// I1..I5 = 1: g1=NAND(1,1)=0, g2=0, g3=NAND(1,0)=1, g4=NAND(0,1)=1, g5=NAND(0,1)=1, g6=NAND(1,1)=0.
+	out = eval(map[string]bool{"I1": true, "I2": true, "I3": true, "I4": true, "I5": true})
+	if !out["g5"] || out["g6"] {
+		t.Errorf("all-one inputs: got g5=%v g6=%v, want true,false", out["g5"], out["g6"])
+	}
+}
+
+func TestArrayMultiplierStructure(t *testing.T) {
+	m := ArrayMultiplier(4)
+	s := m.ComputeStats()
+	if s.Inputs != 8 {
+		t.Errorf("inputs = %d, want 8", s.Inputs)
+	}
+	if s.Outputs != 8 {
+		t.Errorf("outputs = %d, want 8", s.Outputs)
+	}
+	if s.LogicGates < 16 {
+		t.Errorf("gates = %d, want at least 16 partial products", s.LogicGates)
+	}
+}
+
+// TestArrayMultiplierFunction verifies the generated netlist actually
+// multiplies, exhaustively for 4x4.
+func TestArrayMultiplierFunction(t *testing.T) {
+	n := 4
+	m := ArrayMultiplier(n)
+	vals := make([]bool, m.NumGates())
+	order := m.TopoOrder()
+	for a := 0; a < 1<<n; a++ {
+		for b := 0; b < 1<<n; b++ {
+			for i := 0; i < n; i++ {
+				ga, _ := m.GateByName(gateName("a", i))
+				gb, _ := m.GateByName(gateName("b", i))
+				vals[ga.ID] = a&(1<<i) != 0
+				vals[gb.ID] = b&(1<<i) != 0
+			}
+			for _, id := range order {
+				g := &m.Gates[id]
+				if g.Type == circuit.Input {
+					continue
+				}
+				args := make([]bool, len(g.Fanin))
+				for i, f := range g.Fanin {
+					args[i] = vals[f]
+				}
+				vals[id] = g.Type.Eval(args)
+			}
+			got := 0
+			for i, o := range m.Outputs {
+				if vals[o] {
+					got |= 1 << i
+				}
+			}
+			if got != a*b {
+				t.Fatalf("%d * %d = %d, circuit says %d", a, b, a*b, got)
+			}
+		}
+	}
+}
+
+func gateName(prefix string, i int) string {
+	return prefix + string(rune('0'+i%10))
+}
+
+func TestArrayMultiplier16InC6288Class(t *testing.T) {
+	m := ArrayMultiplier(16)
+	s := m.ComputeStats()
+	if s.Inputs != 32 || s.Outputs != 32 {
+		t.Errorf("I/O = %d/%d, want 32/32", s.Inputs, s.Outputs)
+	}
+	if s.LogicGates < 1200 || s.LogicGates > 3000 {
+		t.Errorf("gates = %d, want C6288 order of magnitude (1200..3000)", s.LogicGates)
+	}
+	if s.Depth < 40 {
+		t.Errorf("depth = %d, want the deep carry chains of an array multiplier (>=40)", s.Depth)
+	}
+	t.Logf("mult16x16: %d gates, depth %d", s.LogicGates, s.Depth)
+}
+
+func TestArrayMultiplierPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for n=1")
+		}
+	}()
+	ArrayMultiplier(1)
+}
+
+func TestRandomLogicMatchesSpec(t *testing.T) {
+	spec := Spec{Name: "t1", Inputs: 20, Outputs: 8, Gates: 200, Depth: 15, Seed: 7}
+	c, err := RandomLogic(spec)
+	if err != nil {
+		t.Fatalf("RandomLogic: %v", err)
+	}
+	s := c.ComputeStats()
+	if s.Inputs != spec.Inputs {
+		t.Errorf("inputs = %d, want %d", s.Inputs, spec.Inputs)
+	}
+	if s.LogicGates != spec.Gates {
+		t.Errorf("gates = %d, want %d", s.LogicGates, spec.Gates)
+	}
+	if s.Depth != spec.Depth {
+		t.Errorf("depth = %d, want exactly %d", s.Depth, spec.Depth)
+	}
+	if s.Outputs < spec.Outputs {
+		t.Errorf("outputs = %d, want >= %d", s.Outputs, spec.Outputs)
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	spec := Spec{Name: "t2", Inputs: 10, Outputs: 4, Gates: 80, Depth: 9, Seed: 42}
+	c1, err := RandomLogic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := RandomLogic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Fingerprint(c1) != bench.Fingerprint(c2) {
+		t.Error("same spec must generate identical circuits")
+	}
+	spec.Seed = 43
+	c3, err := RandomLogic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Fingerprint(c1) == bench.Fingerprint(c3) {
+		t.Error("different seeds should generate different circuits")
+	}
+}
+
+func TestRandomLogicNoDeadLogic(t *testing.T) {
+	c, err := RandomLogic(Spec{Name: "t3", Inputs: 15, Outputs: 5, Gates: 150, Depth: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isOut := map[int]bool{}
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if len(g.Fanout) == 0 && !isOut[g.ID] {
+			t.Errorf("gate %s drives nothing and is not an output", g.Name)
+		}
+	}
+	// Every primary input must be used.
+	for _, id := range c.Inputs {
+		if len(c.Gates[id].Fanout) == 0 {
+			t.Errorf("input %s unused", c.Gates[id].Name)
+		}
+	}
+}
+
+func TestRandomLogicErrors(t *testing.T) {
+	cases := []Spec{
+		{Name: "bad1", Inputs: 1, Outputs: 1, Gates: 10, Depth: 3},
+		{Name: "bad2", Inputs: 5, Outputs: 1, Gates: 2, Depth: 5},
+		{Name: "bad3", Inputs: 5, Outputs: 0, Gates: 10, Depth: 3},
+		{Name: "bad4", Inputs: 5, Outputs: 1, Gates: 10, Depth: 0},
+	}
+	for _, spec := range cases {
+		if _, err := RandomLogic(spec); err == nil {
+			t.Errorf("%s: want error", spec.Name)
+		}
+	}
+}
+
+func TestISCAS85LikeProfiles(t *testing.T) {
+	for _, name := range []string{"c432", "c1908", "c2670"} {
+		p, ok := ProfileFor(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		c, err := ISCAS85Like(name)
+		if err != nil {
+			t.Fatalf("ISCAS85Like(%s): %v", name, err)
+		}
+		s := c.ComputeStats()
+		if s.Inputs != p.Inputs {
+			t.Errorf("%s inputs = %d, want %d", name, s.Inputs, p.Inputs)
+		}
+		if s.LogicGates != p.Gates {
+			t.Errorf("%s gates = %d, want %d", name, s.LogicGates, p.Gates)
+		}
+		if s.Depth != p.Depth {
+			t.Errorf("%s depth = %d, want %d", name, s.Depth, p.Depth)
+		}
+	}
+}
+
+func TestISCAS85LikeC6288IsMultiplier(t *testing.T) {
+	c, err := ISCAS85Like("c6288")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c6288" {
+		t.Errorf("name = %q", c.Name)
+	}
+	s := c.ComputeStats()
+	if s.Inputs != 32 || s.Outputs != 32 {
+		t.Errorf("c6288 I/O = %d/%d", s.Inputs, s.Outputs)
+	}
+	if s.Depth < 40 {
+		t.Errorf("c6288 depth = %d, want deep carry chains", s.Depth)
+	}
+}
+
+func TestISCAS85LikeUnknown(t *testing.T) {
+	if _, err := ISCAS85Like("c9999"); err == nil {
+		t.Error("want error for unknown circuit")
+	}
+}
+
+func TestISCAS85LikeAllMappable(t *testing.T) {
+	// Every generated circuit must map onto the default cell library.
+	lib := celllib.Default()
+	for _, name := range Names() {
+		c, err := ISCAS85Like(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := celllib.Annotate(c, lib); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("got %d profiles, want 10", len(names))
+	}
+	if names[0] != "c432" || names[len(names)-1] != "c7552" {
+		t.Errorf("Names() = %v, want size-ascending with c432 first, c7552 last", names)
+	}
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	types := []circuit.GateType{circuit.Nand, circuit.Nor, circuit.And}
+	g := Grid2D(3, 6, types)
+	s := g.ComputeStats()
+	if s.LogicGates != 18 {
+		t.Errorf("gates = %d, want 18", s.LogicGates)
+	}
+	if s.Inputs != 3 {
+		t.Errorf("inputs = %d, want 3 (one per row)", s.Inputs)
+	}
+	if s.Outputs != 3 {
+		t.Errorf("outputs = %d, want 3", s.Outputs)
+	}
+	if s.Depth != 6 {
+		t.Errorf("depth = %d, want 6 (pipeline length)", s.Depth)
+	}
+	// Column index == level - 1 for every cell.
+	lv := g.Levels()
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 6; c++ {
+			cell, ok := g.GateByName(gridName(r, c))
+			if !ok {
+				t.Fatalf("cell r%dc%d missing", r, c)
+			}
+			if lv[cell.ID] != c+1 {
+				t.Errorf("cell r%dc%d at level %d, want %d", r, c, lv[cell.ID], c+1)
+			}
+		}
+	}
+}
+
+func gridName(r, c int) string {
+	return "r" + string(rune('0'+r)) + "c" + string(rune('0'+c))
+}
+
+func TestGridPartitions(t *testing.T) {
+	g := Grid2D(3, 6, nil)
+	rowsP := GridRowPartition(g, 3, 6)
+	colsP := GridColumnPartition(g, 3, 6)
+	if len(rowsP) != 3 || len(colsP) != 6 {
+		t.Fatalf("partition sizes: rows=%d cols=%d", len(rowsP), len(colsP))
+	}
+	count := func(p [][]int) int {
+		n := 0
+		seen := map[int]bool{}
+		for _, grp := range p {
+			for _, id := range grp {
+				if seen[id] {
+					t.Fatal("duplicate gate in partition")
+				}
+				seen[id] = true
+				n++
+			}
+		}
+		return n
+	}
+	if count(rowsP) != 18 || count(colsP) != 18 {
+		t.Error("partitions must cover all 18 cells exactly once")
+	}
+}
+
+func TestGrid2DDefaults(t *testing.T) {
+	g := Grid2D(2, 3, nil)
+	if g.NumLogicGates() != 6 {
+		t.Errorf("gates = %d, want 6", g.NumLogicGates())
+	}
+}

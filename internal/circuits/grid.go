@@ -1,0 +1,93 @@
+package circuits
+
+import (
+	"fmt"
+
+	"iddqsyn/internal/circuit"
+)
+
+// Grid2D builds the two-dimensional cell-array CUT of the paper's
+// figure 2: rows × cols cells, where each row is a pipeline chain
+// cell(r,0) → cell(r,1) → ... → cell(r,cols-1) and the cell type cycles
+// through cellTypes along the columns (the figure uses three types
+// C1, C2, C3).
+//
+// The array is a systolic pipeline: cell (r, c) takes both fanins from
+// column c−1 (its own row and the next row, wrapping), so every cell in
+// column c has the single transition time c+1. Cells in the same column
+// switch simultaneously while cells in the same row never do — exactly
+// the property that makes the per-row partition ("partition 1") need
+// smaller BIC sensors than the per-column partition ("partition 2"):
+// the same-type, same-column cells of partition 2 switch in parallel and
+// their peak currents add.
+//
+// Cell r,c is named "r<r>c<c>".
+func Grid2D(rows, cols int, cellTypes []circuit.GateType) *circuit.Circuit {
+	if rows < 2 || cols < 2 {
+		panic("circuits: Grid2D needs rows >= 2, cols >= 2")
+	}
+	if len(cellTypes) == 0 {
+		cellTypes = []circuit.GateType{circuit.Nand, circuit.Nor, circuit.And}
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("grid%dx%d", rows, cols))
+	for r := 0; r < rows; r++ {
+		b.AddInput(fmt.Sprintf("x%d", r))
+	}
+	prevName := func(r, c int) string {
+		if c < 0 {
+			return fmt.Sprintf("x%d", r)
+		}
+		return fmt.Sprintf("r%dc%d", r, c)
+	}
+	for c := 0; c < cols; c++ {
+		typ := cellTypes[c%len(cellTypes)]
+		for r := 0; r < rows; r++ {
+			b.AddGate(fmt.Sprintf("r%dc%d", r, c), typ,
+				prevName(r, c-1), prevName((r+1)%rows, c-1))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		b.MarkOutput(fmt.Sprintf("r%dc%d", r, cols-1))
+	}
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: Grid2D must build: " + err.Error())
+	}
+	return c
+}
+
+// GridRowPartition returns the per-row grouping of a Grid2D circuit
+// (figure 2's "partition 1": each group holds one cell of every type, and
+// the cells never switch in parallel).
+func GridRowPartition(c *circuit.Circuit, rows, cols int) [][]int {
+	groups := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		for col := 0; col < cols; col++ {
+			g, ok := c.GateByName(fmt.Sprintf("r%dc%d", r, col))
+			if !ok {
+				panic("circuits: not a Grid2D circuit")
+			}
+			groups[r] = append(groups[r], g.ID)
+		}
+	}
+	return groups
+}
+
+// GridColumnPartition returns the per-column-band grouping of a Grid2D
+// circuit (figure 2's "partition 2": each group holds cells of the same
+// type, all switching simultaneously). Bands of width len(cellTypes)
+// columns are cut so both partitions have comparable group sizes when
+// rows == len(cellTypes): group k holds column k of every row band.
+func GridColumnPartition(c *circuit.Circuit, rows, cols int) [][]int {
+	groups := make([][]int, cols)
+	for col := 0; col < cols; col++ {
+		for r := 0; r < rows; r++ {
+			g, ok := c.GateByName(fmt.Sprintf("r%dc%d", r, col))
+			if !ok {
+				panic("circuits: not a Grid2D circuit")
+			}
+			groups[col] = append(groups[col], g.ID)
+		}
+	}
+	return groups
+}

@@ -1,0 +1,123 @@
+package circuits
+
+import (
+	"fmt"
+
+	"iddqsyn/internal/circuit"
+)
+
+// ArrayMultiplier returns an n×n-bit parallel array multiplier, the
+// architecture of the ISCAS85 benchmark C6288 (a 16×16 multiplier built
+// from an array of half and full adders). The partial-product matrix is
+// n² AND2 gates; each adder row accumulates one partial-product row with
+// ripple carries, giving the long carry chains responsible for C6288's
+// extreme logic depth.
+//
+// ArrayMultiplier(16) yields a circuit in the same class as C6288:
+// 32 inputs, 32 outputs, 1408 gates, depth 88 (C6288: 2406 gates, depth
+// 124 — the real circuit expands each adder into NOR cells).
+func ArrayMultiplier(n int) *circuit.Circuit {
+	if n < 2 {
+		panic("circuits: ArrayMultiplier needs n >= 2")
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("mult%dx%d", n, n))
+	a := make([]string, n)
+	q := make([]string, n)
+	for i := 0; i < n; i++ {
+		a[i] = fmt.Sprintf("a%d", i)
+		q[i] = fmt.Sprintf("b%d", i)
+		b.AddInput(a[i])
+		b.AddInput(q[i])
+	}
+
+	// Partial products pp[i][j] = a[j] AND b[i].
+	pp := make([][]string, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]string, n)
+		for j := 0; j < n; j++ {
+			name := fmt.Sprintf("pp_%d_%d", i, j)
+			b.AddGate(name, circuit.And, a[j], q[i])
+			pp[i][j] = name
+		}
+	}
+
+	gid := 0
+	fresh := func(prefix string) string {
+		gid++
+		return fmt.Sprintf("%s_%d", prefix, gid)
+	}
+	// halfAdder emits sum and carry nets for x+y.
+	halfAdder := func(x, y string) (sum, carry string) {
+		sum = fresh("has")
+		carry = fresh("hac")
+		b.AddGate(sum, circuit.Xor, x, y)
+		b.AddGate(carry, circuit.And, x, y)
+		return
+	}
+	// fullAdder emits sum and carry nets for x+y+z using the standard
+	// 2-XOR, 2-AND, 1-OR decomposition (5 cells per FA, matching the
+	// NOR-cell adders of C6288 in gate-count order of magnitude).
+	fullAdder := func(x, y, z string) (sum, carry string) {
+		t := fresh("fat")
+		b.AddGate(t, circuit.Xor, x, y)
+		sum = fresh("fas")
+		b.AddGate(sum, circuit.Xor, t, z)
+		c1 := fresh("fac1")
+		b.AddGate(c1, circuit.And, x, y)
+		c2 := fresh("fac2")
+		b.AddGate(c2, circuit.And, t, z)
+		carry = fresh("fac")
+		b.AddGate(carry, circuit.Or, c1, c2)
+		return
+	}
+
+	// Row-by-row carry-save accumulation. rowSum holds the running sums
+	// for bit positions i..i+n-1 after adding partial-product row i.
+	rowSum := make([]string, n) // current row sums, index = column within row
+	copy(rowSum, pp[0])
+	outputs := make([]string, 0, 2*n)
+	outputs = append(outputs, rowSum[0]) // product bit 0
+	carryIn := ""                        // ripple carry between rows (none initially)
+
+	for i := 1; i < n; i++ {
+		next := make([]string, n)
+		var carry string
+		for j := 0; j < n; j++ {
+			// Add pp[i][j] to rowSum[j+1] (shifted) plus carry chain.
+			var above string
+			if j+1 < n {
+				above = rowSum[j+1]
+			} else {
+				above = carryIn // carry-out of the previous row enters the top bit
+			}
+			switch {
+			case above == "" && carry == "":
+				next[j] = pp[i][j]
+			case above == "":
+				next[j], carry = halfAdder(pp[i][j], carry)
+			case carry == "":
+				next[j], carry = halfAdder(pp[i][j], above)
+			default:
+				next[j], carry = fullAdder(pp[i][j], above, carry)
+			}
+		}
+		carryIn = carry
+		rowSum = next
+		outputs = append(outputs, rowSum[0]) // product bit i
+	}
+	// Remaining high-order product bits: rowSum[1..n-1] and the final carry.
+	for j := 1; j < n; j++ {
+		outputs = append(outputs, rowSum[j])
+	}
+	if carryIn != "" {
+		outputs = append(outputs, carryIn)
+	}
+	for _, o := range outputs {
+		b.MarkOutput(o)
+	}
+	c, err := b.Build()
+	if err != nil {
+		panic("circuits: multiplier must build: " + err.Error())
+	}
+	return c
+}

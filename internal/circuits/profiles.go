@@ -1,0 +1,93 @@
+package circuits
+
+import (
+	"fmt"
+	"sort"
+
+	"iddqsyn/internal/circuit"
+)
+
+// Profile records the published structural statistics of an ISCAS85
+// benchmark circuit [Brglez et al., ISCAS 1985], which the synthetic
+// stand-in must match.
+type Profile struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int
+	Depth   int
+}
+
+// iscas85Profiles lists the circuits of the paper's Table 1 plus the
+// smaller benchmarks useful for fast tests. C7552 appears as "c7522" in
+// the paper's Table 1 header — a typo for the standard C7552.
+var iscas85Profiles = map[string]Profile{
+	"c432":  {Name: "c432", Inputs: 36, Outputs: 7, Gates: 160, Depth: 17},
+	"c499":  {Name: "c499", Inputs: 41, Outputs: 32, Gates: 202, Depth: 11},
+	"c880":  {Name: "c880", Inputs: 60, Outputs: 26, Gates: 383, Depth: 24},
+	"c1355": {Name: "c1355", Inputs: 41, Outputs: 32, Gates: 546, Depth: 24},
+	"c1908": {Name: "c1908", Inputs: 33, Outputs: 25, Gates: 880, Depth: 40},
+	"c2670": {Name: "c2670", Inputs: 233, Outputs: 140, Gates: 1193, Depth: 32},
+	"c3540": {Name: "c3540", Inputs: 50, Outputs: 22, Gates: 1669, Depth: 47},
+	"c5315": {Name: "c5315", Inputs: 178, Outputs: 123, Gates: 2307, Depth: 49},
+	"c6288": {Name: "c6288", Inputs: 32, Outputs: 32, Gates: 2406, Depth: 124},
+	"c7552": {Name: "c7552", Inputs: 207, Outputs: 108, Gates: 3512, Depth: 43},
+}
+
+// ProfileFor returns the published structural profile of a named ISCAS85
+// circuit.
+func ProfileFor(name string) (Profile, bool) {
+	p, ok := iscas85Profiles[name]
+	return p, ok
+}
+
+// Names returns the known ISCAS85 profile names in ascending size order.
+func Names() []string {
+	out := make([]string, 0, len(iscas85Profiles))
+	for n := range iscas85Profiles {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return iscas85Profiles[out[i]].Gates < iscas85Profiles[out[j]].Gates
+	})
+	return out
+}
+
+// ISCAS85Like returns a deterministic synthetic circuit with the same
+// input count, gate count and logic depth as the named ISCAS85 benchmark
+// (and at least its output count). C6288 is generated as a genuine 16×16
+// array multiplier, its real architecture; the rest are reconvergent
+// random logic seeded by the circuit name.
+func ISCAS85Like(name string) (*circuit.Circuit, error) {
+	p, ok := iscas85Profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("circuits: unknown ISCAS85 profile %q (have %v)", name, Names())
+	}
+	if name == "c6288" {
+		m := ArrayMultiplier(16)
+		m.Name = "c6288"
+		return m, nil
+	}
+	var seed int64
+	for _, r := range name {
+		seed = seed*131 + int64(r)
+	}
+	return RandomLogic(Spec{
+		Name:    p.Name,
+		Inputs:  p.Inputs,
+		Outputs: p.Outputs,
+		Gates:   p.Gates,
+		Depth:   p.Depth,
+		Seed:    seed,
+	})
+}
+
+// MustISCAS85Like is ISCAS85Like for static, known-good names; it panics
+// on error and is intended for tests and benchmarks.
+func MustISCAS85Like(name string) *circuit.Circuit {
+	c, err := ISCAS85Like(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

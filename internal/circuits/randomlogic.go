@@ -1,0 +1,260 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iddqsyn/internal/circuit"
+)
+
+// Spec describes the structural statistics a generated random-logic
+// circuit must match. Gate count, input count and depth are hit exactly;
+// the output count is a lower bound (dangling gates are promoted to
+// outputs so the netlist has no dead logic).
+type Spec struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int // logic gates (excluding primary inputs); must be >= Depth
+	Depth   int // exact longest input→output path in gate stages
+	Seed    int64
+}
+
+// RandomLogic generates a reconvergent random-logic circuit matching the
+// Spec. The construction is deterministic for a given Spec (including
+// Seed).
+//
+// Construction: gates are assigned to levels 1..Depth with a guaranteed
+// spine chain fixing the exact depth. Every other gate takes its first
+// fanin from the previous level (pinning its level exactly) and remaining
+// fanins preferentially from nearby levels and from still-unused gates,
+// which produces the reconvergent fanout structure of real control logic
+// and leaves no dangling gates. Unused primary inputs are appended to
+// low-level gates.
+func RandomLogic(spec Spec) (*circuit.Circuit, error) {
+	if spec.Inputs < 2 {
+		return nil, fmt.Errorf("circuits: RandomLogic %q: need at least 2 inputs", spec.Name)
+	}
+	if spec.Depth < 1 {
+		return nil, fmt.Errorf("circuits: RandomLogic %q: need depth >= 1", spec.Name)
+	}
+	if spec.Gates < spec.Depth {
+		return nil, fmt.Errorf("circuits: RandomLogic %q: %d gates cannot reach depth %d",
+			spec.Name, spec.Gates, spec.Depth)
+	}
+	if spec.Outputs < 1 {
+		return nil, fmt.Errorf("circuits: RandomLogic %q: need at least 1 output", spec.Name)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	type node struct {
+		name  string
+		typ   circuit.GateType
+		level int
+		fanin []int // indices into nodes
+	}
+	// nodes[0..Inputs-1] are primary inputs at level 0.
+	nodes := make([]node, 0, spec.Inputs+spec.Gates)
+	for i := 0; i < spec.Inputs; i++ {
+		nodes = append(nodes, node{name: fmt.Sprintf("i%d", i), typ: circuit.Input})
+	}
+
+	// Distribute gate counts over levels: one spine gate per level, the
+	// rest proportional to a flat profile with random jitter.
+	perLevel := make([]int, spec.Depth+1)
+	for l := 1; l <= spec.Depth; l++ {
+		perLevel[l] = 1 // spine
+	}
+	extra := spec.Gates - spec.Depth
+	for i := 0; i < extra; i++ {
+		perLevel[1+rng.Intn(spec.Depth)]++
+	}
+
+	byLevel := make([][]int, spec.Depth+1) // node indices per level
+	for i := 0; i < spec.Inputs; i++ {
+		byLevel[0] = append(byLevel[0], i)
+	}
+	fanoutCount := make([]int, 0, spec.Inputs+spec.Gates)
+	fanoutCount = append(fanoutCount, make([]int, spec.Inputs)...)
+
+	types := []circuit.GateType{circuit.Nand, circuit.Nor, circuit.And, circuit.Or, circuit.Not, circuit.Xor, circuit.Buf}
+	typeWeights := []int{30, 20, 15, 15, 10, 6, 4}
+	pickType := func() circuit.GateType {
+		total := 0
+		for _, w := range typeWeights {
+			total += w
+		}
+		r := rng.Intn(total)
+		for i, w := range typeWeights {
+			if r < w {
+				return types[i]
+			}
+		}
+		return circuit.Nand
+	}
+
+	// pickFrom selects a random node index at a level <= maxLevel,
+	// biased towards levels close to maxLevel (locality) and towards
+	// nodes that do not yet drive anything (no dead logic).
+	pickFrom := func(maxLevel int, exclude map[int]bool) int {
+		for attempt := 0; attempt < 64; attempt++ {
+			// Geometric locality: mostly maxLevel, sometimes further back.
+			l := maxLevel
+			for l > 0 && rng.Intn(3) == 0 {
+				l--
+			}
+			cands := byLevel[l]
+			if len(cands) == 0 {
+				continue
+			}
+			idx := cands[rng.Intn(len(cands))]
+			if exclude[idx] {
+				continue
+			}
+			// Prefer unused nodes: accept a used node with lower odds.
+			if fanoutCount[idx] > 0 && attempt < 32 && rng.Intn(3) != 0 {
+				continue
+			}
+			return idx
+		}
+		// Fallback: linear scan for anything legal.
+		for l := maxLevel; l >= 0; l-- {
+			for _, idx := range byLevel[l] {
+				if !exclude[idx] {
+					return idx
+				}
+			}
+		}
+		return -1
+	}
+
+	gateNum := 0
+	for l := 1; l <= spec.Depth; l++ {
+		for k := 0; k < perLevel[l]; k++ {
+			typ := pickType()
+			nFanin := 1
+			switch typ {
+			case circuit.Not, circuit.Buf:
+				nFanin = 1
+			case circuit.Xor:
+				nFanin = 2 + rng.Intn(2)
+			default:
+				nFanin = 2 + rng.Intn(3)
+			}
+			exclude := make(map[int]bool, nFanin)
+			fanin := make([]int, 0, nFanin)
+			// First fanin comes from level l-1, pinning the gate's level.
+			var first int
+			if k == 0 && l > 1 {
+				// Spine gate: chain through the previous spine gate so
+				// the depth is exact by construction.
+				first = byLevel[l-1][0]
+			} else {
+				cands := byLevel[l-1]
+				first = cands[rng.Intn(len(cands))]
+			}
+			fanin = append(fanin, first)
+			exclude[first] = true
+			for len(fanin) < nFanin {
+				idx := pickFrom(l-1, exclude)
+				if idx < 0 {
+					break
+				}
+				fanin = append(fanin, idx)
+				exclude[idx] = true
+			}
+			if len(fanin) == 1 && typ != circuit.Not && typ != circuit.Buf {
+				typ = circuit.Not
+			}
+			gateNum++
+			ni := len(nodes)
+			nodes = append(nodes, node{
+				name:  fmt.Sprintf("g%d", gateNum),
+				typ:   typ,
+				level: l,
+				fanin: fanin,
+			})
+			fanoutCount = append(fanoutCount, 0)
+			for _, f := range fanin {
+				fanoutCount[f]++
+			}
+			byLevel[l] = append(byLevel[l], ni)
+		}
+	}
+
+	// Wire unused primary inputs into gates that can still take a pin.
+	for i := 0; i < spec.Inputs; i++ {
+		if fanoutCount[i] > 0 {
+			continue
+		}
+		hooked := false
+		for tries := 0; tries < 4*len(nodes) && !hooked; tries++ {
+			gi := spec.Inputs + rng.Intn(len(nodes)-spec.Inputs)
+			g := &nodes[gi]
+			if g.typ == circuit.Not || g.typ == circuit.Buf || len(g.fanin) >= 5 {
+				continue
+			}
+			if g.typ == circuit.Xor && len(g.fanin) >= 3 {
+				continue
+			}
+			dup := false
+			for _, f := range g.fanin {
+				if f == i {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			g.fanin = append(g.fanin, i)
+			fanoutCount[i]++
+			hooked = true
+		}
+		if !hooked {
+			return nil, fmt.Errorf("circuits: RandomLogic %q: could not connect input i%d", spec.Name, i)
+		}
+	}
+
+	// Primary outputs: every dangling gate, then the deepest gates until
+	// the requested output count is reached.
+	var outputs []int
+	for i := spec.Inputs; i < len(nodes); i++ {
+		if fanoutCount[i] == 0 {
+			outputs = append(outputs, i)
+		}
+	}
+	if len(outputs) < spec.Outputs {
+		isOut := make(map[int]bool, len(outputs))
+		for _, o := range outputs {
+			isOut[o] = true
+		}
+		for l := spec.Depth; l >= 1 && len(outputs) < spec.Outputs; l-- {
+			for _, idx := range byLevel[l] {
+				if !isOut[idx] {
+					isOut[idx] = true
+					outputs = append(outputs, idx)
+					if len(outputs) == spec.Outputs {
+						break
+					}
+				}
+			}
+		}
+	}
+
+	b := circuit.NewBuilder(spec.Name)
+	for i := 0; i < spec.Inputs; i++ {
+		b.AddInput(nodes[i].name)
+	}
+	for i := spec.Inputs; i < len(nodes); i++ {
+		names := make([]string, len(nodes[i].fanin))
+		for j, f := range nodes[i].fanin {
+			names[j] = nodes[f].name
+		}
+		b.AddGate(nodes[i].name, nodes[i].typ, names...)
+	}
+	for _, o := range outputs {
+		b.MarkOutput(nodes[o].name)
+	}
+	return b.Build()
+}

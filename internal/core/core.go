@@ -1,0 +1,199 @@
+// Package core is the public face of iddqsyn: given a gate-level circuit
+// and a characterised cell library, Synthesize partitions the circuit into
+// BIC-sensor modules — with the paper's evolution-based algorithm or the
+// baseline standard partitioning — sizes one Built-In Current sensor per
+// module, and returns the complete IDDQ-testable design together with its
+// cost breakdown.
+//
+// Typical use:
+//
+//	c, _ := bench.Read(f, "mydesign")
+//	res, err := core.Synthesize(c, core.Options{})
+//	fmt.Println(res.Report())
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"iddqsyn/internal/bic"
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/partition"
+	"iddqsyn/internal/standard"
+)
+
+// Method selects the partitioning algorithm.
+type Method int
+
+// The available partitioning methods.
+const (
+	// MethodEvolution is the paper's contribution: the §4 evolution-based
+	// algorithm over the §3 estimators.
+	MethodEvolution Method = iota
+	// MethodStandard is the §5 baseline: greedy path-length clustering at
+	// a fixed module size.
+	MethodStandard
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodEvolution:
+		return "evolution"
+	case MethodStandard:
+		return "standard"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Options configures Synthesize. The zero value selects the paper's
+// defaults everywhere: the built-in cell library, the §5 weight factors,
+// d = 10, and the evolution method.
+type Options struct {
+	Library     *celllib.Library       // nil: celllib.Default()
+	Params      *estimate.Params       // nil: estimate.DefaultParams()
+	Weights     *partition.Weights     // nil: partition.PaperWeights()
+	Constraints *partition.Constraints // nil: partition.DefaultConstraints()
+	Evolution   *evolution.Params      // nil: evolution.DefaultParams()
+
+	Method Method
+
+	// ModuleSize fixes the module size for MethodStandard and for the
+	// evolution start partitions. 0 estimates it from averaged parameters
+	// (§4.2).
+	ModuleSize int
+
+	// Modules, if nonzero and Method is MethodStandard, overrides
+	// ModuleSize so the standard partitioning produces this many modules
+	// (Table 1 compares the methods at equal module counts).
+	Modules int
+
+	// Trace, if set, observes the best partition after every evolution
+	// generation.
+	Trace evolution.Trace
+}
+
+// Result is a synthesized IDDQ-testable design.
+type Result struct {
+	Method    Method
+	Circuit   *circuit.Circuit
+	Annotated *celllib.Annotated
+	Estimator *estimate.Estimator
+	Partition *partition.Partition
+	Chip      *bic.Chip
+	Costs     partition.CostVector
+
+	// Evolution holds the optimizer trace for MethodEvolution (nil for
+	// the standard method).
+	Evolution *evolution.Result
+}
+
+// Synthesize runs the full flow on circuit c.
+func Synthesize(c *circuit.Circuit, opt Options) (*Result, error) {
+	lib := opt.Library
+	if lib == nil {
+		lib = celllib.Default()
+	}
+	prm := estimate.DefaultParams()
+	if opt.Params != nil {
+		prm = *opt.Params
+	}
+	w := partition.PaperWeights()
+	if opt.Weights != nil {
+		w = *opt.Weights
+	}
+	cons := partition.DefaultConstraints()
+	if opt.Constraints != nil {
+		cons = *opt.Constraints
+	}
+	eprm := evolution.DefaultParams()
+	if opt.Evolution != nil {
+		eprm = *opt.Evolution
+	}
+
+	a, err := celllib.Annotate(c, lib)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := estimate.New(a, prm)
+
+	res := &Result{Method: opt.Method, Circuit: c, Annotated: a, Estimator: e}
+	switch opt.Method {
+	case MethodEvolution:
+		size := opt.ModuleSize
+		if size <= 0 {
+			size = standard.EstimateModuleSize(e, w, cons)
+		}
+		rng := rand.New(rand.NewSource(eprm.Seed))
+		starts := make([]*partition.Partition, 0, eprm.Mu)
+		for i := 0; i < eprm.Mu; i++ {
+			p, err := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
+			if err != nil {
+				return nil, fmt.Errorf("core: start partition: %w", err)
+			}
+			starts = append(starts, p)
+		}
+		er, err := evolution.Optimize(starts, eprm, opt.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res.Evolution = er
+		res.Partition = er.Best
+	case MethodStandard:
+		var groups [][]int
+		if opt.Modules > 0 {
+			groups = standard.StandardPartitionK(c, opt.Modules, prm.Rho)
+		} else {
+			size := opt.ModuleSize
+			if size <= 0 {
+				size = standard.EstimateModuleSize(e, w, cons)
+			}
+			groups = standard.StandardPartition(c, size, prm.Rho)
+		}
+		p, err := partition.New(e, groups, w, cons)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		res.Partition = p
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
+	}
+
+	res.Costs = res.Partition.Costs()
+	chip, err := bic.NewChip(a, res.Partition.Groups(), e)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res.Chip = chip
+	return res, nil
+}
+
+// Report renders a human-readable synthesis report: the partition, the
+// per-module sensors, and the cost breakdown.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	cv := r.Costs
+	fmt.Fprintf(&sb, "circuit %s — %s partitioning\n", r.Circuit.Name, r.Method)
+	fmt.Fprintf(&sb, "  gates: %d  modules: %d  feasible: %v (worst d = %.1f, required %.1f)\n",
+		r.Circuit.NumLogicGates(), r.Partition.NumModules(), r.Partition.Feasible(),
+		r.Partition.WorstDiscriminability(), r.Partition.Cons.MinDiscriminability)
+	fmt.Fprintf(&sb, "  sensor area: %.4g   delay: +%.3g%%   test time: +%.3g%%   separation: %d\n",
+		cv.SensorArea, 100*cv.DelayOverhead, 100*cv.TestTime, cv.Separation)
+	fmt.Fprintf(&sb, "  weighted cost C(Π) = %.6g\n", r.Partition.Cost())
+	if r.Evolution != nil {
+		fmt.Fprintf(&sb, "  evolution: %d generations, %d evaluations\n",
+			r.Evolution.Generations, r.Evolution.Evaluations)
+	}
+	for mi := range r.Chip.Sensors {
+		s := &r.Chip.Sensors[mi]
+		m := r.Partition.ModuleEstimate(mi)
+		fmt.Fprintf(&sb, "  module %2d: %4d gates  îDD=%.3gmA  Ron=%.3gΩ  area=%.4g  d=%.1f\n",
+			mi, len(r.Partition.ModuleGates(mi)), 1e3*s.IDDMax, s.ROn, s.Area,
+			m.Discriminability(r.Estimator.P.IDDQth))
+	}
+	return sb.String()
+}

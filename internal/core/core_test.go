@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/partition"
+)
+
+func TestSynthesizeC17Evolution(t *testing.T) {
+	res, err := Synthesize(circuits.C17(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodEvolution {
+		t.Error("default method should be evolution")
+	}
+	if res.Partition == nil || res.Chip == nil || res.Evolution == nil {
+		t.Fatal("incomplete result")
+	}
+	if err := res.Partition.Verify(); err != nil {
+		t.Errorf("partition invariants: %v", err)
+	}
+	if !res.Partition.Feasible() {
+		t.Error("result must be feasible")
+	}
+	if len(res.Chip.Sensors) != res.Partition.NumModules() {
+		t.Error("one sensor per module")
+	}
+}
+
+func TestSynthesizeStandard(t *testing.T) {
+	res, err := Synthesize(circuits.C17(), Options{Method: MethodStandard, ModuleSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evolution != nil {
+		t.Error("standard method must not carry an evolution result")
+	}
+	if res.Partition.NumModules() != 2 {
+		t.Errorf("modules = %d, want 2", res.Partition.NumModules())
+	}
+}
+
+func TestSynthesizeStandardAtK(t *testing.T) {
+	c := circuits.MustISCAS85Like("c432")
+	res, err := Synthesize(c, Options{Method: MethodStandard, Modules: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.Partition.NumModules()
+	if k < 4 || k > 6 {
+		t.Errorf("modules = %d, want ≈4", k)
+	}
+}
+
+func TestSynthesizeEvolutionBeatsStandardOnCost(t *testing.T) {
+	// The headline claim, on a mid-size circuit: at comparable module
+	// counts, the evolution result has lower weighted cost.
+	c := circuits.MustISCAS85Like("c432")
+	eprm := evolution.DefaultParams()
+	eprm.MaxGenerations = 120
+	eprm.StallGenerations = 30
+	evo, err := Synthesize(c, Options{Evolution: &eprm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := Synthesize(c, Options{Method: MethodStandard, Modules: evo.Partition.NumModules()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evo.Partition.Cost() > std.Partition.Cost() {
+		t.Errorf("evolution cost %.6g worse than standard %.6g",
+			evo.Partition.Cost(), std.Partition.Cost())
+	}
+	t.Logf("c432: evolution C=%.6g (K=%d) vs standard C=%.6g (K=%d)",
+		evo.Partition.Cost(), evo.Partition.NumModules(),
+		std.Partition.Cost(), std.Partition.NumModules())
+}
+
+func TestSynthesizeCustomWeights(t *testing.T) {
+	// Heavily weighting module count must not increase the number of
+	// modules relative to the area-focused default.
+	w := partition.PaperWeights()
+	w.Modules = 1e7
+	res, err := Synthesize(circuits.C17(), Options{Weights: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition.NumModules() != 1 {
+		t.Errorf("with huge α5, K = %d, want 1", res.Partition.NumModules())
+	}
+}
+
+func TestSynthesizeUnknownMethod(t *testing.T) {
+	if _, err := Synthesize(circuits.C17(), Options{Method: Method(9)}); err == nil {
+		t.Error("want error for unknown method")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodEvolution.String() != "evolution" || MethodStandard.String() != "standard" {
+		t.Error("Method.String mismatch")
+	}
+	if Method(9).String() != "Method(9)" {
+		t.Error("out-of-range Method.String")
+	}
+}
+
+func TestReport(t *testing.T) {
+	res, err := Synthesize(circuits.C17(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	for _, want := range []string{"circuit c17", "modules:", "sensor area", "module  0"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTraceForwarded(t *testing.T) {
+	calls := 0
+	_, err := Synthesize(circuits.C17(), Options{
+		Trace: func(gen int, best *partition.Partition, bestCost float64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("trace not forwarded to the optimizer")
+	}
+}

@@ -1,0 +1,113 @@
+// Package deltaiddq implements current-signature (delta-IDDQ) defect
+// detection — the successor technique to the fixed IDDQ,th threshold the
+// paper's sensors compare against. Instead of asking "is the current
+// above an absolute limit?", the per-vector measurements of one module
+// are sorted into a current signature; a defect that is excited by some
+// vectors and not others splits the signature into two clusters separated
+// by a step of roughly the defect current, regardless of how much the
+// die's baseline leakage drifted. Signature analysis therefore stays
+// sharp under die-to-die leakage spread that would force a fixed
+// threshold to choose between overkill and escapes — which the comparison
+// experiment in package experiments quantifies on the same Monte-Carlo
+// populations as the yield study.
+package deltaiddq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signature is one module's IDDQ measurements across the vector set, in
+// application order.
+type Signature []float64
+
+// MaxGap returns the largest consecutive difference of the sorted
+// signature — the "step" a state-dependent defect leaves. Signatures
+// with fewer than two samples have no gap.
+func MaxGap(sig Signature) float64 {
+	if len(sig) < 2 {
+		return 0
+	}
+	sorted := append(Signature(nil), sig...)
+	sort.Float64s(sorted)
+	var max float64
+	for i := 1; i < len(sorted); i++ {
+		if d := sorted[i] - sorted[i-1]; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Detector holds the signature-analysis decision parameters.
+type Detector struct {
+	// AbsFloor is the smallest step treated as a defect, A. It separates
+	// defect steps (≳100 µA) from the state-dependent leakage ripple
+	// (pA–nA) and absorbs measurement noise.
+	AbsFloor float64
+	// RelStep additionally requires the step to exceed RelStep × the
+	// signature's median consecutive gap, guarding against smooth but
+	// steep leakage ramps on high-variance processes. 0 disables it.
+	RelStep float64
+}
+
+// DefaultDetector returns the settings used by the experiments: a 10 µA
+// absolute floor (an order of magnitude under the smallest modelled
+// defect, four above the largest leakage ripple) and a 20× relative
+// requirement.
+func DefaultDetector() Detector {
+	return Detector{AbsFloor: 10e-6, RelStep: 20}
+}
+
+// DetectModule reports whether one module's signature indicates a defect.
+func (d Detector) DetectModule(sig Signature) bool {
+	if len(sig) < 2 {
+		return false
+	}
+	gap := MaxGap(sig)
+	if gap < d.AbsFloor {
+		return false
+	}
+	if d.RelStep > 0 {
+		if med := medianGap(sig); med > 0 && gap < d.RelStep*med {
+			return false
+		}
+	}
+	return true
+}
+
+// Detect reports whether any module's signature indicates a defect.
+func (d Detector) Detect(signatures []Signature) bool {
+	for _, sig := range signatures {
+		if d.DetectModule(sig) {
+			return true
+		}
+	}
+	return false
+}
+
+// medianGap returns the lower median of the consecutive differences of
+// the sorted signature. The lower median keeps the statistic robust on
+// short signatures, where the defect step itself would otherwise be the
+// middle element and mask its own detection.
+func medianGap(sig Signature) float64 {
+	sorted := append(Signature(nil), sig...)
+	sort.Float64s(sorted)
+	gaps := make([]float64, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		gaps = append(gaps, sorted[i]-sorted[i-1])
+	}
+	sort.Float64s(gaps)
+	return gaps[(len(gaps)-1)/2]
+}
+
+// Validate checks the detector parameters.
+func (d Detector) Validate() error {
+	if d.AbsFloor <= 0 {
+		return fmt.Errorf("deltaiddq: absolute floor must be positive")
+	}
+	if d.RelStep < 0 {
+		return fmt.Errorf("deltaiddq: negative relative step")
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package deltaiddq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxGap(t *testing.T) {
+	cases := []struct {
+		sig  Signature
+		want float64
+	}{
+		{nil, 0},
+		{Signature{1}, 0},
+		{Signature{1, 1, 1}, 0},
+		{Signature{1, 2, 10}, 8},
+		{Signature{10, 2, 1}, 8}, // order must not matter
+		{Signature{0, 0.5, 1.0, 1.5}, 0.5},
+	}
+	for _, tc := range cases {
+		if got := MaxGap(tc.sig); got != tc.want {
+			t.Errorf("MaxGap(%v) = %g, want %g", tc.sig, got, tc.want)
+		}
+	}
+}
+
+func TestMaxGapDoesNotMutate(t *testing.T) {
+	sig := Signature{3, 1, 2}
+	MaxGap(sig)
+	if sig[0] != 3 || sig[1] != 1 || sig[2] != 2 {
+		t.Error("MaxGap sorted the caller's signature")
+	}
+}
+
+func TestDetectorValidate(t *testing.T) {
+	if err := DefaultDetector().Validate(); err != nil {
+		t.Errorf("default detector invalid: %v", err)
+	}
+	if err := (Detector{AbsFloor: 0}).Validate(); err == nil {
+		t.Error("want error for zero floor")
+	}
+	if err := (Detector{AbsFloor: 1, RelStep: -1}).Validate(); err == nil {
+		t.Error("want error for negative relative step")
+	}
+}
+
+func TestDetectModuleDefectStep(t *testing.T) {
+	det := DefaultDetector()
+	// Fault-free signature: tight leakage cluster (nA scale).
+	clean := Signature{1.0e-9, 1.1e-9, 1.05e-9, 0.98e-9, 1.12e-9}
+	if det.DetectModule(clean) {
+		t.Error("clean signature flagged")
+	}
+	// Defective: some vectors excite a 1 mA bridge.
+	defective := append(append(Signature{}, clean...), 1.0e-3, 1.0001e-3)
+	if !det.DetectModule(defective) {
+		t.Error("defect step missed")
+	}
+	// Scaling the whole die's leakage by 100x (hot, leaky die) must not
+	// flag a clean signature — the gaps scale too but stay below floor.
+	hot := make(Signature, len(clean))
+	for i, v := range clean {
+		hot[i] = v * 100
+	}
+	if det.DetectModule(hot) {
+		t.Error("hot-but-clean die flagged")
+	}
+}
+
+func TestDetectModuleShortSignatures(t *testing.T) {
+	det := DefaultDetector()
+	if det.DetectModule(nil) || det.DetectModule(Signature{1e-3}) {
+		t.Error("signatures with <2 samples cannot be judged")
+	}
+}
+
+func TestDetectAnyModule(t *testing.T) {
+	det := DefaultDetector()
+	clean := Signature{1e-9, 1.1e-9, 1.2e-9}
+	bad := Signature{1e-9, 1.1e-9, 5e-4}
+	if det.Detect([]Signature{clean, clean}) {
+		t.Error("all-clean die flagged")
+	}
+	if !det.Detect([]Signature{clean, bad}) {
+		t.Error("defective module missed")
+	}
+}
+
+func TestRelStepGuardsSmoothRamps(t *testing.T) {
+	// A smooth geometric ramp (10% between adjacent samples) can have an
+	// absolute top gap above the floor, but every gap is comparable to
+	// the median: the relative test must reject it.
+	det := Detector{AbsFloor: 1e-5, RelStep: 20}
+	ramp := make(Signature, 24)
+	v := 1e-4
+	for i := range ramp {
+		ramp[i] = v
+		v *= 1.1
+	}
+	if MaxGap(ramp) < det.AbsFloor {
+		t.Fatal("fixture too small to exercise the relative guard")
+	}
+	if det.DetectModule(ramp) {
+		t.Error("smooth ramp flagged as defect")
+	}
+	// The same ramp truncated, with a genuine 1 mA step on top, must be
+	// caught: the step dwarfs the ramp's own gaps.
+	stepped := append(append(Signature{}, ramp[:12]...), ramp[11]+1e-3)
+	if !det.DetectModule(stepped) {
+		t.Error("step on a truncated ramp missed")
+	}
+}
+
+// Property: detection is invariant under signature permutation.
+func TestDetectPermutationInvariant(t *testing.T) {
+	det := DefaultDetector()
+	prop := func(seed int64, defective bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sig := make(Signature, 16)
+		for i := range sig {
+			sig[i] = (0.8 + 0.4*rng.Float64()) * 1e-9
+		}
+		if defective {
+			for i := 10; i < 13; i++ {
+				sig[i] += 7e-4
+			}
+		}
+		want := det.DetectModule(sig)
+		shuffled := append(Signature{}, sig...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return det.DetectModule(shuffled) == want && want == defective
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

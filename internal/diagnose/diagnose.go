@@ -1,0 +1,205 @@
+// Package diagnose locates IDDQ defects from the per-module PASS/FAIL
+// syndrome the BIC sensors produce — the fault-location application of
+// Aitken's IDDQ diagnosis work that the paper cites [4]. On-chip sensors
+// make IDDQ diagnosis unusually sharp: each measurement localises the
+// defect current to one module, so a handful of vectors narrows the
+// candidate list to a few electrically equivalent faults.
+//
+// The flow is dictionary-based: fault-simulate the vector set once to
+// record every fault's full syndrome (the set of (vector, module) pairs
+// whose measurement it fails), then rank candidates by the similarity of
+// their dictionary syndrome to the observed one.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/faults"
+	"iddqsyn/internal/logicsim"
+)
+
+// Observation is one failing IDDQ measurement: vector index and the
+// module whose sensor raised FAIL.
+type Observation struct {
+	Vector int
+	Module int
+}
+
+// Syndrome is the full set of failing measurements, sorted by (vector,
+// module).
+type Syndrome []Observation
+
+func (s Syndrome) sorted() {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Vector != s[j].Vector {
+			return s[i].Vector < s[j].Vector
+		}
+		return s[i].Module < s[j].Module
+	})
+}
+
+// key renders an observation for set arithmetic.
+func (o Observation) key() int64 { return int64(o.Vector)<<32 | int64(uint32(o.Module)) }
+
+// Dictionary holds the precomputed syndrome of every fault in a list
+// under a fixed vector set and partition.
+type Dictionary struct {
+	Faults    []faults.Fault
+	Vectors   [][]bool
+	syndromes []Syndrome
+}
+
+// Build fault-simulates the vector set and records every fault's complete
+// syndrome. moduleOf maps gate IDs to module indices (as in a synthesized
+// chip); defect currents are assumed far above threshold, so a fault fails
+// a measurement exactly when the vector excites it.
+func Build(c *circuit.Circuit, moduleOf []int, list []faults.Fault, vecs [][]bool) (*Dictionary, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("diagnose: empty vector set")
+	}
+	d := &Dictionary{
+		Faults:    list,
+		Vectors:   vecs,
+		syndromes: make([]Syndrome, len(list)),
+	}
+	p := logicsim.NewParallel(c)
+	for base := 0; base < len(vecs); base += 64 {
+		end := base + 64
+		if end > len(vecs) {
+			end = len(vecs)
+		}
+		if err := p.ApplyBatch(vecs[base:end]); err != nil {
+			return nil, err
+		}
+		n := end - base
+		for fi := range list {
+			w := list[fi].ExcitedWord(c, p)
+			if n < 64 {
+				w &= (1 << uint(n)) - 1
+			}
+			for w != 0 {
+				k := trailingZeros(w)
+				w &^= 1 << uint(k)
+				obs := list[fi].Observer(c, p, k)
+				mi := moduleOf[obs]
+				if mi < 0 {
+					continue
+				}
+				d.syndromes[fi] = append(d.syndromes[fi], Observation{
+					Vector: base + k, Module: mi,
+				})
+			}
+		}
+	}
+	for fi := range d.syndromes {
+		d.syndromes[fi].sorted()
+	}
+	return d, nil
+}
+
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// FaultSyndrome returns the dictionary syndrome of fault fi.
+func (d *Dictionary) FaultSyndrome(fi int) Syndrome { return d.syndromes[fi] }
+
+// Candidate is one ranked diagnosis: a fault index and its match score.
+type Candidate struct {
+	Fault int
+	Score float64 // Jaccard similarity of syndromes, 1.0 = exact match
+}
+
+// Diagnose ranks the dictionary faults against an observed syndrome by
+// Jaccard similarity (|intersection| / |union| of the failing-measurement
+// sets). Faults with score 0 are omitted; ties break towards lower fault
+// indices for determinism. An empty observation diagnoses a fault-free
+// device and returns no candidates.
+func (d *Dictionary) Diagnose(observed Syndrome) []Candidate {
+	if len(observed) == 0 {
+		return nil
+	}
+	obs := make(map[int64]bool, len(observed))
+	for _, o := range observed {
+		obs[o.key()] = true
+	}
+	var out []Candidate
+	for fi, syn := range d.syndromes {
+		if len(syn) == 0 {
+			continue
+		}
+		inter := 0
+		for _, o := range syn {
+			if obs[o.key()] {
+				inter++
+			}
+		}
+		if inter == 0 {
+			continue
+		}
+		union := len(syn) + len(obs) - inter
+		out = append(out, Candidate{Fault: fi, Score: float64(inter) / float64(union)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Fault < out[j].Fault
+	})
+	return out
+}
+
+// ExactMatches returns the faults whose dictionary syndrome equals the
+// observation exactly — the defect's equivalence class under this vector
+// set and partition.
+func (d *Dictionary) ExactMatches(observed Syndrome) []int {
+	var out []int
+	for _, cand := range d.Diagnose(observed) {
+		if cand.Score == 1.0 {
+			out = append(out, cand.Fault)
+		}
+	}
+	return out
+}
+
+// Resolution summarises how sharply the dictionary separates its faults:
+// the number of distinct syndromes, and the size of the largest
+// equivalence class (faults indistinguishable under the vector set).
+type Resolution struct {
+	Faults          int
+	Detected        int // faults with non-empty syndromes
+	DistinctClasses int
+	LargestClass    int
+}
+
+// Resolve computes the diagnostic resolution of the dictionary.
+func (d *Dictionary) Resolve() Resolution {
+	classes := make(map[string]int)
+	res := Resolution{Faults: len(d.Faults)}
+	for _, syn := range d.syndromes {
+		if len(syn) == 0 {
+			continue
+		}
+		res.Detected++
+		key := make([]byte, 0, len(syn)*8)
+		for _, o := range syn {
+			key = append(key, byte(o.Vector), byte(o.Vector>>8), byte(o.Vector>>16),
+				byte(o.Module), byte(o.Module>>8))
+		}
+		classes[string(key)]++
+	}
+	res.DistinctClasses = len(classes)
+	for _, n := range classes {
+		if n > res.LargestClass {
+			res.LargestClass = n
+		}
+	}
+	return res
+}

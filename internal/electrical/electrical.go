@@ -1,0 +1,81 @@
+// Package electrical provides the closed-form electrical models behind the
+// paper's logic-level estimators — sensor sizing from the virtual-rail
+// perturbation limit, the BIC-sensor area model, the second-order gate
+// delay degradation factor δ(g,t) of §3.2, and the IDDQ settling time Δ(τ)
+// of §3.4 — together with small numerical transient simulators used by the
+// tests to validate each closed form against the underlying RC network.
+package electrical
+
+import "math"
+
+// SensorROn returns the bypass-device ON resistance Rs* = r*/iDD,max
+// (§3.1): the largest resistance keeping the virtual-rail perturbation at
+// the maximum transient current within the limit r*. Requirements for r*
+// are stringent (100 mV–300 mV), so the feasible Rs is small and its
+// delay impact is second-order — which is why the paper fixes Rs at
+// exactly this value instead of optimising it per module.
+func SensorROn(railLimit, iDDMax float64) float64 {
+	if iDDMax <= 0 {
+		panic("electrical: non-positive iDD,max")
+	}
+	return railLimit / iDDMax
+}
+
+// RailPerturbation returns the worst-case virtual-rail voltage excursion
+// Rs·iDD,max — the quantity the constraint of §3.1 bounds by r*.
+func RailPerturbation(rs, iDDMax float64) float64 {
+	return rs * iDDMax
+}
+
+// SensorArea evaluates the paper's BIC-sensor area model A0 + A1/Rs: a
+// fixed detection-circuitry term plus a sensing-element/bypass-device term
+// inversely proportional to the ON resistance (a lower Rs needs a wider
+// MOS bypass switch).
+func SensorArea(a0, a1, rs float64) float64 {
+	if rs <= 0 {
+		panic("electrical: non-positive Rs")
+	}
+	return a0 + a1/rs
+}
+
+// DelayDegradation returns the gate delay degradation factor δ(g,t) of
+// §3.2, from a second-order model of the discharge network: a gate with
+// equivalent pull-down resistance rg and nominal delay d, sharing a
+// virtual rail (bypass resistance rs, parasitic capacitance cs) with
+// n(t) simultaneously switching gates.
+//
+// The first-order term n·Rs/Rg is the series resistance added by the
+// bypass device, scaled by the rail current of all n switchers. The
+// second-order factor (1 − exp(−d/(Rs·Cs))) models the rail capacitance
+// holding the virtual ground down: a gate much faster than the rail time
+// constant never sees the perturbation. With cs → 0 the model reduces to
+// the exact series-resistance result 1 + n·Rs/Rg (see the package tests,
+// which verify this against a transient simulation of the network).
+func DelayDegradation(n int, rs, rg, d, cs float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if rs <= 0 || rg <= 0 || d <= 0 {
+		panic("electrical: non-positive rs/rg/d")
+	}
+	damp := 1.0
+	if cs > 0 {
+		damp = 1 - math.Exp(-d/(rs*cs))
+	}
+	return 1 + float64(n)*rs/rg*damp
+}
+
+// SettlingTime returns Δ(τ) of §3.4: the time for the transient supply
+// current, decaying exponentially with the BIC-sensor time constant
+// τ = Rs·Cs, to fall from its peak below the sensing threshold, after
+// which the quiescent current can be measured. The result is never
+// negative; a peak already below threshold settles instantly.
+func SettlingTime(tau, iPeak, iThreshold float64) float64 {
+	if tau <= 0 || iPeak <= 0 || iThreshold <= 0 {
+		panic("electrical: non-positive settling parameters")
+	}
+	if iPeak <= iThreshold {
+		return 0
+	}
+	return tau * math.Log(iPeak/iThreshold)
+}

@@ -1,0 +1,127 @@
+package electrical
+
+import "math"
+
+// This file holds small fixed-step transient simulators of the RC networks
+// underlying the closed-form models. They play the role of the paper's
+// SPICE-level reference: the package tests check every estimator against
+// them, and the experiments use them to demonstrate that the logic-level
+// maximum-current estimate is a true upper bound.
+
+// Pulse is a triangular gate switching-current pulse: it rises linearly
+// from zero at Start to Peak at Start+Duration/2 and falls back to zero at
+// Start+Duration. Triangular approximations of CMOS switching currents
+// are standard in power-grid analysis.
+type Pulse struct {
+	Start    float64 // s
+	Duration float64 // s
+	Peak     float64 // A
+}
+
+// current returns the pulse current at time t.
+func (p Pulse) current(t float64) float64 {
+	dt := t - p.Start
+	if dt <= 0 || dt >= p.Duration {
+		return 0
+	}
+	half := p.Duration / 2
+	if dt <= half {
+		return p.Peak * dt / half
+	}
+	return p.Peak * (p.Duration - dt) / half
+}
+
+// RailResult summarises a virtual-rail transient simulation.
+type RailResult struct {
+	PeakVoltage float64 // maximum virtual-rail excursion, V
+	PeakCurrent float64 // maximum total injected current, A
+	EndVoltage  float64 // rail voltage at the end of the simulation, V
+}
+
+// SimulateRail integrates the virtual-rail node equation
+//
+//	Cs·dv/dt = i_in(t) − v/Rs
+//
+// for the summed gate current pulses, with time step dt until tEnd.
+// With cs = 0 the node is purely resistive and v = Rs·i_in(t).
+func SimulateRail(pulses []Pulse, rs, cs, dt, tEnd float64) RailResult {
+	if rs <= 0 || dt <= 0 || tEnd <= 0 {
+		panic("electrical: non-positive rail simulation parameters")
+	}
+	var res RailResult
+	v := 0.0
+	for t := 0.0; t <= tEnd; t += dt {
+		iIn := 0.0
+		for _, p := range pulses {
+			iIn += p.current(t)
+		}
+		if iIn > res.PeakCurrent {
+			res.PeakCurrent = iIn
+		}
+		if cs <= 0 {
+			v = rs * iIn
+		} else {
+			v += dt * (iIn - v/rs) / cs
+		}
+		if v > res.PeakVoltage {
+			res.PeakVoltage = v
+		}
+	}
+	res.EndVoltage = v
+	return res
+}
+
+// DischargeResult reports the 50 % crossing time of a gate output
+// discharging through the virtual rail.
+type DischargeResult struct {
+	T50 float64 // time for the output to fall to VDD/2, s
+}
+
+// SimulateGateDischarge integrates the two-node discharge network of the
+// §3.2 delay model: n identical gates, each an output capacitance cg
+// charged to vdd discharging through rg into a shared virtual rail with
+// bypass resistance rs and parasitic capacitance cs.
+//
+//	cg·dvo/dt = −(vo − vs)/rg            (per gate)
+//	cs·dvs/dt = n·(vo − vs)/rg − vs/rs   (rail node)
+//
+// With cs = 0 the rail is algebraic (vs = n·i·rs) and the network is a
+// single RC with series resistance rg + n·rs, giving the exact closed
+// form T50 = (rg + n·rs)·cg·ln 2 that the tests compare against.
+func SimulateGateDischarge(vdd float64, n int, rg, cg, rs, cs, dt float64) DischargeResult {
+	if vdd <= 0 || n < 1 || rg <= 0 || cg <= 0 || rs < 0 || dt <= 0 {
+		panic("electrical: non-positive discharge parameters")
+	}
+	vo := vdd
+	vs := 0.0
+	t := 0.0
+	limit := 1e9 * dt // hard stop against non-convergence
+	for vo > vdd/2 && t < limit {
+		var i float64
+		if cs <= 0 {
+			// Algebraic rail: i = (vo − vs)/rg with vs = n·i·rs.
+			i = vo / (rg + float64(n)*rs)
+			vs = float64(n) * i * rs
+		} else {
+			i = (vo - vs) / rg
+			vs += dt * (float64(n)*i - vs/rs) / cs
+		}
+		vo -= dt * i / cg
+		t += dt
+	}
+	return DischargeResult{T50: t}
+}
+
+// DecayToThreshold simulates an exponentially decaying supply current
+// i(t) = i0·exp(−t/τ) and returns the first time it falls below ith.
+// It is the numerical counterpart of SettlingTime.
+func DecayToThreshold(i0, tau, ith, dt float64) float64 {
+	if i0 <= 0 || tau <= 0 || ith <= 0 || dt <= 0 {
+		panic("electrical: non-positive decay parameters")
+	}
+	t := 0.0
+	for i0*math.Exp(-t/tau) > ith {
+		t += dt
+	}
+	return t
+}

@@ -1,0 +1,240 @@
+package estimate
+
+import (
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/electrical"
+)
+
+// Params collects the technology- and policy-level constants of the
+// estimators. Zero values are invalid; use DefaultParams as a base.
+type Params struct {
+	RailLimit float64 // r*: maximum virtual-rail perturbation, V (§3.1)
+	AreaA0    float64 // sensor area model: detection-circuitry term (§3.1)
+	AreaA1    float64 // sensor area model: sensing/bypass term coefficient
+	CsSensor  float64 // intrinsic sensor capacitance at the virtual rail, F
+	IDDQth    float64 // sensing threshold IDDQ,th, A (§2)
+	Rho       int     // separation-parameter cap ρ (§3.3)
+}
+
+// DefaultParams returns the constants used throughout the experiments:
+// a 200 mV rail limit (the paper quotes 100–300 mV), a 1 µA sensing
+// threshold ("effective test of defects in CMOS typically requires
+// IDDQ,th ≈ 1 µA"), and ρ = 4. The paper does not publish its ρ; 4 keeps
+// the ρ-hop neighbourhoods — and with them the cost of evaluating S(M) —
+// small even on the densest benchmark circuits while still separating
+// tight clusters from scattered ones.
+func DefaultParams() Params {
+	return Params{
+		RailLimit: 0.2,
+		AreaA0:    1.0e4,
+		AreaA1:    2.0e6, // area units · Ω: A1/Rs dominates for small Rs
+		CsSensor:  150e-15,
+		IDDQth:    1e-6,
+		Rho:       4,
+	}
+}
+
+// Estimator evaluates the per-module and global quantities of §3 for one
+// annotated circuit. It is immutable and safe for concurrent use.
+type Estimator struct {
+	P  Params
+	A  *celllib.Annotated
+	TS *TimeSets
+
+	nominalDelay float64
+
+	// Per-gate ρ-hop neighbourhoods, precomputed once so that the
+	// separation parameter — by far the most frequently re-evaluated
+	// estimate during evolution — needs no repeated BFS. nbrGate[g] lists
+	// the logic gates within ρ hops of g (excluding g), nbrDist[g] the
+	// matching hop counts.
+	nbrGate [][]int32
+	nbrDist [][]uint8
+}
+
+// New builds an Estimator, computing the transition-time sets, the
+// nominal (sensor-free) circuit delay, and the bounded-distance cache
+// once.
+func New(a *celllib.Annotated, p Params) *Estimator {
+	e := &Estimator{P: p, A: a, TS: TransitionTimes(a.Circuit)}
+	e.nominalDelay = e.longestPath(nil, nil, nil)
+	c := a.Circuit
+	e.nbrGate = make([][]int32, c.NumGates())
+	e.nbrDist = make([][]uint8, c.NumGates())
+	for _, g := range c.LogicGates() {
+		dist := c.BoundedDistances(g, p.Rho)
+		gates := make([]int32, 0, len(dist)-1)
+		dists := make([]uint8, 0, len(dist)-1)
+		for nb, d := range dist {
+			if nb != g {
+				gates = append(gates, int32(nb))
+				dists = append(dists, uint8(d))
+			}
+		}
+		e.nbrGate[g] = gates
+		e.nbrDist[g] = dists
+	}
+	return e
+}
+
+// Module is the estimator output for one gate group: everything the cost
+// function and the constraints of §2 need.
+type Module struct {
+	Gates []int // the group, ascending gate IDs
+
+	IDDMax     float64 // §3.1 transient-current upper bound, A
+	Rs         float64 // bypass ON resistance r*/îDD,max, Ω
+	Cs         float64 // virtual-rail parasitic capacitance, F
+	Tau        float64 // sensor time constant Rs·Cs, s
+	SensorArea float64 // A0 + A1/Rs
+	LeakND     float64 // worst-case fault-free IDDQ,nd, A
+	Settle     float64 // Δ(τ): current-decay + sensing time, s (§3.4)
+	Separation int     // S(M) of §3.3
+	Activity   []int   // n(t) profile over the time grid
+}
+
+// Discriminability returns d(M) = IDDQ,th / IDDQ,nd (§2).
+func (m *Module) Discriminability(iddqTh float64) float64 {
+	if m.LeakND <= 0 {
+		return 1e18 // an empty module discriminates perfectly
+	}
+	return iddqTh / m.LeakND
+}
+
+// EvalModule computes all per-module estimates for a gate group.
+func (e *Estimator) EvalModule(gates []int) *Module {
+	m := &Module{Gates: gates}
+	if len(gates) == 0 {
+		m.Activity = make([]int, e.TS.Depth()+1)
+		return m
+	}
+	m.IDDMax = e.TS.MaxCurrent(e.A, gates)
+	m.Rs = electrical.SensorROn(e.P.RailLimit, m.IDDMax)
+	m.Cs = e.P.CsSensor
+	for _, g := range gates {
+		m.Cs += e.A.Cout[g]
+	}
+	m.Tau = m.Rs * m.Cs
+	m.SensorArea = electrical.SensorArea(e.P.AreaA0, e.P.AreaA1, m.Rs)
+	m.LeakND = e.A.TotalLeakageMax(gates)
+	m.Settle = electrical.SettlingTime(m.Tau, m.IDDMax, e.P.IDDQth)
+	m.Separation = e.SeparationModule(gates)
+	m.Activity = e.TS.ActivityProfile(gates)
+	return m
+}
+
+// SeparationModule computes S(M) of §3.3: the sum over all gate pairs of
+// the separation parameter S(gi, gj) — the undirected hop distance in the
+// circuit graph, forced to ρ when the distance exceeds ρ or no path
+// exists. S(M) is minimal when the module is a tightly connected cluster.
+// Pairs farther than ρ hops (or disconnected) contribute exactly ρ, so
+// S(M) = ρ·(number of pairs) − Σ_{near pairs} (ρ − dist); only the cached
+// ρ-hop neighbourhoods need to be scanned.
+func (e *Estimator) SeparationModule(gates []int) int {
+	if len(gates) < 2 {
+		return 0
+	}
+	inModule := make([]bool, e.A.Circuit.NumGates())
+	for _, g := range gates {
+		inModule[g] = true
+	}
+	rho := e.P.Rho
+	pairs := len(gates) * (len(gates) - 1) / 2
+	sum := rho * pairs
+	for _, g := range gates {
+		nbrs, dists := e.nbrGate[g], e.nbrDist[g]
+		for i, nb := range nbrs {
+			if nb > int32(g) && inModule[nb] {
+				sum -= rho - int(dists[i])
+			}
+		}
+	}
+	return sum
+}
+
+// NominalDelay returns the longest-path delay D of the sensor-free
+// circuit.
+func (e *Estimator) NominalDelay() float64 { return e.nominalDelay }
+
+// BICDelay returns D_BIC: the longest-path delay with every gate's delay
+// degraded by δ(g, t) of §3.2. moduleOf maps each gate ID to its module
+// index (inputs may carry any value); mods holds the corresponding module
+// estimates. The gate delays are "time grid functions": the degradation
+// of gate g is evaluated at the grid time the critical transition reaches
+// it (its level — the longest input→g path), using the module's activity
+// n(t) at exactly that instant, the module's Rs, and its rail capacitance.
+func (e *Estimator) BICDelay(moduleOf []int, mods []*Module) float64 {
+	return e.longestPath(moduleOf, mods, nil)
+}
+
+// longestPath computes the circuit delay; with mods == nil it is the
+// nominal delay, otherwise per-gate degradation factors are applied.
+// scratch, if non-nil, is reused for arrival times.
+func (e *Estimator) longestPath(moduleOf []int, mods []*Module, scratch []float64) float64 {
+	c := e.A.Circuit
+	arrival := scratch
+	if cap(arrival) < c.NumGates() {
+		arrival = make([]float64, c.NumGates())
+	} else {
+		arrival = arrival[:c.NumGates()]
+		for i := range arrival {
+			arrival[i] = 0
+		}
+	}
+	var worst float64
+	var levels []int
+	if mods != nil {
+		levels = c.Levels()
+	}
+	for _, id := range c.TopoOrder() {
+		g := &c.Gates[id]
+		if g.Type == circuit.Input {
+			arrival[id] = 0
+			continue
+		}
+		var in float64
+		for _, f := range g.Fanin {
+			if arrival[f] > in {
+				in = arrival[f]
+			}
+		}
+		d := e.A.Delay[id]
+		if mods != nil {
+			mi := moduleOf[id]
+			if mi >= 0 && mi < len(mods) && mods[mi] != nil {
+				m := mods[mi]
+				// Activity at the critical transition's grid time.
+				n := 1
+				if t := levels[id]; t < len(m.Activity) && m.Activity[t] > 1 {
+					n = m.Activity[t]
+				}
+				d *= electrical.DelayDegradation(n, m.Rs, e.A.Rg[id], e.A.Delay[id], m.Cs)
+			}
+		}
+		arrival[id] = in + d
+		if arrival[id] > worst {
+			worst = arrival[id]
+		}
+	}
+	return worst
+}
+
+// DelayOverhead returns c₂ = (D_BIC − D) / D of §3.2.
+func (e *Estimator) DelayOverhead(dBIC float64) float64 {
+	return (dBIC - e.nominalDelay) / e.nominalDelay
+}
+
+// TestTimeOverhead returns c₄ of §3.4. A test vector is applied, the
+// slowest module's transient decays and its IDDQ is sensed, so the
+// per-vector period is D'_BIC = D_BIC + max_i Δ(τ_i); the overhead is
+// measured against the sensor-free per-vector period D.
+func (e *Estimator) TestTimeOverhead(dBIC float64, mods []*Module) float64 {
+	var settle float64
+	for _, m := range mods {
+		if m != nil && m.Settle > settle {
+			settle = m.Settle
+		}
+	}
+	return (dBIC + settle - e.nominalDelay) / e.nominalDelay
+}

@@ -1,0 +1,376 @@
+// Package evolution implements the evolution-based optimization algorithm
+// of §4: a (μ, λ, χ)-strategy with duplication as recombination, a
+// boundary-gate mutation operator, additional high-variance Monte-Carlo
+// descendants against local minima, lifetime-limited selection (parents
+// older than ω generations are deleted) and self-adaptation of the
+// mutation step width m with normal variation ε — the control-parameter
+// scheme the paper adapts from Rechenberg and Schwefel [17-19].
+package evolution
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/partition"
+	"iddqsyn/internal/standard"
+)
+
+// Params are the evolution control parameters of §4.2.
+type Params struct {
+	Mu     int // μ: number of parents
+	Lambda int // λ: number of (mutation) children per parent
+	Chi    int // χ: number of Monte-Carlo descendants per parent
+	Omega  int // ω: maximum lifetime in generations
+
+	MaxMove int     // m: initial maximum number of gates moved per mutation
+	Epsilon float64 // ε: standard deviation of the step-width adaptation
+
+	MaxGenerations   int // hard generation budget
+	StallGenerations int // stop after this many generations without improvement
+
+	Seed int64
+
+	// Workers sets the number of goroutines evaluating descendant costs
+	// in parallel. Mutation stays sequential (one rand stream), so the
+	// result is bit-identical for any worker count. 0 or 1 evaluates
+	// sequentially.
+	Workers int
+}
+
+// DefaultParams returns a configuration that converges on every benchmark
+// circuit of the experiments.
+func DefaultParams() Params {
+	return Params{
+		Mu:               8,
+		Lambda:           4,
+		Chi:              2,
+		Omega:            8,
+		MaxMove:          4,
+		Epsilon:          1.5,
+		MaxGenerations:   400,
+		StallGenerations: 40,
+		Seed:             1,
+	}
+}
+
+func (p Params) validate() error {
+	switch {
+	case p.Mu < 1:
+		return fmt.Errorf("evolution: μ must be >= 1")
+	case p.Lambda < 1:
+		return fmt.Errorf("evolution: λ must be >= 1")
+	case p.Chi < 0:
+		return fmt.Errorf("evolution: χ must be >= 0")
+	case p.Omega < 1:
+		return fmt.Errorf("evolution: ω must be >= 1")
+	case p.MaxMove < 1:
+		return fmt.Errorf("evolution: m must be >= 1")
+	case p.Epsilon <= 0:
+		return fmt.Errorf("evolution: ε must be positive")
+	case p.MaxGenerations < 1:
+		return fmt.Errorf("evolution: generation budget must be >= 1")
+	case p.StallGenerations < 1:
+		return fmt.Errorf("evolution: stall window must be >= 1")
+	}
+	return nil
+}
+
+// Move records one applied gate move, for the trace of the C17 example
+// (figures 3-5).
+type Move struct {
+	Gates      []int
+	FromModule []int // paper notation: the source module's gate list
+	ToModule   []int
+	MonteCarlo bool
+}
+
+// Trace receives the best individual after every generation. gen is
+// 1-based; best is a snapshot safe to keep.
+type Trace func(gen int, best *partition.Partition, bestCost float64)
+
+// Result reports an optimization run.
+type Result struct {
+	Best        *partition.Partition
+	BestCost    float64
+	Generations int
+	Evaluations int       // descendant cost evaluations
+	History     []float64 // best cost per generation
+}
+
+type individual struct {
+	p    *partition.Partition
+	cost float64
+	age  int
+	m    int // self-adapted step width
+}
+
+// infeasiblePenalty grades constraint violations: Γ(Π) is a hard
+// constraint in the paper, but an all-infeasible population needs a
+// gradient towards feasibility, so a violation adds a penalty that
+// dominates every regular cost term yet still orders individuals by how
+// far their worst module is from the required discriminability.
+const infeasiblePenalty = 1e9
+
+// Optimize runs the evolution cycle on an explicit start population.
+// Every start partition must share the same estimator, weights and
+// constraints. Infeasible individuals (Γ(Π) = 0) are penalised so
+// heavily that any feasible descendant dominates them, with the penalty
+// graded by the size of the violation so evolution can climb back to
+// feasibility.
+func Optimize(starts []*partition.Partition, prm Params, trace Trace) (*Result, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("evolution: empty start population")
+	}
+	rng := rand.New(rand.NewSource(prm.Seed))
+	res := &Result{}
+
+	// cost is pure (no shared state) so descendants can be evaluated on
+	// a worker pool; res.Evaluations is counted at the call sites.
+	cost := func(p *partition.Partition) float64 {
+		c := p.Cost()
+		if worst := p.WorstDiscriminability(); worst < p.Cons.MinDiscriminability {
+			c += infeasiblePenalty * (1 + math.Log(p.Cons.MinDiscriminability/worst))
+		}
+		return c
+	}
+
+	pop := make([]*individual, 0, len(starts))
+	for _, s := range starts {
+		pop = append(pop, &individual{p: s, cost: cost(s), m: prm.MaxMove})
+	}
+	res.Evaluations += len(pop)
+	best := cheapest(pop)
+	res.Best = best.p.Clone()
+	res.BestCost = best.cost
+	stall := 0
+
+	for gen := 1; gen <= prm.MaxGenerations; gen++ {
+		res.Generations = gen
+		// Mutation is sequential (single deterministic rand stream);
+		// the cost evaluations below may run on a worker pool.
+		descendants := make([]*individual, 0, len(pop)*(prm.Lambda+prm.Chi))
+		for _, parent := range pop {
+			for l := 0; l < prm.Lambda; l++ {
+				child := parent.p.Clone() // recombination = duplication (§4.1)
+				moved := mutate(child, parent.m, rng)
+				if !moved {
+					continue
+				}
+				descendants = append(descendants, &individual{
+					p: child, m: adaptStep(parent.m, prm.Epsilon, rng),
+				})
+			}
+			for x := 0; x < prm.Chi; x++ {
+				child := parent.p.Clone()
+				moved := monteCarlo(child, rng)
+				if !moved {
+					continue
+				}
+				descendants = append(descendants, &individual{
+					p: child, m: adaptStep(parent.m, prm.Epsilon, rng),
+				})
+			}
+			parent.age++
+		}
+		evaluate(descendants, prm.Workers, cost)
+		res.Evaluations += len(descendants)
+
+		// Selection: parents older than ω are deleted; the μ cheapest of
+		// the remaining parents and all descendants survive.
+		pool := descendants
+		for _, ind := range pop {
+			if ind.age < prm.Omega {
+				pool = append(pool, ind)
+			}
+		}
+		if len(pool) == 0 {
+			break // nothing mutable remains (e.g. single-module partitions)
+		}
+		pop = selectBest(pool, prm.Mu)
+
+		if b := cheapest(pop); b.cost < res.BestCost {
+			res.BestCost = b.cost
+			res.Best = b.p.Clone()
+			stall = 0
+		} else {
+			stall++
+		}
+		res.History = append(res.History, res.BestCost)
+		if trace != nil {
+			trace(gen, res.Best, res.BestCost)
+		}
+		if stall >= prm.StallGenerations {
+			break
+		}
+	}
+	return res, nil
+}
+
+// evaluate fills in the cost of every descendant, using up to `workers`
+// goroutines. Each descendant is an independent clone and cost is pure,
+// so the parallel evaluation is race-free and bit-identical to the
+// sequential one.
+func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64) {
+	if workers <= 1 || len(descendants) < 2 {
+		for _, d := range descendants {
+			d.cost = cost(d.p)
+		}
+		return
+	}
+	if workers > len(descendants) {
+		workers = len(descendants)
+	}
+	var wg sync.WaitGroup
+	var next int64 = -1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(descendants) {
+					return
+				}
+				descendants[i].cost = cost(descendants[i].p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mutate applies the §4.2 mutation: a random module M_start is selected,
+// its boundary gates determined, m_move ∈ {1, ..., min(m, m_boundary)}
+// gates chosen uniformly, and each moved into a (random, if several)
+// module it is connected with. Returns false if no move was possible.
+func mutate(p *partition.Partition, m int, rng *rand.Rand) bool {
+	if p.NumModules() < 2 {
+		return false
+	}
+	// Try a few modules: some have no boundary gates with legal targets.
+	for attempt := 0; attempt < 8; attempt++ {
+		src := rng.Intn(p.NumModules())
+		boundary := p.BoundaryGates(src)
+		if len(boundary) == 0 {
+			continue
+		}
+		max := m
+		if len(boundary) < max {
+			max = len(boundary)
+		}
+		mMove := 1 + rng.Intn(max)
+		rng.Shuffle(len(boundary), func(i, j int) { boundary[i], boundary[j] = boundary[j], boundary[i] })
+		moved := false
+		for _, g := range boundary[:mMove] {
+			from := p.ModuleOf(g)
+			targets := p.ConnectedModules(g)
+			if len(targets) == 0 {
+				continue
+			}
+			to := targets[rng.Intn(len(targets))]
+			if _, err := p.MoveGates([]int{g}, from, to); err == nil {
+				moved = true
+			}
+			if p.NumModules() < 2 {
+				break
+			}
+		}
+		if moved {
+			return true
+		}
+	}
+	return false
+}
+
+// monteCarlo applies the §4.2 high-variance operator: a random number of
+// gates of a random module M_start is moved into a random module
+// M_target (not necessarily connected). If all gates move, M_start is
+// deleted.
+func monteCarlo(p *partition.Partition, rng *rand.Rand) bool {
+	if p.NumModules() < 2 {
+		return false
+	}
+	src := rng.Intn(p.NumModules())
+	dst := rng.Intn(p.NumModules() - 1)
+	if dst >= src {
+		dst++
+	}
+	gates := p.ModuleGates(src)
+	n := 1 + rng.Intn(len(gates))
+	rng.Shuffle(len(gates), func(i, j int) { gates[i], gates[j] = gates[j], gates[i] })
+	_, err := p.MoveGates(gates[:n], src, dst)
+	return err == nil
+}
+
+// adaptStep draws the child's step width from a normal distribution
+// around the parent's (§4.2: "the new m is subject to normal distribution
+// with variance ε around the m of the step before").
+func adaptStep(m int, eps float64, rng *rand.Rand) int {
+	nm := int(math.Round(float64(m) + rng.NormFloat64()*eps))
+	if nm < 1 {
+		nm = 1
+	}
+	return nm
+}
+
+func cheapest(pop []*individual) *individual {
+	best := pop[0]
+	for _, ind := range pop[1:] {
+		if ind.cost < best.cost {
+			best = ind
+		}
+	}
+	return best
+}
+
+// selectBest returns the mu cheapest individuals (or all, if fewer).
+func selectBest(pool []*individual, mu int) []*individual {
+	// Simple selection sort over a small pool keeps determinism obvious.
+	n := len(pool)
+	if mu > n {
+		mu = n
+	}
+	out := make([]*individual, 0, mu)
+	used := make([]bool, n)
+	for k := 0; k < mu; k++ {
+		bi := -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if bi == -1 || pool[i].cost < pool[bi].cost {
+				bi = i
+			}
+		}
+		used[bi] = true
+		out = append(out, pool[bi])
+	}
+	return out
+}
+
+// Run is the full §4 flow: the module size is estimated with averaged
+// parameters, μ chain-based start partitions are constructed (§4.2), and
+// the evolution cycle optimizes the weighted cost under the constraints.
+func Run(e *estimate.Estimator, w partition.Weights, cons partition.Constraints, prm Params, trace Trace) (*Result, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(prm.Seed))
+	size := standard.EstimateModuleSize(e, w, cons)
+	starts := make([]*partition.Partition, 0, prm.Mu)
+	for i := 0; i < prm.Mu; i++ {
+		groups := standard.ChainStartPartition(e.A.Circuit, size, rng)
+		p, err := partition.New(e, groups, w, cons)
+		if err != nil {
+			return nil, fmt.Errorf("evolution: start partition %d: %w", i, err)
+		}
+		starts = append(starts, p)
+	}
+	return Optimize(starts, prm, trace)
+}

@@ -1,0 +1,140 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (standard vs evolution partitioning over the ISCAS85
+// benchmark set), figure 1 (the BIC sensor's PASS/FAIL behaviour),
+// figure 2 (the impact of group shape on sensor area in a 2-D cell array),
+// and the C17 evolution trace of figures 3-5 — plus the convergence and
+// ablation studies behind the §4-§5 claims. DESIGN.md maps each experiment
+// to the modules it exercises; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/core"
+	"iddqsyn/internal/evolution"
+)
+
+// Table1Circuits lists the benchmark circuits of the paper's Table 1 with
+// their published module counts.
+var Table1Circuits = []struct {
+	Name    string
+	PaperK  int     // #modules in Table 1
+	PaperOv float64 // sensor area overhead of standard over evolution, %
+}{
+	{"c1908", 2, 30.6},
+	{"c2670", 3, 14.5},
+	{"c3540", 4, 22.9},
+	{"c5315", 6, 25.3},
+	{"c6288", 5, 25.9},
+	{"c7552", 6, 19.7},
+}
+
+// Table1Row is one circuit's comparison between the two methods.
+type Table1Row struct {
+	Circuit string
+	Gates   int
+	Modules int // module count of the evolution result (standard uses the same)
+
+	AreaEvolution float64
+	AreaStandard  float64
+	AreaOverhead  float64 // (standard - evolution) / evolution, %
+
+	DelayEvolution float64 // delay overhead, %
+	DelayStandard  float64
+	TestEvolution  float64 // test-time overhead, %
+	TestStandard   float64
+
+	CostEvolution float64
+	CostStandard  float64
+
+	Generations int
+	Evaluations int
+}
+
+// Table1Config tunes the experiment's runtime.
+type Table1Config struct {
+	Circuits  []string          // subset of Table1Circuits names; nil = all
+	Evolution *evolution.Params // nil = tuned defaults (see Table1DefaultEvolution)
+}
+
+// Table1DefaultEvolution returns the evolution parameters used for the
+// Table 1 runs: the §4.2 scheme with a generation budget that converges on
+// every benchmark in minutes of CPU (the paper reports "a few hours on a
+// Sun Sparc workstation" for the same process).
+func Table1DefaultEvolution() evolution.Params {
+	p := evolution.DefaultParams()
+	p.MaxGenerations = 250
+	p.StallGenerations = 50
+	return p
+}
+
+// Table1 regenerates the paper's Table 1: for every circuit, the
+// evolution-based partitioning, then the standard partitioning at the same
+// module count, and the comparison of sensor area, delay and test time.
+func Table1(cfg Table1Config) ([]Table1Row, error) {
+	names := cfg.Circuits
+	if names == nil {
+		for _, c := range Table1Circuits {
+			names = append(names, c.Name)
+		}
+	}
+	eprm := Table1DefaultEvolution()
+	if cfg.Evolution != nil {
+		eprm = *cfg.Evolution
+	}
+	var rows []Table1Row
+	for _, name := range names {
+		c, err := circuits.ISCAS85Like(name)
+		if err != nil {
+			return nil, err
+		}
+		evo, err := core.Synthesize(c, core.Options{Evolution: &eprm})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s evolution: %w", name, err)
+		}
+		std, err := core.Synthesize(c, core.Options{
+			Method:  core.MethodStandard,
+			Modules: evo.Partition.NumModules(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s standard: %w", name, err)
+		}
+		ecv, scv := evo.Costs, std.Costs
+		rows = append(rows, Table1Row{
+			Circuit:        name,
+			Gates:          c.NumLogicGates(),
+			Modules:        evo.Partition.NumModules(),
+			AreaEvolution:  ecv.SensorArea,
+			AreaStandard:   scv.SensorArea,
+			AreaOverhead:   100 * (scv.SensorArea - ecv.SensorArea) / ecv.SensorArea,
+			DelayEvolution: 100 * ecv.DelayOverhead,
+			DelayStandard:  100 * scv.DelayOverhead,
+			TestEvolution:  100 * ecv.TestTime,
+			TestStandard:   100 * scv.TestTime,
+			CostEvolution:  evo.Partition.Cost(),
+			CostStandard:   std.Partition.Cost(),
+			Generations:    evo.Evolution.Generations,
+			Evaluations:    evo.Evolution.Evaluations,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the layout of the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %6s %8s | %12s %12s %9s | %9s %9s | %9s %9s\n",
+		"circuit", "gates", "#modules",
+		"area(std)", "area(evo)", "overhead",
+		"delay(std)", "delay(evo)", "test(std)", "test(evo)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %6d %8d | %12.3e %12.3e %8.1f%% | %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n",
+			r.Circuit, r.Gates, r.Modules,
+			r.AreaStandard, r.AreaEvolution, r.AreaOverhead,
+			r.DelayStandard, r.DelayEvolution,
+			r.TestStandard, r.TestEvolution)
+	}
+	return sb.String()
+}

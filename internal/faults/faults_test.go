@@ -1,0 +1,244 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/logicsim"
+)
+
+func TestKindString(t *testing.T) {
+	if Bridge.String() != "bridge" || GateOxideShort.String() != "gos" || StuckOn.String() != "stuck-on" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("out-of-range Kind.String")
+	}
+}
+
+func TestBridgeExcitation(t *testing.T) {
+	c := circuits.C17()
+	s := logicsim.New(c)
+	g1, _ := c.GateByName("g1")
+	g2, _ := c.GateByName("g2")
+	f := Fault{Kind: Bridge, A: g1.ID, B: g2.ID, Current: 1e-3}
+
+	// I1=1,I3=1 -> g1=0; I4=0 -> g2=1. Opposite values: excited, current
+	// observed through g1's pull-down (the low net).
+	if err := s.ApplyBits([]bool{true, false, true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	obs, ex := f.Excited(c, s.Values())
+	if !ex {
+		t.Fatal("bridge should be excited with opposite values")
+	}
+	if obs != g1.ID {
+		t.Errorf("observer = %d, want g1 (%d), the low net's driver", obs, g1.ID)
+	}
+
+	// I3=0 -> g1=1 and g2=1. Same value: not excited.
+	if err := s.ApplyBits([]bool{true, false, false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ex := f.Excited(c, s.Values()); ex {
+		t.Error("bridge must not be excited with equal values")
+	}
+}
+
+func TestBridgeNotExcitedByX(t *testing.T) {
+	c := circuits.C17()
+	s := logicsim.New(c)
+	g1, _ := c.GateByName("g1")
+	g2, _ := c.GateByName("g2")
+	f := Fault{Kind: Bridge, A: g1.ID, B: g2.ID}
+	if err := s.Apply([]logicsim.Value{logicsim.X, logicsim.X, logicsim.X, logicsim.X, logicsim.X}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ex := f.Excited(c, s.Values()); ex {
+		t.Error("X values must not excite a bridge")
+	}
+}
+
+func TestGateOxideShortExcitation(t *testing.T) {
+	c := circuits.C17()
+	s := logicsim.New(c)
+	g1, _ := c.GateByName("g1")
+	f := Fault{Kind: GateOxideShort, Gate: g1.ID, Pin: 0} // pin 0 = I1
+	if err := s.ApplyBits([]bool{true, false, false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	obs, ex := f.Excited(c, s.Values())
+	if !ex || obs != g1.ID {
+		t.Errorf("GOS with pin high: excited=%v obs=%d, want true,%d", ex, obs, g1.ID)
+	}
+	if err := s.ApplyBits([]bool{false, false, false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ex := f.Excited(c, s.Values()); ex {
+		t.Error("GOS with pin low must not be excited")
+	}
+}
+
+func TestStuckOnExcitation(t *testing.T) {
+	c := circuits.C17()
+	s := logicsim.New(c)
+	g1, _ := c.GateByName("g1")
+	nmos := Fault{Kind: StuckOn, Gate: g1.ID, Pin: 0, PMOS: false}
+	pmos := Fault{Kind: StuckOn, Gate: g1.ID, Pin: 0, PMOS: true}
+
+	// I1=I3=1 -> g1=0: pMOS stuck-on fights the pull-down.
+	if err := s.ApplyBits([]bool{true, false, true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ex := pmos.Excited(c, s.Values()); !ex {
+		t.Error("stuck-on pMOS should be excited when output is low")
+	}
+	if _, ex := nmos.Excited(c, s.Values()); ex {
+		t.Error("stuck-on nMOS must not be excited when output is low")
+	}
+
+	// I1=0 -> g1=1: nMOS stuck-on fights the pull-up.
+	if err := s.ApplyBits([]bool{false, false, true, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ex := nmos.Excited(c, s.Values()); !ex {
+		t.Error("stuck-on nMOS should be excited when output is high")
+	}
+	if _, ex := pmos.Excited(c, s.Values()); ex {
+		t.Error("stuck-on pMOS must not be excited when output is high")
+	}
+}
+
+// Property: ExcitedWord agrees bit-for-bit with scalar Excited across a
+// random batch, for every fault kind.
+func TestExcitedWordMatchesScalar(t *testing.T) {
+	c := circuits.MustISCAS85Like("c432")
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(5))
+	cfg.MaxBridges = 40
+	list := Universe(c, cfg, rng)
+	if len(list) == 0 {
+		t.Fatal("empty fault list")
+	}
+	p := logicsim.NewParallel(c)
+	s := logicsim.New(c)
+	batch := make([][]bool, 64)
+	for k := range batch {
+		batch[k] = make([]bool, len(c.Inputs))
+		for i := range batch[k] {
+			batch[k][i] = rng.Intn(2) == 1
+		}
+	}
+	if err := p.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for fi := range list {
+		f := &list[fi]
+		w := f.ExcitedWord(c, p)
+		for _, k := range []int{0, 13, 31, 63} {
+			if err := s.ApplyBits(batch[k]); err != nil {
+				t.Fatal(err)
+			}
+			obs, ex := f.Excited(c, s.Values())
+			if got := w&(1<<uint(k)) != 0; got != ex {
+				t.Fatalf("%v pattern %d: word=%v scalar=%v", f, k, got, ex)
+			}
+			if ex {
+				if got := f.Observer(c, p, k); got != obs {
+					t.Fatalf("%v pattern %d: Observer=%d scalar=%d", f, k, got, obs)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractBridgesProximity(t *testing.T) {
+	c := circuits.C17()
+	cfg := DefaultConfig()
+	cfg.BridgeHops = 1
+	list := ExtractBridges(c, cfg, rand.New(rand.NewSource(1)))
+	// Within 1 hop, only directly connected gate pairs qualify:
+	// (g1,g5),(g2,g3),(g2,g4),(g3,g5),(g3,g6),(g4,g6).
+	if len(list) != 6 {
+		t.Errorf("bridges within 1 hop = %d, want 6: %v", len(list), list)
+	}
+	for _, f := range list {
+		if f.A >= f.B {
+			t.Errorf("pair not canonical: %v", &f)
+		}
+		if f.Current <= 0 {
+			t.Errorf("non-positive bridge current: %v", &f)
+		}
+	}
+}
+
+func TestExtractBridgesCap(t *testing.T) {
+	c := circuits.MustISCAS85Like("c432")
+	cfg := DefaultConfig()
+	cfg.MaxBridges = 25
+	list := ExtractBridges(c, cfg, rand.New(rand.NewSource(2)))
+	if len(list) != 25 {
+		t.Errorf("capped list = %d, want 25", len(list))
+	}
+	// Deterministic for a fixed seed.
+	list2 := ExtractBridges(c, cfg, rand.New(rand.NewSource(2)))
+	for i := range list {
+		if list[i] != list2[i] {
+			t.Fatal("capped extraction must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestExtractPinFaults(t *testing.T) {
+	c := circuits.C17()
+	cfg := DefaultConfig()
+	gos := ExtractGateOxideShorts(c, cfg)
+	if len(gos) != 12 { // 6 gates x 2 pins
+		t.Errorf("GOS faults = %d, want 12", len(gos))
+	}
+	so := ExtractStuckOn(c, cfg)
+	if len(so) != 24 { // 6 gates x 2 pins x {n,p}
+		t.Errorf("stuck-on faults = %d, want 24", len(so))
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	c := circuits.C17()
+	cfg := DefaultConfig()
+	u := Universe(c, cfg, rand.New(rand.NewSource(1)))
+	if len(u) < 36 {
+		t.Errorf("universe = %d faults, want at least GOS+stuck-on count", len(u))
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	for _, tc := range []struct {
+		f    Fault
+		want string
+	}{
+		{Fault{Kind: Bridge, A: 1, B: 2}, "bridge(1,2)"},
+		{Fault{Kind: GateOxideShort, Gate: 3, Pin: 1}, "gos(g3.1)"},
+		{Fault{Kind: StuckOn, Gate: 4, Pin: 0}, "stuck-on(g4.0,n)"},
+		{Fault{Kind: StuckOn, Gate: 4, Pin: 0, PMOS: true}, "stuck-on(g4.0,p)"},
+	} {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// Property: every bridge fault's defect current is orders of magnitude
+// above a typical fault-free gate leakage (the premise of IDDQ testing).
+func TestDefectCurrentsDominate(t *testing.T) {
+	prop := func(seed int64) bool {
+		cfg := DefaultConfig()
+		const leak = 100e-12
+		return cfg.VDD/cfg.BridgeRes > 1000*leak &&
+			cfg.GOSCurrent > 1000*leak && cfg.StuckOnCurrent > 1000*leak
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,324 @@
+// Package isc reads and writes the original ISCAS85 netlist format of
+// Brglez et al. [16] — the format the benchmark circuits of Table 1 were
+// distributed in before the simpler .bench format existed. Each line
+// carries an address, a net name, a primitive type, fanout/fanin counts
+// and optional stuck-at fault annotations; gates with fanout > 1 are
+// followed by explicit fanout-branch ("from") lines, and gates with a
+// fanout count of zero are the primary outputs:
+//
+//   - c17 iscas example
+//     1   1gat  inpt  1 0    >sa1
+//     ...
+//     11  11gat nand  2 2    >sa0 >sa1
+//     9  6
+//     14  14fan from  11gat  >sa1
+//
+// The reader collapses fanout branches onto their driving net and ignores
+// fault annotations; the writer regenerates branches so files round-trip
+// through the historical tools.
+package isc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"iddqsyn/internal/circuit"
+)
+
+// Read parses an ISCAS85-format netlist.
+func Read(r io.Reader, defaultName string) (*circuit.Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	type node struct {
+		addr    int
+		name    string
+		typ     string // primitive keyword
+		gate    circuit.GateType
+		nOut    int
+		nIn     int
+		fanin   []int  // addresses
+		fromRef string // "from" lines: parent net name
+	}
+	var nodes []*node
+	byAddr := make(map[int]*node)
+	name := defaultName
+	named := false
+
+	var pending *node // gate awaiting fanin-address lines
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "*") {
+			if !named {
+				if c := strings.TrimSpace(strings.TrimPrefix(line, "*")); c != "" {
+					name = strings.Fields(c)[0]
+					named = true
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if pending != nil {
+			// Fanin-address continuation line(s).
+			for _, f := range fields {
+				a, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("isc: line %d: bad fanin address %q", lineno, f)
+				}
+				pending.fanin = append(pending.fanin, a)
+			}
+			if len(pending.fanin) > pending.nIn {
+				return nil, fmt.Errorf("isc: line %d: gate %s has %d fanins, declared %d",
+					lineno, pending.name, len(pending.fanin), pending.nIn)
+			}
+			if len(pending.fanin) == pending.nIn {
+				pending = nil
+			}
+			continue
+		}
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("isc: line %d: truncated node line %q", lineno, line)
+		}
+		addr, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("isc: line %d: bad address %q", lineno, fields[0])
+		}
+		n := &node{addr: addr, name: fields[1], typ: strings.ToLower(fields[2])}
+		if _, dup := byAddr[addr]; dup {
+			return nil, fmt.Errorf("isc: line %d: duplicate address %d", lineno, addr)
+		}
+		switch n.typ {
+		case "from":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("isc: line %d: from-node without parent", lineno)
+			}
+			n.fromRef = fields[3]
+		case "inpt":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("isc: line %d: input without counts", lineno)
+			}
+			n.nOut, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("isc: line %d: bad fanout count", lineno)
+			}
+		default:
+			gt, ok := parsePrimitive(n.typ)
+			if !ok {
+				return nil, fmt.Errorf("isc: line %d: unknown primitive %q", lineno, n.typ)
+			}
+			n.gate = gt
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("isc: line %d: gate without counts", lineno)
+			}
+			n.nOut, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("isc: line %d: bad fanout count", lineno)
+			}
+			n.nIn, err = strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("isc: line %d: bad fanin count", lineno)
+			}
+			if n.nIn > 0 {
+				pending = n
+			}
+		}
+		nodes = append(nodes, n)
+		byAddr[addr] = n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("isc: %w", err)
+	}
+	if pending != nil {
+		return nil, fmt.Errorf("isc: gate %s missing fanin lines", pending.name)
+	}
+
+	// Resolve "from" branches to their root driving net.
+	byName := make(map[string]*node, len(nodes))
+	for _, n := range nodes {
+		if prev, dup := byName[n.name]; dup {
+			return nil, fmt.Errorf("isc: duplicate net name %q (addresses %d, %d)",
+				n.name, prev.addr, n.addr)
+		}
+		byName[n.name] = n
+	}
+	var rootOf func(n *node, depth int) (*node, error)
+	rootOf = func(n *node, depth int) (*node, error) {
+		if n.typ != "from" {
+			return n, nil
+		}
+		if depth > len(nodes) {
+			return nil, fmt.Errorf("isc: fanout-branch cycle at %q", n.name)
+		}
+		parent, ok := byName[n.fromRef]
+		if !ok {
+			return nil, fmt.Errorf("isc: branch %q references unknown net %q", n.name, n.fromRef)
+		}
+		return rootOf(parent, depth+1)
+	}
+
+	b := circuit.NewBuilder(name)
+	for _, n := range nodes {
+		switch n.typ {
+		case "from":
+			continue
+		case "inpt":
+			b.AddInput(n.name)
+		default:
+			fanin := make([]string, 0, len(n.fanin))
+			for _, a := range n.fanin {
+				src, ok := byAddr[a]
+				if !ok {
+					return nil, fmt.Errorf("isc: gate %q references unknown address %d", n.name, a)
+				}
+				root, err := rootOf(src, 0)
+				if err != nil {
+					return nil, err
+				}
+				fanin = append(fanin, root.name)
+			}
+			b.AddGate(n.name, n.gate, fanin...)
+		}
+	}
+	// Primary outputs: non-branch nodes with a declared fanout of zero.
+	for _, n := range nodes {
+		if n.typ != "from" && n.nOut == 0 {
+			b.MarkOutput(n.name)
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("isc: %w", err)
+	}
+	if named {
+		c.Name = name
+	}
+	return c, nil
+}
+
+func parsePrimitive(s string) (circuit.GateType, bool) {
+	switch s {
+	case "and":
+		return circuit.And, true
+	case "nand":
+		return circuit.Nand, true
+	case "or":
+		return circuit.Or, true
+	case "nor":
+		return circuit.Nor, true
+	case "xor":
+		return circuit.Xor, true
+	case "xnor":
+		return circuit.Xnor, true
+	case "not", "inv":
+		return circuit.Not, true
+	case "buff", "buf":
+		return circuit.Buf, true
+	}
+	return 0, false
+}
+
+func primitiveName(t circuit.GateType) string {
+	switch t {
+	case circuit.And:
+		return "and"
+	case circuit.Nand:
+		return "nand"
+	case circuit.Or:
+		return "or"
+	case circuit.Nor:
+		return "nor"
+	case circuit.Xor:
+		return "xor"
+	case circuit.Xnor:
+		return "xnor"
+	case circuit.Not:
+		return "not"
+	case circuit.Buf:
+		return "buff"
+	}
+	return "?"
+}
+
+// Write emits the circuit in the ISCAS85 format, regenerating explicit
+// fanout-branch nodes for every net driving more than one load (plus one
+// branch per load when the driver is also a primary output, matching the
+// historical files).
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "* %s\n", c.Name)
+	fmt.Fprintf(bw, "* generated by iddqsyn\n")
+
+	isOut := make(map[int]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	// Address plan: gates in topological order, then branch nodes
+	// interleaved right after their driver.
+	addrOf := make(map[int]int, c.NumGates()) // gate ID -> address
+	branchAddr := make(map[[2]int]int)        // (driver, load) -> branch address
+	next := 1
+	order := c.TopoOrder()
+	for _, id := range order {
+		addrOf[id] = next
+		next++
+		if needsBranches(c, id) {
+			for _, f := range c.Gates[id].Fanout {
+				branchAddr[[2]int{id, f}] = next
+				next++
+			}
+		}
+	}
+
+	// faninRef returns the address a gate's fanin pin should reference:
+	// the driver itself, or its dedicated branch node.
+	faninRef := func(driver, load int) int {
+		if a, ok := branchAddr[[2]int{driver, load}]; ok {
+			return a
+		}
+		return addrOf[driver]
+	}
+
+	for _, id := range order {
+		g := &c.Gates[id]
+		nOut := len(g.Fanout)
+		if isOut[id] {
+			// Primary outputs carry a declared fanout of zero — that is
+			// how the format marks them. Loads, if any, still reference
+			// the net by address (or through its branch nodes).
+			nOut = 0
+		}
+		switch g.Type {
+		case circuit.Input:
+			fmt.Fprintf(bw, "%5d %s inpt %d 0\n", addrOf[id], g.Name, nOut)
+		default:
+			fmt.Fprintf(bw, "%5d %s %s %d %d\n",
+				addrOf[id], g.Name, primitiveName(g.Type), nOut, len(g.Fanin))
+			var refs []string
+			for _, f := range g.Fanin {
+				refs = append(refs, strconv.Itoa(faninRef(f, id)))
+			}
+			fmt.Fprintf(bw, "      %s\n", strings.Join(refs, " "))
+		}
+		if needsBranches(c, id) {
+			for i, f := range g.Fanout {
+				fmt.Fprintf(bw, "%5d %s_b%d from %s\n",
+					branchAddr[[2]int{id, f}], g.Name, i+1, g.Name)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// needsBranches reports whether a net gets explicit fanout-branch nodes:
+// more than one load in the historical convention.
+func needsBranches(c *circuit.Circuit, id int) bool {
+	return len(c.Gates[id].Fanout) > 1
+}

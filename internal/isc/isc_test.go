@@ -1,0 +1,224 @@
+package isc
+
+import (
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+)
+
+// c17ISC is the ISCAS85 C17 netlist in its original distribution format
+// (addresses and fault annotations as in the historical file).
+const c17ISC = `*  c17 iscas example
+*---------------------------------------------------
+    1  1gat inpt   1  0    >sa1
+    2  2gat inpt   1  0    >sa1
+    3  3gat inpt   2  0    >sa0 >sa1
+    8  8fan from   3gat    >sa1
+    9  9fan from   3gat    >sa0
+    6  6gat inpt   1  0    >sa1
+    7  7gat inpt   1  0    >sa1
+   10 10gat nand   1  2    >sa1
+     1     8
+   11 11gat nand   2  2    >sa0 >sa1
+     9     6
+   14 14fan from   11gat   >sa1
+   15 15fan from   11gat   >sa0 >sa1
+   16 16gat nand   2  2    >sa0 >sa1
+     2    14
+   20 20fan from   16gat   >sa1
+   21 21fan from   16gat   >sa0
+   19 19gat nand   1  2    >sa1
+    15     7
+   22 22gat nand   0  2    >sa0 >sa1
+    10    20
+   23 23gat nand   0  2    >sa1
+    21    19
+`
+
+func TestReadC17ISC(t *testing.T) {
+	c, err := Read(strings.NewReader(c17ISC), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c17" {
+		t.Errorf("name = %q, want c17 (from header)", c.Name)
+	}
+	s := c.ComputeStats()
+	if s.Inputs != 5 || s.Outputs != 2 || s.LogicGates != 6 || s.Depth != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ByType[circuit.Nand] != 6 {
+		t.Errorf("gate mix = %v, want six NANDs", s.ByType)
+	}
+	// Branch resolution: 10gat's fanins must be 1gat and 3gat (through
+	// branch 8fan).
+	g10, ok := c.GateByName("10gat")
+	if !ok {
+		t.Fatal("10gat missing")
+	}
+	names := map[string]bool{}
+	for _, f := range g10.Fanin {
+		names[c.Gates[f].Name] = true
+	}
+	if !names["1gat"] || !names["3gat"] {
+		t.Errorf("10gat fanins resolved to %v", names)
+	}
+	// Outputs are the zero-fanout gates 22gat and 23gat.
+	outNames := map[string]bool{}
+	for _, o := range c.Outputs {
+		outNames[c.Gates[o].Name] = true
+	}
+	if !outNames["22gat"] || !outNames["23gat"] {
+		t.Errorf("outputs = %v", outNames)
+	}
+}
+
+// The parsed C17 must be structurally identical to the built-in C17 up to
+// renaming: same function on all 32 input vectors.
+func TestC17ISCMatchesBuiltin(t *testing.T) {
+	fromISC, err := Read(strings.NewReader(c17ISC), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin := circuits.C17()
+	// Input order: 1gat 2gat 3gat 6gat 7gat vs I1 I2 I3 I4 I5 — the
+	// historical numbering maps 1,2,3,6,7 to I1,I2,I3,I4,I5 and outputs
+	// 22,23 to g5(02),g6(03).
+	eval := func(c *circuit.Circuit, bits []bool) []bool {
+		vals := make([]bool, c.NumGates())
+		for i, id := range c.Inputs {
+			vals[id] = bits[i]
+		}
+		for _, id := range c.TopoOrder() {
+			g := &c.Gates[id]
+			if g.Type == circuit.Input {
+				continue
+			}
+			in := make([]bool, len(g.Fanin))
+			for i, f := range g.Fanin {
+				in[i] = vals[f]
+			}
+			vals[id] = g.Type.Eval(in)
+		}
+		out := make([]bool, len(c.Outputs))
+		for i, o := range c.Outputs {
+			out[i] = vals[o]
+		}
+		return out
+	}
+	for mask := 0; mask < 32; mask++ {
+		bits := make([]bool, 5)
+		for i := range bits {
+			bits[i] = mask&(1<<i) != 0
+		}
+		a := eval(fromISC, bits)
+		b := eval(builtin, bits)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("vector %05b: isc %v vs builtin %v", mask, a, b)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, name := range []string{"c432", "c880"} {
+		orig := circuits.MustISCAS85Like(name)
+		var sb strings.Builder
+		if err := Write(&sb, orig); err != nil {
+			t.Fatalf("%s: Write: %v", name, err)
+		}
+		back, err := Read(strings.NewReader(sb.String()), "x")
+		if err != nil {
+			t.Fatalf("%s: re-Read: %v", name, err)
+		}
+		if bench.Fingerprint(orig) != bench.Fingerprint(back) {
+			t.Errorf("%s: round trip changed the structure", name)
+		}
+		if back.Name != name {
+			t.Errorf("%s: round trip lost the name: %q", name, back.Name)
+		}
+	}
+}
+
+func TestRoundTripC17ISC(t *testing.T) {
+	c, err := Read(strings.NewReader(c17ISC), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()), "x")
+	if err != nil {
+		t.Fatalf("re-Read:\n%s\n%v", sb.String(), err)
+	}
+	if bench.Fingerprint(c) != bench.Fingerprint(back) {
+		t.Error("C17 round trip changed the structure")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad address":     "x 1gat inpt 1 0\n",
+		"truncated":       "1 1gat\n",
+		"unknown prim":    "1 1gat mux 1 2\n 1 1\n",
+		"dup address":     "1 a inpt 1 0\n1 b inpt 1 0\n",
+		"dup name":        "1 a inpt 1 0\n2 a inpt 1 0\n",
+		"from no parent":  "1 a from\n",
+		"from unknown":    "1 a inpt 1 0\n2 f from zz\n3 g not 0 1\n 2\n",
+		"missing fanin":   "1 a inpt 1 0\n2 g nand 0 2\n 1\n",
+		"bad fanin addr":  "1 a inpt 1 0\n2 g not 0 1\n z\n",
+		"unknown fanin":   "1 a inpt 1 0\n2 g not 0 1\n 9\n",
+		"input no counts": "1 a inpt\n",
+		"gate no counts":  "1 a inpt 1 0\n2 g nand 0\n",
+		"too many fanins": "1 a inpt 1 0\n2 g not 0 1\n 1 1\n",
+		"branch cycle":    "1 a from b\n2 b from a\n3 i inpt 1 0\n4 g not 0 1\n 1\n",
+		"no outputs":      "1 a inpt 1 0\n2 g not 1 1\n 1\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestWriteBranchCounts(t *testing.T) {
+	// A net with two loads must get two branch nodes in the output.
+	c := circuits.C17()
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, " from "); got != 6 {
+		// I3, g2, g3 each drive two loads -> 3 nets x 2 branches.
+		t.Errorf("branch lines = %d, want 6\n%s", got, out)
+	}
+}
+
+// Property: random circuits round-trip through the historical format.
+func TestRoundTripRandomCircuits(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		c1, err := circuits.RandomLogic(circuits.Spec{
+			Name: "rt", Inputs: 6, Outputs: 3,
+			Gates: 30 + 15*int(seed), Depth: 5 + int(seed)%6, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c1); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c2, err := Read(strings.NewReader(sb.String()), "x")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if bench.Fingerprint(c1) != bench.Fingerprint(c2) {
+			t.Fatalf("seed %d: structure changed", seed)
+		}
+	}
+}

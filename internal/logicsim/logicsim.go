@@ -1,0 +1,233 @@
+// Package logicsim provides gate-level logic simulation for the IDDQ test
+// flow: a three-valued event-driven simulator used to establish the
+// quiescent state after each test vector (and from it the fault-free IDDQ
+// of every module), and a 64-pattern parallel two-valued simulator used by
+// the fault simulator in package atpg.
+package logicsim
+
+import (
+	"fmt"
+
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+)
+
+// Value is a three-valued logic level.
+type Value uint8
+
+// The three logic values. X orders first so that a zeroed slice is
+// all-unknown.
+const (
+	X Value = iota
+	Zero
+	One
+)
+
+// String returns "X", "0" or "1".
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	}
+	return "X"
+}
+
+// FromBool converts a Boolean to a definite Value.
+func FromBool(b bool) Value {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// eval3 computes the three-valued gate function.
+func eval3(t circuit.GateType, in []Value) Value {
+	switch t {
+	case circuit.Buf:
+		return in[0]
+	case circuit.Not:
+		return not3(in[0])
+	case circuit.And, circuit.Nand:
+		v := One
+		for _, x := range in {
+			if x == Zero {
+				v = Zero
+				break
+			}
+			if x == X {
+				v = X
+			}
+		}
+		if t == circuit.Nand {
+			return not3(v)
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := Zero
+		for _, x := range in {
+			if x == One {
+				v = One
+				break
+			}
+			if x == X {
+				v = X
+			}
+		}
+		if t == circuit.Nor {
+			return not3(v)
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := Zero
+		for _, x := range in {
+			if x == X {
+				return X
+			}
+			if x == One {
+				v = not3(v)
+			}
+		}
+		if t == circuit.Xnor {
+			return not3(v)
+		}
+		return v
+	}
+	panic("logicsim: eval3 on " + t.String())
+}
+
+func not3(v Value) Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// Simulator is an incremental three-valued gate-level simulator. Apply a
+// primary-input vector and read any net's settled value. Re-applying a
+// vector propagates only the nets that actually change (event-driven over
+// the levelised netlist), which makes long vector sequences cheap.
+type Simulator struct {
+	c      *circuit.Circuit
+	values []Value
+	levels []int
+	// dirty[l] holds gate IDs at level l scheduled for re-evaluation.
+	dirty   [][]int
+	inDirty []bool
+	started bool
+}
+
+// New creates a Simulator with all nets at X.
+func New(c *circuit.Circuit) *Simulator {
+	return &Simulator{
+		c:       c,
+		values:  make([]Value, c.NumGates()),
+		levels:  c.Levels(),
+		dirty:   make([][]int, c.Depth()+1),
+		inDirty: make([]bool, c.NumGates()),
+	}
+}
+
+// Circuit returns the netlist being simulated.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// Apply sets the primary inputs (vector indexed like Circuit.Inputs) and
+// propagates to a settled state. Vectors shorter than the input list leave
+// the remaining inputs unchanged.
+func (s *Simulator) Apply(vector []Value) error {
+	if len(vector) > len(s.c.Inputs) {
+		return fmt.Errorf("logicsim: vector has %d values for %d inputs", len(vector), len(s.c.Inputs))
+	}
+	for i, v := range vector {
+		id := s.c.Inputs[i]
+		if s.values[id] != v || !s.started {
+			s.values[id] = v
+			s.schedule(id)
+		}
+	}
+	s.started = true
+	s.propagate()
+	return nil
+}
+
+// ApplyBits is Apply for a fully specified Boolean vector.
+func (s *Simulator) ApplyBits(bits []bool) error {
+	vec := make([]Value, len(bits))
+	for i, b := range bits {
+		vec[i] = FromBool(b)
+	}
+	return s.Apply(vec)
+}
+
+func (s *Simulator) schedule(id int) {
+	for _, f := range s.c.Gates[id].Fanout {
+		if !s.inDirty[f] {
+			s.inDirty[f] = true
+			l := s.levels[f]
+			s.dirty[l] = append(s.dirty[l], f)
+		}
+	}
+}
+
+func (s *Simulator) propagate() {
+	var in [16]Value
+	for l := 1; l < len(s.dirty); l++ {
+		queue := s.dirty[l]
+		s.dirty[l] = s.dirty[l][:0]
+		for _, id := range queue {
+			s.inDirty[id] = false
+			g := &s.c.Gates[id]
+			args := in[:0]
+			for _, f := range g.Fanin {
+				args = append(args, s.values[f])
+			}
+			nv := eval3(g.Type, args)
+			if nv != s.values[id] {
+				s.values[id] = nv
+				s.schedule(id)
+			}
+		}
+	}
+}
+
+// Value returns the settled value of gate id.
+func (s *Simulator) Value(id int) Value { return s.values[id] }
+
+// Values returns the settled values of all gates; the slice is shared and
+// must not be modified.
+func (s *Simulator) Values() []Value { return s.values }
+
+// OutputValues returns the settled primary-output values in Outputs order.
+func (s *Simulator) OutputValues() []Value {
+	out := make([]Value, len(s.c.Outputs))
+	for i, o := range s.c.Outputs {
+		out[i] = s.values[o]
+	}
+	return out
+}
+
+// FaultFreeIDDQ returns the quiescent current drawn by the given gates in
+// the current settled state, using the state-dependent leakage model of
+// the cell library. Unknown (X) inputs are treated as logic high, the
+// pessimistic choice for the discriminability constraint.
+func (s *Simulator) FaultFreeIDDQ(a *celllib.Annotated, gates []int) float64 {
+	var sum float64
+	var buf [16]bool
+	for _, id := range gates {
+		cell := a.Cell[id]
+		if cell == nil {
+			continue
+		}
+		g := &s.c.Gates[id]
+		in := buf[:0]
+		for _, f := range g.Fanin {
+			in = append(in, s.values[f] != Zero)
+		}
+		sum += cell.LeakageForState(in)
+	}
+	return sum
+}

@@ -1,0 +1,319 @@
+package logicsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+)
+
+func TestValueString(t *testing.T) {
+	if X.String() != "X" || Zero.String() != "0" || One.String() != "1" {
+		t.Error("Value.String mismatch")
+	}
+}
+
+func TestEval3Definite(t *testing.T) {
+	// With definite inputs, eval3 must agree with GateType.Eval.
+	types := []circuit.GateType{circuit.Buf, circuit.Not, circuit.And, circuit.Nand,
+		circuit.Or, circuit.Nor, circuit.Xor, circuit.Xnor}
+	for _, typ := range types {
+		n := 2
+		if typ == circuit.Buf || typ == circuit.Not {
+			n = 1
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			bools := make([]bool, n)
+			vals := make([]Value, n)
+			for i := 0; i < n; i++ {
+				bools[i] = mask&(1<<i) != 0
+				vals[i] = FromBool(bools[i])
+			}
+			want := FromBool(typ.Eval(bools))
+			if got := eval3(typ, vals); got != want {
+				t.Errorf("eval3(%v, %v) = %v, want %v", typ, vals, got, want)
+			}
+		}
+	}
+}
+
+func TestEval3Unknowns(t *testing.T) {
+	cases := []struct {
+		typ  circuit.GateType
+		in   []Value
+		want Value
+	}{
+		{circuit.And, []Value{Zero, X}, Zero}, // controlling value dominates X
+		{circuit.And, []Value{One, X}, X},
+		{circuit.Nand, []Value{Zero, X}, One},
+		{circuit.Nand, []Value{One, X}, X},
+		{circuit.Or, []Value{One, X}, One},
+		{circuit.Or, []Value{Zero, X}, X},
+		{circuit.Nor, []Value{One, X}, Zero},
+		{circuit.Xor, []Value{One, X}, X}, // XOR never blocks X
+		{circuit.Xnor, []Value{Zero, X}, X},
+		{circuit.Not, []Value{X}, X},
+		{circuit.Buf, []Value{X}, X},
+	}
+	for _, tc := range cases {
+		if got := eval3(tc.typ, tc.in); got != tc.want {
+			t.Errorf("eval3(%v, %v) = %v, want %v", tc.typ, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSimulatorC17(t *testing.T) {
+	c := circuits.C17()
+	s := New(c)
+	// All inputs zero: outputs g5=0, g6=0 (hand computed).
+	if err := s.ApplyBits([]bool{false, false, false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	out := s.OutputValues()
+	if out[0] != Zero || out[1] != Zero {
+		t.Errorf("all-zero outputs = %v, want [0 0]", out)
+	}
+	// All ones: g5=1, g6=0.
+	if err := s.ApplyBits([]bool{true, true, true, true, true}); err != nil {
+		t.Fatal(err)
+	}
+	out = s.OutputValues()
+	if out[0] != One || out[1] != Zero {
+		t.Errorf("all-one outputs = %v, want [1 0]", out)
+	}
+}
+
+func TestSimulatorAllX(t *testing.T) {
+	c := circuits.C17()
+	s := New(c)
+	if err := s.Apply([]Value{X, X, X, X, X}); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range c.Outputs {
+		if s.Value(o) != X {
+			t.Errorf("output %s = %v with all-X inputs, want X", c.Gates[o].Name, s.Value(o))
+		}
+	}
+}
+
+func TestSimulatorPartialX(t *testing.T) {
+	// NAND(0, X) = 1: controlling values must propagate through X.
+	c := circuits.C17()
+	s := New(c)
+	// I1=0 makes g1 = NAND(0, X) = 1 regardless of I3.
+	if err := s.Apply([]Value{Zero, X, X, X, X}); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := c.GateByName("g1")
+	if s.Value(g1.ID) != One {
+		t.Errorf("g1 = %v, want 1 (NAND with a controlling 0)", s.Value(g1.ID))
+	}
+}
+
+func TestSimulatorVectorTooLong(t *testing.T) {
+	s := New(circuits.C17())
+	if err := s.Apply(make([]Value, 9)); err == nil {
+		t.Error("want error for oversized vector")
+	}
+}
+
+// TestSimulatorAgainstDirect cross-checks the event-driven simulator
+// against direct topological evaluation on random circuits and vectors.
+func TestSimulatorAgainstDirect(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := circuits.RandomLogic(circuits.Spec{
+			Name: "p", Inputs: 6, Outputs: 3,
+			Gates: 40 + rng.Intn(60), Depth: 6 + rng.Intn(6), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		s := New(c)
+		direct := make([]bool, c.NumGates())
+		for trial := 0; trial < 8; trial++ {
+			bits := make([]bool, len(c.Inputs))
+			for i := range bits {
+				bits[i] = rng.Intn(2) == 1
+			}
+			if err := s.ApplyBits(bits); err != nil {
+				return false
+			}
+			for i, id := range c.Inputs {
+				direct[id] = bits[i]
+			}
+			for _, id := range c.TopoOrder() {
+				g := &c.Gates[id]
+				if g.Type == circuit.Input {
+					continue
+				}
+				in := make([]bool, len(g.Fanin))
+				for i, f := range g.Fanin {
+					in[i] = direct[f]
+				}
+				direct[id] = g.Type.Eval(in)
+			}
+			for id := range c.Gates {
+				if s.Value(id) != FromBool(direct[id]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultFreeIDDQ(t *testing.T) {
+	c := circuits.C17()
+	a, err := celllib.Annotate(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	gates := c.LogicGates()
+
+	if err := s.ApplyBits([]bool{false, false, false, false, false}); err != nil {
+		t.Fatal(err)
+	}
+	low := s.FaultFreeIDDQ(a, gates)
+	if err := s.ApplyBits([]bool{true, true, true, true, true}); err != nil {
+		t.Fatal(err)
+	}
+	high := s.FaultFreeIDDQ(a, gates)
+	if low <= 0 || high <= 0 {
+		t.Fatalf("IDDQ must be positive: low=%g high=%g", low, high)
+	}
+	// The all-ones state biases more inputs high on the first level, so its
+	// leakage must be at least the all-zero state's.
+	if high < low {
+		t.Errorf("leak(all ones)=%g < leak(all zeros)=%g", high, low)
+	}
+	// Never above the worst case used by the constraint.
+	if max := a.TotalLeakageMax(gates); high > max+1e-20 {
+		t.Errorf("state leakage %g exceeds worst case %g", high, max)
+	}
+}
+
+func TestFaultFreeIDDQPessimisticX(t *testing.T) {
+	c := circuits.C17()
+	a, err := celllib.Annotate(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c)
+	gates := c.LogicGates()
+	if err := s.Apply([]Value{X, X, X, X, X}); err != nil {
+		t.Fatal(err)
+	}
+	allX := s.FaultFreeIDDQ(a, gates)
+	if max := a.TotalLeakageMax(gates); !approxEq(allX, max) {
+		t.Errorf("all-X leakage %g should equal worst case %g (X treated as 1)", allX, max)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-18+1e-9*b
+}
+
+func TestParallelMatchesScalar(t *testing.T) {
+	c := circuits.MustISCAS85Like("c432")
+	p := NewParallel(c)
+	s := New(c)
+	rng := rand.New(rand.NewSource(11))
+	batch := make([][]bool, 64)
+	for k := range batch {
+		batch[k] = make([]bool, len(c.Inputs))
+		for i := range batch[k] {
+			batch[k][i] = rng.Intn(2) == 1
+		}
+	}
+	if err := p.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 17, 63} {
+		if err := s.ApplyBits(batch[k]); err != nil {
+			t.Fatal(err)
+		}
+		for id := range c.Gates {
+			want := s.Value(id) == One
+			if got := p.PatternValue(id, k); got != want {
+				t.Fatalf("pattern %d gate %s: parallel=%v scalar=%v", k, c.Gates[id].Name, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelShortBatchReplicates(t *testing.T) {
+	c := circuits.C17()
+	p := NewParallel(c)
+	v := []bool{true, false, true, false, true}
+	if err := p.ApplyBatch([][]bool{v}); err != nil {
+		t.Fatal(err)
+	}
+	// All 64 slots must equal pattern 0.
+	for id := range c.Gates {
+		w := p.Word(id)
+		if w != 0 && w != ^uint64(0) {
+			t.Errorf("gate %s word = %x, want all-equal bits", c.Gates[id].Name, w)
+		}
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	c := circuits.C17()
+	p := NewParallel(c)
+	if err := p.ApplyBatch(nil); err == nil {
+		t.Error("want error for empty batch")
+	}
+	if err := p.ApplyBatch(make([][]bool, 65)); err == nil {
+		t.Error("want error for oversized batch")
+	}
+	if err := p.ApplyBatch([][]bool{{true}}); err == nil {
+		t.Error("want error for wrong vector width")
+	}
+}
+
+func BenchmarkSimulatorRandomVectors(b *testing.B) {
+	c := circuits.MustISCAS85Like("c880")
+	s := New(c)
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]bool, len(c.Inputs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range bits {
+			bits[j] = rng.Intn(2) == 1
+		}
+		if err := s.ApplyBits(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel64Patterns(b *testing.B) {
+	c := circuits.MustISCAS85Like("c880")
+	p := NewParallel(c)
+	rng := rand.New(rand.NewSource(1))
+	batch := make([][]bool, 64)
+	for k := range batch {
+		batch[k] = make([]bool, len(c.Inputs))
+		for i := range batch[k] {
+			batch[k][i] = rng.Intn(2) == 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

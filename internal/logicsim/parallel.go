@@ -1,0 +1,110 @@
+package logicsim
+
+import (
+	"fmt"
+
+	"iddqsyn/internal/circuit"
+)
+
+// Parallel is a two-valued parallel-pattern simulator: each net carries a
+// 64-bit word holding the net's value under 64 test vectors at once. The
+// fault simulator in package atpg uses it to evaluate bridging-fault
+// detection conditions for whole vector batches in one pass.
+type Parallel struct {
+	c     *circuit.Circuit
+	words []uint64
+	order []int
+}
+
+// NewParallel creates a parallel simulator for c.
+func NewParallel(c *circuit.Circuit) *Parallel {
+	return &Parallel{
+		c:     c,
+		words: make([]uint64, c.NumGates()),
+		order: c.TopoOrder(),
+	}
+}
+
+// ApplyBatch loads up to 64 vectors (vectors[k][i] is the value of input i
+// under pattern k) and simulates the whole batch. Unused pattern slots
+// replicate the last vector, so word-level reductions stay well defined.
+func (p *Parallel) ApplyBatch(vectors [][]bool) error {
+	if len(vectors) == 0 || len(vectors) > 64 {
+		return fmt.Errorf("logicsim: batch of %d vectors (want 1..64)", len(vectors))
+	}
+	for _, v := range vectors {
+		if len(v) != len(p.c.Inputs) {
+			return fmt.Errorf("logicsim: vector has %d bits for %d inputs", len(v), len(p.c.Inputs))
+		}
+	}
+	for i, id := range p.c.Inputs {
+		var w uint64
+		for k := 0; k < 64; k++ {
+			vi := k
+			if vi >= len(vectors) {
+				vi = len(vectors) - 1
+			}
+			if vectors[vi][i] {
+				w |= 1 << uint(k)
+			}
+		}
+		p.words[id] = w
+	}
+	p.simulate()
+	return nil
+}
+
+func (p *Parallel) simulate() {
+	for _, id := range p.order {
+		g := &p.c.Gates[id]
+		if g.Type == circuit.Input {
+			continue
+		}
+		p.words[id] = evalWord(g.Type, g.Fanin, p.words)
+	}
+}
+
+func evalWord(t circuit.GateType, fanin []int, words []uint64) uint64 {
+	switch t {
+	case circuit.Buf:
+		return words[fanin[0]]
+	case circuit.Not:
+		return ^words[fanin[0]]
+	case circuit.And, circuit.Nand:
+		v := ^uint64(0)
+		for _, f := range fanin {
+			v &= words[f]
+		}
+		if t == circuit.Nand {
+			return ^v
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		var v uint64
+		for _, f := range fanin {
+			v |= words[f]
+		}
+		if t == circuit.Nor {
+			return ^v
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		var v uint64
+		for _, f := range fanin {
+			v ^= words[f]
+		}
+		if t == circuit.Xnor {
+			return ^v
+		}
+		return v
+	}
+	panic("logicsim: evalWord on " + t.String())
+}
+
+// Word returns the 64-pattern value word of gate id after ApplyBatch.
+func (p *Parallel) Word(id int) uint64 { return p.words[id] }
+
+// PatternValue returns gate id's value under pattern k of the last batch.
+func (p *Parallel) PatternValue(id, k int) bool {
+	return p.words[id]&(1<<uint(k)) != 0
+}

@@ -1,0 +1,142 @@
+package logicsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"iddqsyn/internal/circuit"
+)
+
+// SwitchEvent records one gate output transition during a timing
+// simulation.
+type SwitchEvent struct {
+	Gate int
+	Time float64 // seconds after the input change
+}
+
+// TimingSim is an event-driven transport-delay timing simulator: applying
+// a new input vector propagates transitions through the netlist with each
+// gate's real delay, reproducing hazards and multiple switching — the
+// transient activity the §3.1 current estimator upper-bounds.
+type TimingSim struct {
+	c      *circuit.Circuit
+	delays []float64 // per-gate propagation delay, s
+	state  []bool
+}
+
+// NewTiming creates a timing simulator with per-gate delays (indexed by
+// gate ID; input gates ignore their entry).
+func NewTiming(c *circuit.Circuit, delays []float64) (*TimingSim, error) {
+	if len(delays) != c.NumGates() {
+		return nil, fmt.Errorf("logicsim: %d delays for %d gates", len(delays), c.NumGates())
+	}
+	for _, id := range c.LogicGates() {
+		if delays[id] <= 0 {
+			return nil, fmt.Errorf("logicsim: gate %d has non-positive delay", id)
+		}
+	}
+	return &TimingSim{c: c, delays: delays, state: make([]bool, c.NumGates())}, nil
+}
+
+// settle computes the steady state for a vector (zero-delay evaluation).
+func (ts *TimingSim) settle(vec []bool) {
+	for i, id := range ts.c.Inputs {
+		ts.state[id] = vec[i]
+	}
+	for _, id := range ts.c.TopoOrder() {
+		g := &ts.c.Gates[id]
+		if g.Type == circuit.Input {
+			continue
+		}
+		in := make([]bool, len(g.Fanin))
+		for i, f := range g.Fanin {
+			in[i] = ts.state[f]
+		}
+		ts.state[id] = g.Type.Eval(in)
+	}
+}
+
+type timedEvent struct {
+	time  float64
+	seq   int // tie-break for determinism
+	gate  int
+	value bool
+}
+
+type eventQueue []timedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(timedEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// Run settles the circuit at `from`, applies `to` at t = 0, and returns
+// every gate output transition in time order (transport-delay semantics:
+// every input change that flips a gate's instantaneous function schedules
+// an output event one gate delay later; hazard pulses are reported).
+func (ts *TimingSim) Run(from, to []bool) ([]SwitchEvent, error) {
+	c := ts.c
+	if len(from) != len(c.Inputs) || len(to) != len(c.Inputs) {
+		return nil, fmt.Errorf("logicsim: vector width %d/%d, want %d", len(from), len(to), len(c.Inputs))
+	}
+	ts.settle(from)
+
+	var q eventQueue
+	seq := 0
+	push := func(t float64, gate int, v bool) {
+		heap.Push(&q, timedEvent{time: t, seq: seq, gate: gate, value: v})
+		seq++
+	}
+	// Input changes at t = 0.
+	for i, id := range c.Inputs {
+		if ts.state[id] != to[i] {
+			push(0, id, to[i])
+		}
+	}
+
+	evalGate := func(id int) bool {
+		g := &c.Gates[id]
+		in := make([]bool, len(g.Fanin))
+		for i, f := range g.Fanin {
+			in[i] = ts.state[f]
+		}
+		return g.Type.Eval(in)
+	}
+
+	var events []SwitchEvent
+	guard := 64 * c.NumGates() * (len(c.Inputs) + 1) // oscillation guard (combinational DAGs cannot oscillate, but stay safe)
+	for q.Len() > 0 && len(events) < guard {
+		ev := heap.Pop(&q).(timedEvent)
+		if ts.state[ev.gate] == ev.value {
+			continue // superseded by an earlier glitch resolution
+		}
+		ts.state[ev.gate] = ev.value
+		if c.Gates[ev.gate].Type != circuit.Input {
+			events = append(events, SwitchEvent{Gate: ev.gate, Time: ev.time})
+		}
+		for _, f := range c.Gates[ev.gate].Fanout {
+			nv := evalGate(f)
+			// Schedule the recomputed value; if it equals the current
+			// output this cancels a pending opposite event on arrival.
+			push(ev.time+ts.delays[f], f, nv)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events, nil
+}
+
+// State returns the settled value of a gate after the last Run.
+func (ts *TimingSim) State(id int) bool { return ts.state[id] }

@@ -1,0 +1,205 @@
+package logicsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+)
+
+func unitDelays(c *circuit.Circuit, d float64) []float64 {
+	out := make([]float64, c.NumGates())
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+func TestNewTimingValidation(t *testing.T) {
+	c := circuits.C17()
+	if _, err := NewTiming(c, make([]float64, 3)); err == nil {
+		t.Error("want error for wrong delay count")
+	}
+	if _, err := NewTiming(c, make([]float64, c.NumGates())); err == nil {
+		t.Error("want error for zero gate delays")
+	}
+	if _, err := NewTiming(c, unitDelays(c, 1e-9)); err != nil {
+		t.Errorf("valid delays rejected: %v", err)
+	}
+}
+
+func TestTimingInverterChain(t *testing.T) {
+	b := circuit.NewBuilder("chain")
+	b.AddInput("a")
+	prev := "a"
+	for i := 0; i < 4; i++ {
+		n := "n" + string(rune('0'+i))
+		b.AddGate(n, circuit.Not, prev)
+		prev = n
+	}
+	b.MarkOutput(prev)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTiming(c, unitDelays(c, 2e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ts.Run([]bool{false}, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4 (one per stage)", len(events))
+	}
+	for i, ev := range events {
+		want := float64(i+1) * 2e-9
+		if diff := ev.Time - want; diff > 1e-15 || diff < -1e-15 {
+			t.Errorf("stage %d switched at %g, want %g", i, ev.Time, want)
+		}
+	}
+}
+
+func TestTimingStaticHazard(t *testing.T) {
+	// x = XOR(a, NOT a): flipping a produces the classic static-1 hazard
+	// — the output pulses even though its settled value is unchanged.
+	b := circuit.NewBuilder("hazard")
+	b.AddInput("a")
+	b.AddGate("n", circuit.Not, "a")
+	b.AddGate("x", circuit.Xor, "a", "n")
+	b.MarkOutput("x")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := NewTiming(c, unitDelays(c, 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ts.Run([]bool{false}, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := c.GateByName("x")
+	pulses := 0
+	for _, ev := range events {
+		if ev.Gate == x.ID {
+			pulses++
+		}
+	}
+	if pulses != 2 {
+		t.Errorf("x switched %d times, want 2 (hazard pulse)", pulses)
+	}
+	if !ts.State(x.ID) {
+		t.Error("x must settle back to 1")
+	}
+}
+
+func TestTimingNoChangeNoEvents(t *testing.T) {
+	c := circuits.C17()
+	ts, err := NewTiming(c, unitDelays(c, 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []bool{true, false, true, false, true}
+	events, err := ts.Run(v, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("same vector produced %d events", len(events))
+	}
+}
+
+func TestTimingBadWidth(t *testing.T) {
+	c := circuits.C17()
+	ts, err := NewTiming(c, unitDelays(c, 1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Run([]bool{true}, []bool{false}); err == nil {
+		t.Error("want error for wrong vector width")
+	}
+}
+
+// Property: after any Run the timing simulator's final state matches the
+// zero-delay settled state of the target vector, on random circuits with
+// random per-gate delays.
+func TestTimingFinalStateMatchesSettled(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := circuits.RandomLogic(circuits.Spec{
+			Name: "p", Inputs: 6, Outputs: 3,
+			Gates: 30 + rng.Intn(50), Depth: 5 + rng.Intn(5), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		delays := make([]float64, c.NumGates())
+		for i := range delays {
+			delays[i] = (0.5 + rng.Float64()) * 1e-9
+		}
+		ts, err := NewTiming(c, delays)
+		if err != nil {
+			return false
+		}
+		ref := New(c)
+		for trial := 0; trial < 4; trial++ {
+			from := randomVec(rng, len(c.Inputs))
+			to := randomVec(rng, len(c.Inputs))
+			if _, err := ts.Run(from, to); err != nil {
+				return false
+			}
+			if err := ref.ApplyBits(to); err != nil {
+				return false
+			}
+			for id := range c.Gates {
+				if FromBool(ts.State(id)) != ref.Value(id) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomVec(rng *rand.Rand, n int) []bool {
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = rng.Intn(2) == 1
+	}
+	return v
+}
+
+// Property: every event time is positive and events arrive time-sorted.
+func TestTimingEventOrdering(t *testing.T) {
+	c := circuits.MustISCAS85Like("c432")
+	a := unitDelays(c, 1.5e-9)
+	ts, err := NewTiming(c, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		events, err := ts.Run(randomVec(rng, len(c.Inputs)), randomVec(rng, len(c.Inputs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := 0.0
+		for _, ev := range events {
+			if ev.Time < last {
+				t.Fatal("events out of order")
+			}
+			if ev.Time <= 0 {
+				t.Fatal("non-positive event time")
+			}
+			last = ev.Time
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package partition implements the PART-IDDQ problem of §2: a partition
+// Π = {M₁, ..., M_K} of the circuit's logic gates into disjoint modules,
+// the feasibility constraint Γ(Π) (per-module discriminability d(Mᵢ) ≥ d;
+// the virtual-rail perturbation limit r* holds by construction because
+// every sensor is sized Rs = r*/îDD,max), and the weighted global cost
+//
+//	C(Π) = α₁·c₁ + α₂·c₂ + α₃·c₃ + α₄·c₄ + α₅·c₅
+//
+// with c₁ = log(sensor area), c₂ = delay overhead, c₃ = log(separation),
+// c₄ = test-time overhead and c₅ = module count K.
+//
+// The representation is mutable and incremental: moving gates between
+// modules invalidates only the touched modules' estimates, so the
+// evolution algorithm of §4 can evaluate descendants cheaply ("costs are
+// recomputed just for the modified modules").
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/estimate"
+)
+
+// Weights are the αᵢ of the global cost function.
+type Weights struct {
+	Area       float64 // α₁: log sensor area
+	Delay      float64 // α₂: delay overhead fraction
+	Separation float64 // α₃: log interconnection cost
+	TestTime   float64 // α₄: test-time overhead fraction
+	Modules    float64 // α₅: module count (test clock/output routing)
+}
+
+// PaperWeights returns the weight factors of §5:
+// C(Π) = 9·c₁ + 10⁵·c₂ + c₃ + c₄ + 10·c₅.
+func PaperWeights() Weights {
+	return Weights{Area: 9, Delay: 1e5, Separation: 1, TestTime: 1, Modules: 10}
+}
+
+// Constraints holds the feasibility requirements Γ(Π) of §2.
+type Constraints struct {
+	// MinDiscriminability is d: every module must satisfy
+	// IDDQ,th / IDDQ,nd,i ≥ d. The paper calls d > 1 mandatory and
+	// 10 typical.
+	MinDiscriminability float64
+}
+
+// DefaultConstraints returns d = 10, the paper's typical value.
+func DefaultConstraints() Constraints {
+	return Constraints{MinDiscriminability: 10}
+}
+
+// CostVector is the evaluated cost terms of one partition.
+type CostVector struct {
+	LogArea       float64 // c₁
+	DelayOverhead float64 // c₂
+	LogSeparation float64 // c₃
+	TestTime      float64 // c₄
+	Modules       float64 // c₅ (= K)
+
+	SensorArea float64 // Σ sensor areas (linear, for Table 1)
+	DBIc       float64 // absolute delay with sensors, s
+	DNominal   float64 // absolute delay without sensors, s
+	Separation int     // Σ S(Mₖ) (linear)
+}
+
+// Weighted returns C(Π) = Σ αᵢ·cᵢ.
+func (cv CostVector) Weighted(w Weights) float64 {
+	return w.Area*cv.LogArea +
+		w.Delay*cv.DelayOverhead +
+		w.Separation*cv.LogSeparation +
+		w.TestTime*cv.TestTime +
+		w.Modules*cv.Modules
+}
+
+type moduleState struct {
+	gates map[int]struct{}
+	// caches, valid while !dirty
+	sorted []int
+	est    *estimate.Module
+	dirty  bool
+}
+
+func (m *moduleState) gateSlice() []int {
+	if m.sorted == nil {
+		m.sorted = make([]int, 0, len(m.gates))
+		for g := range m.gates {
+			m.sorted = append(m.sorted, g)
+		}
+		sort.Ints(m.sorted)
+	}
+	return m.sorted
+}
+
+func (m *moduleState) invalidate() {
+	m.sorted = nil
+	m.est = nil
+	m.dirty = true
+}
+
+// Partition is a mutable partition of the circuit's logic gates with
+// incremental cost evaluation.
+type Partition struct {
+	E    *estimate.Estimator
+	W    Weights
+	Cons Constraints
+
+	modules  []*moduleState
+	moduleOf []int // gate ID -> module index; -1 for inputs
+
+	costValid bool
+	cost      CostVector
+}
+
+// New builds a Partition from explicit gate groups. The groups must be
+// non-empty, disjoint, contain only logic gates, and cover the circuit.
+func New(e *estimate.Estimator, groups [][]int, w Weights, cons Constraints) (*Partition, error) {
+	c := e.A.Circuit
+	p := &Partition{
+		E: e, W: w, Cons: cons,
+		moduleOf: make([]int, c.NumGates()),
+	}
+	for i := range p.moduleOf {
+		p.moduleOf[i] = -1
+	}
+	covered := 0
+	for mi, gates := range groups {
+		if len(gates) == 0 {
+			return nil, fmt.Errorf("partition: module %d is empty", mi)
+		}
+		ms := &moduleState{gates: make(map[int]struct{}, len(gates)), dirty: true}
+		for _, g := range gates {
+			if g < 0 || g >= c.NumGates() {
+				return nil, fmt.Errorf("partition: gate %d out of range", g)
+			}
+			if c.Gates[g].Type == circuit.Input {
+				return nil, fmt.Errorf("partition: module %d contains primary input %q", mi, c.Gates[g].Name)
+			}
+			if p.moduleOf[g] != -1 {
+				return nil, fmt.Errorf("partition: gate %q assigned twice", c.Gates[g].Name)
+			}
+			ms.gates[g] = struct{}{}
+			p.moduleOf[g] = mi
+			covered++
+		}
+		p.modules = append(p.modules, ms)
+	}
+	if covered != c.NumLogicGates() {
+		return nil, fmt.Errorf("partition: covers %d of %d logic gates", covered, c.NumLogicGates())
+	}
+	return p, nil
+}
+
+// NumModules returns K.
+func (p *Partition) NumModules() int { return len(p.modules) }
+
+// ModuleGates returns the sorted gate IDs of module mi.
+func (p *Partition) ModuleGates(mi int) []int {
+	return append([]int(nil), p.modules[mi].gateSlice()...)
+}
+
+// ModuleOf returns the module index of a gate (-1 for primary inputs).
+func (p *Partition) ModuleOf(gate int) int { return p.moduleOf[gate] }
+
+// Groups returns the whole partition as gate-ID groups.
+func (p *Partition) Groups() [][]int {
+	out := make([][]int, len(p.modules))
+	for i := range p.modules {
+		out[i] = p.ModuleGates(i)
+	}
+	return out
+}
+
+// ModuleEstimate returns the (cached) estimator output for module mi.
+func (p *Partition) ModuleEstimate(mi int) *estimate.Module {
+	ms := p.modules[mi]
+	if ms.est == nil {
+		ms.est = p.E.EvalModule(ms.gateSlice())
+		ms.dirty = false
+	}
+	return ms.est
+}
+
+// Clone returns a deep copy sharing the immutable estimator. Cached
+// module estimates are shared copy-on-write style: a clone's move only
+// invalidates its own module states.
+func (p *Partition) Clone() *Partition {
+	q := &Partition{
+		E: p.E, W: p.W, Cons: p.Cons,
+		modules:   make([]*moduleState, len(p.modules)),
+		moduleOf:  append([]int(nil), p.moduleOf...),
+		costValid: p.costValid,
+		cost:      p.cost,
+	}
+	for i, ms := range p.modules {
+		nm := &moduleState{
+			gates: make(map[int]struct{}, len(ms.gates)),
+			est:   ms.est, // immutable once computed
+			dirty: ms.dirty,
+		}
+		for g := range ms.gates {
+			nm.gates[g] = struct{}{}
+		}
+		if ms.sorted != nil {
+			nm.sorted = append([]int(nil), ms.sorted...)
+		}
+		q.modules[i] = nm
+	}
+	return q
+}
+
+// MoveGates moves the given gates from module `from` to module `to`,
+// invalidating both modules' caches. If `from` empties, it is deleted and
+// module indices above it shift down (the §4.2 mutation semantics: "if
+// all gates of M are moved, this module is deleted"). It returns the
+// possibly-adjusted index of the target module.
+func (p *Partition) MoveGates(gates []int, from, to int) (int, error) {
+	if from == to {
+		return to, fmt.Errorf("partition: move within module %d", from)
+	}
+	if from < 0 || from >= len(p.modules) || to < 0 || to >= len(p.modules) {
+		return to, fmt.Errorf("partition: module index out of range (%d -> %d)", from, to)
+	}
+	src, dst := p.modules[from], p.modules[to]
+	for _, g := range gates {
+		if _, ok := src.gates[g]; !ok {
+			return to, fmt.Errorf("partition: gate %d not in module %d", g, from)
+		}
+	}
+	for _, g := range gates {
+		delete(src.gates, g)
+		dst.gates[g] = struct{}{}
+		p.moduleOf[g] = to
+	}
+	src.invalidate()
+	dst.invalidate()
+	p.costValid = false
+	if len(src.gates) == 0 {
+		p.deleteModule(from)
+		if to > from {
+			to--
+		}
+	}
+	return to, nil
+}
+
+func (p *Partition) deleteModule(mi int) {
+	p.modules = append(p.modules[:mi], p.modules[mi+1:]...)
+	for g, m := range p.moduleOf {
+		if m > mi {
+			p.moduleOf[g] = m - 1
+		}
+	}
+}
+
+// BoundaryGates returns the gates of module mi directly connected (in the
+// undirected logic graph) to a gate outside mi — the mutation candidates
+// of §4.2.
+func (p *Partition) BoundaryGates(mi int) []int {
+	c := p.E.A.Circuit
+	var out []int
+	for _, g := range p.modules[mi].gateSlice() {
+		for _, nb := range c.Neighbors(g) {
+			if p.moduleOf[nb] != mi {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ConnectedModules returns the distinct modules (≠ the gate's own) that a
+// gate is directly connected to — the legal mutation targets of §4.2.
+func (p *Partition) ConnectedModules(gate int) []int {
+	c := p.E.A.Circuit
+	own := p.moduleOf[gate]
+	seen := map[int]bool{}
+	var out []int
+	for _, nb := range c.Neighbors(gate) {
+		m := p.moduleOf[nb]
+		if m >= 0 && m != own && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Feasible evaluates Γ(Π): every module's discriminability must reach
+// the constraint's minimum.
+func (p *Partition) Feasible() bool {
+	return p.WorstDiscriminability() >= p.Cons.MinDiscriminability
+}
+
+// WorstDiscriminability returns min_i d(Mᵢ).
+func (p *Partition) WorstDiscriminability() float64 {
+	worst := math.Inf(1)
+	for mi := range p.modules {
+		if d := p.ModuleEstimate(mi).Discriminability(p.E.P.IDDQth); d < worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Costs evaluates the full cost vector, recomputing only invalidated
+// modules. The logarithmic terms use log(1+x) so that degenerate
+// partitions (all singleton modules have S = 0) stay finite; the paper's
+// log(x) is undefined there and identical in shape everywhere else that
+// matters.
+func (p *Partition) Costs() CostVector {
+	if p.costValid {
+		return p.cost
+	}
+	mods := make([]*estimate.Module, len(p.modules))
+	var areaSum float64
+	sepSum := 0
+	for mi := range p.modules {
+		m := p.ModuleEstimate(mi)
+		mods[mi] = m
+		areaSum += m.SensorArea
+		sepSum += m.Separation
+	}
+	dBIC := p.E.BICDelay(p.moduleOf, mods)
+	cv := CostVector{
+		LogArea:       math.Log1p(areaSum),
+		DelayOverhead: p.E.DelayOverhead(dBIC),
+		LogSeparation: math.Log1p(float64(sepSum)),
+		TestTime:      p.E.TestTimeOverhead(dBIC, mods),
+		Modules:       float64(len(p.modules)),
+		SensorArea:    areaSum,
+		DBIc:          dBIC,
+		DNominal:      p.E.NominalDelay(),
+		Separation:    sepSum,
+	}
+	p.cost = cv
+	p.costValid = true
+	return cv
+}
+
+// Cost returns the weighted global cost C(Π).
+func (p *Partition) Cost() float64 {
+	return p.Costs().Weighted(p.W)
+}
+
+// Verify checks the structural invariants (disjoint cover of all logic
+// gates, consistent moduleOf, no empty modules) and returns the first
+// violation. Used by tests and as a debugging aid.
+func (p *Partition) Verify() error {
+	c := p.E.A.Circuit
+	seen := make(map[int]int)
+	for mi, ms := range p.modules {
+		if len(ms.gates) == 0 {
+			return fmt.Errorf("module %d empty", mi)
+		}
+		for g := range ms.gates {
+			if prev, dup := seen[g]; dup {
+				return fmt.Errorf("gate %d in modules %d and %d", g, prev, mi)
+			}
+			seen[g] = mi
+			if p.moduleOf[g] != mi {
+				return fmt.Errorf("gate %d: moduleOf says %d, found in %d", g, p.moduleOf[g], mi)
+			}
+			if c.Gates[g].Type == circuit.Input {
+				return fmt.Errorf("primary input %d in module %d", g, mi)
+			}
+		}
+	}
+	if len(seen) != c.NumLogicGates() {
+		return fmt.Errorf("covers %d of %d gates", len(seen), c.NumLogicGates())
+	}
+	return nil
+}
+
+// String summarises the partition.
+func (p *Partition) String() string {
+	cv := p.Costs()
+	return fmt.Sprintf("partition: K=%d area=%.4g delay+%.3g%% test+%.3g%% sep=%d C=%.6g feasible=%v",
+		len(p.modules), cv.SensorArea, 100*cv.DelayOverhead, 100*cv.TestTime,
+		cv.Separation, p.Cost(), p.Feasible())
+}

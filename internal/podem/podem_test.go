@@ -1,0 +1,197 @@
+package podem
+
+import (
+	"math/rand"
+	"testing"
+
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/logicsim"
+)
+
+func mustBuild(t *testing.T, f func(b *circuit.Builder)) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("t")
+	f(b)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// verify simulates the returned vector and checks every objective.
+func verify(t *testing.T, c *circuit.Circuit, vec []bool, objs []Objective) {
+	t.Helper()
+	sim := logicsim.New(c)
+	if err := sim.ApplyBits(vec); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if got := sim.Value(o.Gate); got != logicsim.FromBool(o.Value) {
+			t.Fatalf("objective gate %d: got %v, want %v", o.Gate, got, o.Value)
+		}
+	}
+}
+
+func gid(t *testing.T, c *circuit.Circuit, name string) int {
+	t.Helper()
+	g, ok := c.GateByName(name)
+	if !ok {
+		t.Fatalf("gate %s missing", name)
+	}
+	return g.ID
+}
+
+func TestJustifyAndOutputHigh(t *testing.T) {
+	// AND(a,b,c) = 1 forces all inputs high — needs real backtracing.
+	c := mustBuild(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b").AddInput("c")
+		b.AddGate("y", circuit.And, "a", "b", "c")
+		b.MarkOutput("y")
+	})
+	objs := []Objective{{gid(t, c, "y"), true}}
+	vec, st, err := Justify(c, objs, 100)
+	if err != nil || st != Found {
+		t.Fatalf("status %v, err %v", st, err)
+	}
+	verify(t, c, vec, objs)
+	for i, v := range vec {
+		if !v {
+			t.Errorf("input %d must be 1 for AND=1", i)
+		}
+	}
+}
+
+func TestJustifyProvenUnsat(t *testing.T) {
+	// AND(a, NOT a) = 1 is unsatisfiable through reconvergence.
+	c := mustBuild(t, func(b *circuit.Builder) {
+		b.AddInput("a")
+		b.AddGate("n", circuit.Not, "a")
+		b.AddGate("y", circuit.And, "a", "n")
+		b.MarkOutput("y")
+	})
+	_, st, err := Justify(c, []Objective{{gid(t, c, "y"), true}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Fatalf("status %v, want unsat", st)
+	}
+	// The complementary objective is trivially satisfiable.
+	vec, st, err := Justify(c, []Objective{{gid(t, c, "y"), false}}, 100)
+	if err != nil || st != Found {
+		t.Fatalf("status %v, err %v", st, err)
+	}
+	verify(t, c, vec, []Objective{{gid(t, c, "y"), false}})
+}
+
+func TestJustifyMultipleObjectives(t *testing.T) {
+	// Opposite values on two nets — the bridge-excitation pattern.
+	c := circuits.C17()
+	g1, g2 := gid(t, c, "g1"), gid(t, c, "g2")
+	objs := []Objective{{g1, true}, {g2, false}}
+	vec, st, err := Justify(c, objs, 1000)
+	if err != nil || st != Found {
+		t.Fatalf("status %v, err %v", st, err)
+	}
+	verify(t, c, vec, objs)
+}
+
+func TestJustifyConflictingObjectives(t *testing.T) {
+	// The same net high and low at once.
+	c := circuits.C17()
+	g1 := gid(t, c, "g1")
+	_, st, err := Justify(c, []Objective{{g1, true}, {g1, false}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unsat {
+		t.Fatalf("status %v, want unsat", st)
+	}
+}
+
+func TestJustifyValidation(t *testing.T) {
+	c := circuits.C17()
+	if _, _, err := Justify(c, nil, 10); err == nil {
+		t.Error("want error for no objectives")
+	}
+	if _, _, err := Justify(c, []Objective{{Gate: 999}}, 10); err == nil {
+		t.Error("want error for out-of-range gate")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Found.String() != "found" || Unsat.String() != "unsat" || Aborted.String() != "aborted" {
+		t.Error("Status.String mismatch")
+	}
+	if Status(9).String() != "Status(9)" {
+		t.Error("out-of-range Status.String")
+	}
+}
+
+// Property: on random circuits, every Found result verifies by
+// simulation, and Unsat results are confirmed by exhaustive enumeration
+// on small input counts.
+func TestJustifyAgainstExhaustive(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := circuits.RandomLogic(circuits.Spec{
+			Name: "p", Inputs: 6, Outputs: 3,
+			Gates: 20 + rng.Intn(25), Depth: 4 + rng.Intn(4), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logic := c.LogicGates()
+		for trial := 0; trial < 6; trial++ {
+			a := logic[rng.Intn(len(logic))]
+			b := logic[rng.Intn(len(logic))]
+			objs := []Objective{{a, rng.Intn(2) == 1}, {b, rng.Intn(2) == 1}}
+			vec, st, err := Justify(c, objs, 5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			satisfiable := exhaustiveSat(t, c, objs)
+			switch st {
+			case Found:
+				if !satisfiable {
+					t.Fatalf("seed %d: Found but exhaustive says unsat", seed)
+				}
+				verify(t, c, vec, objs)
+			case Unsat:
+				if satisfiable {
+					t.Fatalf("seed %d: Unsat but a satisfying vector exists", seed)
+				}
+			case Aborted:
+				t.Logf("seed %d trial %d: aborted (budget)", seed, trial)
+			}
+		}
+	}
+}
+
+func exhaustiveSat(t *testing.T, c *circuit.Circuit, objs []Objective) bool {
+	t.Helper()
+	sim := logicsim.New(c)
+	n := len(c.Inputs)
+	vec := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := range vec {
+			vec[i] = mask&(1<<i) != 0
+		}
+		if err := sim.ApplyBits(vec); err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for _, o := range objs {
+			if sim.Value(o.Gate) != logicsim.FromBool(o.Value) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+// Package report serialises the experiment results to CSV and Markdown,
+// so Table 1 regenerations and the study outputs can be archived, diffed
+// between runs, and dropped into documents. All emitters are deterministic
+// for identical inputs.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"iddqsyn/internal/experiments"
+)
+
+// Table1CSV writes Table 1 rows as CSV with a header line.
+func Table1CSV(w io.Writer, rows []experiments.Table1Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"circuit", "gates", "modules",
+		"area_standard", "area_evolution", "area_overhead_pct",
+		"delay_standard_pct", "delay_evolution_pct",
+		"test_standard_pct", "test_evolution_pct",
+		"cost_standard", "cost_evolution",
+		"generations", "evaluations",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Circuit,
+			strconv.Itoa(r.Gates),
+			strconv.Itoa(r.Modules),
+			fmtF(r.AreaStandard), fmtF(r.AreaEvolution), fmtF(r.AreaOverhead),
+			fmtF(r.DelayStandard), fmtF(r.DelayEvolution),
+			fmtF(r.TestStandard), fmtF(r.TestEvolution),
+			fmtF(r.CostStandard), fmtF(r.CostEvolution),
+			strconv.Itoa(r.Generations), strconv.Itoa(r.Evaluations),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// Table1Markdown renders Table 1 rows as a GitHub-flavoured Markdown
+// table mirroring the paper's layout.
+func Table1Markdown(w io.Writer, rows []experiments.Table1Row) error {
+	var sb strings.Builder
+	sb.WriteString("| circuit | gates | modules | area (std) | area (evo) | overhead | delay std/evo | test std/evo |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s | %d | %d | %.3e | %.3e | %.1f%% | %.2f%% / %.2f%% | %.2f%% / %.2f%% |\n",
+			r.Circuit, r.Gates, r.Modules,
+			r.AreaStandard, r.AreaEvolution, r.AreaOverhead,
+			r.DelayStandard, r.DelayEvolution,
+			r.TestStandard, r.TestEvolution)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// OptimizersCSV writes the optimizer-comparison rows as CSV.
+func OptimizersCSV(w io.Writer, rows []experiments.OptimizerRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "final_cost", "evaluations", "modules", "feasible"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Algorithm, fmtF(r.FinalCost), strconv.Itoa(r.Evaluations),
+			strconv.Itoa(r.Modules), strconv.FormatBool(r.Feasible),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// YieldCSV writes a threshold sweep as CSV.
+func YieldCSV(w io.Writer, points []experiments.YieldPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"threshold_A", "escape", "overkill"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{fmtF(p.Threshold), fmtF(p.Escape), fmtF(p.Overkill)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

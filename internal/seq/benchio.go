@@ -1,0 +1,133 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/circuit"
+)
+
+// ReadBench parses an ISCAS89-style .bench netlist — the combinational
+// format of package bench extended with flip-flop lines:
+//
+//	G7 = DFF(G14)
+//
+// The DFF's output net (G7) becomes a pseudo-primary input of the
+// combinational core; its data net (G14) a pseudo-primary output.
+func ReadBench(r io.Reader, defaultName string) (*Sequential, error) {
+	// First pass: split DFF lines from the combinational text.
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var comb strings.Builder
+	type dff struct{ q, d string }
+	var dffs []dff
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		upper := strings.ToUpper(trimmed)
+		if eq := strings.Index(upper, "="); eq >= 0 && strings.Contains(upper[eq:], "DFF") {
+			q := strings.TrimSpace(trimmed[:eq])
+			rest := trimmed[eq+1:]
+			open := strings.IndexByte(rest, '(')
+			closeP := strings.LastIndexByte(rest, ')')
+			if open < 0 || closeP < open {
+				return nil, fmt.Errorf("seq: line %d: malformed DFF line %q", lineno, trimmed)
+			}
+			d := strings.TrimSpace(rest[open+1 : closeP])
+			if q == "" || d == "" || strings.Contains(d, ",") {
+				return nil, fmt.Errorf("seq: line %d: DFF takes exactly one data net", lineno)
+			}
+			dffs = append(dffs, dff{q: q, d: d})
+			continue
+		}
+		comb.WriteString(line)
+		comb.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: %w", err)
+	}
+	// The FF outputs become INPUT lines; the FF data nets OUTPUT lines
+	// (unless the net is already observed).
+	var extra strings.Builder
+	for _, f := range dffs {
+		fmt.Fprintf(&extra, "INPUT(%s)\n", f.q)
+	}
+	combText := comb.String()
+	for _, f := range dffs {
+		if !alreadyOutput(combText, f.d) {
+			fmt.Fprintf(&extra, "OUTPUT(%s)\n", f.d)
+		}
+	}
+	core, err := bench.Read(strings.NewReader(extra.String()+combText), defaultName)
+	if err != nil {
+		return nil, fmt.Errorf("seq: %w", err)
+	}
+	ffs := make([]FF, 0, len(dffs))
+	for _, f := range dffs {
+		qg, ok := core.GateByName(f.q)
+		if !ok {
+			return nil, fmt.Errorf("seq: DFF output %q vanished", f.q)
+		}
+		dg, ok := core.GateByName(f.d)
+		if !ok {
+			return nil, fmt.Errorf("seq: DFF data net %q undefined", f.d)
+		}
+		ffs = append(ffs, FF{Name: f.q, PPI: qg.ID, PPO: dg.ID})
+	}
+	return New(core.Name, core, ffs)
+}
+
+// alreadyOutput reports whether the combinational text already has an
+// OUTPUT(net) line for the given net.
+func alreadyOutput(text, net string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		u := strings.ToUpper(line)
+		if strings.HasPrefix(u, "OUTPUT") {
+			open := strings.IndexByte(line, '(')
+			closeP := strings.LastIndexByte(line, ')')
+			if open >= 0 && closeP > open && strings.TrimSpace(line[open+1:closeP]) == net {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WriteBench emits the sequential design in ISCAS89-style .bench format:
+// true primary I/O declarations, DFF lines, then the combinational gates.
+func WriteBench(w io.Writer, s *Sequential) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", s.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d flip-flops, %d gates\n",
+		len(s.PrimaryInputs()), len(s.PrimaryOutputs()), len(s.FFs), s.Comb.NumLogicGates())
+	c := s.Comb
+	for _, id := range s.PrimaryInputs() {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range s.PrimaryOutputs() {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	ffs := append([]FF(nil), s.FFs...)
+	sortFFsByName(ffs)
+	for _, ff := range ffs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", c.Gates[ff.PPI].Name, c.Gates[ff.PPO].Name)
+	}
+	for _, id := range c.TopoOrder() {
+		g := &c.Gates[id]
+		if g.Type == circuit.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,102 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"iddqsyn/internal/circuits"
+)
+
+// Spec describes a synthetic full-scan sequential circuit.
+type Spec struct {
+	Name    string
+	Inputs  int // true primary inputs
+	Outputs int // true primary outputs (lower bound)
+	FFs     int // scan flip-flops
+	Gates   int // combinational gates
+	Depth   int // combinational depth
+	Seed    int64
+}
+
+// Generate builds a deterministic synthetic sequential circuit: a
+// reconvergent combinational core (package circuits) whose last FFs
+// inputs are pseudo-primary inputs and whose deepest FFs outputs feed the
+// flip-flops.
+func Generate(spec Spec) (*Sequential, error) {
+	if spec.FFs < 1 {
+		return nil, fmt.Errorf("seq: need at least one flip-flop")
+	}
+	core, err := circuits.RandomLogic(circuits.Spec{
+		Name:    spec.Name,
+		Inputs:  spec.Inputs + spec.FFs,
+		Outputs: spec.Outputs + spec.FFs,
+		Gates:   spec.Gates,
+		Depth:   spec.Depth,
+		Seed:    spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(core.Outputs) < spec.Outputs+spec.FFs {
+		return nil, fmt.Errorf("seq: core has %d outputs, need %d", len(core.Outputs), spec.Outputs+spec.FFs)
+	}
+	// The last FFs inputs become PPIs; the deepest FFs outputs become
+	// PPOs (state tends to live deep in the cone).
+	ppis := core.Inputs[spec.Inputs:]
+	levels := core.Levels()
+	outs := append([]int(nil), core.Outputs...)
+	sort.Slice(outs, func(i, j int) bool {
+		if levels[outs[i]] != levels[outs[j]] {
+			return levels[outs[i]] > levels[outs[j]]
+		}
+		return outs[i] < outs[j]
+	})
+	ffs := make([]FF, spec.FFs)
+	for i := 0; i < spec.FFs; i++ {
+		ffs[i] = FF{
+			Name: fmt.Sprintf("ff%d", i),
+			PPI:  ppis[i],
+			PPO:  outs[i],
+		}
+	}
+	return New(spec.Name, core, ffs)
+}
+
+// iscas89Profiles lists published structural statistics of ISCAS89
+// benchmark circuits [Brglez, Bryan, Kozminski 1989] used as synthetic
+// stand-ins, like the ISCAS85 profiles in package circuits.
+var iscas89Profiles = map[string]Spec{
+	"s27":   {Name: "s27", Inputs: 4, Outputs: 1, FFs: 3, Gates: 10, Depth: 4},
+	"s298":  {Name: "s298", Inputs: 3, Outputs: 6, FFs: 14, Gates: 119, Depth: 9},
+	"s344":  {Name: "s344", Inputs: 9, Outputs: 11, FFs: 15, Gates: 160, Depth: 14},
+	"s641":  {Name: "s641", Inputs: 35, Outputs: 24, FFs: 19, Gates: 379, Depth: 23},
+	"s1196": {Name: "s1196", Inputs: 14, Outputs: 14, FFs: 18, Gates: 529, Depth: 24},
+	"s5378": {Name: "s5378", Inputs: 35, Outputs: 49, FFs: 164, Gates: 2779, Depth: 25},
+}
+
+// ISCAS89Like returns a synthetic stand-in for a named ISCAS89 benchmark,
+// matching its published primary-I/O, flip-flop, gate and depth counts.
+func ISCAS89Like(name string) (*Sequential, error) {
+	spec, ok := iscas89Profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("seq: unknown ISCAS89 profile %q (have %v)", name, Names89())
+	}
+	var seed int64
+	for _, r := range name {
+		seed = seed*137 + int64(r)
+	}
+	spec.Seed = seed
+	return Generate(spec)
+}
+
+// Names89 lists the known ISCAS89 profiles in ascending gate count.
+func Names89() []string {
+	out := make([]string, 0, len(iscas89Profiles))
+	for n := range iscas89Profiles {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return iscas89Profiles[out[i]].Gates < iscas89Profiles[out[j]].Gates
+	})
+	return out
+}

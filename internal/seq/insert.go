@@ -1,0 +1,171 @@
+package seq
+
+import (
+	"fmt"
+
+	"iddqsyn/internal/circuit"
+)
+
+// InsertScan materialises the scan chain into the netlist: each flip-flop
+// D input is driven through a scan multiplexer
+//
+//	D' = (D AND NOT SE) OR (SI AND SE)
+//
+// built from primitive gates (no MUX cell in the library), where SE is a
+// new scan-enable primary input and SI is the previous element of the
+// chain (the new scan-in primary input for the first element). The last
+// element's Q is already observable through the core, and a dedicated
+// scan-out buffer is added so the chain has an explicit output pin.
+//
+// chainOrder gives the scan order as indices into s.FFs (use
+// OrderScanChain's result); nil uses declaration order. The returned
+// design has the same flip-flops, a combinational core grown by four
+// gates per flip-flop, and functional behaviour identical to the input
+// when SE = 0 (the tests verify this by simulation).
+func InsertScan(s *Sequential, chainOrder []int) (*Sequential, error) {
+	n := s.NumFFs()
+	if n == 0 {
+		return nil, fmt.Errorf("seq: no flip-flops to chain")
+	}
+	if chainOrder == nil {
+		chainOrder = make([]int, n)
+		for i := range chainOrder {
+			chainOrder[i] = i
+		}
+	}
+	if len(chainOrder) != n {
+		return nil, fmt.Errorf("seq: chain order covers %d of %d FFs", len(chainOrder), n)
+	}
+	seen := make([]bool, n)
+	for _, i := range chainOrder {
+		if i < 0 || i >= n || seen[i] {
+			return nil, fmt.Errorf("seq: invalid chain order")
+		}
+		seen[i] = true
+	}
+
+	c := s.Comb
+	used := make(map[string]bool, c.NumGates())
+	for i := range c.Gates {
+		used[c.Gates[i].Name] = true
+	}
+	unique := func(base string) string {
+		if !used[base] {
+			used[base] = true
+			return base
+		}
+		for k := 1; ; k++ {
+			name := fmt.Sprintf("%s_%d", base, k)
+			if !used[name] {
+				used[name] = true
+				return name
+			}
+		}
+	}
+	seName := unique("scan_en")
+	siName := unique("scan_in")
+	soName := unique("scan_out")
+	seInv := unique("scan_en_n")
+
+	b := circuit.NewBuilder(s.Name + "_scan")
+	// Original inputs.
+	for _, id := range c.Inputs {
+		b.AddInput(c.Gates[id].Name)
+	}
+	b.AddInput(seName)
+	b.AddInput(siName)
+	// Original gates.
+	for _, id := range c.TopoOrder() {
+		g := &c.Gates[id]
+		if g.Type == circuit.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		b.AddGate(g.Name, g.Type, names...)
+	}
+	b.AddGate(seInv, circuit.Not, seName)
+
+	// Scan multiplexers along the chain. The new FF data nets replace the
+	// PPOs.
+	newPPO := make(map[int]string, n) // FF index -> mux output name
+	prevQ := siName
+	for _, fi := range chainOrder {
+		ff := s.FFs[fi]
+		d := c.Gates[ff.PPO].Name
+		q := c.Gates[ff.PPI].Name
+		fn := unique(fmt.Sprintf("%s_func", ff.Name))
+		sh := unique(fmt.Sprintf("%s_shift", ff.Name))
+		mx := unique(fmt.Sprintf("%s_scanmux", ff.Name))
+		b.AddGate(fn, circuit.And, d, seInv)
+		b.AddGate(sh, circuit.And, prevQ, seName)
+		b.AddGate(mx, circuit.Or, fn, sh)
+		newPPO[fi] = mx
+		prevQ = q
+	}
+	b.AddGate(soName, circuit.Buf, prevQ)
+
+	// Outputs: true POs, the new FF data nets, the scan-out, and any PPO
+	// that was also a true PO (still observed directly).
+	for _, id := range s.PrimaryOutputs() {
+		b.MarkOutput(c.Gates[id].Name)
+	}
+	for _, fi := range chainOrder {
+		b.MarkOutput(newPPO[fi])
+	}
+	b.MarkOutput(soName)
+
+	core, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("seq: scan insertion: %w", err)
+	}
+	ffs := make([]FF, n)
+	for i, ff := range s.FFs {
+		qg, _ := core.GateByName(c.Gates[ff.PPI].Name)
+		dg, ok := core.GateByName(newPPO[i])
+		if !ok || qg == nil {
+			return nil, fmt.Errorf("seq: scan insertion lost FF %q", ff.Name)
+		}
+		ffs[i] = FF{Name: ff.Name, PPI: qg.ID, PPO: dg.ID}
+	}
+	return New(core.Name, core, ffs)
+}
+
+// ScanEnableInput returns the gate ID of a scan-inserted design's
+// scan-enable input (the input named "scan_en*"), or -1.
+func ScanEnableInput(s *Sequential) int {
+	return findInput(s, "scan_en")
+}
+
+// ScanInInput returns the gate ID of the scan-in input, or -1.
+func ScanInInput(s *Sequential) int {
+	return findInput(s, "scan_in")
+}
+
+func findInput(s *Sequential, base string) int {
+	// InsertScan names the port `base` or, if taken, `base_<k>`.
+	for _, id := range s.Comb.Inputs {
+		if s.IsPPI(id) {
+			continue
+		}
+		name := s.Comb.Gates[id].Name
+		if name == base {
+			return id
+		}
+		if len(name) > len(base)+1 && name[:len(base)+1] == base+"_" && allDigits(name[len(base)+1:]) {
+			return id
+		}
+	}
+	return -1
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

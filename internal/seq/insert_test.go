@@ -1,0 +1,185 @@
+package seq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/logicsim"
+)
+
+func s27Fixture(t *testing.T) *Sequential {
+	t.Helper()
+	s, err := ReadBench(strings.NewReader(s27Bench), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInsertScanStructure(t *testing.T) {
+	s := s27Fixture(t)
+	scanned, err := InsertScan(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned.NumFFs() != s.NumFFs() {
+		t.Fatalf("FFs = %d, want %d", scanned.NumFFs(), s.NumFFs())
+	}
+	// 4 gates per FF (func AND, shift AND, mux OR... plus shared NOT and
+	// the scan-out buffer): 3n + 2 new gates.
+	wantGates := s.Comb.NumLogicGates() + 3*s.NumFFs() + 2
+	if got := scanned.Comb.NumLogicGates(); got != wantGates {
+		t.Errorf("gates = %d, want %d", got, wantGates)
+	}
+	// Two new primary inputs: scan_en and scan_in.
+	if got, want := len(scanned.PrimaryInputs()), len(s.PrimaryInputs())+2; got != want {
+		t.Errorf("PIs = %d, want %d", got, want)
+	}
+	if ScanEnableInput(scanned) < 0 {
+		t.Error("scan-enable input not found")
+	}
+	if ScanInInput(scanned) < 0 {
+		t.Error("scan-in input not found")
+	}
+}
+
+func TestInsertScanValidation(t *testing.T) {
+	s := s27Fixture(t)
+	if _, err := InsertScan(s, []int{0}); err == nil {
+		t.Error("want error for short chain order")
+	}
+	if _, err := InsertScan(s, []int{0, 0, 1}); err == nil {
+		t.Error("want error for duplicate chain entry")
+	}
+	if _, err := InsertScan(s, []int{0, 1, 9}); err == nil {
+		t.Error("want error for out-of-range chain entry")
+	}
+	empty := s27Fixture(t)
+	empty.FFs = nil
+	if _, err := InsertScan(empty, nil); err == nil {
+		t.Error("want error for chainless design")
+	}
+}
+
+// applyAndRead simulates the core for one vector (map by input gate ID).
+func applyAndRead(t *testing.T, c *circuit.Circuit, in map[int]bool) map[int]bool {
+	t.Helper()
+	sim := logicsim.New(c)
+	vec := make([]bool, len(c.Inputs))
+	for i, id := range c.Inputs {
+		vec[i] = in[id]
+	}
+	if err := sim.ApplyBits(vec); err != nil {
+		t.Fatal(err)
+	}
+	out := map[int]bool{}
+	for _, o := range c.Outputs {
+		out[o] = sim.Value(o) == logicsim.One
+	}
+	return out
+}
+
+// With scan-enable low, the scanned design's next-state and output
+// functions must equal the original's for random inputs and states.
+func TestInsertScanFunctionalModeEquivalent(t *testing.T) {
+	s := s27Fixture(t)
+	scanned, err := InsertScan(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := ScanEnableInput(scanned)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 64; trial++ {
+		// Random primary inputs and FF states, same on both designs.
+		origIn := map[int]bool{}
+		scanIn := map[int]bool{se: false}
+		for i, id := range s.PrimaryInputs() {
+			v := rng.Intn(2) == 1
+			origIn[id] = v
+			scanIn[scanned.PrimaryInputs()[i]] = v
+		}
+		for i, ff := range s.FFs {
+			v := rng.Intn(2) == 1
+			origIn[ff.PPI] = v
+			scanIn[scanned.FFs[i].PPI] = v
+		}
+		origOut := applyAndRead(t, s.Comb, origIn)
+		scanOut := applyAndRead(t, scanned.Comb, scanIn)
+		// Compare true POs by name.
+		for _, o := range s.PrimaryOutputs() {
+			name := s.Comb.Gates[o].Name
+			g, ok := scanned.Comb.GateByName(name)
+			if !ok {
+				t.Fatalf("output %s lost", name)
+			}
+			if origOut[o] != scanOut[g.ID] {
+				t.Fatalf("trial %d: PO %s differs in functional mode", trial, name)
+			}
+		}
+		// Compare next-state functions (original PPO vs scan-mux output).
+		for i, ff := range s.FFs {
+			if origOut[ff.PPO] != scanOut[scanned.FFs[i].PPO] {
+				t.Fatalf("trial %d: FF %s next-state differs in functional mode", trial, ff.Name)
+			}
+		}
+	}
+}
+
+// With scan-enable high, the chain must shift: FF i's next state equals
+// the previous chain element's current state (scan-in for the head).
+func TestInsertScanShiftMode(t *testing.T) {
+	s := s27Fixture(t)
+	order := []int{2, 0, 1} // deliberately non-trivial chain order
+	scanned, err := InsertScan(s, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := ScanEnableInput(scanned)
+	si := ScanInInput(scanned)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 32; trial++ {
+		in := map[int]bool{se: true, si: rng.Intn(2) == 1}
+		for _, id := range scanned.PrimaryInputs() {
+			if id != se && id != si {
+				in[id] = rng.Intn(2) == 1
+			}
+		}
+		state := make([]bool, len(scanned.FFs))
+		for i, ff := range scanned.FFs {
+			state[i] = rng.Intn(2) == 1
+			in[ff.PPI] = state[i]
+		}
+		out := applyAndRead(t, scanned.Comb, in)
+		prev := in[si]
+		for _, fi := range order {
+			ff := scanned.FFs[fi]
+			if out[ff.PPO] != prev {
+				t.Fatalf("trial %d: FF %s next-state %v, want shifted %v",
+					trial, ff.Name, out[ff.PPO], prev)
+			}
+			prev = state[fi]
+		}
+	}
+}
+
+func TestInsertScanRoundTripsThroughBench(t *testing.T) {
+	s := s27Fixture(t)
+	scanned, err := InsertScan(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteBench(&sb, scanned); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench(strings.NewReader(sb.String()), "x")
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if back.NumFFs() != scanned.NumFFs() ||
+		back.Comb.NumLogicGates() != scanned.Comb.NumLogicGates() {
+		t.Error("scan-inserted design does not round-trip")
+	}
+}

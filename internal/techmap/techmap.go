@@ -1,0 +1,273 @@
+// Package techmap implements the paper's concluding "next step":
+// "controlling the logic synthesis procedure such that the presented cost
+// function is considered at the early beginning". It provides
+// function-preserving netlist transformations — decomposing wide cells
+// into trees of narrow ones and the inverse recomposition of fanout-free
+// chains into wide library cells — and a mapper that picks, per circuit,
+// the style minimising the PART-IDDQ cost function rather than gate count
+// or delay alone.
+//
+// Narrow cells draw smaller peak currents (smaller simultaneous-switching
+// worst case per module) but multiply the gate count and leakage; wide
+// cells are the opposite trade. Which side wins depends on the same
+// weights α₁..α₅ that drive the partitioner, so the mapper evaluates the
+// true cost on a trial partition of every candidate.
+package techmap
+
+import (
+	"fmt"
+
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+)
+
+// Decompose rewrites every gate with more than maxFanin inputs into a
+// balanced tree of gates with at most maxFanin inputs, preserving the
+// Boolean function:
+//
+//	AND/OR/XOR(k)   → balanced tree of the same function
+//	NAND(k)         → NAND(maxFanin) over AND subtrees (De Morgan head)
+//	NOR(k)          → NOR(maxFanin) over OR subtrees
+//	XNOR(k)         → XNOR head over XOR subtrees
+//
+// Primary output gates keep their names; helper gates get fresh "_dN"
+// names.
+func Decompose(c *circuit.Circuit, maxFanin int) (*circuit.Circuit, error) {
+	if maxFanin < 2 {
+		return nil, fmt.Errorf("techmap: maxFanin must be >= 2")
+	}
+	b := circuit.NewBuilder(c.Name)
+	fresh := newNamer(c, "_d")
+	for _, id := range c.TopoOrder() {
+		g := &c.Gates[id]
+		if g.Type == circuit.Input {
+			b.AddInput(g.Name)
+			continue
+		}
+		fanin := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = c.Gates[f].Name
+		}
+		if len(fanin) <= maxFanin {
+			b.AddGate(g.Name, g.Type, fanin...)
+			continue
+		}
+		emitWide(b, fresh, g.Name, g.Type, fanin, maxFanin)
+	}
+	for _, o := range c.Outputs {
+		b.MarkOutput(c.Gates[o].Name)
+	}
+	return b.Build()
+}
+
+// emitWide builds the tree for one wide gate.
+func emitWide(b *circuit.Builder, fresh *namer, name string, typ circuit.GateType, fanin []string, maxFanin int) {
+	var inner circuit.GateType // function of the subtree nodes
+	switch typ {
+	case circuit.And, circuit.Nand:
+		inner = circuit.And
+	case circuit.Or, circuit.Nor:
+		inner = circuit.Or
+	case circuit.Xor, circuit.Xnor:
+		inner = circuit.Xor
+	default:
+		// Buf/Not are never wide; defensive fallthrough.
+		b.AddGate(name, typ, fanin...)
+		return
+	}
+	// Reduce the operand list until one head gate suffices.
+	ops := fanin
+	for len(ops) > maxFanin {
+		var next []string
+		for i := 0; i < len(ops); i += maxFanin {
+			end := i + maxFanin
+			if end > len(ops) {
+				end = len(ops)
+			}
+			if end-i == 1 {
+				next = append(next, ops[i])
+				continue
+			}
+			n := fresh.next()
+			b.AddGate(n, inner, ops[i:end]...)
+			next = append(next, n)
+		}
+		ops = next
+	}
+	b.AddGate(name, typ, ops...)
+}
+
+// Recompose absorbs fanout-free same-plane chains into wider cells, the
+// inverse of Decompose, limited to widths the library can map:
+//
+//	AND(AND(a,b), c)  → AND(a,b,c)      OR(OR(a,b), c)   → OR(a,b,c)
+//	NAND(AND(a,b),c)  → NAND(a,b,c)     NOR(OR(a,b), c)  → NOR(a,b,c)
+//	XOR(XOR(a,b), c)  → XOR(a,b,c)      XNOR(XOR(a,b),c) → XNOR(a,b,c)
+//
+// A child is absorbed only if its sole fanout is the absorbing gate and
+// it is not a primary output. BUF gates with non-output names collapse
+// onto their driver.
+func Recompose(c *circuit.Circuit, lib *celllib.Library) (*circuit.Circuit, error) {
+	isOut := make(map[int]bool, len(c.Outputs))
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	maxWidth := func(typ circuit.GateType) int {
+		w := 2
+		for ; w < 64; w++ {
+			if _, err := lib.CellFor(typ, w+1); err != nil {
+				break
+			}
+		}
+		return w
+	}
+
+	// alias maps a collapsed BUF's ID to the driver whose name replaces
+	// it; absorbed[g] marks gates merged into their (single) fanout.
+	alias := make(map[int]int)
+	resolve := func(id int) int {
+		for {
+			a, ok := alias[id]
+			if !ok {
+				return id
+			}
+			id = a
+		}
+	}
+	absorbed := make(map[int]bool)
+
+	// effFanin computes the (recursively) merged fanin of a gate.
+	var effFanin func(id int) []int
+	memo := make(map[int][]int)
+	effFanin = func(id int) []int {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		g := &c.Gates[id]
+		var out []int
+		for _, f := range g.Fanin {
+			f = resolve(f)
+			if absorbed[f] {
+				out = append(out, effFanin(f)...)
+			} else {
+				out = append(out, f)
+			}
+		}
+		memo[id] = out
+		return out
+	}
+
+	// Plane compatibility: which child function can be absorbed into
+	// which parent function.
+	absorbable := func(parent, child circuit.GateType) bool {
+		switch parent {
+		case circuit.And, circuit.Nand:
+			return child == circuit.And
+		case circuit.Or, circuit.Nor:
+			return child == circuit.Or
+		case circuit.Xor, circuit.Xnor:
+			return child == circuit.Xor
+		}
+		return false
+	}
+
+	// Pass 1 (topological): decide aliases and absorptions bottom-up.
+	for _, id := range c.TopoOrder() {
+		g := &c.Gates[id]
+		switch g.Type {
+		case circuit.Input:
+			continue
+		case circuit.Buf:
+			if !isOut[id] {
+				alias[id] = g.Fanin[0]
+				continue
+			}
+		}
+		for _, f := range g.Fanin {
+			f = resolve(f)
+			child := &c.Gates[f]
+			if isOut[f] || len(child.Fanout) != 1 || !absorbable(g.Type, child.Type) {
+				continue
+			}
+			// Absorb only if the merged width still maps.
+			merged := len(effFanin(id)) // current effective width
+			childWidth := len(effFanin(f))
+			if merged-1+childWidth <= maxWidth(g.Type) {
+				absorbed[f] = true
+				delete(memo, id) // fanin changed; recompute lazily
+			}
+		}
+	}
+
+	// Pass 2: emit the surviving gates.
+	b := circuit.NewBuilder(c.Name)
+	for _, id := range c.TopoOrder() {
+		g := &c.Gates[id]
+		if g.Type == circuit.Input {
+			b.AddInput(g.Name)
+			continue
+		}
+		if _, isAlias := alias[id]; isAlias || absorbed[id] {
+			continue
+		}
+		fan := effFanin(id)
+		// Reconvergent absorption can surface duplicate operands. AND/OR
+		// planes are idempotent, so duplicates are dropped; XOR planes
+		// are NOT (a⊕a = 0), so duplicates must be kept — the wide XOR
+		// evaluates the parity of the full operand list.
+		dedup := g.Type != circuit.Xor && g.Type != circuit.Xnor
+		names := make([]string, 0, len(fan))
+		seen := make(map[int]bool, len(fan))
+		for _, f := range fan {
+			if dedup && seen[f] {
+				continue
+			}
+			seen[f] = true
+			names = append(names, c.Gates[f].Name)
+		}
+		typ := g.Type
+		if len(names) == 1 {
+			switch typ {
+			case circuit.And, circuit.Or, circuit.Xor:
+				typ = circuit.Buf
+			case circuit.Nand, circuit.Nor, circuit.Xnor:
+				typ = circuit.Not
+			}
+		}
+		b.AddGate(g.Name, typ, names...)
+	}
+	for _, o := range c.Outputs {
+		name := c.Gates[resolve(o)].Name
+		if resolve(o) != o {
+			// The output was an aliased BUF: keep observing the driver.
+			name = c.Gates[resolve(o)].Name
+		}
+		b.MarkOutput(name)
+	}
+	return b.Build()
+}
+
+type namer struct {
+	prefix string
+	n      int
+	used   map[string]bool
+}
+
+func newNamer(c *circuit.Circuit, prefix string) *namer {
+	used := make(map[string]bool, c.NumGates())
+	for i := range c.Gates {
+		used[c.Gates[i].Name] = true
+	}
+	return &namer{prefix: prefix, used: used}
+}
+
+func (n *namer) next() string {
+	for {
+		n.n++
+		name := fmt.Sprintf("%s%d", n.prefix, n.n)
+		if !n.used[name] {
+			n.used[name] = true
+			return name
+		}
+	}
+}

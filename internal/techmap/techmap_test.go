@@ -1,0 +1,353 @@
+package techmap
+
+import (
+	"testing"
+
+	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/partition"
+)
+
+func build(t *testing.T, f func(b *circuit.Builder)) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("t")
+	f(b)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDecomposeWideAnd(t *testing.T) {
+	c := build(t, func(b *circuit.Builder) {
+		for _, n := range []string{"a", "b", "c", "d", "e"} {
+			b.AddInput(n)
+		}
+		b.AddGate("y", circuit.And, "a", "b", "c", "d", "e")
+		b.MarkOutput("y")
+	})
+	d, err := Decompose(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range d.LogicGates() {
+		if n := len(d.Gates[g].Fanin); n > 2 {
+			t.Errorf("gate %s has fanin %d after Decompose(2)", d.Gates[g].Name, n)
+		}
+	}
+	if err := VerifyEquivalent(c, d, 64, 1); err != nil {
+		t.Errorf("decomposed AND5 not equivalent: %v", err)
+	}
+	// The output gate keeps its name.
+	if _, ok := d.GateByName("y"); !ok {
+		t.Error("output gate renamed")
+	}
+}
+
+func TestDecomposeInvertingHeads(t *testing.T) {
+	// NAND5, NOR5, XNOR3: the inversion must stay at the head only.
+	c := build(t, func(b *circuit.Builder) {
+		for _, n := range []string{"a", "b", "c", "d", "e"} {
+			b.AddInput(n)
+		}
+		b.AddGate("y1", circuit.Nand, "a", "b", "c", "d", "e")
+		b.AddGate("y2", circuit.Nor, "a", "b", "c", "d", "e")
+		b.AddGate("y3", circuit.Xnor, "a", "b", "c")
+		b.MarkOutput("y1").MarkOutput("y2").MarkOutput("y3")
+	})
+	d, err := Decompose(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalent(c, d, 64, 2); err != nil {
+		t.Errorf("not equivalent: %v", err)
+	}
+}
+
+func TestDecomposeNoopWhenNarrow(t *testing.T) {
+	c := circuits.C17() // all NAND2
+	d, err := Decompose(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumLogicGates() != c.NumLogicGates() {
+		t.Errorf("gate count changed: %d -> %d", c.NumLogicGates(), d.NumLogicGates())
+	}
+	if err := VerifyEquivalent(c, d, 32, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeBadFanin(t *testing.T) {
+	if _, err := Decompose(circuits.C17(), 1); err == nil {
+		t.Error("want error for maxFanin < 2")
+	}
+}
+
+func TestRecomposeAndChain(t *testing.T) {
+	// AND(AND(a,b), c) with fanout-free inner gate -> AND3.
+	c := build(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b").AddInput("c")
+		b.AddGate("t1", circuit.And, "a", "b")
+		b.AddGate("y", circuit.And, "t1", "c")
+		b.MarkOutput("y")
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLogicGates() != 1 {
+		t.Errorf("gates = %d, want 1 (merged AND3)", r.NumLogicGates())
+	}
+	y, _ := r.GateByName("y")
+	if y == nil || len(y.Fanin) != 3 || y.Type != circuit.And {
+		t.Errorf("merged gate = %+v", y)
+	}
+	if err := VerifyEquivalent(c, r, 16, 4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecomposeNandHead(t *testing.T) {
+	// NAND(AND(a,b), c) -> NAND3(a,b,c).
+	c := build(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b").AddInput("c")
+		b.AddGate("t1", circuit.And, "a", "b")
+		b.AddGate("y", circuit.Nand, "t1", "c")
+		b.MarkOutput("y")
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLogicGates() != 1 {
+		t.Errorf("gates = %d, want 1", r.NumLogicGates())
+	}
+	if err := VerifyEquivalent(c, r, 16, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecomposeRespectsFanout(t *testing.T) {
+	// The inner AND drives two gates: it must NOT be absorbed.
+	c := build(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b").AddInput("c")
+		b.AddGate("t1", circuit.And, "a", "b")
+		b.AddGate("y1", circuit.And, "t1", "c")
+		b.AddGate("y2", circuit.Or, "t1", "c")
+		b.MarkOutput("y1").MarkOutput("y2")
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLogicGates() != 3 {
+		t.Errorf("gates = %d, want 3 (shared gate kept)", r.NumLogicGates())
+	}
+	if err := VerifyEquivalent(c, r, 16, 6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecomposeRespectsOutputs(t *testing.T) {
+	// The inner AND is itself a primary output: keep it.
+	c := build(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b").AddInput("c")
+		b.AddGate("t1", circuit.And, "a", "b")
+		b.AddGate("y", circuit.And, "t1", "c")
+		b.MarkOutput("y").MarkOutput("t1")
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLogicGates() != 2 {
+		t.Errorf("gates = %d, want 2", r.NumLogicGates())
+	}
+	if err := VerifyEquivalent(c, r, 16, 7); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecomposeRespectsLibraryWidth(t *testing.T) {
+	// A chain that would need a 10-input AND must stop at the library's
+	// widest cell (AND9 in the default library).
+	c := build(t, func(b *circuit.Builder) {
+		names := make([]string, 12)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+			b.AddInput(names[i])
+		}
+		prev := names[0]
+		for i := 1; i < len(names); i++ {
+			n := "t" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+			b.AddGate(n, circuit.And, prev, names[i])
+			prev = n
+		}
+		b.MarkOutput(prev)
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := celllib.Default()
+	for _, g := range r.LogicGates() {
+		if _, err := lib.CellFor(r.Gates[g].Type, len(r.Gates[g].Fanin)); err != nil {
+			t.Errorf("gate %s unmappable after Recompose: %v", r.Gates[g].Name, err)
+		}
+	}
+	if err := VerifyEquivalent(c, r, 64, 8); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecomposeXorPlaneKeepsDuplicates(t *testing.T) {
+	// Reconvergent XOR absorption: XOR(XOR(a,b), XOR(b,c)) = a ⊕ c.
+	// Dropping the duplicate b would give a⊕b⊕c — wrong.
+	c := build(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b").AddInput("c")
+		b.AddGate("t1", circuit.Xor, "a", "b")
+		b.AddGate("t2", circuit.Xor, "b", "c")
+		b.AddGate("y", circuit.Xor, "t1", "t2")
+		b.MarkOutput("y")
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalent(c, r, 16, 9); err != nil {
+		t.Errorf("XOR-plane recompose broke the function: %v", err)
+	}
+}
+
+func TestRecomposeAndPlaneDedup(t *testing.T) {
+	// Reconvergent AND absorption: NAND(AND(a,b), AND(b,c)) — duplicate b
+	// is idempotent, dedup is safe and saves a pin.
+	c := build(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b").AddInput("c")
+		b.AddGate("t1", circuit.And, "a", "b")
+		b.AddGate("t2", circuit.And, "b", "c")
+		b.AddGate("y", circuit.Nand, "t1", "t2")
+		b.MarkOutput("y")
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalent(c, r, 16, 10); err != nil {
+		t.Error(err)
+	}
+	if y, _ := r.GateByName("y"); y != nil && len(y.Fanin) > 3 {
+		t.Errorf("duplicate operand not deduped: fanin %d", len(y.Fanin))
+	}
+}
+
+func TestRecomposeCollapsesBuffers(t *testing.T) {
+	c := build(t, func(b *circuit.Builder) {
+		b.AddInput("a").AddInput("b")
+		b.AddGate("t1", circuit.Buf, "a")
+		b.AddGate("y", circuit.And, "t1", "b")
+		b.MarkOutput("y")
+	})
+	r, err := Recompose(c, celllib.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLogicGates() != 1 {
+		t.Errorf("gates = %d, want 1 (buffer collapsed)", r.NumLogicGates())
+	}
+	if err := VerifyEquivalent(c, r, 8, 11); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeRecomposeRoundTripOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"c432", "c880"} {
+		c := circuits.MustISCAS85Like(name)
+		narrow, err := Decompose(c, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyEquivalent(c, narrow, 128, 12); err != nil {
+			t.Errorf("%s narrow: %v", name, err)
+		}
+		wide, err := Recompose(c, celllib.Default())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyEquivalent(c, wide, 128, 13); err != nil {
+			t.Errorf("%s wide: %v", name, err)
+		}
+		if wide.NumLogicGates() > c.NumLogicGates() {
+			t.Errorf("%s: Recompose grew the netlist %d -> %d",
+				name, c.NumLogicGates(), wide.NumLogicGates())
+		}
+		t.Logf("%s: %d gates | narrow %d | wide %d",
+			name, c.NumLogicGates(), narrow.NumLogicGates(), wide.NumLogicGates())
+	}
+}
+
+func TestMapForIDDQ(t *testing.T) {
+	c := circuits.MustISCAS85Like("c432")
+	res, err := MapForIDDQ(c, celllib.Default(), estimate.DefaultParams(),
+		partition.PaperWeights(), partition.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	for _, cand := range res.Candidates {
+		if cand.Cost <= 0 || cand.Gates <= 0 {
+			t.Errorf("%v: degenerate candidate %+v", cand.Style, cand)
+		}
+		if cand.Cost < res.Chosen.Cost {
+			t.Errorf("chose %v (%.6g) but %v is cheaper (%.6g)",
+				res.Chosen.Style, res.Chosen.Cost, cand.Style, cand.Cost)
+		}
+		if err := VerifyEquivalent(c, cand.Circuit, 64, 14); err != nil {
+			t.Errorf("%v candidate not equivalent: %v", cand.Style, err)
+		}
+	}
+	t.Logf("mapper on c432: chose %v; candidates: %v=%0.6g %v=%0.6g %v=%0.6g",
+		res.Chosen.Style,
+		res.Candidates[0].Style, res.Candidates[0].Cost,
+		res.Candidates[1].Style, res.Candidates[1].Cost,
+		res.Candidates[2].Style, res.Candidates[2].Cost)
+}
+
+func TestVerifyEquivalentCatchesDifference(t *testing.T) {
+	a := build(t, func(b *circuit.Builder) {
+		b.AddInput("x").AddInput("y")
+		b.AddGate("z", circuit.And, "x", "y")
+		b.MarkOutput("z")
+	})
+	bad := build(t, func(b *circuit.Builder) {
+		b.AddInput("x").AddInput("y")
+		b.AddGate("z", circuit.Or, "x", "y")
+		b.MarkOutput("z")
+	})
+	if err := VerifyEquivalent(a, bad, 16, 15); err == nil {
+		t.Error("AND vs OR must be caught")
+	}
+	missing := build(t, func(b *circuit.Builder) {
+		b.AddInput("x").AddInput("w")
+		b.AddGate("z", circuit.And, "x", "w")
+		b.MarkOutput("z")
+	})
+	if err := VerifyEquivalent(a, missing, 4, 16); err == nil {
+		t.Error("renamed input must be caught")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if StyleAsIs.String() != "as-is" || StyleNarrow.String() != "narrow" || StyleWide.String() != "wide" {
+		t.Error("Style.String mismatch")
+	}
+	if Style(9).String() != "Style(9)" {
+		t.Error("out-of-range Style.String")
+	}
+}

@@ -1,0 +1,115 @@
+package vectors
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iddqsyn/internal/circuits"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := circuits.C17()
+	vecs := [][]bool{
+		{true, false, true, true, false},
+		{false, false, false, false, false},
+		{true, true, true, true, true},
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c, vecs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()), len(c.Inputs))
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, sb.String())
+	}
+	if len(got) != len(vecs) {
+		t.Fatalf("vectors = %d, want %d", len(got), len(vecs))
+	}
+	for i := range vecs {
+		for j := range vecs[i] {
+			if got[i][j] != vecs[i][j] {
+				t.Fatalf("vector %d bit %d differs", i, j)
+			}
+		}
+	}
+	if !strings.Contains(sb.String(), "# inputs: I1 I2 I3 I4 I5") {
+		t.Errorf("header missing input names:\n%s", sb.String())
+	}
+}
+
+func TestWriteRejectsWrongWidth(t *testing.T) {
+	c := circuits.C17()
+	var sb strings.Builder
+	if err := Write(&sb, c, [][]bool{{true}}); err == nil {
+		t.Error("want error for wrong vector width")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad bit":        "01x01\n",
+		"ragged widths":  "01010\n0101\n",
+		"width mismatch": "0101\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src), 5); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadAutoWidth(t *testing.T) {
+	got, err := Read(strings.NewReader("# comment\n010\n111\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader("# nothing\n"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d vectors from empty file", len(got))
+	}
+}
+
+// Property: any random vector set survives a round trip bit-exactly.
+func TestRoundTripProperty(t *testing.T) {
+	c := circuits.C17()
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vecs := make([][]bool, int(n%20)+1)
+		for i := range vecs {
+			vecs[i] = make([]bool, len(c.Inputs))
+			for j := range vecs[i] {
+				vecs[i][j] = rng.Intn(2) == 1
+			}
+		}
+		var sb strings.Builder
+		if err := Write(&sb, c, vecs); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(sb.String()), len(c.Inputs))
+		if err != nil || len(got) != len(vecs) {
+			return false
+		}
+		for i := range vecs {
+			for j := range vecs[i] {
+				if got[i][j] != vecs[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/circuit"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/techmap"
+)
+
+func TestWriteC17(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, circuits.C17()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"module c17(", "input I1, I2, I3, I4, I5;", "output g5, g6;",
+		"wire g1, g2, g3, g4;", "nand ", "endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTripC17(t *testing.T) {
+	c1 := circuits.C17()
+	var sb strings.Builder
+	if err := Write(&sb, c1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Read(strings.NewReader(sb.String()), "x")
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, sb.String())
+	}
+	if c2.Name != "c17" {
+		t.Errorf("name = %q", c2.Name)
+	}
+	if bench.Fingerprint(c1) != bench.Fingerprint(c2) {
+		t.Error("round trip changed the structure")
+	}
+}
+
+func TestRoundTripBenchmarks(t *testing.T) {
+	for _, name := range []string{"c432", "c880"} {
+		c1 := circuits.MustISCAS85Like(name)
+		var sb strings.Builder
+		if err := Write(&sb, c1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c2, err := Read(strings.NewReader(sb.String()), "x")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Names may be sanitised; verify functional equivalence instead
+		// of structural fingerprints. Input/output names survive for the
+		// generator's identifier-safe names, so the checker can map them.
+		if err := techmap.VerifyEquivalent(c1, c2, 64, 1); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSanitizeCollisions(t *testing.T) {
+	// Names that sanitise identically must get distinct identifiers.
+	b := circuit.NewBuilder("x")
+	b.AddInput("a.1")
+	b.AddInput("a_1")
+	b.AddGate("y", circuit.And, "a.1", "a_1")
+	b.MarkOutput("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a_1") || !strings.Contains(out, "a_1_1") {
+		t.Errorf("collision not resolved:\n%s", out)
+	}
+	if _, err := Read(strings.NewReader(out), "x"); err != nil {
+		t.Errorf("collision output does not parse back: %v", err)
+	}
+}
+
+func TestSanitizeLeadingDigit(t *testing.T) {
+	b := circuit.NewBuilder("9weird")
+	b.AddInput("1in")
+	b.AddGate("2out", circuit.Not, "1in")
+	b.MarkOutput("2out")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), " 1in") || strings.Contains(sb.String(), "(1in") {
+		t.Errorf("leading digit not sanitised:\n%s", sb.String())
+	}
+	if _, err := Read(strings.NewReader(sb.String()), "x"); err != nil {
+		t.Errorf("sanitised module does not parse: %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":    "input a;\noutput y;\nnot g1(y, a);\n",
+		"unsupported":  "module m(a, y);\ninput a;\noutput y;\nmux g1(y, a, a);\nendmodule\n",
+		"malformed":    "module m(a, y);\ninput a;\noutput y;\nnot g1 y a;\nendmodule\n",
+		"one terminal": "module m(a, y);\ninput a;\noutput y;\nnot g1(y);\nendmodule\n",
+		"unnamed":      "module (a, y);\ninput a;\noutput y;\nnot g1(y, a);\nendmodule\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndWhitespace(t *testing.T) {
+	src := `// header comment
+module m(a, b, y); // ports
+  input a, b;
+  output y;
+  // a gate below
+  nand g1(y, a, b);
+endmodule
+`
+	c, err := Read(strings.NewReader(src), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLogicGates() != 1 || c.Name != "m" {
+		t.Errorf("parsed %v", c)
+	}
+}

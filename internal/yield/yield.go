@@ -1,0 +1,215 @@
+// Package yield quantifies the paper's discriminability requirement
+// (§2: "for the feasibility of an IDDQ test, d > 1 is required, and a
+// typical value is 10") with a Monte-Carlo die-population model: fault-
+// free dies whose leakage varies die-to-die and module-to-module, and
+// defective dies whose defect current varies with bridge resistance. A
+// threshold sweep yields the test-escape and yield-loss (overkill) rates
+// as a function of IDDQ,th — the curve on which d = 10 sits comfortably
+// and d → 1 collapses.
+package yield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"iddqsyn/internal/bic"
+	"iddqsyn/internal/faults"
+	"iddqsyn/internal/logicsim"
+)
+
+// Config parameterises the die population.
+type Config struct {
+	GoodDies    int     // fault-free dies to simulate
+	BadDies     int     // defective dies to simulate
+	SigmaDie    float64 // lognormal σ of the die-wide leakage factor
+	SigmaModule float64 // lognormal σ of per-module leakage mismatch
+	SigmaDefect float64 // lognormal σ of the defect current
+	Seed        int64
+}
+
+// DefaultConfig returns a population typical of production IDDQ studies:
+// ±3σ die leakage spread of ≈2.5×, mild module mismatch, one decade of
+// defect-current spread.
+func DefaultConfig() Config {
+	return Config{
+		GoodDies:    2000,
+		BadDies:     2000,
+		SigmaDie:    0.3,
+		SigmaModule: 0.1,
+		SigmaDefect: 0.5,
+		Seed:        1,
+	}
+}
+
+// Point is one threshold's outcome over the simulated population.
+type Point struct {
+	Threshold float64 // IDDQ,th in amperes
+	Escape    float64 // fraction of defective dies passing the whole test
+	Overkill  float64 // fraction of fault-free dies failing any measurement
+}
+
+// Study holds the simulated measurement populations and answers threshold
+// queries.
+type Study struct {
+	// goodMax[i] is the largest IDDQ measurement of fault-free die i
+	// over all vectors and modules.
+	goodMax []float64
+	// badBest[i] is the largest measurement among defective die i's
+	// defect-excited (vector, module) pairs — the easiest chance to
+	// catch it. Dies whose sampled defect is never excited by the vector
+	// set are recorded as math.Inf(-1) and always escape.
+	badBest []float64
+}
+
+// Hit is one defect-excited measurement: vector index and observing
+// module.
+type Hit struct{ Vector, Module int }
+
+// Matrix is the nominal measurement substrate both the threshold study
+// here and the current-signature comparison (package deltaiddq via the
+// experiments harness) build their die populations on: the fault-free
+// measurement Base[vector][module] and, per fault, the measurements its
+// excitation raises.
+type Matrix struct {
+	Base    [][]float64
+	Excited [][]Hit // indexed like the fault list
+	Modules int
+}
+
+// BuildMatrix simulates the vector set once against the chip and fault
+// list.
+func BuildMatrix(chip *bic.Chip, vecs [][]bool, list []faults.Fault) (*Matrix, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("yield: empty vector set")
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("yield: empty fault list")
+	}
+	sim := logicsim.New(chip.Circuit)
+	m := &Matrix{
+		Base:    make([][]float64, len(vecs)),
+		Excited: make([][]Hit, len(list)),
+		Modules: len(chip.Partition),
+	}
+	for vi, vec := range vecs {
+		if err := sim.ApplyBits(vec); err != nil {
+			return nil, err
+		}
+		m.Base[vi] = make([]float64, len(chip.Partition))
+		for mi, gates := range chip.Partition {
+			m.Base[vi][mi] = sim.FaultFreeIDDQ(chip.Annotated, gates)
+		}
+		for fi := range list {
+			if obs, ok := list[fi].Excited(chip.Circuit, sim.Values()); ok {
+				if mi := chip.ModuleOf(obs); mi >= 0 {
+					m.Excited[fi] = append(m.Excited[fi], Hit{vi, mi})
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Build simulates the die populations for a synthesized chip, a vector
+// set and a defect universe sample.
+func Build(chip *bic.Chip, vecs [][]bool, list []faults.Fault, cfg Config) (*Study, error) {
+	if cfg.GoodDies < 1 || cfg.BadDies < 1 {
+		return nil, fmt.Errorf("yield: need positive die counts")
+	}
+	mx, err := BuildMatrix(chip, vecs, list)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := mx.Base
+	excited := mx.Excited
+
+	st := &Study{
+		goodMax: make([]float64, cfg.GoodDies),
+		badBest: make([]float64, cfg.BadDies),
+	}
+	lognormal := func(sigma float64) float64 {
+		if sigma <= 0 {
+			return 1
+		}
+		return math.Exp(rng.NormFloat64() * sigma)
+	}
+	nModules := len(chip.Partition)
+	modFactor := make([]float64, nModules)
+	for d := 0; d < cfg.GoodDies; d++ {
+		die := lognormal(cfg.SigmaDie)
+		for m := range modFactor {
+			modFactor[m] = die * lognormal(cfg.SigmaModule)
+		}
+		worst := 0.0
+		for vi := range base {
+			for mi, b := range base[vi] {
+				if v := b * modFactor[mi]; v > worst {
+					worst = v
+				}
+			}
+		}
+		st.goodMax[d] = worst
+	}
+	for d := 0; d < cfg.BadDies; d++ {
+		die := lognormal(cfg.SigmaDie)
+		for m := range modFactor {
+			modFactor[m] = die * lognormal(cfg.SigmaModule)
+		}
+		fi := rng.Intn(len(list))
+		defect := list[fi].Current * lognormal(cfg.SigmaDefect)
+		best := math.Inf(-1)
+		for _, h := range excited[fi] {
+			if v := base[h.Vector][h.Module]*modFactor[h.Module] + defect; v > best {
+				best = v
+			}
+		}
+		st.badBest[d] = best
+	}
+	sort.Float64s(st.goodMax)
+	return st, nil
+}
+
+// At evaluates the escape and overkill rates at one threshold: a die
+// fails a measurement when its IDDQ reaches the threshold.
+func (s *Study) At(threshold float64) Point {
+	// Overkill: fault-free dies whose largest measurement >= threshold.
+	idx := sort.SearchFloat64s(s.goodMax, threshold)
+	overkill := float64(len(s.goodMax)-idx) / float64(len(s.goodMax))
+	escapes := 0
+	for _, b := range s.badBest {
+		if b < threshold {
+			escapes++
+		}
+	}
+	return Point{
+		Threshold: threshold,
+		Escape:    float64(escapes) / float64(len(s.badBest)),
+		Overkill:  overkill,
+	}
+}
+
+// Sweep evaluates a geometric threshold ladder from lo to hi (inclusive)
+// with the given number of points.
+func (s *Study) Sweep(lo, hi float64, points int) ([]Point, error) {
+	if lo <= 0 || hi <= lo || points < 2 {
+		return nil, fmt.Errorf("yield: bad sweep range")
+	}
+	out := make([]Point, points)
+	ratio := math.Pow(hi/lo, 1/float64(points-1))
+	th := lo
+	for i := 0; i < points; i++ {
+		out[i] = s.At(th)
+		th *= ratio
+	}
+	return out, nil
+}
+
+// ZeroOverkillThreshold returns the smallest threshold with zero overkill
+// over the simulated fault-free population (just above the largest good-
+// die measurement).
+func (s *Study) ZeroOverkillThreshold() float64 {
+	return s.goodMax[len(s.goodMax)-1] * (1 + 1e-9)
+}
