@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build test vet race fuzz-isc bench clean
+
+# Tier-1 verification: vet + build + race-enabled short tests.
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fuzz the ISCAS85 parser (bounded; extend -fuzztime for deeper runs).
+fuzz-isc:
+	$(GO) test ./internal/isc/ -fuzz FuzzRead -fuzztime 30s
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -11,6 +11,7 @@
 package iddqsyn_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -42,7 +43,7 @@ func benchmarkTable1Row(b *testing.B, circuit string) {
 	prm := benchEvolution()
 	var last experiments.Table1Row
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(experiments.Table1Config{
+		rows, err := experiments.Table1(context.Background(), experiments.Table1Config{
 			Circuits: []string{circuit}, Evolution: &prm,
 		})
 		if err != nil {
@@ -102,7 +103,7 @@ func BenchmarkFigure2GroupShape(b *testing.B) {
 func BenchmarkC17Evolution(b *testing.B) {
 	reached := 0
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.C17Trace(int64(i + 1))
+		res, err := experiments.C17Trace(context.Background(), int64(i+1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func benchmarkConvergence(b *testing.B, circuit string) {
 	prm := benchEvolution()
 	var gens, evals int
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Convergence(circuit, prm)
+		res, err := experiments.Convergence(context.Background(), circuit, prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func BenchmarkAblationMonteCarlo(b *testing.B) {
 	var res *experiments.AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.AblateMonteCarlo("c880", prm)
+		res, err = experiments.AblateMonteCarlo(context.Background(), "c880", prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func BenchmarkAblationLifetime(b *testing.B) {
 	var res *experiments.AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.AblateLifetime("c880", prm)
+		res, err = experiments.AblateLifetime(context.Background(), "c880", prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +313,7 @@ func BenchmarkOptimizerComparison(b *testing.B) {
 	var rows []experiments.OptimizerRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.OptimizerComparison("c880", 8, prm)
+		rows, err = experiments.OptimizerComparison(context.Background(), "c880", 8, prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -329,7 +330,7 @@ func BenchmarkSensorVariants(b *testing.B) {
 	var rows []experiments.VariantRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.SensorVariants("c432", prm)
+		rows, err = experiments.SensorVariants(context.Background(), "c432", prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,7 +344,7 @@ func BenchmarkScheduleStudy(b *testing.B) {
 	var rows []experiments.ScheduleRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.ScheduleStudy("c880", prm)
+		rows, err = experiments.ScheduleStudy(context.Background(), "c880", prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -355,7 +356,7 @@ func BenchmarkScheduleStudy(b *testing.B) {
 func BenchmarkTechmapStudy(b *testing.B) {
 	prm := benchEvolution()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.TechmapStudy("c432", prm); err != nil {
+		if _, _, err := experiments.TechmapStudy(context.Background(), "c432", prm); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -367,7 +368,7 @@ func BenchmarkWeightSweep(b *testing.B) {
 	var points []experiments.WeightSweepPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		points, err = experiments.WeightSweep("c432", prm)
+		points, err = experiments.WeightSweep(context.Background(), "c432", prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -380,7 +381,7 @@ func BenchmarkEstimatorPessimism(b *testing.B) {
 	prm := benchEvolution()
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Pessimism("c432", prm)
+		points, err := experiments.Pessimism(context.Background(), "c432", prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -434,7 +435,7 @@ func BenchmarkYieldThresholdSweep(b *testing.B) {
 	prm := benchEvolution()
 	var at1uA float64
 	for i := 0; i < b.N; i++ {
-		points, _, err := experiments.YieldStudy("c432", prm)
+		points, _, err := experiments.YieldStudy(context.Background(), "c432", prm)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -470,7 +471,7 @@ func BenchmarkDeltaIDDQComparison(b *testing.B) {
 	prm := benchEvolution()
 	var fixedOvk, deltaOvk float64
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DeltaStudy("c432", prm, []float64{2.0})
+		rows, err := experiments.DeltaStudy(context.Background(), "c432", prm, []float64{2.0})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -58,7 +58,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		c = circuits.Grid2D(r, col, nil)
+		c, err = circuits.Grid2D(r, col, nil)
+		if err != nil {
+			return err
+		}
 	case *random != "":
 		spec, err := parseSpec(*random)
 		if err != nil {

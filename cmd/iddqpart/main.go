@@ -7,12 +7,22 @@
 //
 //	iddqpart [-method evolution|standard] [-lib cells.lib] [-size N]
 //	         [-modules K] [-d 10] [-rail 0.2] [-gens 250] [-seed 1]
-//	         [-v] circuit.bench
+//	         [-workers N] [-timeout 30m] [-checkpoint run.ckpt]
+//	         [-checkpoint-every 10] [-resume run.ckpt] [-v] circuit.bench
 //
 // With no file argument, the netlist is read from standard input.
+//
+// Long evolution runs are fully run-controlled: a SIGINT or SIGTERM (or
+// an expired -timeout) stops the optimizer at the next generation
+// boundary, persists a checkpoint if -checkpoint is set, and prints the
+// best-so-far design with exit status 0 — a second signal hard-exits.
+// `iddqpart -resume run.ckpt` continues a checkpointed run and, by the
+// determinism of the seeded evolution strategy, finishes with exactly the
+// result the uninterrupted run would have produced.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +35,7 @@ import (
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/evolution"
 	"iddqsyn/internal/partition"
+	"iddqsyn/internal/runctl"
 )
 
 func main() {
@@ -43,6 +54,11 @@ func run() error {
 	rail := flag.Float64("rail", 0.2, "maximum virtual-rail perturbation r*, volts")
 	gens := flag.Int("gens", 0, "override evolution generation budget")
 	seed := flag.Int64("seed", 1, "evolution seed")
+	workers := flag.Int("workers", 0, "parallel cost-evaluation workers (0/1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far design is reported (0 = none)")
+	ckptPath := flag.String("checkpoint", "", "write crash-safe optimizer checkpoints to this file")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in generations (0 = default)")
+	resume := flag.String("resume", "", "resume an evolution run from this checkpoint file")
 	verbose := flag.Bool("v", false, "trace evolution progress")
 	flag.Parse()
 
@@ -79,6 +95,7 @@ func run() error {
 	opt.Constraints = &cons
 	eprm := evolution.DefaultParams()
 	eprm.Seed = *seed
+	eprm.Workers = *workers
 	if *gens > 0 {
 		eprm.MaxGenerations = *gens
 	}
@@ -92,9 +109,41 @@ func run() error {
 		}
 	}
 
-	res, err := core.Synthesize(c, opt)
+	// Run control: checkpointing, resume, wall-clock budget, signals.
+	ckpt := *ckptPath
+	if *resume != "" {
+		ck, err := evolution.LoadCheckpoint(*resume)
+		if err != nil {
+			return err
+		}
+		opt.Resume = ck
+		if ckpt == "" {
+			ckpt = *resume // keep checkpointing the resumed run in place
+		}
+	}
+	if ckpt != "" {
+		opt.Control = &evolution.Control{CheckpointPath: ckpt, CheckpointEvery: *ckptEvery}
+	}
+	if opt.Method != core.MethodEvolution && (ckpt != "" || opt.Resume != nil) {
+		return fmt.Errorf("-checkpoint/-resume apply to -method evolution only")
+	}
+	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
+	defer cancelTimeout()
+	ctx, stop := runctl.WithSignals(ctx, os.Stderr)
+	defer stop()
+
+	res, err := core.SynthesizeContext(ctx, c, opt)
 	if err != nil {
 		return err
+	}
+	stop()
+	if ev := res.Evolution; ev != nil && ev.Interrupted {
+		fmt.Fprintf(os.Stderr, "iddqpart: %v\n", ev.Err)
+		if ckpt != "" {
+			fmt.Fprintf(os.Stderr, "iddqpart: checkpoint saved to %s — resume with: iddqpart -resume %s %s\n",
+				ckpt, ckpt, flag.Arg(0))
+		}
+		fmt.Fprintln(os.Stderr, "iddqpart: reporting the best-so-far design")
 	}
 	fmt.Print(res.Report())
 	return nil

@@ -9,22 +9,33 @@
 //
 // Usage:
 //
-//	iddqstudy [-circuit c432] [-gens 120] [-seed 1] [-study all|figure1|...]
+//	iddqstudy [-circuit c432] [-gens 120] [-seed 1] [-timeout 1h]
+//	          [-study all|figure1|...]
+//
+// With -study all, a failing study does not abort the batch: every
+// requested study runs, each failure is reported to stderr, and the exit
+// status is nonzero if any study failed. SIGINT/SIGTERM (or an expired
+// -timeout) cancels the running optimizers at their next generation
+// boundary — already-computed studies keep their output, the running one
+// completes on its best-so-far state, and the remaining ones are skipped.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"iddqsyn/internal/evolution"
 	"iddqsyn/internal/experiments"
+	"iddqsyn/internal/runctl"
 )
 
 func main() {
 	circuit := flag.String("circuit", "c432", "circuit for the per-circuit studies")
 	gens := flag.Int("gens", 120, "evolution generation budget")
 	seed := flag.Int64("seed", 1, "seed")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole batch (0 = none)")
 	study := flag.String("study", "all",
 		"which study to run: all, figure1, figure2, c17, convergence, ablations, pessimism, optimizers, sensors, schedule, techmap, sweep, yield, scan, delta")
 	flag.Parse()
@@ -42,15 +53,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
+	defer cancelTimeout()
+	ctx, stop := runctl.WithSignals(ctx, os.Stderr)
+	defer stop()
+
+	var failed, skipped []string
 	want := func(name string) bool { return *study == "all" || *study == name }
 	run := func(name string, f func() error) {
 		if !want(name) {
 			return
 		}
+		if ctx.Err() != nil {
+			skipped = append(skipped, name)
+			return
+		}
 		fmt.Printf("=== %s ===\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "iddqstudy: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = append(failed, name)
 		}
 		fmt.Println()
 	}
@@ -81,7 +102,7 @@ func main() {
 	})
 
 	run("c17", func() error {
-		res, err := experiments.C17Trace(*seed)
+		res, err := experiments.C17Trace(ctx, *seed)
 		if err != nil {
 			return err
 		}
@@ -90,7 +111,7 @@ func main() {
 	})
 
 	run("convergence", func() error {
-		res, err := experiments.ConvergenceFrom(*circuit, 8, prm)
+		res, err := experiments.ConvergenceFrom(ctx, *circuit, 8, prm)
 		if err != nil {
 			return err
 		}
@@ -100,11 +121,11 @@ func main() {
 	})
 
 	run("ablations", func() error {
-		mc, err := experiments.AblateMonteCarlo(*circuit, prm)
+		mc, err := experiments.AblateMonteCarlo(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
-		lt, err := experiments.AblateLifetime(*circuit, prm)
+		lt, err := experiments.AblateLifetime(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
@@ -116,7 +137,7 @@ func main() {
 	})
 
 	run("pessimism", func() error {
-		points, err := experiments.Pessimism(*circuit, prm)
+		points, err := experiments.Pessimism(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
@@ -130,7 +151,7 @@ func main() {
 	})
 
 	run("optimizers", func() error {
-		rows, err := experiments.OptimizerComparison(*circuit, 8, prm)
+		rows, err := experiments.OptimizerComparison(ctx, *circuit, 8, prm)
 		if err != nil {
 			return err
 		}
@@ -139,7 +160,7 @@ func main() {
 	})
 
 	run("sensors", func() error {
-		rows, err := experiments.SensorVariants(*circuit, prm)
+		rows, err := experiments.SensorVariants(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
@@ -148,7 +169,7 @@ func main() {
 	})
 
 	run("schedule", func() error {
-		rows, err := experiments.ScheduleStudy(*circuit, prm)
+		rows, err := experiments.ScheduleStudy(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
@@ -157,7 +178,7 @@ func main() {
 	})
 
 	run("techmap", func() error {
-		chosen, rows, err := experiments.TechmapStudy(*circuit, prm)
+		chosen, rows, err := experiments.TechmapStudy(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
@@ -169,7 +190,7 @@ func main() {
 	})
 
 	run("sweep", func() error {
-		points, err := experiments.WeightSweep(*circuit, prm)
+		points, err := experiments.WeightSweep(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
@@ -178,7 +199,7 @@ func main() {
 	})
 
 	run("yield", func() error {
-		points, zero, err := experiments.YieldStudy(*circuit, prm)
+		points, zero, err := experiments.YieldStudy(ctx, *circuit, prm)
 		if err != nil {
 			return err
 		}
@@ -197,7 +218,7 @@ func main() {
 	})
 
 	run("delta", func() error {
-		rows, err := experiments.DeltaStudy(*circuit, prm, nil)
+		rows, err := experiments.DeltaStudy(ctx, *circuit, prm, nil)
 		if err != nil {
 			return err
 		}
@@ -205,6 +226,14 @@ func main() {
 		fmt.Println("(fixed = the paper's 1 µA comparator; delta = current-signature analysis)")
 		return nil
 	})
+
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "iddqstudy: cancelled before %v could run\n", skipped)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "iddqstudy: %d of the requested studies failed: %v\n", len(failed), failed)
+		os.Exit(1)
+	}
 }
 
 func passFail(pass bool) string {

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	table1 [-circuits c1908,c2670] [-gens 250] [-seed 1]
+//	table1 [-circuits c1908,c2670] [-gens 250] [-seed 1] [-timeout 2h]
+//
+// SIGINT/SIGTERM (or an expired -timeout) stops the run at the next
+// generation boundary; rows computed so far are discarded, so interrupt a
+// long run by narrowing -circuits instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,12 +19,14 @@ import (
 
 	"iddqsyn/internal/experiments"
 	"iddqsyn/internal/report"
+	"iddqsyn/internal/runctl"
 )
 
 func main() {
 	circuitsFlag := flag.String("circuits", "", "comma-separated circuit subset (default: all of Table 1)")
 	gens := flag.Int("gens", 0, "override evolution generation budget")
 	seed := flag.Int64("seed", 1, "evolution seed")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
 	mdPath := flag.String("md", "", "also write the rows as a Markdown table to this file")
 	flag.Parse()
@@ -35,7 +42,12 @@ func main() {
 	}
 	cfg.Evolution = &prm
 
-	rows, err := experiments.Table1(cfg)
+	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
+	defer cancelTimeout()
+	ctx, stop := runctl.WithSignals(ctx, os.Stderr)
+	defer stop()
+
+	rows, err := experiments.Table1(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
 		os.Exit(1)

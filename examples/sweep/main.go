@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +26,7 @@ func main() {
 
 	prm := evolution.DefaultParams()
 	prm.MaxGenerations = *gens
-	points, err := experiments.WeightSweep(*name, prm)
+	points, err := experiments.WeightSweep(context.Background(), *name, prm)
 	if err != nil {
 		log.Fatal(err)
 	}

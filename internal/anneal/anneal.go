@@ -10,6 +10,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,6 +68,19 @@ type Result struct {
 	BestCost float64
 	Moves    int // attempted moves
 	Accepted int
+
+	// Interrupted reports that the run was cancelled and Best holds the
+	// best-so-far partition rather than a converged one. Err then wraps
+	// the context's error; interruption is not a failure, so the
+	// optimizer's error return stays nil.
+	Interrupted bool
+	Err         error
+}
+
+// interrupt marks the result best-so-far and wraps the context error.
+func (r *Result) interrupt(ctxErr error, optimizer string) {
+	r.Interrupted = true
+	r.Err = fmt.Errorf("anneal: %s interrupted after %d moves: %w", optimizer, r.Moves, ctxErr)
 }
 
 // penalised returns the cost with the same graded infeasibility penalty
@@ -106,6 +120,14 @@ func randomMove(p *partition.Partition, rng *rand.Rand) bool {
 // Anneal runs simulated annealing from the start partition. The start is
 // not modified.
 func Anneal(start *partition.Partition, prm Params) (*Result, error) {
+	return AnnealContext(context.Background(), start, prm)
+}
+
+// AnnealContext is Anneal with cooperative cancellation: the context is
+// checked at every temperature-epoch boundary, and a cancelled run
+// returns the best-so-far Result with Interrupted set (and a nil error)
+// instead of discarding the work done so far.
+func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) (*Result, error) {
 	if err := prm.validate(); err != nil {
 		return nil, err
 	}
@@ -120,6 +142,10 @@ func Anneal(start *partition.Partition, prm Params) (*Result, error) {
 	}
 
 	for temp > prm.MinTemp && res.Moves < prm.MaxMoves {
+		if err := ctx.Err(); err != nil {
+			res.interrupt(err, "annealing")
+			return res, nil
+		}
 		for i := 0; i < prm.MovesPerEpoch && res.Moves < prm.MaxMoves; i++ {
 			cand := cur.Clone()
 			if !randomMove(cand, rng) {
@@ -170,6 +196,17 @@ func calibrateTemp(p *partition.Partition, baseCost float64, rng *rand.Rand) flo
 // rejected moves or when the move budget is exhausted. It is the
 // strawman the §4 Monte-Carlo descendants are designed to beat.
 func HillClimb(start *partition.Partition, maxMoves, patience int, seed int64) (*Result, error) {
+	return HillClimbContext(context.Background(), start, maxMoves, patience, seed)
+}
+
+// hillClimbCheckEvery is how many attempted moves pass between two
+// cancellation checks of HillClimbContext (the climber has no epochs, so
+// the check runs on a fixed move cadence).
+const hillClimbCheckEvery = 64
+
+// HillClimbContext is HillClimb with cooperative cancellation (see
+// AnnealContext; the context is checked every hillClimbCheckEvery moves).
+func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves, patience int, seed int64) (*Result, error) {
 	if maxMoves < 1 || patience < 1 {
 		return nil, fmt.Errorf("anneal: hill climb needs positive budgets")
 	}
@@ -179,6 +216,12 @@ func HillClimb(start *partition.Partition, maxMoves, patience int, seed int64) (
 	res := &Result{Best: cur.Clone(), BestCost: curCost}
 	rejected := 0
 	for res.Moves < maxMoves && rejected < patience {
+		if res.Moves%hillClimbCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				res.interrupt(err, "hill climb")
+				return res, nil
+			}
+		}
 		cand := cur.Clone()
 		if !randomMove(cand, rng) {
 			break

@@ -288,7 +288,10 @@ func TestNamesSorted(t *testing.T) {
 
 func TestGrid2DStructure(t *testing.T) {
 	types := []circuit.GateType{circuit.Nand, circuit.Nor, circuit.And}
-	g := Grid2D(3, 6, types)
+	g, err := Grid2D(3, 6, types)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := g.ComputeStats()
 	if s.LogicGates != 18 {
 		t.Errorf("gates = %d, want 18", s.LogicGates)
@@ -322,9 +325,18 @@ func gridName(r, c int) string {
 }
 
 func TestGridPartitions(t *testing.T) {
-	g := Grid2D(3, 6, nil)
-	rowsP := GridRowPartition(g, 3, 6)
-	colsP := GridColumnPartition(g, 3, 6)
+	g, err := Grid2D(3, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsP, err := GridRowPartition(g, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colsP, err := GridColumnPartition(g, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rowsP) != 3 || len(colsP) != 6 {
 		t.Fatalf("partition sizes: rows=%d cols=%d", len(rowsP), len(colsP))
 	}
@@ -348,8 +360,30 @@ func TestGridPartitions(t *testing.T) {
 }
 
 func TestGrid2DDefaults(t *testing.T) {
-	g := Grid2D(2, 3, nil)
+	g, err := Grid2D(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g.NumLogicGates() != 6 {
 		t.Errorf("gates = %d, want 6", g.NumLogicGates())
+	}
+}
+
+func TestGrid2DRejectsBadDimensions(t *testing.T) {
+	if _, err := Grid2D(1, 6, nil); err == nil {
+		t.Error("want error for rows < 2")
+	}
+	if _, err := Grid2D(3, 1, nil); err == nil {
+		t.Error("want error for cols < 2")
+	}
+}
+
+func TestGridPartitionsRejectNonGrid(t *testing.T) {
+	c := C17()
+	if _, err := GridRowPartition(c, 3, 6); err == nil {
+		t.Error("row partition of a non-grid circuit must error")
+	}
+	if _, err := GridColumnPartition(c, 3, 6); err == nil {
+		t.Error("column partition of a non-grid circuit must error")
 	}
 }

@@ -22,9 +22,9 @@ import (
 // their peak currents add.
 //
 // Cell r,c is named "r<r>c<c>".
-func Grid2D(rows, cols int, cellTypes []circuit.GateType) *circuit.Circuit {
+func Grid2D(rows, cols int, cellTypes []circuit.GateType) (*circuit.Circuit, error) {
 	if rows < 2 || cols < 2 {
-		panic("circuits: Grid2D needs rows >= 2, cols >= 2")
+		return nil, fmt.Errorf("circuits: Grid2D needs rows >= 2, cols >= 2 (got %d×%d)", rows, cols)
 	}
 	if len(cellTypes) == 0 {
 		cellTypes = []circuit.GateType{circuit.Nand, circuit.Nor, circuit.And}
@@ -51,26 +51,29 @@ func Grid2D(rows, cols int, cellTypes []circuit.GateType) *circuit.Circuit {
 	}
 	c, err := b.Build()
 	if err != nil {
+		// The builder only fails on malformed netlists, which the loops
+		// above cannot produce.
 		panic("circuits: Grid2D must build: " + err.Error())
 	}
-	return c
+	return c, nil
 }
 
 // GridRowPartition returns the per-row grouping of a Grid2D circuit
 // (figure 2's "partition 1": each group holds one cell of every type, and
 // the cells never switch in parallel).
-func GridRowPartition(c *circuit.Circuit, rows, cols int) [][]int {
+func GridRowPartition(c *circuit.Circuit, rows, cols int) ([][]int, error) {
 	groups := make([][]int, rows)
 	for r := 0; r < rows; r++ {
 		for col := 0; col < cols; col++ {
 			g, ok := c.GateByName(fmt.Sprintf("r%dc%d", r, col))
 			if !ok {
-				panic("circuits: not a Grid2D circuit")
+				return nil, fmt.Errorf("circuits: %s is not a %d×%d Grid2D circuit (no cell r%dc%d)",
+					c.Name, rows, cols, r, col)
 			}
 			groups[r] = append(groups[r], g.ID)
 		}
 	}
-	return groups
+	return groups, nil
 }
 
 // GridColumnPartition returns the per-column-band grouping of a Grid2D
@@ -78,16 +81,17 @@ func GridRowPartition(c *circuit.Circuit, rows, cols int) [][]int {
 // type, all switching simultaneously). Bands of width len(cellTypes)
 // columns are cut so both partitions have comparable group sizes when
 // rows == len(cellTypes): group k holds column k of every row band.
-func GridColumnPartition(c *circuit.Circuit, rows, cols int) [][]int {
+func GridColumnPartition(c *circuit.Circuit, rows, cols int) ([][]int, error) {
 	groups := make([][]int, cols)
 	for col := 0; col < cols; col++ {
 		for r := 0; r < rows; r++ {
 			g, ok := c.GateByName(fmt.Sprintf("r%dc%d", r, col))
 			if !ok {
-				panic("circuits: not a Grid2D circuit")
+				return nil, fmt.Errorf("circuits: %s is not a %d×%d Grid2D circuit (no cell r%dc%d)",
+					c.Name, rows, cols, r, col)
 			}
 			groups[col] = append(groups[col], g.ID)
 		}
 	}
-	return groups
+	return groups, nil
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -75,6 +76,18 @@ type Options struct {
 	// Trace, if set, observes the best partition after every evolution
 	// generation.
 	Trace evolution.Trace
+
+	// Control configures evolution run control: periodic crash-safe
+	// checkpointing of the optimizer state. Only meaningful for
+	// MethodEvolution.
+	Control *evolution.Control
+
+	// Resume, if set, continues a checkpointed evolution run instead of
+	// constructing a fresh start population. The checkpoint must belong
+	// to the circuit being synthesized; the evolution parameters are
+	// taken from the checkpoint (Options.Evolution is ignored), so the
+	// resumed run finishes bit-identically to an uninterrupted one.
+	Resume *evolution.Checkpoint
 }
 
 // Result is a synthesized IDDQ-testable design.
@@ -94,6 +107,15 @@ type Result struct {
 
 // Synthesize runs the full flow on circuit c.
 func Synthesize(c *circuit.Circuit, opt Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), c, opt)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation: the
+// context is threaded into the optimizer, which checks it at generation
+// boundaries. A cancelled synthesis still returns a complete Result —
+// partition, sensors, costs — built from the optimizer's best-so-far
+// individual, with Result.Evolution.Interrupted set.
+func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, error) {
 	lib := opt.Library
 	if lib == nil {
 		lib = celllib.Default()
@@ -124,22 +146,30 @@ func Synthesize(c *circuit.Circuit, opt Options) (*Result, error) {
 	res := &Result{Method: opt.Method, Circuit: c, Annotated: a, Estimator: e}
 	switch opt.Method {
 	case MethodEvolution:
-		size := opt.ModuleSize
-		if size <= 0 {
-			size = standard.EstimateModuleSize(e, w, cons)
-		}
-		rng := rand.New(rand.NewSource(eprm.Seed))
-		starts := make([]*partition.Partition, 0, eprm.Mu)
-		for i := 0; i < eprm.Mu; i++ {
-			p, err := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
+		var er *evolution.Result
+		if opt.Resume != nil {
+			er, err = evolution.ResumeContext(ctx, opt.Resume, e, w, cons, opt.Trace, opt.Control)
 			if err != nil {
-				return nil, fmt.Errorf("core: start partition: %w", err)
+				return nil, fmt.Errorf("core: %w", err)
 			}
-			starts = append(starts, p)
-		}
-		er, err := evolution.Optimize(starts, eprm, opt.Trace)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		} else {
+			size := opt.ModuleSize
+			if size <= 0 {
+				size = standard.EstimateModuleSize(e, w, cons)
+			}
+			rng := rand.New(rand.NewSource(eprm.Seed))
+			starts := make([]*partition.Partition, 0, eprm.Mu)
+			for i := 0; i < eprm.Mu; i++ {
+				p, err := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
+				if err != nil {
+					return nil, fmt.Errorf("core: start partition: %w", err)
+				}
+				starts = append(starts, p)
+			}
+			er, err = evolution.OptimizeControlled(ctx, starts, eprm, opt.Trace, opt.Control)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
 		}
 		res.Evolution = er
 		res.Partition = er.Best
@@ -185,8 +215,12 @@ func (r *Result) Report() string {
 		cv.SensorArea, 100*cv.DelayOverhead, 100*cv.TestTime, cv.Separation)
 	fmt.Fprintf(&sb, "  weighted cost C(Π) = %.6g\n", r.Partition.Cost())
 	if r.Evolution != nil {
-		fmt.Fprintf(&sb, "  evolution: %d generations, %d evaluations\n",
-			r.Evolution.Generations, r.Evolution.Evaluations)
+		note := ""
+		if r.Evolution.Interrupted {
+			note = " (interrupted — best-so-far result)"
+		}
+		fmt.Fprintf(&sb, "  evolution: %d generations, %d evaluations%s\n",
+			r.Evolution.Generations, r.Evolution.Evaluations, note)
 	}
 	for mi := range r.Chip.Sensors {
 		s := &r.Chip.Sensors[mi]

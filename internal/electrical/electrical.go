@@ -4,9 +4,17 @@
 // delay degradation factor δ(g,t) of §3.2, and the IDDQ settling time Δ(τ)
 // of §3.4 — together with small numerical transient simulators used by the
 // tests to validate each closed form against the underlying RC network.
+//
+// Every model validates its physical inputs and reports non-positive
+// resistances, currents, delays, or thresholds as an error rather than a
+// panic, so a malformed cell library or parameter file surfaces as a
+// diagnosable failure instead of a crash.
 package electrical
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // SensorROn returns the bypass-device ON resistance Rs* = r*/iDD,max
 // (§3.1): the largest resistance keeping the virtual-rail perturbation at
@@ -14,11 +22,14 @@ import "math"
 // are stringent (100 mV–300 mV), so the feasible Rs is small and its
 // delay impact is second-order — which is why the paper fixes Rs at
 // exactly this value instead of optimising it per module.
-func SensorROn(railLimit, iDDMax float64) float64 {
-	if iDDMax <= 0 {
-		panic("electrical: non-positive iDD,max")
+func SensorROn(railLimit, iDDMax float64) (float64, error) {
+	if railLimit <= 0 {
+		return 0, fmt.Errorf("electrical: non-positive rail limit r* = %g", railLimit)
 	}
-	return railLimit / iDDMax
+	if iDDMax <= 0 {
+		return 0, fmt.Errorf("electrical: non-positive iDD,max = %g", iDDMax)
+	}
+	return railLimit / iDDMax, nil
 }
 
 // RailPerturbation returns the worst-case virtual-rail voltage excursion
@@ -31,11 +42,11 @@ func RailPerturbation(rs, iDDMax float64) float64 {
 // fixed detection-circuitry term plus a sensing-element/bypass-device term
 // inversely proportional to the ON resistance (a lower Rs needs a wider
 // MOS bypass switch).
-func SensorArea(a0, a1, rs float64) float64 {
+func SensorArea(a0, a1, rs float64) (float64, error) {
 	if rs <= 0 {
-		panic("electrical: non-positive Rs")
+		return 0, fmt.Errorf("electrical: non-positive Rs = %g", rs)
 	}
-	return a0 + a1/rs
+	return a0 + a1/rs, nil
 }
 
 // DelayDegradation returns the gate delay degradation factor δ(g,t) of
@@ -51,18 +62,18 @@ func SensorArea(a0, a1, rs float64) float64 {
 // constant never sees the perturbation. With cs → 0 the model reduces to
 // the exact series-resistance result 1 + n·Rs/Rg (see the package tests,
 // which verify this against a transient simulation of the network).
-func DelayDegradation(n int, rs, rg, d, cs float64) float64 {
+func DelayDegradation(n int, rs, rg, d, cs float64) (float64, error) {
 	if n < 1 {
 		n = 1
 	}
 	if rs <= 0 || rg <= 0 || d <= 0 {
-		panic("electrical: non-positive rs/rg/d")
+		return 0, fmt.Errorf("electrical: non-positive rs=%g/rg=%g/d=%g", rs, rg, d)
 	}
 	damp := 1.0
 	if cs > 0 {
 		damp = 1 - math.Exp(-d/(rs*cs))
 	}
-	return 1 + float64(n)*rs/rg*damp
+	return 1 + float64(n)*rs/rg*damp, nil
 }
 
 // SettlingTime returns Δ(τ) of §3.4: the time for the transient supply
@@ -70,12 +81,13 @@ func DelayDegradation(n int, rs, rg, d, cs float64) float64 {
 // τ = Rs·Cs, to fall from its peak below the sensing threshold, after
 // which the quiescent current can be measured. The result is never
 // negative; a peak already below threshold settles instantly.
-func SettlingTime(tau, iPeak, iThreshold float64) float64 {
+func SettlingTime(tau, iPeak, iThreshold float64) (float64, error) {
 	if tau <= 0 || iPeak <= 0 || iThreshold <= 0 {
-		panic("electrical: non-positive settling parameters")
+		return 0, fmt.Errorf("electrical: non-positive settling parameters tau=%g/iPeak=%g/iTh=%g",
+			tau, iPeak, iThreshold)
 	}
 	if iPeak <= iThreshold {
-		return 0
+		return 0, nil
 	}
-	return tau * math.Log(iPeak/iThreshold)
+	return tau * math.Log(iPeak/iThreshold), nil
 }

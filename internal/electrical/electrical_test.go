@@ -2,24 +2,38 @@ package electrical
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
 
+// unwrap returns a helper that unwraps a model result inside a test,
+// failing the test on error.
+func unwrap(t *testing.T) func(float64, error) float64 {
+	return func(v float64, err error) float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+}
+
 func TestSensorROn(t *testing.T) {
+	ok := unwrap(t)
 	// 200 mV limit at 10 mA peak -> 20 Ω.
-	if got := SensorROn(0.2, 10e-3); !close(got, 20, 1e-9) {
+	if got := ok(SensorROn(0.2, 10e-3)); !close(got, 20, 1e-9) {
 		t.Errorf("SensorROn = %g, want 20", got)
 	}
 }
 
-func TestSensorROnPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic for iDDmax <= 0")
-		}
-	}()
-	SensorROn(0.2, 0)
+func TestSensorROnRejectsBadInput(t *testing.T) {
+	if _, err := SensorROn(0.2, 0); err == nil {
+		t.Error("want error for iDDmax <= 0")
+	}
+	if _, err := SensorROn(0, 1e-3); err == nil {
+		t.Error("want error for rail limit <= 0")
+	}
 }
 
 // Property: the rail perturbation at Rs = SensorROn(r*, i) is exactly r*,
@@ -28,7 +42,10 @@ func TestSensorSizingMeetsLimit(t *testing.T) {
 	prop := func(limMilliV, peakMilliA uint8) bool {
 		lim := 0.1 + float64(limMilliV%30)*0.01 // 100..390 mV
 		peak := 1e-3 * (1 + float64(peakMilliA%50))
-		rs := SensorROn(lim, peak)
+		rs, err := SensorROn(lim, peak)
+		if err != nil {
+			return false
+		}
 		if !close(RailPerturbation(rs, peak), lim, 1e-12) {
 			return false
 		}
@@ -40,35 +57,34 @@ func TestSensorSizingMeetsLimit(t *testing.T) {
 }
 
 func TestSensorAreaModel(t *testing.T) {
-	if got := SensorArea(100, 2000, 20); !close(got, 200, 1e-9) {
+	ok := unwrap(t)
+	if got := ok(SensorArea(100, 2000, 20)); !close(got, 200, 1e-9) {
 		t.Errorf("SensorArea = %g, want 200", got)
 	}
 	// Halving Rs (bigger bypass device) grows only the A1 term.
-	if got := SensorArea(100, 2000, 10); !close(got, 300, 1e-9) {
+	if got := ok(SensorArea(100, 2000, 10)); !close(got, 300, 1e-9) {
 		t.Errorf("SensorArea = %g, want 300", got)
 	}
 }
 
-func TestSensorAreaPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic for Rs <= 0")
-		}
-	}()
-	SensorArea(1, 1, 0)
+func TestSensorAreaRejectsBadInput(t *testing.T) {
+	if _, err := SensorArea(1, 1, 0); err == nil {
+		t.Error("want error for Rs <= 0")
+	}
 }
 
 func TestDelayDegradationLimits(t *testing.T) {
+	ok := unwrap(t)
 	// cs = 0: exact series-resistance result 1 + n·Rs/Rg.
-	if got := DelayDegradation(3, 10, 1000, 1e-9, 0); !close(got, 1.03, 1e-9) {
+	if got := ok(DelayDegradation(3, 10, 1000, 1e-9, 0)); !close(got, 1.03, 1e-9) {
 		t.Errorf("δ(cs=0) = %g, want 1.03", got)
 	}
 	// Huge Cs: the rail never moves within one gate delay, δ → 1.
-	if got := DelayDegradation(3, 10, 1000, 1e-9, 1); !close(got, 1.0, 1e-6) {
+	if got := ok(DelayDegradation(3, 10, 1000, 1e-9, 1)); !close(got, 1.0, 1e-6) {
 		t.Errorf("δ(cs→∞) = %g, want ≈1", got)
 	}
 	// n < 1 clamps to 1.
-	if got := DelayDegradation(0, 10, 1000, 1e-9, 0); !close(got, 1.01, 1e-9) {
+	if got := ok(DelayDegradation(0, 10, 1000, 1e-9, 0)); !close(got, 1.01, 1e-9) {
 		t.Errorf("δ(n=0) = %g, want 1.01", got)
 	}
 }
@@ -80,8 +96,8 @@ func TestDelayDegradationMonotoneInActivity(t *testing.T) {
 		cs := float64(csUnits) * 1e-13
 		prev := 0.0
 		for k := 1; k <= int(n%16)+2; k++ {
-			d := DelayDegradation(k, rs, 2e3, 1e-9, cs)
-			if d < 1 || d < prev {
+			d, err := DelayDegradation(k, rs, 2e3, 1e-9, cs)
+			if err != nil || d < 1 || d < prev {
 				return false
 			}
 			prev = d
@@ -93,26 +109,37 @@ func TestDelayDegradationMonotoneInActivity(t *testing.T) {
 	}
 }
 
+// discharge unwraps a transient-simulation result inside a test.
+func discharge(t *testing.T, vdd float64, n int, rg, cg, rs, cs, dt float64) DischargeResult {
+	t.Helper()
+	res, err := SimulateGateDischarge(vdd, n, rg, cg, rs, cs, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 // The cs = 0 closed form must match the transient simulation of the same
 // network exactly (both reduce to a single RC with series resistance
 // rg + n·rs).
 func TestDelayDegradationAgainstTransientCsZero(t *testing.T) {
+	ok := unwrap(t)
 	const (
 		vdd = 5.0
 		rg  = 2e3
 		cg  = 50e-15
 		dt  = 1e-14
 	)
-	base := SimulateGateDischarge(vdd, 1, rg, cg, 0, 0, dt)
+	base := discharge(t, vdd, 1, rg, cg, 0, 0, dt)
 	wantBase := rg * cg * math.Ln2
 	if !close(base.T50, wantBase, wantBase*0.01) {
 		t.Fatalf("baseline T50 = %g, analytic %g", base.T50, wantBase)
 	}
 	for _, n := range []int{1, 2, 4, 8} {
 		for _, rs := range []float64{20, 50, 200} {
-			sim := SimulateGateDischarge(vdd, n, rg, cg, rs, 0, dt)
+			sim := discharge(t, vdd, n, rg, cg, rs, 0, dt)
 			measured := sim.T50 / base.T50
-			formula := DelayDegradation(n, rs, rg, rg*cg*math.Ln2, 0)
+			formula := ok(DelayDegradation(n, rs, rg, rg*cg*math.Ln2, 0))
 			if !close(measured, formula, formula*0.02) {
 				t.Errorf("n=%d rs=%g: measured δ=%.4f formula δ=%.4f", n, rs, measured, formula)
 			}
@@ -124,6 +151,7 @@ func TestDelayDegradationAgainstTransientCsZero(t *testing.T) {
 // damped below the cs = 0 value, and the transient simulation must agree
 // that a large rail capacitance reduces the degradation.
 func TestDelayDegradationDampingAgainstTransient(t *testing.T) {
+	ok := unwrap(t)
 	const (
 		vdd = 5.0
 		rg  = 2e3
@@ -131,16 +159,16 @@ func TestDelayDegradationDampingAgainstTransient(t *testing.T) {
 		rs  = 100.0
 		dt  = 1e-14
 	)
-	base := SimulateGateDischarge(vdd, 1, rg, cg, 0, 0, dt)
+	base := discharge(t, vdd, 1, rg, cg, 0, 0, dt)
 	d := rg * cg * math.Ln2
-	deltaNoCs := SimulateGateDischarge(vdd, 4, rg, cg, rs, 0, dt).T50 / base.T50
-	deltaBigCs := SimulateGateDischarge(vdd, 4, rg, cg, rs, 100*cg, dt).T50 / base.T50
+	deltaNoCs := discharge(t, vdd, 4, rg, cg, rs, 0, dt).T50 / base.T50
+	deltaBigCs := discharge(t, vdd, 4, rg, cg, rs, 100*cg, dt).T50 / base.T50
 	if deltaBigCs >= deltaNoCs {
 		t.Errorf("transient: rail capacitance should reduce degradation (%.4f vs %.4f)",
 			deltaBigCs, deltaNoCs)
 	}
-	fNoCs := DelayDegradation(4, rs, rg, d, 0)
-	fBigCs := DelayDegradation(4, rs, rg, d, 100*cg)
+	fNoCs := ok(DelayDegradation(4, rs, rg, d, 0))
+	fBigCs := ok(DelayDegradation(4, rs, rg, d, 100*cg))
 	if fBigCs >= fNoCs {
 		t.Errorf("formula: damping failed (%.4f vs %.4f)", fBigCs, fNoCs)
 	}
@@ -150,14 +178,15 @@ func TestDelayDegradationDampingAgainstTransient(t *testing.T) {
 }
 
 func TestSettlingTime(t *testing.T) {
+	ok := unwrap(t)
 	tau := 2e-9
 	// ln(1000) τ for a 1 mA peak against a 1 µA threshold.
-	got := SettlingTime(tau, 1e-3, 1e-6)
+	got := ok(SettlingTime(tau, 1e-3, 1e-6))
 	want := tau * math.Log(1000)
 	if !close(got, want, want*1e-9) {
 		t.Errorf("SettlingTime = %g, want %g", got, want)
 	}
-	if SettlingTime(tau, 1e-7, 1e-6) != 0 {
+	if ok(SettlingTime(tau, 1e-7, 1e-6)) != 0 {
 		t.Error("peak below threshold must settle instantly")
 	}
 }
@@ -165,10 +194,11 @@ func TestSettlingTime(t *testing.T) {
 // SettlingTime must agree with the step-wise decay simulation within one
 // time step.
 func TestSettlingTimeAgainstDecaySim(t *testing.T) {
+	ok := unwrap(t)
 	const dt = 1e-12
 	for _, tau := range []float64{1e-9, 5e-9, 20e-9} {
-		analytic := SettlingTime(tau, 2e-3, 1e-6)
-		simulated := DecayToThreshold(2e-3, tau, 1e-6, dt)
+		analytic := ok(SettlingTime(tau, 2e-3, 1e-6))
+		simulated := ok(DecayToThreshold(2e-3, tau, 1e-6, dt))
 		if math.Abs(analytic-simulated) > 2*dt+1e-15 {
 			t.Errorf("tau=%g: analytic %g vs simulated %g", tau, analytic, simulated)
 		}
@@ -178,18 +208,35 @@ func TestSettlingTimeAgainstDecaySim(t *testing.T) {
 // Property: settling time is monotone in τ and in the peak/threshold
 // ratio.
 func TestSettlingTimeMonotone(t *testing.T) {
+	settle := func(tau, peak, th float64) float64 {
+		v, err := SettlingTime(tau, peak, th)
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
 	prop := func(a, b uint8) bool {
 		tau1 := 1e-9 * (1 + float64(a%20))
 		tau2 := tau1 * 2
-		if SettlingTime(tau2, 1e-3, 1e-6) <= SettlingTime(tau1, 1e-3, 1e-6) {
+		if !(settle(tau2, 1e-3, 1e-6) > settle(tau1, 1e-3, 1e-6)) {
 			return false
 		}
 		p1 := 1e-5 * (1 + float64(b%40))
-		return SettlingTime(tau1, p1*10, 1e-6) > SettlingTime(tau1, p1, 1e-6)
+		return settle(tau1, p1*10, 1e-6) > settle(tau1, p1, 1e-6)
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// rail unwraps a rail-simulation result inside a test.
+func rail(t *testing.T, pulses []Pulse, rs, cs, dt, tEnd float64) RailResult {
+	t.Helper()
+	res, err := SimulateRail(pulses, rs, cs, dt, tEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestSimulateRailPeakBoundedByEstimate(t *testing.T) {
@@ -208,7 +255,7 @@ func TestSimulateRailPeakBoundedByEstimate(t *testing.T) {
 	}
 	estimate := RailPerturbation(rs, sumPeaks)
 	for _, cs := range []float64{0, 1e-13, 1e-12} {
-		res := SimulateRail(pulses, rs, cs, 1e-12, 4e-9)
+		res := rail(t, pulses, rs, cs, 1e-12, 4e-9)
 		if res.PeakVoltage > estimate {
 			t.Errorf("cs=%g: simulated peak %g exceeds estimate %g", cs, res.PeakVoltage, estimate)
 		}
@@ -225,7 +272,7 @@ func TestSimulateRailAlignedPulsesApproachEstimate(t *testing.T) {
 		{Start: 0, Duration: 1e-9, Peak: 300e-6},
 		{Start: 0, Duration: 1e-9, Peak: 200e-6},
 	}
-	res := SimulateRail(pulses, 100, 0, 1e-13, 2e-9)
+	res := rail(t, pulses, 100, 0, 1e-13, 2e-9)
 	want := RailPerturbation(100, 500e-6)
 	if !close(res.PeakVoltage, want, want*0.01) {
 		t.Errorf("aligned peak = %g, want %g", res.PeakVoltage, want)
@@ -234,7 +281,7 @@ func TestSimulateRailAlignedPulsesApproachEstimate(t *testing.T) {
 
 func TestSimulateRailDischargesAtEnd(t *testing.T) {
 	pulses := []Pulse{{Start: 0, Duration: 0.5e-9, Peak: 1e-3}}
-	res := SimulateRail(pulses, 50, 1e-13, 1e-13, 5e-9)
+	res := rail(t, pulses, 50, 1e-13, 1e-13, 5e-9)
 	if res.EndVoltage > 1e-6 {
 		t.Errorf("rail should have discharged, end voltage %g", res.EndVoltage)
 	}
@@ -255,20 +302,30 @@ func TestPulseShape(t *testing.T) {
 	}
 }
 
-func TestPanicsOnBadParameters(t *testing.T) {
-	assertPanics := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s: want panic", name)
-			}
-		}()
-		f()
+// Every model must reject non-positive physical parameters with a
+// descriptive error — not a panic — so bad cell libraries or parameter
+// files fail diagnosably.
+func TestRejectsBadParameters(t *testing.T) {
+	assertErr := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: want error", name)
+			return
+		}
+		if !strings.Contains(err.Error(), "electrical:") {
+			t.Errorf("%s: error %q not attributed to the package", name, err)
+		}
 	}
-	assertPanics("DelayDegradation", func() { DelayDegradation(1, 0, 1, 1, 0) })
-	assertPanics("SettlingTime", func() { SettlingTime(0, 1, 1) })
-	assertPanics("SimulateRail", func() { SimulateRail(nil, 0, 0, 1, 1) })
-	assertPanics("SimulateGateDischarge", func() { SimulateGateDischarge(0, 1, 1, 1, 1, 0, 1) })
-	assertPanics("DecayToThreshold", func() { DecayToThreshold(0, 1, 1, 1) })
+	_, err := DelayDegradation(1, 0, 1, 1, 0)
+	assertErr("DelayDegradation", err)
+	_, err = SettlingTime(0, 1, 1)
+	assertErr("SettlingTime", err)
+	_, err = SimulateRail(nil, 0, 0, 1, 1)
+	assertErr("SimulateRail", err)
+	_, err = SimulateGateDischarge(0, 1, 1, 1, 1, 0, 1)
+	assertErr("SimulateGateDischarge", err)
+	_, err = DecayToThreshold(0, 1, 1, 1)
+	assertErr("DecayToThreshold", err)
 }
 
 func close(a, b, eps float64) bool {

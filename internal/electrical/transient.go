@@ -1,6 +1,9 @@
 package electrical
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // This file holds small fixed-step transient simulators of the RC networks
 // underlying the closed-form models. They play the role of the paper's
@@ -44,9 +47,10 @@ type RailResult struct {
 //
 // for the summed gate current pulses, with time step dt until tEnd.
 // With cs = 0 the node is purely resistive and v = Rs·i_in(t).
-func SimulateRail(pulses []Pulse, rs, cs, dt, tEnd float64) RailResult {
+func SimulateRail(pulses []Pulse, rs, cs, dt, tEnd float64) (RailResult, error) {
 	if rs <= 0 || dt <= 0 || tEnd <= 0 {
-		panic("electrical: non-positive rail simulation parameters")
+		return RailResult{}, fmt.Errorf("electrical: non-positive rail simulation parameters rs=%g/dt=%g/tEnd=%g",
+			rs, dt, tEnd)
 	}
 	var res RailResult
 	v := 0.0
@@ -68,7 +72,7 @@ func SimulateRail(pulses []Pulse, rs, cs, dt, tEnd float64) RailResult {
 		}
 	}
 	res.EndVoltage = v
-	return res
+	return res, nil
 }
 
 // DischargeResult reports the 50 % crossing time of a gate output
@@ -88,9 +92,10 @@ type DischargeResult struct {
 // With cs = 0 the rail is algebraic (vs = n·i·rs) and the network is a
 // single RC with series resistance rg + n·rs, giving the exact closed
 // form T50 = (rg + n·rs)·cg·ln 2 that the tests compare against.
-func SimulateGateDischarge(vdd float64, n int, rg, cg, rs, cs, dt float64) DischargeResult {
+func SimulateGateDischarge(vdd float64, n int, rg, cg, rs, cs, dt float64) (DischargeResult, error) {
 	if vdd <= 0 || n < 1 || rg <= 0 || cg <= 0 || rs < 0 || dt <= 0 {
-		panic("electrical: non-positive discharge parameters")
+		return DischargeResult{}, fmt.Errorf("electrical: non-positive discharge parameters vdd=%g/n=%d/rg=%g/cg=%g/rs=%g/dt=%g",
+			vdd, n, rg, cg, rs, dt)
 	}
 	vo := vdd
 	vs := 0.0
@@ -109,19 +114,20 @@ func SimulateGateDischarge(vdd float64, n int, rg, cg, rs, cs, dt float64) Disch
 		vo -= dt * i / cg
 		t += dt
 	}
-	return DischargeResult{T50: t}
+	return DischargeResult{T50: t}, nil
 }
 
 // DecayToThreshold simulates an exponentially decaying supply current
 // i(t) = i0·exp(−t/τ) and returns the first time it falls below ith.
 // It is the numerical counterpart of SettlingTime.
-func DecayToThreshold(i0, tau, ith, dt float64) float64 {
+func DecayToThreshold(i0, tau, ith, dt float64) (float64, error) {
 	if i0 <= 0 || tau <= 0 || ith <= 0 || dt <= 0 {
-		panic("electrical: non-positive decay parameters")
+		return 0, fmt.Errorf("electrical: non-positive decay parameters i0=%g/tau=%g/ith=%g/dt=%g",
+			i0, tau, ith, dt)
 	}
 	t := 0.0
 	for i0*math.Exp(-t/tau) > ith {
 		t += dt
 	}
-	return t
+	return t, nil
 }

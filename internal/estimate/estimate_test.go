@@ -176,7 +176,10 @@ func TestEvalModule(t *testing.T) {
 	if !approx(m.Tau, m.Rs*m.Cs, 1e-20) {
 		t.Error("Tau != Rs*Cs")
 	}
-	wantArea := electrical.SensorArea(e.P.AreaA0, e.P.AreaA1, m.Rs)
+	wantArea, err := electrical.SensorArea(e.P.AreaA0, e.P.AreaA1, m.Rs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !approx(m.SensorArea, wantArea, 1e-9) {
 		t.Errorf("SensorArea = %g, want %g", m.SensorArea, wantArea)
 	}

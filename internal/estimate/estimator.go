@@ -102,6 +102,18 @@ func (m *Module) Discriminability(iddqTh float64) float64 {
 	return iddqTh / m.LeakND
 }
 
+// must unwraps an electrical-model result. The estimator only ever feeds
+// the models validated inputs — positive Params from DefaultParams and
+// positive currents/delays from an annotated cell library — so an error
+// here is an invariant violation, not an input condition; the optimizer
+// worker pools recover such panics into errors.
+func must(v float64, err error) float64 {
+	if err != nil {
+		panic("estimate: " + err.Error())
+	}
+	return v
+}
+
 // EvalModule computes all per-module estimates for a gate group.
 func (e *Estimator) EvalModule(gates []int) *Module {
 	m := &Module{Gates: gates}
@@ -110,15 +122,15 @@ func (e *Estimator) EvalModule(gates []int) *Module {
 		return m
 	}
 	m.IDDMax = e.TS.MaxCurrent(e.A, gates)
-	m.Rs = electrical.SensorROn(e.P.RailLimit, m.IDDMax)
+	m.Rs = must(electrical.SensorROn(e.P.RailLimit, m.IDDMax))
 	m.Cs = e.P.CsSensor
 	for _, g := range gates {
 		m.Cs += e.A.Cout[g]
 	}
 	m.Tau = m.Rs * m.Cs
-	m.SensorArea = electrical.SensorArea(e.P.AreaA0, e.P.AreaA1, m.Rs)
+	m.SensorArea = must(electrical.SensorArea(e.P.AreaA0, e.P.AreaA1, m.Rs))
 	m.LeakND = e.A.TotalLeakageMax(gates)
-	m.Settle = electrical.SettlingTime(m.Tau, m.IDDMax, e.P.IDDQth)
+	m.Settle = must(electrical.SettlingTime(m.Tau, m.IDDMax, e.P.IDDQth))
 	m.Separation = e.SeparationModule(gates)
 	m.Activity = e.TS.ActivityProfile(gates)
 	return m
@@ -209,7 +221,7 @@ func (e *Estimator) longestPath(moduleOf []int, mods []*Module, scratch []float6
 				if t := levels[id]; t < len(m.Activity) && m.Activity[t] > 1 {
 					n = m.Activity[t]
 				}
-				d *= electrical.DelayDegradation(n, m.Rs, e.A.Rg[id], e.A.Delay[id], m.Cs)
+				d *= must(electrical.DelayDegradation(n, m.Rs, e.A.Rg[id], e.A.Delay[id], m.Cs))
 			}
 		}
 		arrival[id] = in + d

@@ -1,0 +1,215 @@
+// Crash-safe checkpointing of the evolution state. A checkpoint captures
+// everything the generation loop depends on — the control parameters, the
+// population (gate groups, ages, self-adapted step widths, costs), the
+// best individual, the stall counter, the bookkeeping totals, and the
+// exact position of the seed-derived random stream — so a resumed run
+// replays the remaining generations bit-identically to a run that was
+// never interrupted.
+
+package evolution
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/partition"
+)
+
+// CheckpointFormat and CheckpointVersion identify the checkpoint file
+// format. The version is bumped whenever the serialized state or the
+// generation loop's use of the random stream changes incompatibly; a
+// mismatch is a load error, never a silent misresume.
+const (
+	CheckpointFormat  = "iddqsyn-evolution-checkpoint"
+	CheckpointVersion = 1
+)
+
+// CheckpointIndividual is one serialized population member.
+type CheckpointIndividual struct {
+	Groups    [][]int `json:"groups"`
+	Cost      float64 `json:"cost"`
+	Age       int     `json:"age"`
+	StepWidth int     `json:"step_width"` // self-adapted m
+}
+
+// Checkpoint is the serialized optimizer state at a generation boundary.
+type Checkpoint struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+
+	// Circuit identity, so a checkpoint cannot be resumed against a
+	// different netlist.
+	Circuit string `json:"circuit"`
+	Gates   int    `json:"gates"`
+
+	Params   Params `json:"params"`
+	RNGDraws uint64 `json:"rng_draws"` // steps consumed from the seeded source
+
+	Generation  int       `json:"generation"` // last completed generation
+	Evaluations int       `json:"evaluations"`
+	Stall       int       `json:"stall"`
+	BestCost    float64   `json:"best_cost"`
+	Best        [][]int   `json:"best"` // gate groups of the best individual
+	History     []float64 `json:"history"`
+
+	Population []CheckpointIndividual `json:"population"`
+}
+
+// checkpoint captures the current state. It is called only at generation
+// boundaries, where `state` is fully consistent.
+func (s *state) checkpoint() *Checkpoint {
+	c := s.pop[0].p.E.A.Circuit
+	ck := &Checkpoint{
+		Format:      CheckpointFormat,
+		Version:     CheckpointVersion,
+		Circuit:     c.Name,
+		Gates:       c.NumGates(),
+		Params:      s.prm,
+		RNGDraws:    s.src.draws,
+		Generation:  s.res.Generations,
+		Evaluations: s.res.Evaluations,
+		Stall:       s.stall,
+		BestCost:    s.res.BestCost,
+		Best:        s.res.Best.Groups(),
+		History:     append([]float64(nil), s.res.History...),
+	}
+	for _, ind := range s.pop {
+		ck.Population = append(ck.Population, CheckpointIndividual{
+			Groups:    ind.p.Groups(),
+			Cost:      ind.cost,
+			Age:       ind.age,
+			StepWidth: ind.m,
+		})
+	}
+	return ck
+}
+
+// write persists the checkpoint atomically: marshal, write a sibling temp
+// file, fsync, rename. A crash mid-write leaves the previous checkpoint
+// (or none) in place, never a truncated one.
+func (ck *Checkpoint) write(path string) error {
+	data, err := json.MarshalIndent(ck, "", " ")
+	if err != nil {
+		return fmt.Errorf("evolution: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("evolution: write checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("evolution: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("evolution: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("evolution: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("evolution: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// WriteCheckpoint saves a checkpoint to path (atomic, see write).
+func WriteCheckpoint(ck *Checkpoint, path string) error {
+	if err := ck.validate(); err != nil {
+		return err
+	}
+	return ck.write(path)
+}
+
+// LoadCheckpoint reads and validates a checkpoint file. Corrupted files,
+// foreign formats and version mismatches yield descriptive errors.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("evolution: load checkpoint: %w", err)
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("evolution: checkpoint %s is corrupted: %w", path, err)
+	}
+	if err := ck.validate(); err != nil {
+		return nil, fmt.Errorf("evolution: checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// validate checks the structural integrity of a checkpoint.
+func (ck *Checkpoint) validate() error {
+	switch {
+	case ck.Format != CheckpointFormat:
+		return fmt.Errorf("not an evolution checkpoint (format %q, want %q)",
+			ck.Format, CheckpointFormat)
+	case ck.Version != CheckpointVersion:
+		return fmt.Errorf("checkpoint version %d not supported (want %d)",
+			ck.Version, CheckpointVersion)
+	case len(ck.Population) == 0:
+		return fmt.Errorf("checkpoint has an empty population")
+	case len(ck.Best) == 0:
+		return fmt.Errorf("checkpoint has no best individual")
+	case ck.Generation < 0 || ck.Stall < 0:
+		return fmt.Errorf("checkpoint has negative progress counters")
+	}
+	if err := ck.Params.validate(); err != nil {
+		return fmt.Errorf("checkpoint parameters invalid: %w", err)
+	}
+	return nil
+}
+
+// ResumeContext continues an optimization run from a checkpoint. The
+// estimator, weights and constraints must describe the same circuit and
+// objective the checkpointed run used (the circuit identity is verified;
+// the objective cannot be, so resuming under different weights is a
+// caller bug). The control parameters are taken from the checkpoint, and
+// the random stream is fast-forwarded to the recorded position, so the
+// resumed run's remaining generations — and its final Result — are
+// bit-identical to those of an uninterrupted run with the same seed.
+func ResumeContext(ctx context.Context, ck *Checkpoint, e *estimate.Estimator, w partition.Weights, cons partition.Constraints, trace Trace, ctl *Control) (*Result, error) {
+	if err := ck.validate(); err != nil {
+		return nil, err
+	}
+	c := e.A.Circuit
+	if ck.Circuit != c.Name || ck.Gates != c.NumGates() {
+		return nil, fmt.Errorf("evolution: checkpoint is for circuit %q (%d gates), not %q (%d gates)",
+			ck.Circuit, ck.Gates, c.Name, c.NumGates())
+	}
+	src := newCountingSource(ck.Params.Seed)
+	src.skip(ck.RNGDraws)
+	s := &state{
+		prm:     ck.Params,
+		src:     src,
+		rng:     rand.New(src),
+		stall:   ck.Stall,
+		nextGen: ck.Generation + 1,
+		res: &Result{
+			BestCost:    ck.BestCost,
+			Generations: ck.Generation,
+			Evaluations: ck.Evaluations,
+			History:     append([]float64(nil), ck.History...),
+		},
+	}
+	best, err := partition.New(e, ck.Best, w, cons)
+	if err != nil {
+		return nil, fmt.Errorf("evolution: checkpoint best individual: %w", err)
+	}
+	s.res.Best = best
+	for i, ind := range ck.Population {
+		p, err := partition.New(e, ind.Groups, w, cons)
+		if err != nil {
+			return nil, fmt.Errorf("evolution: checkpoint individual %d: %w", i, err)
+		}
+		s.pop = append(s.pop, &individual{p: p, cost: ind.Cost, age: ind.Age, m: ind.StepWidth})
+	}
+	return s.run(ctx, trace, ctl)
+}

@@ -1,0 +1,264 @@
+// Run control for the evolution strategy: cooperative cancellation at
+// generation boundaries, periodic crash-safe checkpointing, and panic
+// containment in the parallel cost-evaluation workers. The optimizer
+// state lives in a single `state` value so an interrupted run, a resumed
+// run and an uninterrupted run all execute the identical generation loop
+// — the basis of the bit-identical resume guarantee.
+
+package evolution
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"iddqsyn/internal/partition"
+)
+
+// DefaultCheckpointEvery is the checkpoint cadence, in generations, used
+// when a Control names a checkpoint file but leaves CheckpointEvery zero.
+const DefaultCheckpointEvery = 10
+
+// Control configures run control for one optimization run.
+type Control struct {
+	// CheckpointPath, if non-empty, makes the optimizer persist its full
+	// state to this file every CheckpointEvery generations and on
+	// interruption. Writes are atomic (temp file + rename), so a crash
+	// never leaves a truncated checkpoint behind.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in generations
+	// (0 = DefaultCheckpointEvery).
+	CheckpointEvery int
+}
+
+func (c *Control) every() int {
+	if c == nil || c.CheckpointPath == "" {
+		return 0
+	}
+	if c.CheckpointEvery <= 0 {
+		return DefaultCheckpointEvery
+	}
+	return c.CheckpointEvery
+}
+
+// countingSource wraps the standard math/rand source and counts how many
+// times it was stepped. Every Int63 and Uint64 call advances the
+// underlying generator by exactly one step, so replaying `draws` steps on
+// a fresh source of the same seed reproduces the generator state exactly
+// — which is how a resumed run re-enters the random sequence at the
+// position the checkpoint captured.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// skip advances the source by n steps (used on resume).
+func (s *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Int63()
+	}
+	s.draws = n
+}
+
+// state is the complete optimizer state between two generations: the
+// checkpoint serializes exactly this (plus the RNG draw count), and the
+// generation loop below is the only code that mutates it.
+type state struct {
+	prm     Params
+	src     *countingSource
+	rng     *rand.Rand
+	pop     []*individual
+	res     *Result
+	stall   int
+	nextGen int // first generation the loop will run (1 for fresh runs)
+}
+
+// run executes generations nextGen..MaxGenerations with cancellation
+// checks at every generation boundary. An interrupted run returns the
+// best-so-far Result with Interrupted set and a nil error (the only
+// errors are real failures: a panicking cost evaluation or an unwritable
+// checkpoint file).
+func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, error) {
+	every := ctl.every()
+	for gen := s.nextGen; gen <= s.prm.MaxGenerations; gen++ {
+		if s.stall >= s.prm.StallGenerations {
+			break // resumed from a checkpoint of an already-stalled run
+		}
+		if err := ctx.Err(); err != nil {
+			return s.interrupt(err, ctl)
+		}
+		s.res.Generations = gen
+		// Mutation is sequential (single deterministic rand stream);
+		// the cost evaluations below may run on a worker pool.
+		descendants := make([]*individual, 0, len(s.pop)*(s.prm.Lambda+s.prm.Chi))
+		for _, parent := range s.pop {
+			for l := 0; l < s.prm.Lambda; l++ {
+				child := parent.p.Clone() // recombination = duplication (§4.1)
+				moved := mutate(child, parent.m, s.rng)
+				if !moved {
+					continue
+				}
+				descendants = append(descendants, &individual{
+					p: child, m: adaptStep(parent.m, s.prm.Epsilon, s.rng),
+				})
+			}
+			for x := 0; x < s.prm.Chi; x++ {
+				child := parent.p.Clone()
+				moved := monteCarlo(child, s.rng)
+				if !moved {
+					continue
+				}
+				descendants = append(descendants, &individual{
+					p: child, m: adaptStep(parent.m, s.prm.Epsilon, s.rng),
+				})
+			}
+			parent.age++
+		}
+		if err := evaluate(descendants, s.prm.Workers, costOf); err != nil {
+			return nil, err
+		}
+		s.res.Evaluations += len(descendants)
+
+		// Selection: parents older than ω are deleted; the μ cheapest of
+		// the remaining parents and all descendants survive.
+		pool := descendants
+		for _, ind := range s.pop {
+			if ind.age < s.prm.Omega {
+				pool = append(pool, ind)
+			}
+		}
+		if len(pool) == 0 {
+			break // nothing mutable remains (e.g. single-module partitions)
+		}
+		s.pop = selectBest(pool, s.prm.Mu)
+
+		if b := cheapest(s.pop); b.cost < s.res.BestCost {
+			s.res.BestCost = b.cost
+			s.res.Best = b.p.Clone()
+			s.stall = 0
+		} else {
+			s.stall++
+		}
+		s.res.History = append(s.res.History, s.res.BestCost)
+		if trace != nil {
+			trace(gen, s.res.Best, s.res.BestCost)
+		}
+		if s.stall >= s.prm.StallGenerations {
+			break
+		}
+		if every > 0 && gen%every == 0 && gen < s.prm.MaxGenerations {
+			if err := s.checkpoint().write(ctl.CheckpointPath); err != nil {
+				// The run state is intact; surface the result alongside
+				// the error so hours of work are not discarded because a
+				// disk filled up.
+				return s.res, err
+			}
+		}
+	}
+	return s.res, nil
+}
+
+// interrupt finalises a cancelled run: best-so-far result, Interrupted
+// flag, a wrapped context error, and a final checkpoint if configured.
+func (s *state) interrupt(ctxErr error, ctl *Control) (*Result, error) {
+	s.res.Interrupted = true
+	s.res.Err = fmt.Errorf("evolution: interrupted after generation %d: %w",
+		s.res.Generations, ctxErr)
+	if ctl != nil && ctl.CheckpointPath != "" {
+		if err := s.checkpoint().write(ctl.CheckpointPath); err != nil {
+			return s.res, err
+		}
+	}
+	return s.res, nil
+}
+
+// testEvalHook, when non-nil, runs before every descendant cost
+// evaluation. Tests use it to inject a panic into a worker and assert it
+// surfaces as an error instead of crashing the process.
+var testEvalHook func(i int, p *partition.Partition)
+
+// evaluate fills in the cost of every descendant, using up to `workers`
+// goroutines. Each descendant is an independent clone and cost is pure,
+// so the parallel evaluation is race-free and bit-identical to the
+// sequential one. A panic inside a cost evaluation (however it is
+// provoked — corrupted state, a bug in an estimator, an injected fault)
+// is recovered and returned as an error naming the offending descendant;
+// the remaining workers drain and exit cleanly.
+func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64) error {
+	eval := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("evolution: cost evaluation of descendant %d/%d panicked: %v",
+					i, len(descendants), r)
+			}
+		}()
+		if testEvalHook != nil {
+			testEvalHook(i, descendants[i].p)
+		}
+		descendants[i].cost = cost(descendants[i].p)
+		return nil
+	}
+
+	if workers <= 1 || len(descendants) < 2 {
+		for i := range descendants {
+			if err := eval(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(descendants) {
+		workers = len(descendants)
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int64 = -1
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(descendants) || failed.Load() {
+					return
+				}
+				if err := eval(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

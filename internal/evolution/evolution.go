@@ -8,11 +8,10 @@
 package evolution
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
-	"sync/atomic"
 
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/partition"
@@ -99,6 +98,14 @@ type Result struct {
 	Generations int
 	Evaluations int       // descendant cost evaluations
 	History     []float64 // best cost per generation
+
+	// Interrupted reports that the run was cancelled (context done) at a
+	// generation boundary and Best holds the best-so-far individual rather
+	// than a converged one. Err then wraps the context's error;
+	// interruption is not a failure, so the optimizer's error return stays
+	// nil.
+	Interrupted bool
+	Err         error
 }
 
 type individual struct {
@@ -115,6 +122,17 @@ type individual struct {
 // far their worst module is from the required discriminability.
 const infeasiblePenalty = 1e9
 
+// costOf grades a partition for selection: the weighted global cost plus
+// the graded infeasibility penalty. It is pure (no shared state), so
+// descendants can be evaluated on a worker pool.
+func costOf(p *partition.Partition) float64 {
+	c := p.Cost()
+	if worst := p.WorstDiscriminability(); worst < p.Cons.MinDiscriminability {
+		c += infeasiblePenalty * (1 + math.Log(p.Cons.MinDiscriminability/worst))
+	}
+	return c
+}
+
 // Optimize runs the evolution cycle on an explicit start population.
 // Every start partition must share the same estimator, weights and
 // constraints. Infeasible individuals (Γ(Π) = 0) are penalised so
@@ -122,127 +140,50 @@ const infeasiblePenalty = 1e9
 // graded by the size of the violation so evolution can climb back to
 // feasibility.
 func Optimize(starts []*partition.Partition, prm Params, trace Trace) (*Result, error) {
+	return OptimizeContext(context.Background(), starts, prm, trace)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: the context
+// is checked at every generation boundary, and a cancelled run returns
+// the best-so-far Result with Interrupted set (and a nil error) instead
+// of discarding the work done so far.
+func OptimizeContext(ctx context.Context, starts []*partition.Partition, prm Params, trace Trace) (*Result, error) {
+	return OptimizeControlled(ctx, starts, prm, trace, nil)
+}
+
+// OptimizeControlled is OptimizeContext with run control: if ctl names a
+// checkpoint file, the full optimizer state is persisted there
+// periodically and on interruption, so a killed run can be resumed
+// bit-identically with ResumeContext.
+func OptimizeControlled(ctx context.Context, starts []*partition.Partition, prm Params, trace Trace, ctl *Control) (*Result, error) {
 	if err := prm.validate(); err != nil {
 		return nil, err
 	}
 	if len(starts) == 0 {
 		return nil, fmt.Errorf("evolution: empty start population")
 	}
-	rng := rand.New(rand.NewSource(prm.Seed))
-	res := &Result{}
-
-	// cost is pure (no shared state) so descendants can be evaluated on
-	// a worker pool; res.Evaluations is counted at the call sites.
-	cost := func(p *partition.Partition) float64 {
-		c := p.Cost()
-		if worst := p.WorstDiscriminability(); worst < p.Cons.MinDiscriminability {
-			c += infeasiblePenalty * (1 + math.Log(p.Cons.MinDiscriminability/worst))
-		}
-		return c
+	src := newCountingSource(prm.Seed)
+	s := &state{
+		prm:     prm,
+		src:     src,
+		rng:     rand.New(src),
+		res:     &Result{},
+		nextGen: 1,
 	}
-
-	pop := make([]*individual, 0, len(starts))
-	for _, s := range starts {
-		pop = append(pop, &individual{p: s, cost: cost(s), m: prm.MaxMove})
+	s.pop = make([]*individual, 0, len(starts))
+	for _, st := range starts {
+		s.pop = append(s.pop, &individual{p: st, m: prm.MaxMove})
 	}
-	res.Evaluations += len(pop)
-	best := cheapest(pop)
-	res.Best = best.p.Clone()
-	res.BestCost = best.cost
-	stall := 0
-
-	for gen := 1; gen <= prm.MaxGenerations; gen++ {
-		res.Generations = gen
-		// Mutation is sequential (single deterministic rand stream);
-		// the cost evaluations below may run on a worker pool.
-		descendants := make([]*individual, 0, len(pop)*(prm.Lambda+prm.Chi))
-		for _, parent := range pop {
-			for l := 0; l < prm.Lambda; l++ {
-				child := parent.p.Clone() // recombination = duplication (§4.1)
-				moved := mutate(child, parent.m, rng)
-				if !moved {
-					continue
-				}
-				descendants = append(descendants, &individual{
-					p: child, m: adaptStep(parent.m, prm.Epsilon, rng),
-				})
-			}
-			for x := 0; x < prm.Chi; x++ {
-				child := parent.p.Clone()
-				moved := monteCarlo(child, rng)
-				if !moved {
-					continue
-				}
-				descendants = append(descendants, &individual{
-					p: child, m: adaptStep(parent.m, prm.Epsilon, rng),
-				})
-			}
-			parent.age++
-		}
-		evaluate(descendants, prm.Workers, cost)
-		res.Evaluations += len(descendants)
-
-		// Selection: parents older than ω are deleted; the μ cheapest of
-		// the remaining parents and all descendants survive.
-		pool := descendants
-		for _, ind := range pop {
-			if ind.age < prm.Omega {
-				pool = append(pool, ind)
-			}
-		}
-		if len(pool) == 0 {
-			break // nothing mutable remains (e.g. single-module partitions)
-		}
-		pop = selectBest(pool, prm.Mu)
-
-		if b := cheapest(pop); b.cost < res.BestCost {
-			res.BestCost = b.cost
-			res.Best = b.p.Clone()
-			stall = 0
-		} else {
-			stall++
-		}
-		res.History = append(res.History, res.BestCost)
-		if trace != nil {
-			trace(gen, res.Best, res.BestCost)
-		}
-		if stall >= prm.StallGenerations {
-			break
-		}
+	// The initial evaluation runs sequentially (it is μ cheap calls) but
+	// through the same panic-recovering path as the generation loop.
+	if err := evaluate(s.pop, 1, costOf); err != nil {
+		return nil, err
 	}
-	return res, nil
-}
-
-// evaluate fills in the cost of every descendant, using up to `workers`
-// goroutines. Each descendant is an independent clone and cost is pure,
-// so the parallel evaluation is race-free and bit-identical to the
-// sequential one.
-func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64) {
-	if workers <= 1 || len(descendants) < 2 {
-		for _, d := range descendants {
-			d.cost = cost(d.p)
-		}
-		return
-	}
-	if workers > len(descendants) {
-		workers = len(descendants)
-	}
-	var wg sync.WaitGroup
-	var next int64 = -1
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(descendants) {
-					return
-				}
-				descendants[i].cost = cost(descendants[i].p)
-			}
-		}()
-	}
-	wg.Wait()
+	s.res.Evaluations += len(s.pop)
+	best := cheapest(s.pop)
+	s.res.Best = best.p.Clone()
+	s.res.BestCost = best.cost
+	return s.run(ctx, trace, ctl)
 }
 
 // mutate applies the §4.2 mutation: a random module M_start is selected,
@@ -358,6 +299,16 @@ func selectBest(pool []*individual, mu int) []*individual {
 // parameters, μ chain-based start partitions are constructed (§4.2), and
 // the evolution cycle optimizes the weighted cost under the constraints.
 func Run(e *estimate.Estimator, w partition.Weights, cons partition.Constraints, prm Params, trace Trace) (*Result, error) {
+	return RunContext(context.Background(), e, w, cons, prm, trace)
+}
+
+// RunContext is Run with cooperative cancellation (see OptimizeContext).
+func RunContext(ctx context.Context, e *estimate.Estimator, w partition.Weights, cons partition.Constraints, prm Params, trace Trace) (*Result, error) {
+	return RunControlled(ctx, e, w, cons, prm, trace, nil)
+}
+
+// RunControlled is RunContext with checkpointing (see OptimizeControlled).
+func RunControlled(ctx context.Context, e *estimate.Estimator, w partition.Weights, cons partition.Constraints, prm Params, trace Trace, ctl *Control) (*Result, error) {
 	if err := prm.validate(); err != nil {
 		return nil, err
 	}
@@ -372,5 +323,5 @@ func Run(e *estimate.Estimator, w partition.Weights, cons partition.Constraints,
 		}
 		starts = append(starts, p)
 	}
-	return Optimize(starts, prm, trace)
+	return OptimizeControlled(ctx, starts, prm, trace, ctl)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,7 +37,7 @@ type DeltaRow struct {
 // crosses the fixed threshold (overkill explodes) while the signature
 // detector — which keys on the defect's step, not the absolute level —
 // stays near the ATPG escape floor.
-func DeltaStudy(name string, eprm evolution.Params, sigmas []float64) ([]DeltaRow, error) {
+func DeltaStudy(ctx context.Context, name string, eprm evolution.Params, sigmas []float64) ([]DeltaRow, error) {
 	if len(sigmas) == 0 {
 		sigmas = []float64{0.3, 0.8, 1.5}
 	}
@@ -44,7 +45,7 @@ func DeltaStudy(name string, eprm evolution.Params, sigmas []float64) ([]DeltaRo
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(c, core.Options{Evolution: &eprm})
+	res, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &eprm})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestTable1SmallSubset(t *testing.T) {
 		t.Skip("table 1 in short mode")
 	}
 	prm := fastEvolution()
-	rows, err := Table1(Table1Config{Circuits: []string{"c1908"}, Evolution: &prm})
+	rows, err := Table1(context.Background(), Table1Config{Circuits: []string{"c1908"}, Evolution: &prm})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestFigure2LargerArrays(t *testing.T) {
 }
 
 func TestC17TraceReachesOptimum(t *testing.T) {
-	res, err := C17Trace(3)
+	res, err := C17Trace(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestC17TraceReachesOptimum(t *testing.T) {
 }
 
 func TestConvergenceHistoryDecreases(t *testing.T) {
-	res, err := Convergence("c432", fastEvolution())
+	res, err := Convergence(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,14 +160,14 @@ func TestAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations in short mode")
 	}
-	mc, err := AblateMonteCarlo("c432", fastEvolution())
+	mc, err := AblateMonteCarlo(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mc.Baseline <= 0 || mc.Variant <= 0 {
 		t.Error("ablation costs must be positive")
 	}
-	lt, err := AblateLifetime("c432", fastEvolution())
+	lt, err := AblateLifetime(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestWeightSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("weight sweep in short mode")
 	}
-	points, err := WeightSweep("c432", fastEvolution())
+	points, err := WeightSweep(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestPessimismBound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("pessimism study in short mode")
 	}
-	points, err := Pessimism("c432", fastEvolution())
+	points, err := Pessimism(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestPessimismBound(t *testing.T) {
 
 func TestTable1UnknownCircuit(t *testing.T) {
 	prm := fastEvolution()
-	if _, err := Table1(Table1Config{Circuits: []string{"c9999"}, Evolution: &prm}); err == nil {
+	if _, err := Table1(context.Background(), Table1Config{Circuits: []string{"c9999"}, Evolution: &prm}); err == nil {
 		t.Error("want error for unknown circuit")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -37,7 +38,7 @@ type OptimizerRow struct {
 // startSize sets the start-partition granularity; pass a size well below
 // the optimum module size so the optimizers have real merging and
 // refinement work to differentiate on (0 uses the §4.2 estimate).
-func OptimizerComparison(name string, startSize int, eprm evolution.Params) ([]OptimizerRow, error) {
+func OptimizerComparison(ctx context.Context, name string, startSize int, eprm evolution.Params) ([]OptimizerRow, error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return nil, err
@@ -69,7 +70,7 @@ func OptimizerComparison(name string, startSize int, eprm evolution.Params) ([]O
 		}
 	}
 
-	es, err := evolution.Optimize(starts, eprm, nil)
+	es, err := evolution.OptimizeContext(ctx, starts, eprm, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -83,11 +84,11 @@ func OptimizerComparison(name string, startSize int, eprm evolution.Params) ([]O
 	if saPrm.MovesPerEpoch = budget / 80; saPrm.MovesPerEpoch < 1 {
 		saPrm.MovesPerEpoch = 1
 	}
-	sa, err := anneal.Anneal(best, saPrm)
+	sa, err := anneal.AnnealContext(ctx, best, saPrm)
 	if err != nil {
 		return nil, err
 	}
-	hc, err := anneal.HillClimb(best, budget, budget/4+1, eprm.Seed)
+	hc, err := anneal.HillClimbContext(ctx, best, budget, budget/4+1, eprm.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -123,12 +124,12 @@ type VariantRow struct {
 
 // SensorVariants evaluates the sensing-device classes on the named
 // circuit's largest-current module.
-func SensorVariants(name string, eprm evolution.Params) ([]VariantRow, error) {
+func SensorVariants(ctx context.Context, name string, eprm evolution.Params) ([]VariantRow, error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(c, core.Options{Evolution: &eprm})
+	res, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &eprm})
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +176,7 @@ type TechmapRow struct {
 // TechmapStudy runs the paper's future-work flow: map the circuit in each
 // style, evolve a partition on each, and compare the final costs against
 // the mapper's choice.
-func TechmapStudy(name string, eprm evolution.Params) (chosen techmap.Style, rows []TechmapRow, err error) {
+func TechmapStudy(ctx context.Context, name string, eprm evolution.Params) (chosen techmap.Style, rows []TechmapRow, err error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return 0, nil, err
@@ -189,7 +190,7 @@ func TechmapStudy(name string, eprm evolution.Params) (chosen techmap.Style, row
 		return 0, nil, err
 	}
 	for _, cand := range mres.Candidates {
-		res, err := core.Synthesize(cand.Circuit, core.Options{Evolution: &eprm})
+		res, err := core.SynthesizeContext(ctx, cand.Circuit, core.Options{Evolution: &eprm})
 		if err != nil {
 			return 0, nil, err
 		}
@@ -215,12 +216,12 @@ type ScheduleRow struct {
 // ScheduleStudy sizes the sensors of an evolved partition, generates the
 // IDDQ test set, and evaluates the three readout strategies — the
 // area-vs-test-time trade-off behind the paper's c₅ routing cost.
-func ScheduleStudy(name string, eprm evolution.Params) ([]ScheduleRow, error) {
+func ScheduleStudy(ctx context.Context, name string, eprm evolution.Params) ([]ScheduleRow, error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(c, core.Options{Evolution: &eprm})
+	res, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &eprm})
 	if err != nil {
 		return nil, err
 	}

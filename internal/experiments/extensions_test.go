@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestOptimizerComparison(t *testing.T) {
 	prm.Chi = 2
 	prm.MaxGenerations = 150
 	prm.StallGenerations = 150
-	rows, err := OptimizerComparison("c432", 8, prm)
+	rows, err := OptimizerComparison(context.Background(), "c432", 8, prm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestSensorVariantsTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sensor variants in short mode")
 	}
-	rows, err := SensorVariants("c432", fastEvolution())
+	rows, err := SensorVariants(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestTechmapStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("techmap study in short mode")
 	}
-	chosen, rows, err := TechmapStudy("c432", fastEvolution())
+	chosen, rows, err := TechmapStudy(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestScheduleStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("schedule study in short mode")
 	}
-	rows, err := ScheduleStudy("c432", fastEvolution())
+	rows, err := ScheduleStudy(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestDeltaStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("delta study in short mode")
 	}
-	rows, err := DeltaStudy("c432", fastEvolution(), []float64{0.3, 2.0})
+	rows, err := DeltaStudy(context.Background(), "c432", fastEvolution(), []float64{0.3, 2.0})
 	if err != nil {
 		t.Fatal(err)
 	}

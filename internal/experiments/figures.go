@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -102,7 +103,10 @@ type Figure2Result struct {
 // cell types.
 func Figure2(rows, cols int) (*Figure2Result, error) {
 	types := []circuit.GateType{circuit.Nand, circuit.Nor, circuit.And}
-	g := circuits.Grid2D(rows, cols, types)
+	g, err := circuits.Grid2D(rows, cols, types)
+	if err != nil {
+		return nil, err
+	}
 	a, err := celllib.Annotate(g, celllib.Default())
 	if err != nil {
 		return nil, err
@@ -119,8 +123,14 @@ func Figure2(rows, cols int) (*Figure2Result, error) {
 		}
 		return
 	}
-	rowGroups := circuits.GridRowPartition(g, rows, cols)
-	colGroups := circuits.GridColumnPartition(g, rows, cols)
+	rowGroups, err := circuits.GridRowPartition(g, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	colGroups, err := circuits.GridColumnPartition(g, rows, cols)
+	if err != nil {
+		return nil, err
+	}
 	res := &Figure2Result{Rows: rows, Cols: cols,
 		RowModules: len(rowGroups), ColModules: len(colGroups)}
 	res.RowMaxIDD, res.RowSensorArea = eval(rowGroups)
@@ -150,7 +160,7 @@ type C17TraceResult struct {
 }
 
 // C17Trace runs the evolution algorithm on C17 with a trace hook.
-func C17Trace(seed int64) (*C17TraceResult, error) {
+func C17Trace(ctx context.Context, seed int64) (*C17TraceResult, error) {
 	c := circuits.C17()
 	a, err := celllib.Annotate(c, celllib.Default())
 	if err != nil {
@@ -184,7 +194,7 @@ func C17Trace(seed int64) (*C17TraceResult, error) {
 		}
 		starts = append(starts, p)
 	}
-	er, err := evolution.Optimize(starts, prm, trace)
+	er, err := evolution.OptimizeContext(ctx, starts, prm, trace)
 	if err != nil {
 		return nil, err
 	}

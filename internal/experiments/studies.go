@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -30,19 +31,19 @@ type ConvergenceResult struct {
 
 // Convergence runs the evolution flow on one circuit and records the
 // best-cost trajectory.
-func Convergence(name string, prm evolution.Params) (*ConvergenceResult, error) {
-	return ConvergenceFrom(name, 0, prm)
+func Convergence(ctx context.Context, name string, prm evolution.Params) (*ConvergenceResult, error) {
+	return ConvergenceFrom(ctx, name, 0, prm)
 }
 
 // ConvergenceFrom is Convergence with an explicit start-partition module
 // size (0 = the §4.2 estimate). A deliberately fine start shows the full
 // merge-and-refine trajectory even on circuits whose optimum is coarse.
-func ConvergenceFrom(name string, startSize int, prm evolution.Params) (*ConvergenceResult, error) {
+func ConvergenceFrom(ctx context.Context, name string, startSize int, prm evolution.Params) (*ConvergenceResult, error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(c, core.Options{Evolution: &prm, ModuleSize: startSize})
+	res, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &prm, ModuleSize: startSize})
 	if err != nil {
 		return nil, err
 	}
@@ -73,14 +74,14 @@ type AblationResult struct {
 // AblateMonteCarlo measures the contribution of the χ Monte-Carlo
 // descendants (the mechanism against local minima), from deliberately
 // fine starts so the optimizer has a full trajectory to differ on.
-func AblateMonteCarlo(name string, prm evolution.Params) (*AblationResult, error) {
-	base, err := ConvergenceFrom(name, ablationStartSize, prm)
+func AblateMonteCarlo(ctx context.Context, name string, prm evolution.Params) (*AblationResult, error) {
+	base, err := ConvergenceFrom(ctx, name, ablationStartSize, prm)
 	if err != nil {
 		return nil, err
 	}
 	noMC := prm
 	noMC.Chi = 0
-	variant, err := ConvergenceFrom(name, ablationStartSize, noMC)
+	variant, err := ConvergenceFrom(ctx, name, ablationStartSize, noMC)
 	if err != nil {
 		return nil, err
 	}
@@ -96,14 +97,14 @@ const ablationStartSize = 8
 
 // AblateLifetime measures the contribution of the maximum lifetime ω
 // (deleting stale elites) by making parents immortal.
-func AblateLifetime(name string, prm evolution.Params) (*AblationResult, error) {
-	base, err := ConvergenceFrom(name, ablationStartSize, prm)
+func AblateLifetime(ctx context.Context, name string, prm evolution.Params) (*AblationResult, error) {
+	base, err := ConvergenceFrom(ctx, name, ablationStartSize, prm)
 	if err != nil {
 		return nil, err
 	}
 	immortal := prm
 	immortal.Omega = 1 << 30
-	variant, err := ConvergenceFrom(name, ablationStartSize, immortal)
+	variant, err := ConvergenceFrom(ctx, name, ablationStartSize, immortal)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +129,7 @@ type WeightSweepPoint struct {
 // WeightSweep synthesizes one circuit under different weight priorities
 // (area-focused, delay-focused, testability-focused) and reports how the
 // design moves through the Speed-Area-Testability space.
-func WeightSweep(name string, prm evolution.Params) ([]WeightSweepPoint, error) {
+func WeightSweep(ctx context.Context, name string, prm evolution.Params) ([]WeightSweepPoint, error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return nil, err
@@ -147,7 +148,7 @@ func WeightSweep(name string, prm evolution.Params) ([]WeightSweepPoint, error) 
 		{Label: "few-modules", Weights: modW},
 	}
 	for i := range points {
-		res, err := core.Synthesize(c, core.Options{
+		res, err := core.SynthesizeContext(ctx, c, core.Options{
 			Weights:   &points[i].Weights,
 			Evolution: &prm,
 		})
@@ -201,12 +202,12 @@ type EstimatorPessimism struct {
 
 // Pessimism evaluates the estimator bound on every module of an evolved
 // partition of the named circuit.
-func Pessimism(name string, prm evolution.Params) ([]EstimatorPessimism, error) {
+func Pessimism(ctx context.Context, name string, prm evolution.Params) ([]EstimatorPessimism, error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(c, core.Options{Evolution: &prm})
+	res, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &prm})
 	if err != nil {
 		return nil, err
 	}
@@ -277,7 +278,11 @@ func timingPeaks(res *core.Result, pairs int, seed int64) ([]float64, error) {
 			})
 		}
 		for mi, ps := range pulses {
-			if v := pulsePeak(ps); v > peaks[mi] {
+			v, err := pulsePeak(ps)
+			if err != nil {
+				return nil, err
+			}
+			if v > peaks[mi] {
 				peaks[mi] = v
 			}
 		}
@@ -287,9 +292,9 @@ func timingPeaks(res *core.Result, pairs int, seed int64) ([]float64, error) {
 
 // pulsePeak returns the maximum of a summed triangular pulse train,
 // sampled at sub-pulse resolution.
-func pulsePeak(pulses []electrical.Pulse) float64 {
+func pulsePeak(pulses []electrical.Pulse) (float64, error) {
 	if len(pulses) == 0 {
-		return 0
+		return 0, nil
 	}
 	end := 0.0
 	minDur := pulses[0].Duration
@@ -301,8 +306,11 @@ func pulsePeak(pulses []electrical.Pulse) float64 {
 			minDur = p.Duration
 		}
 	}
-	res := electrical.SimulateRail(pulses, 1, 0, minDur/8, end)
-	return res.PeakCurrent
+	res, err := electrical.SimulateRail(pulses, 1, 0, minDur/8, end)
+	if err != nil {
+		return 0, err
+	}
+	return res.PeakCurrent, nil
 }
 
 // simulatedPeak sums triangular pulses: each gate switches once at its

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -73,7 +74,7 @@ func Table1DefaultEvolution() evolution.Params {
 // Table1 regenerates the paper's Table 1: for every circuit, the
 // evolution-based partitioning, then the standard partitioning at the same
 // module count, and the comparison of sensor area, delay and test time.
-func Table1(cfg Table1Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 	names := cfg.Circuits
 	if names == nil {
 		for _, c := range Table1Circuits {
@@ -90,11 +91,11 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		evo, err := core.Synthesize(c, core.Options{Evolution: &eprm})
+		evo, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &eprm})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s evolution: %w", name, err)
 		}
-		std, err := core.Synthesize(c, core.Options{
+		std, err := core.SynthesizeContext(ctx, c, core.Options{
 			Method:  core.MethodStandard,
 			Modules: evo.Partition.NumModules(),
 		})

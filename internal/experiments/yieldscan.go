@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -22,12 +23,12 @@ type YieldPoint = yield.Point
 // escape and overkill rates over a geometric IDDQ,th ladder, plus the
 // smallest zero-overkill threshold of the simulated fault-free
 // population. It quantifies the §2 choice d = 10 and IDDQ,th = 1 µA.
-func YieldStudy(name string, eprm evolution.Params) ([]yield.Point, float64, error) {
+func YieldStudy(ctx context.Context, name string, eprm evolution.Params) ([]yield.Point, float64, error) {
 	c, err := circuits.ISCAS85Like(name)
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := core.Synthesize(c, core.Options{Evolution: &eprm})
+	res, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &eprm})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestYieldStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("yield study in short mode")
 	}
-	points, zero, err := YieldStudy("c432", fastEvolution())
+	points, zero, err := YieldStudy(context.Background(), "c432", fastEvolution())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+package isc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/bench"
+)
+
+// FuzzRead feeds arbitrary bytes to the ISCAS85 parser: no input, however
+// malformed, may panic — bad netlists must come back as descriptive
+// errors. Inputs that do parse must survive a Write/Read round trip with
+// the circuit structure intact.
+//
+// The seed corpus is the historical C17 file, every Table 1 benchmark
+// (converted from .bench via the isc writer), and a handful of
+// deliberately broken netlists covering the parser's error paths.
+func FuzzRead(f *testing.F) {
+	f.Add(c17ISC)
+	for _, seed := range []string{
+		"",
+		"* comment only\n",
+		"1 a inpt 1\n",                        // input without counts
+		"1 a nand 1 2\n1 x\n",                 // bad fanin continuation
+		"1 a from\n",                          // branch without parent
+		"1 a from b\n",                        // branch to unknown net
+		"1 a nand 0 1\n2\n",                   // fanin references unknown address
+		"1 a inpt 1 0\n1 b inpt 1 0\n",        // duplicate address
+		"9999999999999999999999 a inpt 1 0\n", // address overflow
+		"1 a frob 1 1\n",                      // unknown primitive
+		"1 a nand 0 2\n",                      // missing fanin lines
+		"1 a from a\n2 b nand 0 1\n1\n",       // self-referential branch
+	} {
+		f.Add(seed)
+	}
+	// Real benchmarks, converted to the ISC format through the writer.
+	files, err := filepath.Glob(filepath.Join("..", "..", "benchmarks", "*.bench"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		c, err := bench.Read(bytes.NewReader(data), filepath.Base(path))
+		if err != nil {
+			f.Fatalf("%s: %v", path, err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			f.Fatalf("%s: %v", path, err)
+		}
+		f.Add(buf.String())
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Read(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("accepted netlist failed to write: %v", err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("written netlist failed to re-read: %v\n%s", err, buf.String())
+		}
+		if bench.Fingerprint(c) != bench.Fingerprint(back) {
+			t.Fatal("round trip changed the circuit structure")
+		}
+	})
+}

@@ -28,7 +28,17 @@ func NewParallel(c *circuit.Circuit) *Parallel {
 // ApplyBatch loads up to 64 vectors (vectors[k][i] is the value of input i
 // under pattern k) and simulates the whole batch. Unused pattern slots
 // replicate the last vector, so word-level reductions stay well defined.
-func (p *Parallel) ApplyBatch(vectors [][]bool) error {
+// A panic inside the batch evaluation (e.g. a gate type the word
+// evaluator does not model) is recovered into an error, so a parallel
+// caller — the evolution cost workers drive batch fault simulation
+// through this path — degrades to a failed evaluation instead of
+// crashing the process.
+func (p *Parallel) ApplyBatch(vectors [][]bool) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("logicsim: batch simulation panicked: %v", r)
+		}
+	}()
 	if len(vectors) == 0 || len(vectors) > 64 {
 		return fmt.Errorf("logicsim: batch of %d vectors (want 1..64)", len(vectors))
 	}

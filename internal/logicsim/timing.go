@@ -87,7 +87,12 @@ func (q *eventQueue) Pop() any {
 // every gate output transition in time order (transport-delay semantics:
 // every input change that flips a gate's instantaneous function schedules
 // an output event one gate delay later; hazard pulses are reported).
-func (ts *TimingSim) Run(from, to []bool) ([]SwitchEvent, error) {
+func (ts *TimingSim) Run(from, to []bool) (events []SwitchEvent, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			events, err = nil, fmt.Errorf("logicsim: timing simulation panicked: %v", r)
+		}
+	}()
 	c := ts.c
 	if len(from) != len(c.Inputs) || len(to) != len(c.Inputs) {
 		return nil, fmt.Errorf("logicsim: vector width %d/%d, want %d", len(from), len(to), len(c.Inputs))
@@ -116,7 +121,6 @@ func (ts *TimingSim) Run(from, to []bool) ([]SwitchEvent, error) {
 		return g.Type.Eval(in)
 	}
 
-	var events []SwitchEvent
 	guard := 64 * c.NumGates() * (len(c.Inputs) + 1) // oscillation guard (combinational DAGs cannot oscillate, but stay safe)
 	for q.Len() > 0 && len(events) < guard {
 		ev := heap.Pop(&q).(timedEvent)

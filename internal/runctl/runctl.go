@@ -1,0 +1,76 @@
+// Package runctl provides the process-level run control shared by the
+// iddqsyn binaries: two-stage signal handling (the first SIGINT/SIGTERM
+// cancels the run's context so optimizers stop at the next generation
+// boundary and persist their state; the second forces an immediate exit)
+// and an optional wall-clock deadline. It exists so every long-running
+// command gets identical, well-tested semantics instead of hand-rolled
+// signal loops.
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ForcedExitCode is the exit status of a hard exit on the second signal
+// (128 + SIGINT, the conventional "killed by Ctrl-C" status).
+const ForcedExitCode = 130
+
+// exit is swapped out by tests; the second signal must never return.
+var exit = os.Exit
+
+// WithSignals derives a context that is cancelled by the first SIGINT or
+// SIGTERM. A second signal hard-exits the process with ForcedExitCode —
+// the escape hatch when graceful shutdown itself hangs. Progress notes
+// are written to w (nil silences them). The returned stop function
+// releases the signal handler and the watcher goroutine; call it as soon
+// as the guarded work is done.
+func WithSignals(ctx context.Context, w io.Writer) (context.Context, context.CancelFunc) {
+	if w == nil {
+		w = io.Discard
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(w, "received %v: finishing the current generation and saving state (signal again to exit immediately)\n", sig)
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(w, "received second %v: exiting immediately\n", sig)
+			exit(ForcedExitCode)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+		cancel()
+	}
+	return ctx, stop
+}
+
+// WithTimeout derives a context with a wall-clock budget; d <= 0 means no
+// deadline. It composes with WithSignals: apply the timeout first, then
+// the signal handler.
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}

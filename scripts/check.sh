@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repository verification: vet, build everything, then run the full test
+# suite in short mode with the race detector. This is the tier-1 check —
+# run it (or `make check`) before every commit.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race -short ./..."
+go test -race -short ./...
+echo "check: OK"
