@@ -1,10 +1,15 @@
 GO ?= go
 
-.PHONY: check build test vet race fuzz-isc bench clean
+.PHONY: check build test vet lint race fuzz-isc bench clean
 
-# Tier-1 verification: vet + build + race-enabled short tests.
+# Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
 	sh scripts/check.sh
+
+# Project-specific static analysis: determinism, panic policy, context
+# cancellation and Close/Sync error discipline (see cmd/iddqlint).
+lint:
+	$(GO) run ./cmd/iddqlint ./...
 
 build:
 	$(GO) build ./...

@@ -52,7 +52,11 @@ func run() error {
 	var c *circuit.Circuit
 	switch {
 	case *mult > 0:
-		c = circuits.ArrayMultiplier(*mult)
+		var err error
+		c, err = circuits.ArrayMultiplier(*mult)
+		if err != nil {
+			return err
+		}
 	case *grid != "":
 		r, col, err := parseDims(*grid)
 		if err != nil {

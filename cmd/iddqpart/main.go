@@ -8,7 +8,15 @@
 //	iddqpart [-method evolution|standard] [-lib cells.lib] [-size N]
 //	         [-modules K] [-d 10] [-rail 0.2] [-gens 250] [-seed 1]
 //	         [-workers N] [-timeout 30m] [-checkpoint run.ckpt]
-//	         [-checkpoint-every 10] [-resume run.ckpt] [-v] circuit.bench
+//	         [-checkpoint-every 10] [-resume run.ckpt] [-verify] [-v]
+//	         circuit.bench
+//
+// -verify runs the static partition auditor (package partcheck) on the
+// final design: exact gate cover, netlist consistency, the module
+// estimates, and the discriminability requirement -d. Any violation is
+// reported with the violated constraint named and the exit status is
+// nonzero. Checkpoints are always audited structurally on load, so a
+// hand-edited -resume file is rejected the same way.
 //
 // With no file argument, the netlist is read from standard input.
 //
@@ -34,6 +42,7 @@ import (
 	"iddqsyn/internal/core"
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 	"iddqsyn/internal/runctl"
 )
@@ -59,6 +68,7 @@ func run() error {
 	ckptPath := flag.String("checkpoint", "", "write crash-safe optimizer checkpoints to this file")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in generations (0 = default)")
 	resume := flag.String("resume", "", "resume an evolution run from this checkpoint file")
+	verify := flag.Bool("verify", false, "statically verify the final partition (exact cover, netlist consistency, discriminability) and fail on any violation")
 	verbose := flag.Bool("v", false, "trace evolution progress")
 	flag.Parse()
 
@@ -82,7 +92,7 @@ func run() error {
 			return err
 		}
 		lib, err := celllib.ReadLibrary(f)
-		f.Close()
+		_ = f.Close() // read-only; a close error cannot corrupt anything
 		if err != nil {
 			return err
 		}
@@ -146,6 +156,13 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "iddqpart: reporting the best-so-far design")
 	}
 	fmt.Print(res.Report())
+	if *verify {
+		r := partcheck.VerifyPartition(res.Partition, partcheck.Feasibility(*disc))
+		fmt.Fprintln(os.Stderr, r)
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

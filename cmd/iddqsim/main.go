@@ -59,7 +59,7 @@ func run() error {
 		f, err = os.Open(flag.Arg(0))
 		if err == nil {
 			c, err = bench.Read(f, flag.Arg(0))
-			f.Close()
+			_ = f.Close() // read-only; a close error cannot corrupt anything
 		}
 	default:
 		err = fmt.Errorf("need -circuit or a .bench file")
@@ -135,7 +135,7 @@ func run() error {
 			return err
 		}
 		if err := vectors.Write(f, c, gen.Vectors); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

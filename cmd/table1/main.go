@@ -78,7 +78,7 @@ func writeFile(path string, emit func(*os.File) error) error {
 		return err
 	}
 	if err := emit(f); err != nil {
-		f.Close()
+		_ = f.Close() // the emit error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -24,7 +24,10 @@ func main() {
 	gens := flag.Int("gens", 150, "evolution generation budget")
 	flag.Parse()
 
-	c := circuits.ArrayMultiplier(*n)
+	c, err := circuits.ArrayMultiplier(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(c)
 
 	eprm := evolution.DefaultParams()

@@ -23,6 +23,11 @@ type Options struct {
 	TargetCoverage float64 // stop when detected/total reaches this (0..1]
 	MaxVectors     int     // random-vector budget (generated, not kept)
 	Seed           int64
+	// Rand, when non-nil, supplies the vector stream and takes precedence
+	// over Seed. Callers embedded in a larger reproducible run (the
+	// evolution engine's counted stream, the yield studies) inject their
+	// own source here so every random draw in the run is accounted for.
+	Rand *rand.Rand
 }
 
 // DefaultOptions returns the settings used by the experiments: 99.5 %
@@ -66,7 +71,10 @@ func Generate(c *circuit.Circuit, list []faults.Fault, opt Options) (*Result, er
 	if opt.MaxVectors <= 0 {
 		return nil, fmt.Errorf("atpg: non-positive vector budget")
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := opt.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
 	res := &Result{Total: len(list)}
 	if len(list) == 0 {
 		return res, nil

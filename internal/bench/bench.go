@@ -179,11 +179,17 @@ func Write(w io.Writer, c *circuit.Circuit) error {
 // tools).
 func Format(c *circuit.Circuit) string {
 	var sb strings.Builder
-	if err := Write(&sb, c); err != nil {
-		// strings.Builder never fails; keep the signature simple.
-		panic(err)
-	}
+	// strings.Builder never fails; keep the signature simple.
+	mustWrite(Write(&sb, c))
 	return sb.String()
+}
+
+// mustWrite asserts that an in-memory render cannot fail — an error here
+// is an invariant violation, so it panics per the project's panic policy.
+func mustWrite(err error) {
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
 }
 
 // Fingerprint returns a canonical structural summary string used to detect

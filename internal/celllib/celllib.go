@@ -124,7 +124,10 @@ func (l *Library) Cells() []*Cell {
 // forces the partitioning), nanosecond gate delays, VDD = 5 V.
 func Default() *Library {
 	l := New("generic-1um-cmos", 5.0)
-	add := func(name string, fn circuit.GateType, fanin int, area, delayNS, peakUA, leakPA float64) {
+	// mustAdd registers one static built-in cell; the table below is
+	// compile-time data, so a registration failure is a programming error
+	// and panics per the project's panic policy.
+	mustAdd := func(name string, fn circuit.GateType, fanin int, area, delayNS, peakUA, leakPA float64) {
 		c := &Cell{
 			Name:           name,
 			Function:       fn,
@@ -148,32 +151,32 @@ func Default() *Library {
 			panic(err) // built-in table is static; a failure is a programming error
 		}
 	}
-	add("BUF1", circuit.Buf, 1, 2, 1.0, 150, 84)
-	add("INV1", circuit.Not, 1, 1, 0.5, 180, 70)
-	add("NAND2", circuit.Nand, 2, 2, 0.8, 260, 154)
-	add("NAND3", circuit.Nand, 3, 3, 1.0, 320, 210)
-	add("NAND4", circuit.Nand, 4, 4, 1.2, 380, 266)
-	add("NAND5", circuit.Nand, 5, 5, 1.5, 430, 322)
-	add("NAND8", circuit.Nand, 8, 7, 1.9, 520, 448)
-	add("NAND9", circuit.Nand, 9, 8, 2.1, 560, 504)
-	add("NOR2", circuit.Nor, 2, 2, 0.9, 270, 168)
-	add("NOR3", circuit.Nor, 3, 3, 1.2, 340, 224)
-	add("NOR4", circuit.Nor, 4, 4, 1.4, 400, 280)
-	add("NOR5", circuit.Nor, 5, 5, 1.7, 450, 336)
-	add("AND2", circuit.And, 2, 3, 1.1, 300, 196)
-	add("AND3", circuit.And, 3, 4, 1.3, 360, 252)
-	add("AND4", circuit.And, 4, 5, 1.5, 420, 308)
-	add("AND5", circuit.And, 5, 6, 1.8, 470, 364)
-	add("AND8", circuit.And, 8, 8, 2.2, 560, 476)
-	add("AND9", circuit.And, 9, 9, 2.4, 600, 532)
-	add("OR2", circuit.Or, 2, 3, 1.2, 310, 210)
-	add("OR3", circuit.Or, 3, 4, 1.4, 370, 266)
-	add("OR4", circuit.Or, 4, 5, 1.6, 430, 322)
-	add("OR5", circuit.Or, 5, 6, 1.9, 480, 378)
-	add("XOR2", circuit.Xor, 2, 4, 1.6, 420, 336)
-	add("XOR3", circuit.Xor, 3, 6, 2.1, 520, 448)
-	add("XNOR2", circuit.Xnor, 2, 4, 1.6, 420, 336)
-	add("XNOR3", circuit.Xnor, 3, 6, 2.1, 520, 448)
+	mustAdd("BUF1", circuit.Buf, 1, 2, 1.0, 150, 84)
+	mustAdd("INV1", circuit.Not, 1, 1, 0.5, 180, 70)
+	mustAdd("NAND2", circuit.Nand, 2, 2, 0.8, 260, 154)
+	mustAdd("NAND3", circuit.Nand, 3, 3, 1.0, 320, 210)
+	mustAdd("NAND4", circuit.Nand, 4, 4, 1.2, 380, 266)
+	mustAdd("NAND5", circuit.Nand, 5, 5, 1.5, 430, 322)
+	mustAdd("NAND8", circuit.Nand, 8, 7, 1.9, 520, 448)
+	mustAdd("NAND9", circuit.Nand, 9, 8, 2.1, 560, 504)
+	mustAdd("NOR2", circuit.Nor, 2, 2, 0.9, 270, 168)
+	mustAdd("NOR3", circuit.Nor, 3, 3, 1.2, 340, 224)
+	mustAdd("NOR4", circuit.Nor, 4, 4, 1.4, 400, 280)
+	mustAdd("NOR5", circuit.Nor, 5, 5, 1.7, 450, 336)
+	mustAdd("AND2", circuit.And, 2, 3, 1.1, 300, 196)
+	mustAdd("AND3", circuit.And, 3, 4, 1.3, 360, 252)
+	mustAdd("AND4", circuit.And, 4, 5, 1.5, 420, 308)
+	mustAdd("AND5", circuit.And, 5, 6, 1.8, 470, 364)
+	mustAdd("AND8", circuit.And, 8, 8, 2.2, 560, 476)
+	mustAdd("AND9", circuit.And, 9, 9, 2.4, 600, 532)
+	mustAdd("OR2", circuit.Or, 2, 3, 1.2, 310, 210)
+	mustAdd("OR3", circuit.Or, 3, 4, 1.4, 370, 266)
+	mustAdd("OR4", circuit.Or, 4, 5, 1.6, 430, 322)
+	mustAdd("OR5", circuit.Or, 5, 6, 1.9, 480, 378)
+	mustAdd("XOR2", circuit.Xor, 2, 4, 1.6, 420, 336)
+	mustAdd("XOR3", circuit.Xor, 3, 6, 2.1, 520, 448)
+	mustAdd("XNOR2", circuit.Xnor, 2, 4, 1.6, 420, 336)
+	mustAdd("XNOR3", circuit.Xnor, 3, 6, 2.1, 520, 448)
 	return l
 }
 

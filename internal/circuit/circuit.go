@@ -129,6 +129,13 @@ func (t GateType) Eval(in []bool) bool {
 		}
 		return v
 	}
+	return mustEval(t)
+}
+
+// mustEval rejects an Eval call on a gate type with no Boolean function
+// (Input, or a corrupted GateType value) — a caller invariant violation,
+// not an input condition, so it panics per the project's panic policy.
+func mustEval(t GateType) bool {
 	panic("circuit: Eval on " + t.String())
 }
 
@@ -231,11 +238,19 @@ func (c *Circuit) TopoOrder() []int {
 			}
 		}
 	}
-	if len(order) != len(c.Gates) {
-		panic("circuit: cycle in validated circuit")
-	}
+	mustAcyclic(len(order) == len(c.Gates))
 	c.order = order
 	return order
+}
+
+// mustAcyclic asserts the levelisation invariant: a Circuit only exists
+// after Builder validation proved it acyclic, so an incomplete topological
+// order here means memory corruption or a bypassed Builder — an invariant
+// violation, not an input condition.
+func mustAcyclic(ok bool) {
+	if !ok {
+		panic("circuit: cycle in validated circuit")
+	}
 }
 
 // Levels returns, for every gate, the length in gate stages of the longest

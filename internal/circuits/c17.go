@@ -29,9 +29,16 @@ func C17() *circuit.Circuit {
 	b.AddGate("g6", circuit.Nand, "g3", "g4")
 	b.MarkOutput("g5")
 	b.MarkOutput("g6")
-	c, err := b.Build()
+	return mustBuild(b.Build())
+}
+
+// mustBuild unwraps a Builder result for the static generators (C17 and
+// friends) whose netlist is compile-time data: a build failure there is a
+// programming error, not an input condition, so it panics per the
+// project's panic policy.
+func mustBuild(c *circuit.Circuit, err error) *circuit.Circuit {
 	if err != nil {
-		panic("circuits: C17 must build: " + err.Error())
+		panic("circuits: static netlist must build: " + err.Error())
 	}
 	return c
 }

@@ -54,8 +54,17 @@ func TestC17Function(t *testing.T) {
 	}
 }
 
+func mult(t *testing.T, n int) *circuit.Circuit {
+	t.Helper()
+	m, err := ArrayMultiplier(n)
+	if err != nil {
+		t.Fatalf("ArrayMultiplier(%d): %v", n, err)
+	}
+	return m
+}
+
 func TestArrayMultiplierStructure(t *testing.T) {
-	m := ArrayMultiplier(4)
+	m := mult(t, 4)
 	s := m.ComputeStats()
 	if s.Inputs != 8 {
 		t.Errorf("inputs = %d, want 8", s.Inputs)
@@ -72,7 +81,7 @@ func TestArrayMultiplierStructure(t *testing.T) {
 // multiplies, exhaustively for 4x4.
 func TestArrayMultiplierFunction(t *testing.T) {
 	n := 4
-	m := ArrayMultiplier(n)
+	m := mult(t, n)
 	vals := make([]bool, m.NumGates())
 	order := m.TopoOrder()
 	for a := 0; a < 1<<n; a++ {
@@ -112,7 +121,7 @@ func gateName(prefix string, i int) string {
 }
 
 func TestArrayMultiplier16InC6288Class(t *testing.T) {
-	m := ArrayMultiplier(16)
+	m := mult(t, 16)
 	s := m.ComputeStats()
 	if s.Inputs != 32 || s.Outputs != 32 {
 		t.Errorf("I/O = %d/%d, want 32/32", s.Inputs, s.Outputs)
@@ -126,13 +135,10 @@ func TestArrayMultiplier16InC6288Class(t *testing.T) {
 	t.Logf("mult16x16: %d gates, depth %d", s.LogicGates, s.Depth)
 }
 
-func TestArrayMultiplierPanicsOnTiny(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic for n=1")
-		}
-	}()
-	ArrayMultiplier(1)
+func TestArrayMultiplierRejectsTiny(t *testing.T) {
+	if _, err := ArrayMultiplier(1); err == nil {
+		t.Error("want error for n=1")
+	}
 }
 
 func TestRandomLogicMatchesSpec(t *testing.T) {

@@ -52,8 +52,9 @@ func Grid2D(rows, cols int, cellTypes []circuit.GateType) (*circuit.Circuit, err
 	c, err := b.Build()
 	if err != nil {
 		// The builder only fails on malformed netlists, which the loops
-		// above cannot produce.
-		panic("circuits: Grid2D must build: " + err.Error())
+		// above cannot produce — but the signature already carries an
+		// error, so propagate instead of panicking.
+		return nil, fmt.Errorf("circuits: Grid2D: %w", err)
 	}
 	return c, nil
 }

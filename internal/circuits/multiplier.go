@@ -16,9 +16,9 @@ import (
 // ArrayMultiplier(16) yields a circuit in the same class as C6288:
 // 32 inputs, 32 outputs, 1408 gates, depth 88 (C6288: 2406 gates, depth
 // 124 — the real circuit expands each adder into NOR cells).
-func ArrayMultiplier(n int) *circuit.Circuit {
+func ArrayMultiplier(n int) (*circuit.Circuit, error) {
 	if n < 2 {
-		panic("circuits: ArrayMultiplier needs n >= 2")
+		return nil, fmt.Errorf("circuits: ArrayMultiplier needs n >= 2 (got %d)", n)
 	}
 	b := circuit.NewBuilder(fmt.Sprintf("mult%dx%d", n, n))
 	a := make([]string, n)
@@ -117,7 +117,7 @@ func ArrayMultiplier(n int) *circuit.Circuit {
 	}
 	c, err := b.Build()
 	if err != nil {
-		panic("circuits: multiplier must build: " + err.Error())
+		return nil, fmt.Errorf("circuits: multiplier: %w", err)
 	}
-	return c
+	return c, nil
 }

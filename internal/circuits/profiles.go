@@ -64,7 +64,10 @@ func ISCAS85Like(name string) (*circuit.Circuit, error) {
 		return nil, fmt.Errorf("circuits: unknown ISCAS85 profile %q (have %v)", name, Names())
 	}
 	if name == "c6288" {
-		m := ArrayMultiplier(16)
+		m, err := ArrayMultiplier(16)
+		if err != nil {
+			return nil, err
+		}
 		m.Name = "c6288"
 		return m, nil
 	}

@@ -23,6 +23,7 @@ import (
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 	"iddqsyn/internal/standard"
 )
@@ -159,6 +160,10 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 			}
 			rng := rand.New(rand.NewSource(eprm.Seed))
 			starts := make([]*partition.Partition, 0, eprm.Mu)
+			// Deliberately not cancellable: a cancelled synthesis still
+			// returns the best-so-far design, which requires the start
+			// population to exist (see SynthesizeContext's contract).
+			//lint:ignore ctxloop cancellation is handled at generation boundaries; aborting here would break the best-so-far contract
 			for i := 0; i < eprm.Mu; i++ {
 				p, err := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
 				if err != nil {
@@ -193,6 +198,15 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
 	}
 
+	// Every synthesis result passes the static partition audit before it
+	// is reported: exact cover, netlist consistency, and agreement of the
+	// incrementally maintained module estimates with a from-scratch
+	// evaluation. Feasibility bounds are the caller's policy (see
+	// partcheck.Feasibility); a violated structural invariant here is a
+	// bug, and the named constraint says which one.
+	if r := partcheck.VerifyPartition(res.Partition, partcheck.StructureOnly()); !r.OK() {
+		return nil, fmt.Errorf("core: final partition fails the static audit: %w", r.Err())
+	}
 	res.Costs = res.Partition.Costs()
 	chip, err := bic.NewChip(a, res.Partition.Groups(), e)
 	if err != nil {

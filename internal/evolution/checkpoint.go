@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 )
 
@@ -104,11 +105,11 @@ func (ck *Checkpoint) write(path string) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error is the one worth reporting
 		return fmt.Errorf("evolution: write checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the sync error is the one worth reporting
 		return fmt.Errorf("evolution: sync checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -180,6 +181,13 @@ func ResumeContext(ctx context.Context, ck *Checkpoint, e *estimate.Estimator, w
 		return nil, err
 	}
 	c := e.A.Circuit
+	// Statically audit every grouping in the checkpoint before trusting
+	// it: a hand-edited or corrupted file is rejected here with the
+	// violated constraint named, instead of surfacing later as a bad
+	// optimization result.
+	if r := partcheck.VerifyStructure(c, ck.Best); !r.OK() {
+		return nil, fmt.Errorf("evolution: checkpoint best individual: %w", r.Err())
+	}
 	if ck.Circuit != c.Name || ck.Gates != c.NumGates() {
 		return nil, fmt.Errorf("evolution: checkpoint is for circuit %q (%d gates), not %q (%d gates)",
 			ck.Circuit, ck.Gates, c.Name, c.NumGates())
@@ -204,7 +212,14 @@ func ResumeContext(ctx context.Context, ck *Checkpoint, e *estimate.Estimator, w
 		return nil, fmt.Errorf("evolution: checkpoint best individual: %w", err)
 	}
 	s.res.Best = best
+	// Deliberately not cancellable: resuming under an already-cancelled
+	// context must still reconstruct the population so the run can report
+	// its checkpointed best-so-far individual.
+	//lint:ignore ctxloop cancellation is handled at generation boundaries; aborting here would break the best-so-far contract
 	for i, ind := range ck.Population {
+		if r := partcheck.VerifyStructure(c, ind.Groups); !r.OK() {
+			return nil, fmt.Errorf("evolution: checkpoint individual %d: %w", i, r.Err())
+		}
 		p, err := partition.New(e, ind.Groups, w, cons)
 		if err != nil {
 			return nil, fmt.Errorf("evolution: checkpoint individual %d: %w", i, err)

@@ -234,6 +234,45 @@ func TestLoadCheckpointErrors(t *testing.T) {
 	}
 }
 
+// A hand-corrupted checkpoint — here the best individual claims a gate
+// twice across modules — must be rejected on load with the violated
+// PART-IDDQ constraint named.
+func TestResumeRejectsCorruptedPartition(t *testing.T) {
+	env, prm := controlSetup(t)
+	ckpt := filepath.Join(t.TempDir(), "c.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunControlled(ctx, env.e, env.w, env.cons, prm, nil,
+		&Control{CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(ck *Checkpoint)) error {
+		ck, err := LoadCheckpoint(ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(ck)
+		_, err = ResumeContext(context.Background(), ck, env.e, env.w, env.cons, nil, nil)
+		return err
+	}
+	err := corrupt(func(ck *Checkpoint) {
+		// Duplicate the first gate of module 0 into the last module.
+		last := len(ck.Best) - 1
+		ck.Best[last] = append(ck.Best[last], ck.Best[0][0])
+	})
+	if err == nil || !strings.Contains(err.Error(), "gate-cover") {
+		t.Errorf("duplicated gate: err = %v, want the gate-cover constraint named", err)
+	}
+	err = corrupt(func(ck *Checkpoint) {
+		// Drop a gate from a population individual: no longer a cover.
+		g := ck.Population[0].Groups
+		g[0] = g[0][1:]
+	})
+	if err == nil || !strings.Contains(err.Error(), "gate-cover") {
+		t.Errorf("dropped gate: err = %v, want the gate-cover constraint named", err)
+	}
+}
+
 func TestResumeRejectsWrongCircuit(t *testing.T) {
 	env, prm := controlSetup(t)
 	ckpt := filepath.Join(t.TempDir(), "c.ckpt")

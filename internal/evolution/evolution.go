@@ -315,6 +315,10 @@ func RunControlled(ctx context.Context, e *estimate.Estimator, w partition.Weigh
 	rng := rand.New(rand.NewSource(prm.Seed))
 	size := standard.EstimateModuleSize(e, w, cons)
 	starts := make([]*partition.Partition, 0, prm.Mu)
+	// Deliberately not cancellable: a cancelled run must still return a
+	// best-so-far Result, so the start population has to exist before the
+	// generation loop can honour ctx at its boundaries.
+	//lint:ignore ctxloop cancellation is handled at generation boundaries; aborting here would break the best-so-far contract
 	for i := 0; i < prm.Mu; i++ {
 		groups := standard.ChainStartPartition(e.A.Circuit, size, rng)
 		p, err := partition.New(e, groups, w, cons)

@@ -73,6 +73,9 @@ func DeltaStudy(ctx context.Context, name string, eprm evolution.Params, sigmas 
 
 	var rows []DeltaRow
 	for _, sigma := range sigmas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(eprm.Seed + int64(1000*sigma)))
 		row := DeltaRow{SigmaDie: sigma}
 		lognormal := func(s float64) float64 {

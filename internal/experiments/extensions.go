@@ -57,6 +57,9 @@ func OptimizerComparison(ctx context.Context, name string, startSize int, eprm e
 	rng := rand.New(rand.NewSource(eprm.Seed))
 	var starts []*partition.Partition
 	for i := 0; i < eprm.Mu; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
 		if err != nil {
 			return nil, err
@@ -64,6 +67,7 @@ func OptimizerComparison(ctx context.Context, name string, startSize int, eprm e
 		starts = append(starts, p)
 	}
 	best := starts[0]
+	//lint:ignore ctxloop cached-cost scan over mu individuals, microseconds
 	for _, s := range starts[1:] {
 		if s.Cost() < best.Cost() {
 			best = s
@@ -134,6 +138,7 @@ func SensorVariants(ctx context.Context, name string, eprm evolution.Params) ([]
 		return nil, err
 	}
 	worst := 0
+	//lint:ignore ctxloop cached module-estimate scan, microseconds
 	for mi := 0; mi < res.Partition.NumModules(); mi++ {
 		if res.Partition.ModuleEstimate(mi).IDDMax > res.Partition.ModuleEstimate(worst).IDDMax {
 			worst = mi
@@ -141,6 +146,7 @@ func SensorVariants(ctx context.Context, name string, eprm evolution.Params) ([]
 	}
 	m := res.Partition.ModuleEstimate(worst)
 	var rows []VariantRow
+	//lint:ignore ctxloop fixed four-entry technology table, no real work
 	for _, tech := range bic.Technologies() {
 		v := bic.SizeVariant(tech, worst, m, res.Estimator.P)
 		rows = append(rows, VariantRow{
@@ -238,6 +244,7 @@ func ScheduleStudy(ctx context.Context, name string, eprm evolution.Params) ([]S
 	}
 	var rows []ScheduleRow
 	groups := res.Partition.NumModules()/2 + 1
+	//lint:ignore ctxloop fixed three-strategy table, planning is closed-form
 	for _, strat := range []bic.Strategy{bic.ReadParallel, bic.ReadSerial, bic.ReadGrouped} {
 		s, err := bic.PlanSchedule(strat, res.Chip.Sensors, nVec,
 			res.Costs.DBIc, res.Estimator.P.AreaA0, groups)

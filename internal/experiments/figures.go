@@ -188,6 +188,9 @@ func C17Trace(ctx context.Context, seed int64) (*C17TraceResult, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var starts []*partition.Partition
 	for i := 0; i < prm.Mu; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
 		if err != nil {
 			return nil, err

@@ -47,6 +47,9 @@ func ConvergenceFrom(ctx context.Context, name string, startSize int, prm evolut
 	if err != nil {
 		return nil, err
 	}
+	if err := verifyFinal(name+" convergence", res); err != nil {
+		return nil, err
+	}
 	er := res.Evolution
 	out := &ConvergenceResult{
 		Circuit:     name,

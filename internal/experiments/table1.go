@@ -102,6 +102,12 @@ func Table1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s standard: %w", name, err)
 		}
+		if err := verifyFinal(name+" evolution", evo); err != nil {
+			return nil, err
+		}
+		if err := verifyFinal(name+" standard", std); err != nil {
+			return nil, err
+		}
 		ecv, scv := evo.Costs, std.Costs
 		rows = append(rows, Table1Row{
 			Circuit:        name,

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iddqsyn/internal/core"
+	"iddqsyn/internal/partcheck"
+)
+
+// verifyFinal audits a synthesis result before its numbers enter a
+// published table: the partition must pass the full static check —
+// exact cover, netlist consistency, estimate-cache agreement — and meet
+// the discriminability constraint the run was configured with. The
+// returned error names the violated constraint, so a bad run fails
+// loudly instead of quietly skewing a regenerated paper table.
+func verifyFinal(what string, res *core.Result) error {
+	lim := partcheck.Feasibility(res.Partition.Cons.MinDiscriminability)
+	if err := partcheck.VerifyPartition(res.Partition, lim).Err(); err != nil {
+		return fmt.Errorf("experiments: %s: %w", what, err)
+	}
+	return nil
+}

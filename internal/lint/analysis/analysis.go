@@ -1,0 +1,88 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function over one parsed package, a Pass carries the package being
+// checked, and diagnostics are reported through the Pass.
+//
+// The module deliberately has no third-party dependencies, so the real
+// x/tools framework is unavailable; this package reproduces the subset the
+// iddqlint suite needs — purely syntactic analyzers over go/ast — with the
+// same shape, so the analyzers can migrate to the real multichecker
+// unchanged if the dependency is ever added.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph help text shown by `iddqlint -help`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// pass.Report. The returned value is ignored by this framework (the
+	// x/tools API uses it for inter-analyzer facts, which iddqlint does
+	// not need).
+	Run func(pass *Pass) (interface{}, error)
+}
+
+// Package is one loaded (parsed, not type-checked) Go package.
+type Package struct {
+	// Path is the import path, e.g. "iddqsyn/internal/atpg".
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files holds every parsed source file of the package, test files
+	// included (analyzers that exempt tests use Pass.IsTestFile).
+	Files []*ast.File
+}
+
+// Pass connects one Analyzer run to one Package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	Files    []*ast.File
+
+	// Report delivers one diagnostic. The framework fills this in; Run
+	// implementations call it (or the Reportf convenience).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file was parsed from a _test.go source.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Diagnostic is one finding, positioned in the package's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the framework
+}
+
+// Finding is a resolved diagnostic ready for printing or comparison.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}

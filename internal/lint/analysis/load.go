@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadPackages parses the packages selected by patterns, rooted at the
+// module directory root. Supported patterns are the ones the iddqlint
+// driver needs: "./..." (every package under root), "./dir/..." (every
+// package under a subtree) and plain directory paths ("./cmd/iddqlint",
+// "internal/atpg"). Directories named "testdata" or "vendor", and hidden
+// or underscore-prefixed directories, are skipped during "..." expansion.
+//
+// Files are parsed with comments (analyzers and the ignore-directive
+// machinery need them) but not type-checked: the iddqlint analyzers are
+// syntactic by design, so the loader stays fast and dependency-free.
+func LoadPackages(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirSet := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !dirSet[d] {
+			dirSet[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkGoDirs(root, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(root, strings.TrimSuffix(pat, "/..."))
+			if err := walkGoDirs(base, add); err != nil {
+				return nil, err
+			}
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(root, d)
+			}
+			add(d)
+		}
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(modPath, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses a single directory as one package with the given import
+// path. It is the entry point the analysistest harness uses for testdata
+// packages.
+func LoadDir(dir, importPath string) (*Package, error) {
+	return loadDirAs(dir, importPath)
+}
+
+func loadDir(modPath, root, dir string) (*Package, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return loadDirAs(dir, importPath)
+}
+
+func loadDirAs(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read %s: %w", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var name, testName string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		// The package name comes from the first non-test file; test-only
+		// directories fall back to whatever the test files declare.
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			if testName == "" {
+				testName = f.Name.Name
+			}
+		} else if name == "" {
+			name = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil // not a Go package (e.g. a docs-only directory)
+	}
+	if name == "" {
+		name = testName
+	}
+	return &Package{Path: importPath, Name: name, Dir: dir, Fset: fset, Files: files}, nil
+}
+
+// walkGoDirs calls add for every directory under base that contains at
+// least one .go file, skipping testdata, vendor, hidden and
+// underscore-prefixed directories.
+func walkGoDirs(base string, add func(string)) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			add(filepath.Dir(path))
+		}
+		return nil
+	})
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}

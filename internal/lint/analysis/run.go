@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// IgnoreDirective is the comment prefix that suppresses a finding:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The reason
+// is mandatory — a bare ignore is itself a policy violation, so the
+// framework treats it as not matching.
+const IgnoreDirective = "lint:ignore"
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving findings sorted by file position. An analyzer error aborts the
+// run (it is a bug in the analyzer, not a finding).
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignored := ignoreLines(pkg)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if names := ignored[key]; names[a.Name] || names["*"] {
+					continue
+				}
+				findings = append(findings, Finding{
+					Position: pos,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreLines collects, per "file:line" key, the analyzer names suppressed
+// there by lint:ignore directives. A directive suppresses its own line and
+// the following line, so both trailing comments and own-line comments
+// above the flagged statement work.
+func ignoreLines(pkg *Package) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: directive does not apply
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if out[key] == nil {
+						out[key] = map[string]bool{}
+					}
+					out[key][fields[0]] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Inspect walks every node of every non-nil file in depth-first order,
+// calling fn; fn returning false prunes the subtree. It mirrors
+// ast.Inspect over a whole pass.
+func Inspect(files []*ast.File, fn func(ast.Node) bool) {
+	for _, f := range files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,110 @@
+// Package analysistest is a miniature clone of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
+// golden package under testdata/src and compares the diagnostics against
+// `// want "..."` comments.
+//
+// A want comment expects, on its own line, at least one diagnostic whose
+// message matches the quoted regular expression:
+//
+//	rand.Intn(6) // want `process-global math/rand`
+//
+// Both `...` and "..." quoting are accepted. Every want must be matched by
+// a diagnostic on its line, and every diagnostic must be covered by a
+// want, or the test fails — the golden packages therefore pin both the
+// positives and the non-findings of each analyzer.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// Run loads testdata/src/<pkg> for every named package and checks the
+// analyzer's findings against the want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		pkg, err := analysis.LoadDir(dir, pkgName)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgName, err)
+		}
+		if pkg == nil {
+			t.Fatalf("%s: no Go files in %s", pkgName, dir)
+		}
+		findings, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+		if err != nil {
+			t.Fatalf("%s: %v", pkgName, err)
+		}
+		checkWants(t, pkg, a.Name, findings)
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, analyzer string, findings []analysis.Finding) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		covered := false
+		for _, w := range wants {
+			if w.file == f.Position.Filename && w.line == f.Position.Line &&
+				w.pattern.MatchString(f.Message) {
+				w.matched = true
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("%s: unexpected diagnostic: %s", analyzer, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+				analyzer, w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					raw := m[1]
+					var pat string
+					if strings.HasPrefix(raw, "`") {
+						pat = strings.Trim(raw, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(raw)
+						if err != nil {
+							t.Fatalf("bad want comment %q: %v", c.Text, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// CloseCheck flags statements that discard the error of a Close or Sync
+// call. The crash-safe checkpoint protocol (write temp file, Sync, Close,
+// rename) is only atomic if every one of those errors is observed: a
+// full disk surfaces at Sync/Close time, and swallowing it turns "the old
+// checkpoint is intact" into "the new checkpoint is silently truncated".
+//
+// Without type information the check cannot distinguish a writable file
+// from a read-only one, so it flags every bare `x.Close()` / `x.Sync()`
+// expression statement. Read-side closes where the error is genuinely
+// irrelevant state that explicitly with `_ = f.Close()`; deferred closes
+// are left to the author (the idiomatic read-path `defer f.Close()` is
+// fine, and write paths in this codebase close explicitly before rename).
+var CloseCheck = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "flag Close/Sync calls whose error is silently discarded; atomic " +
+		"checkpoint writes depend on observing them (use `_ = f.Close()` to " +
+		"discard deliberately on read-only paths)",
+	Run: runCloseCheck,
+}
+
+func runCloseCheck(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name := sel.Sel.Name; name == "Close" || name == "Sync" {
+				pass.Reportf(stmt.Pos(),
+					"error from %s() is discarded; check it, or discard explicitly with `_ =` on read-only paths",
+					exprString(sel))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exprString renders a selector chain like "f.Close" for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	}
+	return "expr"
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// CtxLoop flags loops that make cancellation ineffective: inside a
+// function that takes a context.Context, a loop that does real work (calls
+// functions) but neither consults the context (ctx.Err()/ctx.Done(), or
+// passing ctx into a callee that checks it) nor sits inside a loop that
+// does, will run to completion no matter what -timeout or SIGINT asked
+// for. Generation and sweep loops are exactly this shape when the check is
+// forgotten.
+//
+// Being syntactic, the check treats any mention of the context parameter
+// within the loop as observing it — passing ctx onward delegates the
+// check — and only the outermost offending loop is reported. Loops whose
+// body contains no function calls (pure index/append bookkeeping) are
+// exempt: they terminate quickly and have nothing to propagate ctx into.
+var CtxLoop = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "flag generation/sweep loops in context-aware functions that never check " +
+		"ctx.Err()/ctx.Done() nor pass ctx to a callee; such loops make -timeout " +
+		"and SIGINT handling silently ineffective",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ctxPkg := importName(f, "context")
+		if ctxPkg == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ctxName := contextParam(ftype, ctxPkg)
+			if ctxName == "" || ctxName == "_" {
+				return true
+			}
+			checkLoops(pass, body, ctxName, false)
+			// Nested function literals are visited again by the outer
+			// Inspect with their own parameter lists, so do not prune.
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// contextParam returns the name of the first context.Context parameter of
+// a function type ("" if it has none).
+func contextParam(ftype *ast.FuncType, ctxPkg string) string {
+	if ftype.Params == nil {
+		return ""
+	}
+	for _, field := range ftype.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != ctxPkg {
+			continue
+		}
+		for _, name := range field.Names {
+			return name.Name
+		}
+	}
+	return ""
+}
+
+// checkLoops reports the outermost loops under n that do work without
+// observing ctx. underChecked tracks whether an enclosing loop already
+// observes ctx each iteration (inner loops are then bounded by it) or was
+// itself reported (avoid cascading findings).
+func checkLoops(pass *analysis.Pass, n ast.Node, ctxName string, underChecked bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		var whole ast.Node // the full loop, condition included
+		switch node.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			whole = node
+		case *ast.FuncLit:
+			// A nested literal is a fresh scope handled by runCtxLoop
+			// (it may or may not take its own ctx); a loop inside it does
+			// not belong to this function's cancellation contract.
+			return false
+		default:
+			return true
+		}
+		inner := underChecked
+		switch {
+		case referencesIdent(whole, ctxName):
+			inner = true // this loop observes ctx each iteration
+		case !underChecked && containsWork(whole):
+			pass.Reportf(node.Pos(),
+				"loop never checks %s.Err()/%s.Done() nor passes %s to a callee; "+
+					"cancellation (-timeout, SIGINT) is ineffective while it runs",
+				ctxName, ctxName, ctxName)
+			inner = true // do not cascade into nested loops
+		}
+		checkLoops(pass, loopBody(node), ctxName, inner)
+		return false // recursion above handles the subtree
+	})
+}
+
+func loopBody(n ast.Node) ast.Node {
+	switch loop := n.(type) {
+	case *ast.ForStmt:
+		return loop.Body
+	case *ast.RangeStmt:
+		return loop.Body
+	}
+	return n
+}
+
+// referencesIdent reports whether the subtree mentions the identifier.
+func referencesIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nonWorkCalls are builtin functions and universe types whose call syntax
+// does not invoke user code: a loop containing only these is bookkeeping,
+// not work worth a cancellation point.
+var nonWorkCalls = map[string]bool{
+	"append": true, "cap": true, "clear": true, "copy": true,
+	"delete": true, "len": true, "make": true, "max": true, "min": true,
+	"new": true, "panic": true, "print": true, "println": true,
+	"recover": true,
+	// Common type conversions (syntactically indistinguishable from calls).
+	"bool": true, "byte": true, "complex64": true, "complex128": true,
+	"error": true, "float32": true, "float64": true, "int": true,
+	"int8": true, "int16": true, "int32": true, "int64": true,
+	"rune": true, "string": true, "uint": true, "uint8": true,
+	"uint16": true, "uint32": true, "uint64": true, "uintptr": true,
+	"any": true,
+}
+
+// containsWork reports whether the subtree calls anything that could be a
+// user function (method calls, selector calls, or plain calls that are not
+// builtins/conversions).
+func containsWork(n ast.Node) bool {
+	work := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return !work
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if !nonWorkCalls[fun.Name] {
+				work = true
+			}
+		default:
+			work = true
+		}
+		return !work
+	})
+	return work
+}

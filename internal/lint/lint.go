@@ -1,0 +1,76 @@
+// Package lint is the iddqlint analyzer suite: the project-specific
+// static checks that guard the invariants the rest of the system rests on.
+//
+//   - norandglobal: all randomness must flow through an injected, seeded
+//     *rand.Rand (the counted stream), or checkpoint resume stops being
+//     bit-identical.
+//   - panicpolicy: library code under internal/ returns errors; panics are
+//     reserved for must()-style invariant helpers and init-time
+//     registration.
+//   - ctxloop: generation/sweep loops in context-aware functions must
+//     observe cancellation, or -timeout and SIGINT handling silently stop
+//     working.
+//   - closecheck: Close/Sync errors on writers must be checked — the
+//     atomic-checkpoint guarantee depends on them.
+//
+// The analyzers are syntactic (no type information), which keeps the suite
+// dependency-free; each one documents the approximations that follow from
+// that. A finding can be suppressed with a reasoned directive on or above
+// the flagged line:
+//
+//	//lint:ignore <analyzer> <reason>
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// Analyzers returns the full iddqlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck}
+}
+
+// ByName resolves one analyzer by name.
+func ByName(name string) (*analysis.Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Applies reports whether an analyzer's policy covers the given import
+// path. The panic policy governs library code only — commands and examples
+// may still panic at top level — while the other checks apply everywhere.
+func Applies(a *analysis.Analyzer, pkgPath string) bool {
+	if a.Name == PanicPolicy.Name {
+		return strings.HasPrefix(pkgPath, "internal/") ||
+			strings.Contains(pkgPath, "/internal/")
+	}
+	return true
+}
+
+// importName returns the local name under which file f imports path, or
+// "" if the file does not import it. A dot import returns ".".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		// Default name: the last path element ("math/rand" -> "rand").
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

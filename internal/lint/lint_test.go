@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"testing"
+
+	"iddqsyn/internal/lint"
+	"iddqsyn/internal/lint/analysistest"
+)
+
+func TestNoRandGlobal(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoRandGlobal, "norandglobal")
+}
+
+func TestPanicPolicy(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PanicPolicy, "panicpolicy")
+}
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxLoop, "ctxloop")
+}
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CloseCheck, "closecheck")
+}
+
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		{"panicpolicy", "iddqsyn/internal/atpg", true},
+		{"panicpolicy", "iddqsyn/cmd/iddqpart", false},
+		{"panicpolicy", "internal/lint", true},
+		{"norandglobal", "iddqsyn/cmd/iddqsim", true},
+		{"ctxloop", "iddqsyn/examples/sweep", true},
+		{"closecheck", "iddqsyn/cmd/table1", true},
+	}
+	for _, c := range cases {
+		a, ok := lint.ByName(c.analyzer)
+		if !ok {
+			t.Fatalf("unknown analyzer %q", c.analyzer)
+		}
+		if got := lint.Applies(a, c.path); got != c.want {
+			t.Errorf("Applies(%s, %s) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := lint.ByName("nosuch"); ok {
+		t.Fatal("ByName(nosuch) succeeded")
+	}
+	if len(lint.Analyzers()) != 4 {
+		t.Fatalf("expected 4 analyzers, got %d", len(lint.Analyzers()))
+	}
+}

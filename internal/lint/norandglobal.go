@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// randGlobals lists the math/rand (and math/rand/v2) package-level
+// functions that consume or mutate the process-global generator state, or
+// that draw from a stream the caller did not construct. Using any of them
+// in non-test code breaks the determinism contract: every random decision
+// must come from an injected *rand.Rand built on a seeded (and, in the
+// optimizer, counted) source, or checkpoint resume stops being
+// bit-identical.
+var randGlobals = map[string]bool{
+	// math/rand top-level functions.
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true,
+}
+
+// wallClockSeeds are selector calls that, used as a rand seed, make the
+// stream unreproducible.
+var wallClockSeeds = map[string]map[string]bool{
+	"time": {"Now": true},
+	"os":   {"Getpid": true},
+}
+
+// NoRandGlobal forbids the process-global math/rand stream and
+// wall-clock-seeded sources in non-test code.
+var NoRandGlobal = &analysis.Analyzer{
+	Name: "norandglobal",
+	Doc: "forbid math/rand top-level functions and time-seeded sources in non-test code: " +
+		"all randomness must flow through an injected, explicitly seeded *rand.Rand " +
+		"(the optimizer's counted stream) so interrupted runs resume bit-identically",
+	Run: runNoRandGlobal,
+}
+
+func runNoRandGlobal(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		randName := importName(f, "math/rand")
+		if randName == "" {
+			randName = importName(f, "math/rand/v2")
+		}
+		timeName := importName(f, "time")
+		osName := importName(f, "os")
+		if randName == "" {
+			continue
+		}
+		if randName == "." {
+			pass.Reportf(f.Pos(), "dot-import of math/rand hides global stream use; import it by name")
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != randName {
+				return true
+			}
+			if randGlobals[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the process-global math/rand stream; use an injected seeded *rand.Rand instead",
+					randName, sel.Sel.Name)
+			}
+			return true
+		})
+		// Seed expressions of rand.NewSource / rand.NewPCG / rand.New must
+		// not be derived from the wall clock or the process identity.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != randName {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "NewSource", "NewPCG", "NewChaCha8":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if bad := findWallClock(arg, timeName, osName); bad != "" {
+					pass.Reportf(call.Pos(),
+						"rand source seeded from %s is not reproducible; derive the seed from configuration",
+						bad)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// findWallClock reports the first wall-clock/process-identity call inside
+// expr ("" if none).
+func findWallClock(expr ast.Expr, timeName, osName string) string {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg.Name == timeName && wallClockSeeds["time"][sel.Sel.Name]:
+			found = "time." + sel.Sel.Name + "()"
+		case pkg.Name == osName && wallClockSeeds["os"][sel.Sel.Name]:
+			found = "os." + sel.Sel.Name + "()"
+		}
+		return found == ""
+	})
+	return found
+}

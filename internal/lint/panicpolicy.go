@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// PanicPolicy forbids panic in library code. The blessed exceptions are
+// invariant helpers — functions whose name starts with "must"/"Must",
+// following the stdlib convention that a must-function converts an
+// impossible error into a crash — and init functions, where registration
+// of static tables may legitimately refuse to start a broken binary.
+// Everything else must return an error: the optimizer worker pools contain
+// panics, but a panic that crosses a library API boundary kills hours of
+// optimization work.
+//
+// The check is scoped to internal/... packages by the driver (see
+// Applies); commands and examples may panic at top level.
+var PanicPolicy = &analysis.Analyzer{
+	Name: "panicpolicy",
+	Doc: "forbid panic in internal/... library code except inside must()-style " +
+		"invariant helpers and init functions; library failures are returned errors",
+	Run: runPanicPolicy,
+}
+
+func runPanicPolicy(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		litNames := funcLitNames(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPanics(pass, fd.Body, blessedName(fd.Name.Name), litNames)
+		}
+	}
+	return nil, nil
+}
+
+// blessedName reports whether a function name may contain panics.
+func blessedName(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must")
+}
+
+// funcLitNames maps function literals to the identifier they are bound to
+// (`mustAdd := func(...) {...}` or `var mustAdd = func(...) {...}`), so a
+// must-helper written as a closure is recognised too.
+func funcLitNames(f *ast.File) map[*ast.FuncLit]string {
+	out := map[*ast.FuncLit]string{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if lit, ok := st.Rhs[i].(*ast.FuncLit); ok {
+							out[lit] = id.Name
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					if lit, ok := st.Values[i].(*ast.FuncLit); ok {
+						out[lit] = st.Names[i].Name
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkPanics walks a function body, reporting panic calls unless the
+// lexically innermost function (declaration or bound literal) is blessed.
+func checkPanics(pass *analysis.Pass, body ast.Node, blessed bool, litNames map[*ast.FuncLit]string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			// Recurse with the literal's own blessing; prune this subtree
+			// from the current walk.
+			checkPanics(pass, nn.Body, blessedName(litNames[nn]), litNames)
+			return false
+		case *ast.CallExpr:
+			if id, ok := nn.Fun.(*ast.Ident); ok && id.Name == "panic" && !blessed {
+				pass.Reportf(nn.Pos(),
+					"panic in library code: return an error, or move the invariant behind a must() helper")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,49 @@
+// Package closecheck is the golden input for the closecheck analyzer.
+package closecheck
+
+import "os"
+
+// Bad: a write path that swallows Close and Sync errors.
+func swallow(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync()  // want `error from f.Sync\(\) is discarded`
+	f.Close() // want `error from f.Close\(\) is discarded`
+	return nil
+}
+
+// Good: every durability-relevant error is observed.
+func atomic(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // explicit discard on the error path is fine
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Good: deferred closes are the idiomatic read path.
+func read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

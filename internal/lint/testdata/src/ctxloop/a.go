@@ -1,0 +1,89 @@
+// Package ctxloop is the golden input for the ctxloop analyzer.
+package ctxloop
+
+import "context"
+
+func work(i int) int { return i * i }
+
+// Bad: a sweep loop that can never be interrupted.
+func sweep(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `cancellation .* ineffective`
+		total += work(i)
+	}
+	return total
+}
+
+// Bad: range loops are covered too; only the outermost loop is reported.
+func nested(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, row := range rows { // want `cancellation .* ineffective`
+		for _, v := range row {
+			total += work(v)
+		}
+	}
+	return total
+}
+
+// Good: the loop checks ctx.Err each iteration.
+func checked(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += work(i)
+	}
+	return total, nil
+}
+
+// Good: passing ctx onward delegates the cancellation check.
+func delegated(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += workCtx(ctx, i)
+	}
+	return total
+}
+
+func workCtx(ctx context.Context, i int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return work(i)
+}
+
+// Good: an inner loop under a ctx-checking outer loop is bounded by the
+// outer check.
+func innerUnderChecked(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		if ctx.Err() != nil {
+			break
+		}
+		for _, v := range row {
+			total += work(v)
+		}
+	}
+	return total
+}
+
+// Good: pure bookkeeping loops need no cancellation point.
+func bookkeeping(ctx context.Context, xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	_ = ctx
+	return out
+}
+
+// Good: a suppressed finding with a reason.
+func suppressed(ctx context.Context, n int) int {
+	total := 0
+	//lint:ignore ctxloop n is bounded by the 8-entry retry table
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}

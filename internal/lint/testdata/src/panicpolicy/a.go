@@ -1,0 +1,59 @@
+// Package panicpolicy is the golden input for the panicpolicy analyzer.
+package panicpolicy
+
+import "errors"
+
+var registry = map[string]int{}
+
+// Good: init-time registration may refuse to start a broken binary.
+func init() {
+	if len(registry) != 0 {
+		panic("panicpolicy: registry already populated")
+	}
+}
+
+// Good: must-helpers are the blessed invariant escape hatch.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// MustParse is blessed by its Must prefix.
+func MustParse(s string) int {
+	if s == "" {
+		panic("panicpolicy: empty input")
+	}
+	return len(s)
+}
+
+// Good: a must-helper bound as a closure.
+func table() {
+	mustAdd := func(k string, v int) {
+		if _, dup := registry[k]; dup {
+			panic("panicpolicy: duplicate " + k)
+		}
+		registry[k] = v
+	}
+	mustAdd("a", 1)
+}
+
+// Bad: library code must return errors.
+func parse(s string) (int, error) {
+	if s == "" {
+		panic("empty") // want `panic in library code`
+	}
+	return len(s), nil
+}
+
+// Bad: a panic inside an ordinary closure is still library code.
+func each(fn func(int)) error {
+	wrapped := func(i int) {
+		if fn == nil {
+			panic("nil fn") // want `panic in library code`
+		}
+		fn(i)
+	}
+	wrapped(0)
+	return errors.New("unused")
+}

@@ -94,6 +94,13 @@ func eval3(t circuit.GateType, in []Value) Value {
 		}
 		return v
 	}
+	return mustEval3(t)
+}
+
+// mustEval3 rejects evaluation of a gate type with no three-valued
+// function — an invariant violation (the simulator only walks validated
+// circuits), so it panics per the project's panic policy.
+func mustEval3(t circuit.GateType) Value {
 	panic("logicsim: eval3 on " + t.String())
 }
 

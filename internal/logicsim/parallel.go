@@ -108,6 +108,13 @@ func evalWord(t circuit.GateType, fanin []int, words []uint64) uint64 {
 		}
 		return v
 	}
+	return mustEvalWord(t)
+}
+
+// mustEvalWord rejects word-parallel evaluation of a gate type with no
+// Boolean function — an invariant violation (the simulator only walks
+// validated circuits), so it panics per the project's panic policy.
+func mustEvalWord(t circuit.GateType) uint64 {
 	panic("logicsim: evalWord on " + t.String())
 }
 

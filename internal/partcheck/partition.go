@@ -1,0 +1,22 @@
+package partcheck
+
+import (
+	"iddqsyn/internal/partition"
+)
+
+// VerifyPartition audits a live Partition end to end: the netlist and
+// exact-cover structure, the estimator-derived bounds in lim, and the
+// partition's incrementally maintained module-estimate cache (which a
+// long optimizer run updates thousands of times and must still agree
+// with a from-scratch evaluation).
+func VerifyPartition(p *partition.Partition, lim Limits) *Report {
+	c := p.E.A.Circuit
+	r := Verify(c, p.Groups(), p.E, lim)
+	if !r.OK() {
+		return r
+	}
+	for mi := 0; mi < p.NumModules(); mi++ {
+		r.Violations = append(r.Violations, CompareEstimate(p.E, mi, p.ModuleEstimate(mi))...)
+	}
+	return r
+}

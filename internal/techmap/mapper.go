@@ -118,6 +118,13 @@ func trialCost(c *circuit.Circuit, lib *celllib.Library, p estimate.Params,
 // mismatching output. The transformations in this package are
 // function-preserving; this is the runtime guard.
 func VerifyEquivalent(a, b *circuit.Circuit, vectors int, seed int64) error {
+	return VerifyEquivalentRand(a, b, vectors, rand.New(rand.NewSource(seed)))
+}
+
+// VerifyEquivalentRand is VerifyEquivalent with an injected random
+// stream, for callers that thread one counted source through a whole
+// reproducible run.
+func VerifyEquivalentRand(a, b *circuit.Circuit, vectors int, rng *rand.Rand) error {
 	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
 		return fmt.Errorf("techmap: interface mismatch: %d/%d inputs, %d/%d outputs",
 			len(a.Inputs), len(b.Inputs), len(a.Outputs), len(b.Outputs))
@@ -151,7 +158,6 @@ func VerifyEquivalent(a, b *circuit.Circuit, vectors int, seed int64) error {
 
 	simA := logicsim.New(a)
 	simB := logicsim.New(b)
-	rng := rand.New(rand.NewSource(seed))
 	vecA := make([]bool, len(a.Inputs))
 	vecB := make([]bool, len(b.Inputs))
 	for trial := 0; trial < vectors+2; trial++ {

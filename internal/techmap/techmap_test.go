@@ -1,6 +1,7 @@
 package techmap
 
 import (
+	"math/rand"
 	"testing"
 
 	"iddqsyn/internal/celllib"
@@ -40,6 +41,10 @@ func TestDecomposeWideAnd(t *testing.T) {
 	}
 	if err := VerifyEquivalent(c, d, 64, 1); err != nil {
 		t.Errorf("decomposed AND5 not equivalent: %v", err)
+	}
+	// The injected-stream variant must agree with the seed-driven one.
+	if err := VerifyEquivalentRand(c, d, 64, rand.New(rand.NewSource(1))); err != nil {
+		t.Errorf("VerifyEquivalentRand disagrees: %v", err)
 	}
 	// The output gate keeps its name.
 	if _, ok := d.GateByName("y"); !ok {

@@ -27,6 +27,10 @@ type Config struct {
 	SigmaModule float64 // lognormal σ of per-module leakage mismatch
 	SigmaDefect float64 // lognormal σ of the defect current
 	Seed        int64
+	// Rand, when non-nil, supplies the population's random draws and
+	// takes precedence over Seed, letting callers thread one counted
+	// stream through a whole reproducible study.
+	Rand *rand.Rand
 }
 
 // DefaultConfig returns a population typical of production IDDQ studies:
@@ -122,7 +126,10 @@ func Build(chip *bic.Chip, vecs [][]bool, list []faults.Fault, cfg Config) (*Stu
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	base := mx.Base
 	excited := mx.Excited
 

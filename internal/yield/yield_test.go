@@ -134,6 +134,25 @@ func TestDeterministicForSeed(t *testing.T) {
 	}
 }
 
+func TestInjectedRandMatchesSeed(t *testing.T) {
+	chip, vecs, list := fixture(t)
+	cfg := DefaultConfig()
+	cfg.GoodDies, cfg.BadDies = 200, 200
+	bySeed, err := Build(chip, vecs, list, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Rand = rand.New(rand.NewSource(cfg.Seed))
+	byRand, err := Build(chip, vecs, list, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := bySeed.At(1e-6), byRand.At(1e-6)
+	if pa != pb {
+		t.Errorf("injected rand diverged from seed-driven run: %+v vs %+v", pa, pb)
+	}
+}
+
 func TestSweepValidation(t *testing.T) {
 	chip, vecs, list := fixture(t)
 	st, err := Build(chip, vecs, list, DefaultConfig())

@@ -9,6 +9,8 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
+echo "== iddqlint ./..."
+go run ./cmd/iddqlint ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 echo "check: OK"
