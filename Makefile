@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint race fuzz-isc bench clean
+.PHONY: check build test vet lint race fuzz-isc bench obs-demo clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
@@ -22,6 +22,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# A short instrumented partitioning: live introspection on :6060
+# (/runz, /metricz, expvar, pprof), JSON logs, and a run snapshot in
+# obs-demo.json when it finishes.
+obs-demo:
+	$(GO) run ./cmd/iddqpart -gens 50 -debug-addr :6060 -metrics obs-demo.json \
+	    -log-format json -log-level info benchmarks/c432.bench
 
 # Fuzz the ISCAS85 parser (bounded; extend -fuzztime for deeper runs).
 fuzz-isc:

@@ -9,7 +9,18 @@
 //	         [-modules K] [-d 10] [-rail 0.2] [-gens 250] [-seed 1]
 //	         [-workers N] [-timeout 30m] [-checkpoint run.ckpt]
 //	         [-checkpoint-every 10] [-resume run.ckpt] [-verify] [-v]
+//	         [-debug-addr :6060] [-metrics run.json]
+//	         [-log-format text|json] [-log-level warn]
 //	         circuit.bench
+//
+// The run is fully observable: -debug-addr serves live introspection
+// (expvar, pprof, and a /runz JSON view of the optimizer's current
+// generation and best cost), -metrics persists the run's complete
+// telemetry — per-generation best-cost history, estimator-evaluation
+// counts and latency histograms, mutation/Monte-Carlo acceptance — as a
+// JSON snapshot, and -log-format/-log-level control the structured run
+// log on stderr. -v is shorthand for -log-level debug and streams
+// per-generation progress.
 //
 // -verify runs the static partition auditor (package partcheck) on the
 // final design: exact gate cover, netlist consistency, the module
@@ -42,6 +53,7 @@ import (
 	"iddqsyn/internal/core"
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/obscli"
 	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 	"iddqsyn/internal/runctl"
@@ -54,7 +66,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	method := flag.String("method", "evolution", "partitioning method: evolution or standard")
 	libPath := flag.String("lib", "", "cell library file (default: built-in 1µm CMOS library)")
 	size := flag.Int("size", 0, "module size (0 = estimate from averaged parameters)")
@@ -69,8 +81,11 @@ func run() error {
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in generations (0 = default)")
 	resume := flag.String("resume", "", "resume an evolution run from this checkpoint file")
 	verify := flag.Bool("verify", false, "statically verify the final partition (exact cover, netlist consistency, discriminability) and fail on any violation")
-	verbose := flag.Bool("v", false, "trace evolution progress")
+	verbose := flag.Bool("v", false, "trace evolution progress (shorthand for -log-level debug)")
+	var oc obscli.Config
+	oc.Register(flag.CommandLine)
 	flag.Parse()
+	oc.Verbose = *verbose
 
 	c, err := readCircuit(flag.Arg(0))
 	if err != nil {
@@ -110,14 +125,6 @@ func run() error {
 		eprm.MaxGenerations = *gens
 	}
 	opt.Evolution = &eprm
-	if *verbose {
-		opt.Trace = func(gen int, best *partition.Partition, bestCost float64) {
-			if gen%10 == 0 {
-				fmt.Fprintf(os.Stderr, "generation %4d: K=%d C=%.6g\n",
-					gen, best.NumModules(), bestCost)
-			}
-		}
-	}
 
 	// Run control: checkpointing, resume, wall-clock budget, signals.
 	ckpt := *ckptPath
@@ -137,9 +144,24 @@ func run() error {
 	if opt.Method != core.MethodEvolution && (ckpt != "" || opt.Resume != nil) {
 		return fmt.Errorf("-checkpoint/-resume apply to -method evolution only")
 	}
+
+	// Observability: structured run log, live debug server, -metrics
+	// snapshot. Finish always runs — the telemetry of a failed or
+	// interrupted run is exactly the evidence worth keeping.
+	orun, err := oc.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := orun.Finish(c.Name); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
+	opt.Obs = orun.Obs
+
 	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
 	defer cancelTimeout()
-	ctx, stop := runctl.WithSignals(ctx, os.Stderr)
+	ctx, stop := runctl.WithSignalsObs(ctx, os.Stderr, orun.Obs)
 	defer stop()
 
 	res, err := core.SynthesizeContext(ctx, c, opt)

@@ -10,7 +10,12 @@
 // Usage:
 //
 //	iddqstudy [-circuit c432] [-gens 120] [-seed 1] [-timeout 1h]
-//	          [-study all|figure1|...]
+//	          [-study all|figure1|...] [-debug-addr :6060]
+//	          [-metrics run.json] [-log-format text|json] [-log-level warn]
+//
+// The batch is observable like iddqpart: -debug-addr serves live
+// introspection of the study currently running, and -metrics writes the
+// batch's cumulative telemetry snapshot when it finishes.
 //
 // With -study all, a failing study does not abort the batch: every
 // requested study runs, each failure is reported to stderr, and the exit
@@ -28,6 +33,8 @@ import (
 
 	"iddqsyn/internal/evolution"
 	"iddqsyn/internal/experiments"
+	"iddqsyn/internal/obs"
+	"iddqsyn/internal/obscli"
 	"iddqsyn/internal/runctl"
 )
 
@@ -38,6 +45,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole batch (0 = none)")
 	study := flag.String("study", "all",
 		"which study to run: all, figure1, figure2, c17, convergence, ablations, pessimism, optimizers, sensors, schedule, techmap, sweep, yield, scan, delta")
+	var oc obscli.Config
+	oc.Register(flag.CommandLine)
 	flag.Parse()
 
 	prm := evolution.DefaultParams()
@@ -53,10 +62,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	orun, err := oc.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iddqstudy:", err)
+		os.Exit(1)
+	}
+
 	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
 	defer cancelTimeout()
-	ctx, stop := runctl.WithSignals(ctx, os.Stderr)
+	ctx, stop := runctl.WithSignalsObs(ctx, os.Stderr, orun.Obs)
 	defer stop()
+	ctx = obs.NewContext(ctx, orun.Obs)
 
 	var failed, skipped []string
 	want := func(name string) bool { return *study == "all" || *study == name }
@@ -227,6 +243,10 @@ func main() {
 		return nil
 	})
 
+	if err := orun.Finish(*circuit); err != nil {
+		fmt.Fprintf(os.Stderr, "iddqstudy: %v\n", err)
+		failed = append(failed, "observability")
+	}
 	if len(skipped) > 0 {
 		fmt.Fprintf(os.Stderr, "iddqstudy: cancelled before %v could run\n", skipped)
 	}

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	table1 [-circuits c1908,c2670] [-gens 250] [-seed 1] [-timeout 2h]
+//	       [-debug-addr :6060] [-metrics run.json]
+//	       [-log-format text|json] [-log-level warn]
+//
+// The batch is observable like iddqpart: -debug-addr serves live
+// introspection of the optimizer currently running, and -metrics writes
+// the batch's cumulative telemetry snapshot when it finishes.
 //
 // SIGINT/SIGTERM (or an expired -timeout) stops the run at the next
 // generation boundary; rows computed so far are discarded, so interrupt a
@@ -18,6 +24,8 @@ import (
 	"strings"
 
 	"iddqsyn/internal/experiments"
+	"iddqsyn/internal/obs"
+	"iddqsyn/internal/obscli"
 	"iddqsyn/internal/report"
 	"iddqsyn/internal/runctl"
 )
@@ -29,6 +37,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
 	csvPath := flag.String("csv", "", "also write the rows as CSV to this file")
 	mdPath := flag.String("md", "", "also write the rows as a Markdown table to this file")
+	var oc obscli.Config
+	oc.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := experiments.Table1Config{}
@@ -42,14 +52,26 @@ func main() {
 	}
 	cfg.Evolution = &prm
 
-	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
-	defer cancelTimeout()
-	ctx, stop := runctl.WithSignals(ctx, os.Stderr)
-	defer stop()
-
-	rows, err := experiments.Table1(ctx, cfg)
+	orun, err := oc.Start(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
+	defer cancelTimeout()
+	ctx, stop := runctl.WithSignalsObs(ctx, os.Stderr, orun.Obs)
+	defer stop()
+	ctx = obs.NewContext(ctx, orun.Obs)
+
+	rows, err := experiments.Table1(ctx, cfg)
+	ferr := orun.Finish("table1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "table1:", ferr)
 		os.Exit(1)
 	}
 	fmt.Print(experiments.FormatTable1(rows))

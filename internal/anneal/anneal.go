@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partition"
 )
 
@@ -131,6 +132,16 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 	if err := prm.validate(); err != nil {
 		return nil, err
 	}
+	// Telemetry from the context; every handle is nil (and every record a
+	// no-op) on unobserved runs.
+	o := obs.FromContext(ctx)
+	log := o.Log()
+	moves := o.Counter(MetricMoves)
+	accepted := o.Counter(MetricAccepted)
+	epochs := o.Counter(MetricEpochs)
+	tempG := o.Gauge(MetricTemperatureGauge)
+	bestG := o.Gauge(MetricBestCostGauge)
+
 	rng := rand.New(rand.NewSource(prm.Seed))
 	cur := start.Clone()
 	curCost := penalised(cur)
@@ -140,10 +151,16 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 	if temp == 0 {
 		temp = calibrateTemp(cur, curCost, rng)
 	}
+	log.Info("anneal run begin",
+		"circuit", start.E.A.Circuit.Name, "initial_temp", temp,
+		"cooling", prm.Cooling, "max_moves", prm.MaxMoves, "seed", prm.Seed)
+	bestG.Set(res.BestCost)
 
 	for temp > prm.MinTemp && res.Moves < prm.MaxMoves {
 		if err := ctx.Err(); err != nil {
 			res.interrupt(err, "annealing")
+			log.Warn("anneal run interrupted",
+				"moves", res.Moves, "best_cost", res.BestCost)
 			return res, nil
 		}
 		for i := 0; i < prm.MovesPerEpoch && res.Moves < prm.MaxMoves; i++ {
@@ -153,19 +170,29 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 				break
 			}
 			res.Moves++
+			moves.Inc()
 			candCost := penalised(cand)
 			delta := candCost - curCost
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 				cur, curCost = cand, candCost
 				res.Accepted++
+				accepted.Inc()
 				if curCost < res.BestCost {
 					res.BestCost = curCost
 					res.Best = cur.Clone()
+					bestG.Set(curCost)
 				}
 			}
 		}
+		epochs.Inc()
+		tempG.Set(temp)
+		log.Debug("anneal epoch",
+			"temp", temp, "moves", res.Moves,
+			"accepted", res.Accepted, "best_cost", res.BestCost)
 		temp *= prm.Cooling
 	}
+	log.Info("anneal run end",
+		"moves", res.Moves, "accepted", res.Accepted, "best_cost", res.BestCost)
 	return res, nil
 }
 
@@ -210,15 +237,27 @@ func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves,
 	if maxMoves < 1 || patience < 1 {
 		return nil, fmt.Errorf("anneal: hill climb needs positive budgets")
 	}
+	o := obs.FromContext(ctx)
+	log := o.Log()
+	moves := o.Counter(MetricHillClimbMoves)
+	accepted := o.Counter(MetricHillClimbAccepted)
+	bestG := o.Gauge(MetricHillClimbBestCostGauge)
+
 	rng := rand.New(rand.NewSource(seed))
 	cur := start.Clone()
 	curCost := penalised(cur)
 	res := &Result{Best: cur.Clone(), BestCost: curCost}
+	log.Info("hill climb begin",
+		"circuit", start.E.A.Circuit.Name, "max_moves", maxMoves,
+		"patience", patience, "seed", seed)
+	bestG.Set(res.BestCost)
 	rejected := 0
 	for res.Moves < maxMoves && rejected < patience {
 		if res.Moves%hillClimbCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				res.interrupt(err, "hill climb")
+				log.Warn("hill climb interrupted",
+					"moves", res.Moves, "best_cost", res.BestCost)
 				return res, nil
 			}
 		}
@@ -227,18 +266,23 @@ func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves,
 			break
 		}
 		res.Moves++
+		moves.Inc()
 		candCost := penalised(cand)
 		if candCost < curCost {
 			cur, curCost = cand, candCost
 			res.Accepted++
+			accepted.Inc()
 			rejected = 0
 			if curCost < res.BestCost {
 				res.BestCost = curCost
 				res.Best = cur.Clone()
+				bestG.Set(curCost)
 			}
 		} else {
 			rejected++
 		}
 	}
+	log.Info("hill climb end",
+		"moves", res.Moves, "accepted", res.Accepted, "best_cost", res.BestCost)
 	return res, nil
 }

@@ -1,0 +1,23 @@
+// Metric names recorded by the comparison optimizers. Both optimizers
+// pick their telemetry up from the run's context (obs.FromContext); an
+// unobserved run records nothing at zero cost. The instrumentation never
+// touches the seeded random stream, so an observed run stays
+// bit-identical to an unobserved one.
+
+package anneal
+
+// Metric names of the simulated-annealing partitioner.
+const (
+	MetricMoves            = "anneal.moves"
+	MetricAccepted         = "anneal.accepted"
+	MetricEpochs           = "anneal.epochs"
+	MetricTemperatureGauge = "anneal.temperature"
+	MetricBestCostGauge    = "anneal.best_cost"
+)
+
+// Metric names of the greedy hill climber.
+const (
+	MetricHillClimbMoves         = "hillclimb.moves"
+	MetricHillClimbAccepted      = "hillclimb.accepted"
+	MetricHillClimbBestCostGauge = "hillclimb.best_cost"
+)

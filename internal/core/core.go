@@ -23,6 +23,7 @@ import (
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 	"iddqsyn/internal/standard"
@@ -89,6 +90,13 @@ type Options struct {
 	// taken from the checkpoint (Options.Evolution is ignored), so the
 	// resumed run finishes bit-identically to an uninterrupted one.
 	Resume *evolution.Checkpoint
+
+	// Obs, if non-nil, observes the synthesis: phase spans (annotate,
+	// estimator, optimize, audit, chip), estimator call telemetry, and
+	// the optimizer's per-generation metrics, logs and live status. When
+	// nil the Obs carried by the context (obs.FromContext) is used; if
+	// that is also nil the synthesis is unobserved at zero cost.
+	Obs *obs.Obs
 }
 
 // Result is a synthesized IDDQ-testable design.
@@ -117,6 +125,21 @@ func Synthesize(c *circuit.Circuit, opt Options) (*Result, error) {
 // partition, sensors, costs — built from the optimizer's best-so-far
 // individual, with Result.Evolution.Interrupted set.
 func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, error) {
+	o := opt.Obs
+	if o == nil {
+		o = obs.FromContext(ctx)
+	}
+	// The optimizer resolves its Obs from the Control (or its context);
+	// inject ours into a copy so the caller's struct stays untouched.
+	ctl := opt.Control
+	if o != nil && (ctl == nil || ctl.Obs == nil) {
+		cc := evolution.Control{}
+		if ctl != nil {
+			cc = *ctl
+		}
+		cc.Obs = o
+		ctl = &cc
+	}
 	lib := opt.Library
 	if lib == nil {
 		lib = celllib.Default()
@@ -138,18 +161,24 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 		eprm = *opt.Evolution
 	}
 
+	sp := o.StartSpan("core.annotate", "circuit", c.Name)
 	a, err := celllib.Annotate(c, lib)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	sp = o.StartSpan("core.estimator")
 	e := estimate.New(a, prm)
+	e.SetObs(o)
+	sp.End()
 
 	res := &Result{Method: opt.Method, Circuit: c, Annotated: a, Estimator: e}
+	optSpan := o.StartSpan("core.optimize", "method", opt.Method.String())
 	switch opt.Method {
 	case MethodEvolution:
 		var er *evolution.Result
 		if opt.Resume != nil {
-			er, err = evolution.ResumeContext(ctx, opt.Resume, e, w, cons, opt.Trace, opt.Control)
+			er, err = evolution.ResumeContext(ctx, opt.Resume, e, w, cons, opt.Trace, ctl)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
@@ -171,7 +200,7 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 				}
 				starts = append(starts, p)
 			}
-			er, err = evolution.OptimizeControlled(ctx, starts, eprm, opt.Trace, opt.Control)
+			er, err = evolution.OptimizeControlled(ctx, starts, eprm, opt.Trace, ctl)
 			if err != nil {
 				return nil, fmt.Errorf("core: %w", err)
 			}
@@ -197,6 +226,7 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
 	}
+	optSpan.End("modules", res.Partition.NumModules())
 
 	// Every synthesis result passes the static partition audit before it
 	// is reported: exact cover, netlist consistency, and agreement of the
@@ -204,15 +234,25 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 	// evaluation. Feasibility bounds are the caller's policy (see
 	// partcheck.Feasibility); a violated structural invariant here is a
 	// bug, and the named constraint says which one.
-	if r := partcheck.VerifyPartition(res.Partition, partcheck.StructureOnly()); !r.OK() {
+	sp = o.StartSpan("core.audit")
+	r := partcheck.VerifyPartition(res.Partition, partcheck.StructureOnly())
+	sp.End()
+	if !r.OK() {
 		return nil, fmt.Errorf("core: final partition fails the static audit: %w", r.Err())
 	}
 	res.Costs = res.Partition.Costs()
+	sp = o.StartSpan("core.chip")
 	chip, err := bic.NewChip(a, res.Partition.Groups(), e)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	res.Chip = chip
+	o.Log().Info("synthesis complete",
+		"circuit", c.Name, "method", opt.Method.String(),
+		"modules", res.Partition.NumModules(),
+		"cost", res.Partition.Cost(),
+		"feasible", res.Partition.Feasible())
 	return res, nil
 }
 

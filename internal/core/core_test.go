@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partition"
 )
 
@@ -132,5 +135,51 @@ func TestTraceForwarded(t *testing.T) {
 	}
 	if calls == 0 {
 		t.Error("trace not forwarded to the optimizer")
+	}
+}
+
+// TestSynthesizeObserved is the end-to-end observability smoke test: a
+// pipeline run with Options.Obs set must leave the phase spans and the
+// optimizer's counters in the registry and the final status published.
+func TestSynthesizeObserved(t *testing.T) {
+	o := obs.New("r-core", nil, nil)
+	res, err := Synthesize(circuits.C17(), Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Registry().Snapshot()
+	for _, span := range []string{
+		"span.core.annotate.seconds",
+		"span.core.estimator.seconds",
+		"span.core.optimize.seconds",
+		"span.core.audit.seconds",
+		"span.core.chip.seconds",
+	} {
+		if s.Histograms[span].Count != 1 {
+			t.Errorf("%s Count = %d, want 1 (one span per phase)", span, s.Histograms[span].Count)
+		}
+	}
+	if s.Counters[evolution.MetricEvaluations] == 0 {
+		t.Error("optimizer counters missing: Options.Obs was not threaded into the evolution run")
+	}
+	if s.Counters[estimate.MetricEvalModuleCalls] == 0 {
+		t.Error("estimator counters missing: Options.Obs was not threaded into the estimator")
+	}
+	if st, ok := o.Status().(evolution.RunStatus); !ok || st.BestCost != res.Evolution.BestCost {
+		t.Errorf("published status = %+v, want final RunStatus of the run", o.Status())
+	}
+}
+
+// TestSynthesizeObservedViaContext checks the second carriage path: an
+// Obs threaded through the context (as the experiment drivers do) must
+// reach the optimizer without Options.Obs being set.
+func TestSynthesizeObservedViaContext(t *testing.T) {
+	o := obs.New("r-ctx", nil, nil)
+	ctx := obs.NewContext(context.Background(), o)
+	if _, err := SynthesizeContext(ctx, circuits.C17(), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Registry().Snapshot().Counters[evolution.MetricEvaluations] == 0 {
+		t.Error("context-carried Obs did not reach the evolution run")
 	}
 }

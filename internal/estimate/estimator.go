@@ -1,9 +1,21 @@
 package estimate
 
 import (
+	"time"
+
 	"iddqsyn/internal/celllib"
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/electrical"
+	"iddqsyn/internal/obs"
+)
+
+// Metric names recorded by an observed estimator (see SetObs). Module
+// evaluation is the innermost hot path of every optimizer, so its call
+// count and latency distribution are the primary throughput signal of a
+// run.
+const (
+	MetricEvalModuleCalls   = "estimate.evalmodule.calls"
+	MetricEvalModuleSeconds = "estimate.evalmodule.seconds"
 )
 
 // Params collects the technology- and policy-level constants of the
@@ -36,7 +48,9 @@ func DefaultParams() Params {
 }
 
 // Estimator evaluates the per-module and global quantities of §3 for one
-// annotated circuit. It is immutable and safe for concurrent use.
+// annotated circuit. It is immutable after construction — SetObs, which
+// attaches telemetry handles, must run before the estimator is shared —
+// and then safe for concurrent use.
 type Estimator struct {
 	P  Params
 	A  *celllib.Annotated
@@ -51,6 +65,25 @@ type Estimator struct {
 	// matching hop counts.
 	nbrGate [][]int32
 	nbrDist [][]uint8
+
+	// Telemetry handles, resolved once by SetObs; nil (no-op) when the
+	// estimator is unobserved. The metrics themselves are atomic, so the
+	// optimizer worker pools record through them without contention.
+	evalCalls   *obs.Counter
+	evalSeconds *obs.Histogram
+}
+
+// SetObs attaches run telemetry: every EvalModule call increments
+// MetricEvalModuleCalls and records its latency into
+// MetricEvalModuleSeconds. Call it right after New, before the estimator
+// is shared across goroutines; a nil o detaches nothing and keeps the
+// estimator unobserved.
+func (e *Estimator) SetObs(o *obs.Obs) {
+	if e == nil || o == nil {
+		return
+	}
+	e.evalCalls = o.Counter(MetricEvalModuleCalls)
+	e.evalSeconds = o.Histogram(MetricEvalModuleSeconds, nil)
 }
 
 // New builds an Estimator, computing the transition-time sets, the
@@ -116,6 +149,10 @@ func must(v float64, err error) float64 {
 
 // EvalModule computes all per-module estimates for a gate group.
 func (e *Estimator) EvalModule(gates []int) *Module {
+	if e.evalCalls != nil {
+		e.evalCalls.Inc()
+		defer e.evalSeconds.ObserveSince(time.Now())
+	}
 	m := &Module{Gates: gates}
 	if len(gates) == 0 {
 		m.Activity = make([]int, e.TS.Depth()+1)

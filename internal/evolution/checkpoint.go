@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 )
@@ -59,6 +60,14 @@ type Checkpoint struct {
 	History     []float64 `json:"history"`
 
 	Population []CheckpointIndividual `json:"population"`
+
+	// Metrics is the run's cumulative telemetry at the checkpoint (nil on
+	// unobserved runs and on checkpoints from older versions). Resuming
+	// restores it into the new run's registry, so counters continue
+	// monotonically — bit-identical resume also means consistent
+	// telemetry. The field is additive; version 1 files without it load
+	// unchanged.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // checkpoint captures the current state. It is called only at generation
@@ -86,6 +95,9 @@ func (s *state) checkpoint() *Checkpoint {
 			Age:       ind.age,
 			StepWidth: ind.m,
 		})
+	}
+	if s.obs.on {
+		ck.Metrics = s.obs.o.Registry().Snapshot()
 	}
 	return ck
 }
@@ -200,12 +212,25 @@ func ResumeContext(ctx context.Context, ck *Checkpoint, e *estimate.Estimator, w
 		rng:     rand.New(src),
 		stall:   ck.Stall,
 		nextGen: ck.Generation + 1,
+		obs:     newRunObs(resolveObs(ctx, ctl)),
 		res: &Result{
 			BestCost:    ck.BestCost,
 			Generations: ck.Generation,
 			Evaluations: ck.Evaluations,
 			History:     append([]float64(nil), ck.History...),
 		},
+	}
+	if s.obs.on && ck.Metrics != nil {
+		// Seed the registry with the checkpointed totals: cumulative
+		// counters and histograms continue monotonically across the
+		// resume instead of restarting from zero.
+		s.obs.o.Registry().Restore(ck.Metrics)
+	}
+	if s.obs.on {
+		s.obs.log.Info("resuming from checkpoint",
+			"circuit", ck.Circuit, "gen", ck.Generation,
+			"evaluations", ck.Evaluations, "best_cost", ck.BestCost,
+			"telemetry_restored", ck.Metrics != nil)
 	}
 	best, err := partition.New(e, ck.Best, w, cons)
 	if err != nil {

@@ -13,7 +13,9 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partition"
 )
 
@@ -31,6 +33,14 @@ type Control struct {
 	// CheckpointEvery is the checkpoint cadence in generations
 	// (0 = DefaultCheckpointEvery).
 	CheckpointEvery int
+
+	// Obs, if non-nil, observes the run: per-generation counters, gauges
+	// and latency histograms, structured log events, the live /runz
+	// status, and a metrics snapshot inside every checkpoint (restored on
+	// resume so cumulative counters continue monotonically). When nil the
+	// Obs carried by the run's context (obs.FromContext) is used instead;
+	// if that is also nil the run is unobserved at zero cost.
+	Obs *obs.Obs
 }
 
 func (c *Control) every() int {
@@ -92,6 +102,7 @@ type state struct {
 	res     *Result
 	stall   int
 	nextGen int // first generation the loop will run (1 for fresh runs)
+	obs     *runObs
 }
 
 // run executes generations nextGen..MaxGenerations with cancellation
@@ -109,36 +120,48 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			return s.interrupt(err, ctl)
 		}
 		s.res.Generations = gen
+		var genStart time.Time
+		if s.obs.on {
+			genStart = time.Now()
+		}
 		// Mutation is sequential (single deterministic rand stream);
 		// the cost evaluations below may run on a worker pool.
 		descendants := make([]*individual, 0, len(s.pop)*(s.prm.Lambda+s.prm.Chi))
 		for _, parent := range s.pop {
 			for l := 0; l < s.prm.Lambda; l++ {
+				s.obs.mutAttempts.Inc()
 				child := parent.p.Clone() // recombination = duplication (§4.1)
 				moved := mutate(child, parent.m, s.rng)
 				if !moved {
 					continue
 				}
+				s.obs.mutApplied.Inc()
 				descendants = append(descendants, &individual{
 					p: child, m: adaptStep(parent.m, s.prm.Epsilon, s.rng),
+					origin: originMutation,
 				})
 			}
 			for x := 0; x < s.prm.Chi; x++ {
+				s.obs.mcAttempts.Inc()
 				child := parent.p.Clone()
 				moved := monteCarlo(child, s.rng)
 				if !moved {
 					continue
 				}
+				s.obs.mcApplied.Inc()
 				descendants = append(descendants, &individual{
 					p: child, m: adaptStep(parent.m, s.prm.Epsilon, s.rng),
+					origin: originMonteCarlo,
 				})
 			}
 			parent.age++
 		}
-		if err := evaluate(descendants, s.prm.Workers, costOf); err != nil {
+		if err := evaluate(descendants, s.prm.Workers, costOf, s.obs.evalSeconds); err != nil {
 			return nil, err
 		}
 		s.res.Evaluations += len(descendants)
+		s.obs.evaluations.Add(uint64(len(descendants)))
+		s.obs.countInfeasible(descendants)
 
 		// Selection: parents older than ω are deleted; the μ cheapest of
 		// the remaining parents and all descendants survive.
@@ -157,10 +180,17 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			s.res.BestCost = b.cost
 			s.res.Best = b.p.Clone()
 			s.stall = 0
+			s.obs.improvements.Inc()
+			s.obs.log.Info("new best",
+				"gen", gen, "cost", b.cost, "modules", b.p.NumModules())
 		} else {
 			s.stall++
 		}
 		s.res.History = append(s.res.History, s.res.BestCost)
+		if s.obs.on {
+			s.obs.genSeconds.ObserveSince(genStart)
+		}
+		s.obs.afterGeneration(s, len(descendants))
 		if trace != nil {
 			trace(gen, s.res.Best, s.res.BestCost)
 		}
@@ -168,7 +198,7 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			break
 		}
 		if every > 0 && gen%every == 0 && gen < s.prm.MaxGenerations {
-			if err := s.checkpoint().write(ctl.CheckpointPath); err != nil {
+			if err := s.writeCheckpoint(ctl.CheckpointPath); err != nil {
 				// The run state is intact; surface the result alongside
 				// the error so hours of work are not discarded because a
 				// disk filled up.
@@ -176,7 +206,33 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			}
 		}
 	}
+	s.obs.log.Info("evolution run end",
+		"generations", s.res.Generations,
+		"evaluations", s.res.Evaluations,
+		"best_cost", s.res.BestCost,
+		"interrupted", s.res.Interrupted)
 	return s.res, nil
+}
+
+// writeCheckpoint persists the current state (with the metrics snapshot
+// embedded) and records the write in the telemetry.
+func (s *state) writeCheckpoint(path string) error {
+	var t0 time.Time
+	if s.obs.on {
+		t0 = time.Now()
+		// Count the write before snapshotting, so the snapshot a resumed
+		// run restores already includes the write that produced it.
+		s.obs.checkpointWrites.Inc()
+	}
+	if err := s.checkpoint().write(path); err != nil {
+		return err
+	}
+	if s.obs.on {
+		s.obs.ckptSeconds.ObserveSince(t0)
+		s.obs.log.Debug("checkpoint written",
+			"path", path, "gen", s.res.Generations)
+	}
+	return nil
 }
 
 // interrupt finalises a cancelled run: best-so-far result, Interrupted
@@ -185,8 +241,10 @@ func (s *state) interrupt(ctxErr error, ctl *Control) (*Result, error) {
 	s.res.Interrupted = true
 	s.res.Err = fmt.Errorf("evolution: interrupted after generation %d: %w",
 		s.res.Generations, ctxErr)
+	s.obs.log.Warn("evolution run interrupted",
+		"gen", s.res.Generations, "best_cost", s.res.BestCost)
 	if ctl != nil && ctl.CheckpointPath != "" {
-		if err := s.checkpoint().write(ctl.CheckpointPath); err != nil {
+		if err := s.writeCheckpoint(ctl.CheckpointPath); err != nil {
 			return s.res, err
 		}
 	}
@@ -204,8 +262,10 @@ var testEvalHook func(i int, p *partition.Partition)
 // sequential one. A panic inside a cost evaluation (however it is
 // provoked — corrupted state, a bug in an estimator, an injected fault)
 // is recovered and returned as an error naming the offending descendant;
-// the remaining workers drain and exit cleanly.
-func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64) error {
+// the remaining workers drain and exit cleanly. A non-nil hist receives
+// the per-descendant evaluation latency in seconds (histogram updates
+// are atomic, so the worker pool records without contention).
+func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64, hist *obs.Histogram) error {
 	eval := func(i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -215,6 +275,9 @@ func evaluate(descendants []*individual, workers int, cost func(*partition.Parti
 		}()
 		if testEvalHook != nil {
 			testEvalHook(i, descendants[i].p)
+		}
+		if hist != nil {
+			defer hist.ObserveSince(time.Now())
 		}
 		descendants[i].cost = cost(descendants[i].p)
 		return nil

@@ -108,11 +108,20 @@ type Result struct {
 	Err         error
 }
 
+// origin tags how an individual entered the population, for the
+// acceptance telemetry (it never influences selection).
+const (
+	originStart uint8 = iota
+	originMutation
+	originMonteCarlo
+)
+
 type individual struct {
-	p    *partition.Partition
-	cost float64
-	age  int
-	m    int // self-adapted step width
+	p      *partition.Partition
+	cost   float64
+	age    int
+	m      int // self-adapted step width
+	origin uint8
 }
 
 // infeasiblePenalty grades constraint violations: Γ(Π) is a hard
@@ -169,17 +178,24 @@ func OptimizeControlled(ctx context.Context, starts []*partition.Partition, prm 
 		rng:     rand.New(src),
 		res:     &Result{},
 		nextGen: 1,
+		obs:     newRunObs(resolveObs(ctx, ctl)),
 	}
 	s.pop = make([]*individual, 0, len(starts))
 	for _, st := range starts {
 		s.pop = append(s.pop, &individual{p: st, m: prm.MaxMove})
 	}
+	s.obs.log.Info("evolution run begin",
+		"circuit", starts[0].E.A.Circuit.Name,
+		"mu", prm.Mu, "lambda", prm.Lambda, "chi", prm.Chi,
+		"max_generations", prm.MaxGenerations, "seed", prm.Seed,
+		"workers", prm.Workers)
 	// The initial evaluation runs sequentially (it is μ cheap calls) but
 	// through the same panic-recovering path as the generation loop.
-	if err := evaluate(s.pop, 1, costOf); err != nil {
+	if err := evaluate(s.pop, 1, costOf, s.obs.evalSeconds); err != nil {
 		return nil, err
 	}
 	s.res.Evaluations += len(s.pop)
+	s.obs.evaluations.Add(uint64(len(s.pop)))
 	best := cheapest(s.pop)
 	s.res.Best = best.p.Clone()
 	s.res.BestCost = best.cost

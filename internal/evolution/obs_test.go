@@ -1,0 +1,153 @@
+package evolution
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"iddqsyn/internal/obs"
+	"iddqsyn/internal/partition"
+)
+
+// TestObservedRunMetricsMatchResult checks that the telemetry a run
+// records agrees with the Result it returns — and that observing a run
+// does not perturb it (the instrumentation must never touch the seeded
+// random stream).
+func TestObservedRunMetricsMatchResult(t *testing.T) {
+	env, prm := controlSetup(t)
+
+	unobserved, err := RunContext(context.Background(), env.e, env.w, env.cons, prm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.New("r-obs", nil, nil)
+	res, err := RunControlled(context.Background(), env.e, env.w, env.cons, prm, nil, &Control{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.BestCost != unobserved.BestCost || res.Evaluations != unobserved.Evaluations {
+		t.Errorf("observed run diverged: cost %v/%v evals %d/%d",
+			res.BestCost, unobserved.BestCost, res.Evaluations, unobserved.Evaluations)
+	}
+
+	s := o.Registry().Snapshot()
+	if got := s.Counters[MetricEvaluations]; got != uint64(res.Evaluations) {
+		t.Errorf("%s = %d, want %d (Result.Evaluations)", MetricEvaluations, got, res.Evaluations)
+	}
+	if got := s.Counters[MetricGenerations]; got != uint64(res.Generations) {
+		t.Errorf("%s = %d, want %d (Result.Generations)", MetricGenerations, got, res.Generations)
+	}
+	if s.Counters[MetricMutationAttempts] == 0 || s.Counters[MetricMutationApplied] == 0 {
+		t.Errorf("mutation counters empty: %v", s.Counters)
+	}
+	if got := s.Histograms[MetricEvalSeconds].Count; got == 0 {
+		t.Error("evaluation latency histogram recorded nothing")
+	}
+	if got := s.Gauges[MetricBestCostGauge]; got != res.BestCost {
+		t.Errorf("%s = %v, want %v", MetricBestCostGauge, got, res.BestCost)
+	}
+
+	status, ok := o.Status().(RunStatus)
+	if !ok {
+		t.Fatalf("live status is %T, want RunStatus", o.Status())
+	}
+	if status.Generation != res.Generations || status.BestCost != res.BestCost {
+		t.Errorf("status = gen %d cost %v, want gen %d cost %v",
+			status.Generation, status.BestCost, res.Generations, res.BestCost)
+	}
+	if len(status.History) != len(res.History) {
+		t.Errorf("status history has %d entries, want %d", len(status.History), len(res.History))
+	}
+}
+
+// TestResumedRunContinuesCountersMonotonically is the acceptance test
+// for metrics inside checkpoints: a run interrupted mid-flight leaves
+// its cumulative telemetry in the checkpoint, and a resume with a fresh
+// Obs restores it, so counters continue monotonically and end exactly
+// where an uninterrupted observed run ends.
+func TestResumedRunContinuesCountersMonotonically(t *testing.T) {
+	env, prm := controlSetup(t)
+
+	oBase := obs.New("r-base", nil, nil)
+	baseline, err := RunControlled(context.Background(), env.e, env.w, env.cons, prm, nil, &Control{Obs: oBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Interrupted {
+		t.Fatal("baseline must run to completion")
+	}
+	base := oBase.Registry().Snapshot()
+
+	oInt := obs.New("r-interrupted", nil, nil)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trace := func(gen int, best *partition.Partition, bestCost float64) {
+		if gen == 12 {
+			cancel()
+		}
+	}
+	interrupted, err := RunControlled(ctx, env.e, env.w, env.cons, prm, trace,
+		&Control{CheckpointPath: ckpt, CheckpointEvery: 5, Obs: oInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted.Interrupted {
+		t.Fatal("run was not interrupted")
+	}
+
+	ck, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Metrics == nil {
+		t.Fatal("observed checkpoint carries no metrics snapshot")
+	}
+	mid := ck.Metrics.Counters[MetricEvaluations]
+	if mid == 0 || mid >= base.Counters[MetricEvaluations] {
+		t.Fatalf("mid-run evaluations = %d, want in (0, %d)", mid, base.Counters[MetricEvaluations])
+	}
+	if ck.Metrics.Counters[MetricCheckpointWrites] == 0 {
+		t.Error("checkpoint metrics must include the write that produced them")
+	}
+
+	// Resume into a fresh Obs: the restored counters must pick up where
+	// the checkpoint left off, never reset.
+	oRes := obs.New("r-resumed", nil, nil)
+	resumed, err := ResumeContext(context.Background(), ck, env.e, env.w, env.cons, nil, &Control{Obs: oRes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Interrupted {
+		t.Fatal("resumed run must complete")
+	}
+	if resumed.BestCost != baseline.BestCost {
+		t.Errorf("resumed cost %v != baseline %v", resumed.BestCost, baseline.BestCost)
+	}
+
+	got := oRes.Registry().Snapshot()
+	if got.Counters[MetricEvaluations] < mid {
+		t.Errorf("evaluations went backwards: %d after resume < %d at checkpoint",
+			got.Counters[MetricEvaluations], mid)
+	}
+	// The resumed run replays the exact missing generations, so every
+	// cumulative counter must land on the uninterrupted totals.
+	for _, name := range []string{
+		MetricEvaluations, MetricGenerations,
+		MetricMutationAttempts, MetricMutationApplied, MetricMutationAccepted,
+		MetricMonteCarloAttempts, MetricMonteCarloApplied, MetricMonteCarloAccepted,
+		MetricInfeasible, MetricImprovements,
+	} {
+		if got.Counters[name] != base.Counters[name] {
+			t.Errorf("%s = %d after resume, want %d (uninterrupted baseline)",
+				name, got.Counters[name], base.Counters[name])
+		}
+	}
+	// Checkpoint writes belong to the interrupted run's history, not the
+	// baseline's (which wrote none) — they must survive the restore.
+	if got.Counters[MetricCheckpointWrites] == 0 {
+		t.Error("restored checkpoint-write count lost on resume")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"iddqsyn/internal/circuits"
 	"iddqsyn/internal/core"
 	"iddqsyn/internal/evolution"
+	"iddqsyn/internal/obs"
 )
 
 // Table1Circuits lists the benchmark circuits of the paper's Table 1 with
@@ -85,48 +86,60 @@ func Table1(ctx context.Context, cfg Table1Config) ([]Table1Row, error) {
 	if cfg.Evolution != nil {
 		eprm = *cfg.Evolution
 	}
+	o := obs.FromContext(ctx)
 	var rows []Table1Row
 	for _, name := range names {
-		c, err := circuits.ISCAS85Like(name)
+		sp := o.StartSpan("experiments.table1.circuit", "circuit", name)
+		row, err := table1Circuit(ctx, name, eprm)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		evo, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &eprm})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s evolution: %w", name, err)
-		}
-		std, err := core.SynthesizeContext(ctx, c, core.Options{
-			Method:  core.MethodStandard,
-			Modules: evo.Partition.NumModules(),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s standard: %w", name, err)
-		}
-		if err := verifyFinal(name+" evolution", evo); err != nil {
-			return nil, err
-		}
-		if err := verifyFinal(name+" standard", std); err != nil {
-			return nil, err
-		}
-		ecv, scv := evo.Costs, std.Costs
-		rows = append(rows, Table1Row{
-			Circuit:        name,
-			Gates:          c.NumLogicGates(),
-			Modules:        evo.Partition.NumModules(),
-			AreaEvolution:  ecv.SensorArea,
-			AreaStandard:   scv.SensorArea,
-			AreaOverhead:   100 * (scv.SensorArea - ecv.SensorArea) / ecv.SensorArea,
-			DelayEvolution: 100 * ecv.DelayOverhead,
-			DelayStandard:  100 * scv.DelayOverhead,
-			TestEvolution:  100 * ecv.TestTime,
-			TestStandard:   100 * scv.TestTime,
-			CostEvolution:  evo.Partition.Cost(),
-			CostStandard:   std.Partition.Cost(),
-			Generations:    evo.Evolution.Generations,
-			Evaluations:    evo.Evolution.Evaluations,
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// table1Circuit runs both methods on one circuit and builds its row.
+func table1Circuit(ctx context.Context, name string, eprm evolution.Params) (Table1Row, error) {
+	c, err := circuits.ISCAS85Like(name)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	evo, err := core.SynthesizeContext(ctx, c, core.Options{Evolution: &eprm})
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("experiments: %s evolution: %w", name, err)
+	}
+	std, err := core.SynthesizeContext(ctx, c, core.Options{
+		Method:  core.MethodStandard,
+		Modules: evo.Partition.NumModules(),
+	})
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("experiments: %s standard: %w", name, err)
+	}
+	if err := verifyFinal(name+" evolution", evo); err != nil {
+		return Table1Row{}, err
+	}
+	if err := verifyFinal(name+" standard", std); err != nil {
+		return Table1Row{}, err
+	}
+	ecv, scv := evo.Costs, std.Costs
+	return Table1Row{
+		Circuit:        name,
+		Gates:          c.NumLogicGates(),
+		Modules:        evo.Partition.NumModules(),
+		AreaEvolution:  ecv.SensorArea,
+		AreaStandard:   scv.SensorArea,
+		AreaOverhead:   100 * (scv.SensorArea - ecv.SensorArea) / ecv.SensorArea,
+		DelayEvolution: 100 * ecv.DelayOverhead,
+		DelayStandard:  100 * scv.DelayOverhead,
+		TestEvolution:  100 * ecv.TestTime,
+		TestStandard:   100 * scv.TestTime,
+		CostEvolution:  evo.Partition.Cost(),
+		CostStandard:   std.Partition.Cost(),
+		Generations:    evo.Evolution.Generations,
+		Evaluations:    evo.Evolution.Evaluations,
+	}, nil
 }
 
 // FormatTable1 renders rows in the layout of the paper's Table 1.

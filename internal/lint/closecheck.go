@@ -6,23 +6,29 @@ import (
 	"iddqsyn/internal/lint/analysis"
 )
 
-// CloseCheck flags statements that discard the error of a Close or Sync
-// call. The crash-safe checkpoint protocol (write temp file, Sync, Close,
-// rename) is only atomic if every one of those errors is observed: a
-// full disk surfaces at Sync/Close time, and swallowing it turns "the old
-// checkpoint is intact" into "the new checkpoint is silently truncated".
+// CloseCheck flags statements that discard the error of a Close, Sync or
+// Shutdown call. The crash-safe checkpoint protocol (write temp file,
+// Sync, Close, rename) is only atomic if every one of those errors is
+// observed: a full disk surfaces at Sync/Close time, and swallowing it
+// turns "the old checkpoint is intact" into "the new checkpoint is
+// silently truncated". Shutdown is the same discipline for servers — the
+// debug HTTP server's graceful drain reports its failure (a hung
+// connection, an expired context) through the Shutdown error, and a
+// dropped one hides that the process exited with requests on the floor.
 //
 // Without type information the check cannot distinguish a writable file
 // from a read-only one, so it flags every bare `x.Close()` / `x.Sync()`
-// expression statement. Read-side closes where the error is genuinely
-// irrelevant state that explicitly with `_ = f.Close()`; deferred closes
-// are left to the author (the idiomatic read-path `defer f.Close()` is
-// fine, and write paths in this codebase close explicitly before rename).
+// expression statement, and `x.Shutdown(...)` with any argument count.
+// Read-side closes where the error is genuinely irrelevant state that
+// explicitly with `_ = f.Close()`; deferred closes are left to the author
+// (the idiomatic read-path `defer f.Close()` is fine, and write paths in
+// this codebase close explicitly before rename) — but a deferred
+// Shutdown is flagged, because its error can never reach a caller.
 var CloseCheck = &analysis.Analyzer{
 	Name: "closecheck",
-	Doc: "flag Close/Sync calls whose error is silently discarded; atomic " +
-		"checkpoint writes depend on observing them (use `_ = f.Close()` to " +
-		"discard deliberately on read-only paths)",
+	Doc: "flag Close/Sync/Shutdown calls whose error is silently discarded; " +
+		"atomic checkpoint writes and graceful server drains depend on " +
+		"observing them (use `_ =` to discard deliberately on read-only paths)",
 	Run: runCloseCheck,
 }
 
@@ -32,27 +38,54 @@ func runCloseCheck(pass *analysis.Pass) (interface{}, error) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
-			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok || len(call.Args) != 0 {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			if name := sel.Sel.Name; name == "Close" || name == "Sync" {
-				pass.Reportf(stmt.Pos(),
-					"error from %s() is discarded; check it, or discard explicitly with `_ =` on read-only paths",
-					exprString(sel))
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if sel, ok := discardedCall(stmt.X); ok {
+					pass.Reportf(stmt.Pos(),
+						"error from %s() is discarded; check it, or discard explicitly with `_ =` on read-only paths",
+						exprString(sel))
+				}
+			case *ast.DeferStmt:
+				// Only Shutdown: a deferred Close is the idiomatic read
+				// path, but a deferred Shutdown drops the drain error with
+				// no way to observe it.
+				if sel, ok := callSelector(stmt.Call); ok && sel.Sel.Name == "Shutdown" {
+					pass.Reportf(stmt.Pos(),
+						"error from deferred %s() is discarded; shut down explicitly (or in a deferred func) and check the error",
+						exprString(sel))
+				}
 			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// discardedCall reports whether expr is a call whose error closecheck
+// considers discarded when used as a bare statement: Close/Sync with no
+// arguments, or Shutdown with any (it typically takes a context).
+func discardedCall(expr ast.Expr) (*ast.SelectorExpr, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "Close", "Sync":
+		return sel, len(call.Args) == 0
+	case "Shutdown":
+		return sel, true
+	}
+	return nil, false
+}
+
+// callSelector unwraps a call's selector function, if it has one.
+func callSelector(call *ast.CallExpr) (*ast.SelectorExpr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return sel, ok
 }
 
 // exprString renders a selector chain like "f.Close" for diagnostics.

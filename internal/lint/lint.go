@@ -10,8 +10,9 @@
 //   - ctxloop: generation/sweep loops in context-aware functions must
 //     observe cancellation, or -timeout and SIGINT handling silently stop
 //     working.
-//   - closecheck: Close/Sync errors on writers must be checked — the
-//     atomic-checkpoint guarantee depends on them.
+//   - closecheck: Close/Sync errors on writers and Shutdown errors on
+//     servers must be checked — the atomic-checkpoint guarantee and the
+//     debug server's graceful drain depend on them.
 //
 // The analyzers are syntactic (no type information), which keeps the suite
 // dependency-free; each one documents the approximations that follow from

@@ -47,3 +47,27 @@ func read(path string) ([]byte, error) {
 	n, err := f.Read(buf)
 	return buf[:n], err
 }
+
+// shutdowner stands in for *http.Server (the analyzer is syntactic).
+type shutdowner struct{}
+
+func (shutdowner) Shutdown(ctx interface{}) error { return nil }
+func (shutdowner) Close() error                   { return nil }
+
+// Bad: the graceful drain's error vanishes — both as a bare statement
+// (even with arguments) and deferred (it can never reach a caller).
+func drainDropped(srv shutdowner, ctx interface{}) {
+	srv.Shutdown(ctx)       // want `error from srv.Shutdown\(\) is discarded`
+	defer srv.Shutdown(ctx) // want `error from deferred srv.Shutdown\(\) is discarded`
+}
+
+// Good: the drain error is observed (or explicitly discarded).
+func drainChecked(srv shutdowner, ctx interface{}) error {
+	defer func() {
+		if err := srv.Shutdown(ctx); err != nil {
+			_ = err // logged in real code
+		}
+	}()
+	_ = srv.Shutdown(ctx)
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,156 @@
+// The live introspection server: one flag (-debug-addr) turns a running
+// optimization into an inspectable process. The server exposes
+//
+//	/            endpoint index
+//	/healthz     liveness probe
+//	/runz        the run's live status (run ID + the value last passed
+//	             to Obs.SetStatus — generation, best cost, violations)
+//	/metricz     the full metrics-registry snapshot as JSON
+//	/debug/vars  expvar (memstats, cmdline, and the registry under
+//	             the "iddqsyn" key)
+//	/debug/pprof pprof profiles (CPU, heap, goroutine, ...)
+//
+// Handlers are read-only and serve point-in-time snapshots; they never
+// block the optimizer (metrics reads are atomic).
+
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// expvar.Publish panics on duplicate names, so the registry hook is
+// installed once per process and reads the latest-served registry
+// through an atomic pointer (tests start several servers).
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	if r == nil {
+		return
+	}
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("iddqsyn", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// Server is a running introspection HTTP server.
+type Server struct {
+	o    *Obs
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when Serve's goroutine exits
+}
+
+// Serve starts the introspection server on addr (e.g. ":6060" or
+// "127.0.0.1:0") observing o. It returns once the listener is bound; the
+// handler loop runs in a background goroutine until Close.
+func Serve(addr string, o *Obs) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	publishExpvar(o.Registry())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "iddqsyn introspection — run %s\n\n", o.Run())
+		fmt.Fprintln(w, "/healthz      liveness")
+		fmt.Fprintln(w, "/runz         live run status (JSON)")
+		fmt.Fprintln(w, "/metricz      metrics snapshot (JSON)")
+		fmt.Fprintln(w, "/debug/vars   expvar")
+		fmt.Fprintln(w, "/debug/pprof  profiles")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/runz", func(w http.ResponseWriter, _ *http.Request) {
+		serveJSON(w, struct {
+			Run    string `json:"run"`
+			Status any    `json:"status"`
+		}{Run: o.Run(), Status: o.Status()})
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, _ *http.Request) {
+		serveJSON(w, o.Registry().Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		o:    o,
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			o.Log().Error("debug server failed", "addr", ln.Addr().String(), "err", err.Error())
+		}
+	}()
+	o.Log().Info("debug server listening", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down gracefully, waiting for in-flight requests
+// until ctx expires, then hard-closing. The error is worth checking —
+// the closecheck lint flags callers that drop it.
+func (s *Server) Close(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Graceful drain failed (context expired): force the listener and
+		// connections closed so the process can exit.
+		if cerr := s.srv.Close(); cerr != nil && err == context.DeadlineExceeded {
+			err = cerr
+		}
+	}
+	<-s.done
+	if err != nil {
+		return fmt.Errorf("obs: debug server shutdown: %w", err)
+	}
+	return nil
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

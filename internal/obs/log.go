@@ -1,0 +1,254 @@
+// The structured event logger: leveled, text or JSON, one line per
+// event, every line stamped with the run ID and any bound fields.
+// Records are rendered under a mutex so concurrent workers never
+// interleave partial lines. Field order is deterministic (bound fields
+// first, then call-site pairs in argument order), which keeps golden
+// tests and log-diffing honest.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level grades log events.
+type Level int8
+
+// The levels, ordered: a logger emits events at or above its own level.
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// ParseLevel resolves a level name (as used by the -log-level flags).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Format selects the log record encoding.
+type Format int8
+
+// The formats.
+const (
+	FormatText Format = iota
+	FormatJSON
+)
+
+// ParseFormat resolves a format name (as used by the -log-format flags).
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log format %q (want text or json)", s)
+}
+
+// field is one bound key/value pair.
+type field struct {
+	key   string
+	value any
+}
+
+// Logger writes structured, leveled events. Loggers are immutable —
+// With/WithRun derive children — and safe for concurrent use; a nil
+// *Logger discards everything.
+type Logger struct {
+	mu     *sync.Mutex // shared by all derived loggers (one output stream)
+	w      io.Writer
+	format Format
+	level  Level
+	clock  func() time.Time
+	run    string
+	fields []field
+}
+
+// NewLogger returns a logger writing records at or above level to w.
+func NewLogger(w io.Writer, format Format, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, format: format, level: level, clock: time.Now}
+}
+
+// WithRun derives a logger stamping every record with the run ID.
+func (l *Logger) WithRun(run string) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.run = run
+	return &d
+}
+
+// With derives a logger with additional bound key/value pairs (given as
+// alternating key, value arguments, slog-style).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.fields = append(append([]field(nil), l.fields...), pairs(kv)...)
+	return &d
+}
+
+// WithClock derives a logger using the given time source (tests pin it
+// for golden output).
+func (l *Logger) WithClock(clock func() time.Time) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.clock = clock
+	return &d
+}
+
+// Enabled reports whether events at lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv >= l.level
+}
+
+// Debug emits a debug event.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+
+// Info emits an info event.
+func (l *Logger) Info(msg string, kv ...any) { l.emit(LevelInfo, msg, kv) }
+
+// Warn emits a warning event.
+func (l *Logger) Warn(msg string, kv ...any) { l.emit(LevelWarn, msg, kv) }
+
+// Error emits an error event.
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+// pairs folds an alternating key/value argument list into fields. A
+// dangling key gets the value "(MISSING)" rather than being dropped — a
+// call-site bug should be visible in the output, not hidden.
+func pairs(kv []any) []field {
+	out := make([]field, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		var v any = "(MISSING)"
+		if i+1 < len(kv) {
+			v = kv[i+1]
+		}
+		out = append(out, field{key: key, value: v})
+	}
+	return out
+}
+
+func (l *Logger) emit(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ts := l.clock().UTC()
+	fs := l.fields
+	if len(kv) > 0 {
+		fs = append(append([]field(nil), fs...), pairs(kv)...)
+	}
+	var b strings.Builder
+	if l.format == FormatJSON {
+		writeJSONRecord(&b, ts, lv, l.run, msg, fs)
+	} else {
+		writeTextRecord(&b, ts, lv, l.run, msg, fs)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String()) // logging must never fail the run
+}
+
+// timeLayout is RFC3339 with millisecond precision — compact and sortable.
+const timeLayout = "2006-01-02T15:04:05.000Z"
+
+func writeTextRecord(b *strings.Builder, ts time.Time, lv Level, run, msg string, fs []field) {
+	b.WriteString(ts.Format(timeLayout))
+	fmt.Fprintf(b, " %-5s", lv)
+	if run != "" {
+		b.WriteString(" run=")
+		b.WriteString(run)
+	}
+	b.WriteByte(' ')
+	b.WriteString(textValue(msg))
+	for _, f := range fs {
+		b.WriteByte(' ')
+		b.WriteString(f.key)
+		b.WriteByte('=')
+		b.WriteString(textValue(fmt.Sprint(f.value)))
+	}
+}
+
+// textValue quotes a value only when it would break the k=v grammar.
+func textValue(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func writeJSONRecord(b *strings.Builder, ts time.Time, lv Level, run, msg string, fs []field) {
+	// Hand-assembled so the field order is deterministic: ts, level, run,
+	// msg, then the fields in binding order (encoding/json alone would
+	// need an ordered-map type for that).
+	b.WriteString(`{"ts":"`)
+	b.WriteString(ts.Format(timeLayout))
+	b.WriteString(`","level":"`)
+	b.WriteString(lv.String())
+	b.WriteString(`"`)
+	if run != "" {
+		b.WriteString(`,"run":`)
+		b.WriteString(jsonValue(run))
+	}
+	b.WriteString(`,"msg":`)
+	b.WriteString(jsonValue(msg))
+	for _, f := range fs {
+		b.WriteByte(',')
+		b.WriteString(jsonValue(f.key))
+		b.WriteByte(':')
+		b.WriteString(jsonValue(f.value))
+	}
+	b.WriteByte('}')
+}
+
+// jsonValue marshals one value, degrading to a quoted string on error
+// (an unmarshalable field must not lose the whole record).
+func jsonValue(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return string(data)
+}

@@ -1,0 +1,305 @@
+// The metrics registry: named counters, gauges and fixed-bucket
+// histograms. All mutation paths are atomic — an increment is one
+// atomic add, a gauge set one atomic store, a histogram observation two
+// atomic adds plus a CAS loop for the sum — so optimizer worker pools
+// can record without contention. The registry map itself is guarded by a
+// mutex, but instrumented code looks metrics up once and holds the
+// pointers, keeping the map off every hot path.
+
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// set overwrites the count (snapshot restore only; counters stay
+// monotonic through the public API).
+func (c *Counter) set(n uint64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Gauge is a float64 metric holding the latest value of something (a
+// temperature, a best cost, a population size).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (0 if never set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= Bounds[i] (and > Bounds[i-1]); one implicit
+// overflow bucket counts everything above the last bound. Count and Sum
+// track all observations, so mean latency is Sum/Count.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: bucket i counts v <= bounds[i]
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0 — the span-free way
+// to time one hot-path operation.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and growing by factor — the standard shape for latency
+// histograms. Out-of-domain arguments are clamped to the nearest valid
+// value (metrics plumbing must not take a run down).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 {
+		start = 1e-6
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 1µs to ~4m in 14 exponential buckets — wide
+// enough for both a single module estimate and a full generation.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 4, 14) }
+
+// Registry holds one run's named metrics. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use and tolerate
+// a nil receiver (returning nil metrics whose methods are no-ops).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls reuse the existing buckets;
+// nil bounds default to LatencyBuckets).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = LatencyBuckets()
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	Sum    float64  `json:"sum"`
+}
+
+// MetricsSnapshot is a registry's frozen state, JSON-marshalable with
+// deterministic (sorted) key order.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry. Each metric is read atomically; the
+// snapshot as a whole is not a single atomic cut across metrics, which
+// is fine for trend data (and the only option without a global lock on
+// the hot path).
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	s := &MetricsSnapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]uint64, len(h.buckets)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Restore seeds the registry from a snapshot, so cumulative counters and
+// histograms continue monotonically across a checkpoint resume. Metrics
+// absent from the snapshot are untouched; histogram bounds come from the
+// snapshot (first creation wins, as with Histogram).
+func (r *Registry) Restore(s *MetricsSnapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).set(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, hs := range s.Histograms {
+		h := r.Histogram(name, hs.Bounds)
+		if len(hs.Counts) != len(h.buckets) {
+			continue // foreign bucket layout; leave the live histogram alone
+		}
+		for i, c := range hs.Counts {
+			h.buckets[i].Store(c)
+		}
+		h.count.Store(hs.Count)
+		h.sumBits.Store(math.Float64bits(hs.Sum))
+	}
+}

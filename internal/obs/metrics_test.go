@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	// Run with -race in make check: the counter must be a single atomic.
+	r := NewRegistry()
+	c := r.Counter("hits")
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Errorf("Counter = %d after %d concurrent Incs, want %d", got, workers*each, workers*each)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("cost")
+	if g.Value() != 0 {
+		t.Errorf("unset gauge = %v, want 0", g.Value())
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Errorf("gauge = %v, want -2.5", g.Value())
+	}
+	if r.Gauge("cost") != g {
+		t.Error("Gauge must return the same handle for the same name")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket semantics: bucket i
+// counts v <= bounds[i] (and > bounds[i-1]); the implicit last bucket
+// counts everything above the final bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{
+		0.5, 1, // both <= 1: bucket 0
+		1.0001, 10, // bucket 1
+		99.9,          // bucket 2
+		100.0001, 1e9, // overflow bucket
+	} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	wantBounds := []float64{1, 10, 100}
+	if !reflect.DeepEqual(s.Bounds, wantBounds) {
+		t.Errorf("Bounds = %v, want %v", s.Bounds, wantBounds)
+	}
+	wantCounts := []uint64{2, 2, 1, 2}
+	if !reflect.DeepEqual(s.Counts, wantCounts) {
+		t.Errorf("Counts = %v, want %v (bucket i counts v <= bounds[i])", s.Counts, wantCounts)
+	}
+	if s.Count != 7 {
+		t.Errorf("Count = %d, want 7", s.Count)
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 10 + 99.9 + 100.0001 + 1e9
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2})
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*each)
+	}
+	if want := 1.5 * workers * each; math.Abs(h.Sum()-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v (CAS loop must not lose updates)", h.Sum(), want)
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil) // default latency buckets
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 1e-3 || h.Sum() > 10 {
+		t.Errorf("Sum = %v seconds, want roughly 1ms", h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	if want := []float64{1, 10, 100}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ExpBuckets(1,10,3) = %v, want %v", got, want)
+	}
+	// Out-of-domain arguments are clamped, never a panic: metrics
+	// plumbing must not take a run down.
+	for _, b := range [][]float64{
+		ExpBuckets(-1, 0.5, 0),
+		ExpBuckets(0, 1, -3),
+	} {
+		if len(b) == 0 {
+			t.Error("clamped ExpBuckets must still return at least one bound")
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				t.Errorf("clamped bounds not ascending: %v", b)
+			}
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same counter name must return the same handle")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{5, 6, 7}) // later bounds ignored
+	if h1 != h2 {
+		t.Error("same histogram name must return the same handle")
+	}
+	h1.Observe(1.5)
+	if got := r.Snapshot().Histograms["h"].Bounds; !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Errorf("first-creation bounds must win, got %v", got)
+	}
+}
+
+func TestNilRegistryAndMetrics(t *testing.T) {
+	var r *Registry
+	// Every call on the nil registry and its nil metrics must be a no-op.
+	r.Counter("x").Inc()
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(1)
+	r.Histogram("x", nil).Observe(1)
+	r.Histogram("x", nil).ObserveSince(time.Now())
+	r.Restore(&MetricsSnapshot{Counters: map[string]uint64{"x": 1}})
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 || r.Histogram("x", nil).Count() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	s := r.Snapshot()
+	if s == nil || len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot must be empty, got %+v", s)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("evals").Add(42)
+	r.Gauge("best").Set(3.25)
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	snap := r.Snapshot()
+	fresh := NewRegistry()
+	fresh.Restore(snap)
+
+	// Counters and histograms must continue monotonically after restore.
+	fresh.Counter("evals").Inc()
+	fresh.Histogram("lat", []float64{1, 2}).Observe(0.25)
+	if got := fresh.Counter("evals").Value(); got != 43 {
+		t.Errorf("restored counter = %d, want 43", got)
+	}
+	if got := fresh.Gauge("best").Value(); got != 3.25 {
+		t.Errorf("restored gauge = %v, want 3.25", got)
+	}
+	hs := fresh.Snapshot().Histograms["lat"]
+	if hs.Count != 4 {
+		t.Errorf("restored histogram Count = %d, want 4", hs.Count)
+	}
+	if want := []uint64{2, 1, 1}; !reflect.DeepEqual(hs.Counts, want) {
+		t.Errorf("restored histogram Counts = %v, want %v", hs.Counts, want)
+	}
+	if want := 0.5 + 1.5 + 99 + 0.25; math.Abs(hs.Sum-want) > 1e-9 {
+		t.Errorf("restored histogram Sum = %v, want %v", hs.Sum, want)
+	}
+}
+
+func TestRestoreForeignBucketLayout(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 3})
+	h.Observe(1)
+	// A snapshot with a different bucket count must not corrupt the live
+	// histogram.
+	r.Restore(&MetricsSnapshot{Histograms: map[string]HistogramSnapshot{
+		"lat": {Bounds: []float64{5}, Counts: []uint64{7, 7}, Count: 14, Sum: 70},
+	}})
+	if h.Count() != 1 {
+		t.Errorf("foreign layout must leave the live histogram alone, Count = %d", h.Count())
+	}
+}

@@ -1,0 +1,99 @@
+// Per-run snapshot files: the recorded evidence a finished (or
+// checkpointed) run leaves behind. A RunSnapshot bundles the run ID, the
+// final run status (e.g. the optimizer's generation/best-cost view) and
+// the full metrics snapshot; the CLIs write one with -metrics, and
+// convergence plots or regression checks read it back instead of
+// re-running the optimizer. Writes are atomic (temp file + fsync +
+// rename), mirroring the checkpoint protocol.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SnapshotFormat and SnapshotVersion identify the snapshot file format.
+const (
+	SnapshotFormat  = "iddqsyn-run-snapshot"
+	SnapshotVersion = 1
+)
+
+// RunSnapshot is one run's persisted telemetry.
+type RunSnapshot struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+
+	Run     string `json:"run"`
+	Circuit string `json:"circuit,omitempty"`
+
+	// Status is the run's final status value (whatever the optimizer last
+	// published via Obs.SetStatus — generation, best cost, history, ...).
+	Status any `json:"status,omitempty"`
+
+	Metrics *MetricsSnapshot `json:"metrics"`
+}
+
+// NewRunSnapshot assembles a snapshot of o's current state.
+func NewRunSnapshot(o *Obs, circuit string) *RunSnapshot {
+	return &RunSnapshot{
+		Format:  SnapshotFormat,
+		Version: SnapshotVersion,
+		Run:     o.Run(),
+		Circuit: circuit,
+		Status:  o.Status(),
+		Metrics: o.Registry().Snapshot(),
+	}
+}
+
+// WriteFile persists the snapshot atomically: marshal, write a sibling
+// temp file, fsync, rename — a crash never leaves a truncated snapshot.
+func (s *RunSnapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal run snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("obs: write run snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close() // the write error is the one worth reporting
+		return fmt.Errorf("obs: write run snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close() // the sync error is the one worth reporting
+		return fmt.Errorf("obs: sync run snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: close run snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("obs: commit run snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadRunSnapshot reads and validates a snapshot file.
+func LoadRunSnapshot(path string) (*RunSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: load run snapshot: %w", err)
+	}
+	s := &RunSnapshot{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, fmt.Errorf("obs: run snapshot %s is corrupted: %w", path, err)
+	}
+	if s.Format != SnapshotFormat {
+		return nil, fmt.Errorf("obs: %s is not a run snapshot (format %q, want %q)",
+			path, s.Format, SnapshotFormat)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("obs: run snapshot %s: version %d not supported (want %d)",
+			path, s.Version, SnapshotVersion)
+	}
+	return s, nil
+}

@@ -1,0 +1,60 @@
+// Nested timing spans. A span times one phase of a run — an estimator
+// build, a generation, a checkpoint write, a partcheck audit — logging
+// begin/end events at debug level and recording the duration into a
+// per-span-name latency histogram, so the same instrumentation feeds
+// both the event stream and the metrics snapshot.
+
+package obs
+
+import "time"
+
+// Span is one timed phase. Spans nest explicitly (Child), carry their
+// depth into the log stream, and are single-goroutine values — share the
+// Obs across workers, not a Span.
+type Span struct {
+	o     *Obs
+	name  string
+	depth int
+	start time.Time
+}
+
+// StartSpan opens a top-level span and logs its begin event.
+func (o *Obs) StartSpan(name string, kv ...any) *Span {
+	return o.startSpan(name, 0, kv)
+}
+
+// Child opens a nested span one level deeper.
+func (sp *Span) Child(name string, kv ...any) *Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.o.startSpan(name, sp.depth+1, kv)
+}
+
+func (o *Obs) startSpan(name string, depth int, kv []any) *Span {
+	if o == nil {
+		return nil
+	}
+	if l := o.Log(); l.Enabled(LevelDebug) {
+		l.Debug("span begin", append([]any{"span", name, "depth", depth}, kv...)...)
+	}
+	return &Span{o: o, name: name, depth: depth, start: time.Now()}
+}
+
+// End closes the span: the elapsed seconds go into the histogram
+// "span." + name + ".seconds" and the end event (with the duration and
+// any extra fields) into the log. Returns the elapsed time. End on a
+// nil span is a no-op returning 0.
+func (sp *Span) End(kv ...any) time.Duration {
+	if sp == nil {
+		return 0
+	}
+	d := time.Since(sp.start)
+	sp.o.Histogram("span."+sp.name+".seconds", nil).Observe(d.Seconds())
+	if l := sp.o.Log(); l.Enabled(LevelDebug) {
+		l.Debug("span end", append([]any{
+			"span", sp.name, "depth", sp.depth, "seconds", d.Seconds(),
+		}, kv...)...)
+	}
+	return d
+}

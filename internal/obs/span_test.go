@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	var b strings.Builder
+	o := New("r-1", nil, NewLogger(&b, FormatText, LevelDebug).WithClock(pinnedClock()))
+
+	outer := o.StartSpan("optimize", "circuit", "c17")
+	inner := outer.Child("generation")
+	grand := inner.Child("evaluate")
+	if d := grand.End(); d < 0 {
+		t.Errorf("End returned negative duration %v", d)
+	}
+	inner.End()
+	outer.End("modules", 3)
+
+	out := b.String()
+	for _, want := range []string{
+		"span begin", "span=optimize depth=0 circuit=c17",
+		"span=generation depth=1",
+		"span=evaluate depth=2",
+		"span end", "modules=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+	// Each span name feeds its own latency histogram.
+	s := o.Registry().Snapshot()
+	for _, name := range []string{"span.optimize.seconds", "span.generation.seconds", "span.evaluate.seconds"} {
+		if s.Histograms[name].Count != 1 {
+			t.Errorf("%s Count = %d, want 1", name, s.Histograms[name].Count)
+		}
+	}
+}
+
+func TestSpanNil(t *testing.T) {
+	var o *Obs
+	sp := o.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil Obs must yield a nil span")
+	}
+	if sp.Child("y") != nil {
+		t.Error("nil span Child must stay nil")
+	}
+	if sp.End() != 0 {
+		t.Error("nil span End must return 0")
+	}
+}
+
+func TestSpanWithoutDebugLoggingStillRecords(t *testing.T) {
+	var b strings.Builder
+	o := New("r-1", nil, NewLogger(&b, FormatText, LevelWarn))
+	sp := o.StartSpan("quiet")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Errorf("duration %v, want >= 1ms", d)
+	}
+	if b.Len() != 0 {
+		t.Errorf("no span events expected above debug level, got %q", b.String())
+	}
+	if o.Registry().Snapshot().Histograms["span.quiet.seconds"].Count != 1 {
+		t.Error("span duration must be recorded even when debug logging is off")
+	}
+}

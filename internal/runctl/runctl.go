@@ -16,7 +16,14 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"iddqsyn/internal/obs"
 )
+
+// MetricSignals counts the SIGINT/SIGTERM deliveries an observed run
+// received (a run that shut down gracefully shows 1 here; 2 means the
+// escape hatch fired).
+const MetricSignals = "runctl.signals"
 
 // ForcedExitCode is the exit status of a hard exit on the second signal
 // (128 + SIGINT, the conventional "killed by Ctrl-C" status).
@@ -32,9 +39,19 @@ var exit = os.Exit
 // releases the signal handler and the watcher goroutine; call it as soon
 // as the guarded work is done.
 func WithSignals(ctx context.Context, w io.Writer) (context.Context, context.CancelFunc) {
+	return WithSignalsObs(ctx, w, nil)
+}
+
+// WithSignalsObs is WithSignals with telemetry: each delivered signal
+// increments MetricSignals and is logged as a structured warning, so an
+// interrupted run's metrics snapshot records why it stopped. A nil o
+// keeps the behaviour of WithSignals exactly.
+func WithSignalsObs(ctx context.Context, w io.Writer, o *obs.Obs) (context.Context, context.CancelFunc) {
 	if w == nil {
 		w = io.Discard
 	}
+	signals := o.Counter(MetricSignals)
+	log := o.Log()
 	ctx, cancel := context.WithCancel(ctx)
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
@@ -42,6 +59,8 @@ func WithSignals(ctx context.Context, w io.Writer) (context.Context, context.Can
 	go func() {
 		select {
 		case sig := <-ch:
+			signals.Inc()
+			log.Warn("signal received: cancelling run", "signal", sig.String())
 			fmt.Fprintf(w, "received %v: finishing the current generation and saving state (signal again to exit immediately)\n", sig)
 			cancel()
 		case <-done:
@@ -49,6 +68,8 @@ func WithSignals(ctx context.Context, w io.Writer) (context.Context, context.Can
 		}
 		select {
 		case sig := <-ch:
+			signals.Inc()
+			log.Warn("second signal: exiting immediately", "signal", sig.String())
 			fmt.Fprintf(w, "received second %v: exiting immediately\n", sig)
 			exit(ForcedExitCode)
 		case <-done:

@@ -1,9 +1,16 @@
 #!/bin/sh
 # Repository verification: vet, build everything, then run the full test
-# suite in short mode with the race detector. This is the tier-1 check —
-# run it (or `make check`) before every commit.
+# suite in short mode with the race detector, and finish with a short
+# instrumented optimizer run that exercises the observability path
+# end-to-end (structured JSON logs + a -metrics run snapshot). This is
+# the tier-1 check — run it (or `make check`) before every commit.
+#
+# METRICS_OUT overrides where the instrumented run writes its snapshot
+# (CI uploads it as a workflow artifact).
 set -eu
 cd "$(dirname "$0")/.."
+
+METRICS_OUT="${METRICS_OUT:-/tmp/iddqsyn-check-metrics.json}"
 
 echo "== go vet ./..."
 go vet ./...
@@ -13,4 +20,11 @@ echo "== iddqlint ./..."
 go run ./cmd/iddqlint ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
+echo "== instrumented run (metrics -> $METRICS_OUT)"
+go run ./cmd/iddqpart -gens 3 -metrics "$METRICS_OUT" \
+    -log-format json -log-level info benchmarks/c432.bench >/dev/null
+grep -q '"format": *"iddqsyn-run-snapshot"' "$METRICS_OUT" || {
+    echo "check: metrics snapshot missing or malformed: $METRICS_OUT" >&2
+    exit 1
+}
 echo "check: OK"
