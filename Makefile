@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint race fuzz-isc bench obs-demo clean
+.PHONY: check build test vet lint race chaos fuzz-isc fuzz-ckpt bench obs-demo clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
@@ -30,9 +30,20 @@ obs-demo:
 	$(GO) run ./cmd/iddqpart -gens 50 -debug-addr :6060 -metrics obs-demo.json \
 	    -log-format json -log-level info benchmarks/c432.bench
 
+# Fault-injection soak: the chaos schedule matrix over full syntheses
+# (recovery must be bit-identical, degradation must be marked, failures
+# must be named — see internal/chaos), plus a chaos-armed CLI run whose
+# snapshot lands in chaos-run.json (CHAOS_OUT overrides; CI uploads it).
+chaos:
+	sh scripts/chaos.sh
+
 # Fuzz the ISCAS85 parser (bounded; extend -fuzztime for deeper runs).
 fuzz-isc:
 	$(GO) test ./internal/isc/ -fuzz FuzzRead -fuzztime 30s
+
+# Fuzz the optimizer checkpoint loader (crash-freedom + round-trip).
+fuzz-ckpt:
+	$(GO) test ./internal/evolution/ -fuzz FuzzCheckpointRoundTrip -fuzztime 30s
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

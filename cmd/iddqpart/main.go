@@ -11,7 +11,17 @@
 //	         [-checkpoint-every 10] [-resume run.ckpt] [-verify] [-v]
 //	         [-debug-addr :6060] [-metrics run.json]
 //	         [-log-format text|json] [-log-level warn]
+//	         [-chaos seed=1,rate=0.1,sites=fs.*] [-degrade=false]
 //	         circuit.bench
+//
+// -chaos arms the deterministic fault-injection harness (package chaos):
+// the one-line schedule seeds per-site fault streams over checkpoint and
+// snapshot I/O, the evolution worker pool and the estimator boundary, so
+// a failure scenario replays exactly from its spec line. -degrade
+// (default true) makes the synthesis fall back to greedy standard
+// partitioning when every optimizer attempt fails; the fallback is
+// loudly marked DEGRADED on stderr, in the report and in the -metrics
+// snapshot.
 //
 // The run is fully observable: -debug-addr serves live introspection
 // (expvar, pprof, and a /runz JSON view of the optimizer's current
@@ -49,6 +59,7 @@ import (
 
 	"iddqsyn/internal/bench"
 	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/core"
 	"iddqsyn/internal/estimate"
@@ -81,6 +92,8 @@ func run() (retErr error) {
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in generations (0 = default)")
 	resume := flag.String("resume", "", "resume an evolution run from this checkpoint file")
 	verify := flag.Bool("verify", false, "statically verify the final partition (exact cover, netlist consistency, discriminability) and fail on any violation")
+	chaosSpec := flag.String("chaos", "", "inject deterministic faults per this schedule, e.g. seed=1,rate=0.1,sites=fs.*|estimate.nan (robustness testing)")
+	degrade := flag.Bool("degrade", true, "fall back to standard partitioning when every optimizer attempt fails (the result is marked DEGRADED)")
 	verbose := flag.Bool("v", false, "trace evolution progress (shorthand for -log-level debug)")
 	var oc obscli.Config
 	oc.Register(flag.CommandLine)
@@ -158,8 +171,27 @@ func run() (retErr error) {
 		}
 	}()
 	opt.Obs = orun.Obs
+	opt.Degrade = *degrade && opt.Method == core.MethodEvolution
 
-	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
+	// Fault injection: one seeded schedule drives every chaos site — the
+	// checkpoint/snapshot filesystem, the evolution worker pool and the
+	// estimator boundary all observe the same replayable injector.
+	if *chaosSpec != "" {
+		sched, err := chaos.ParseSchedule(*chaosSpec)
+		if err != nil {
+			return err
+		}
+		inj := chaos.New(sched, orun.Obs)
+		opt.Chaos = inj
+		if opt.Control == nil {
+			opt.Control = &evolution.Control{}
+		}
+		opt.Control.FS = chaos.NewFS(nil, inj)
+		fmt.Fprintf(os.Stderr, "iddqpart: chaos schedule active: %s (sites: %v)\n",
+			sched, sched.MatchedSites())
+	}
+
+	ctx, cancelTimeout := runctl.WithTimeoutObs(context.Background(), *timeout, orun.Obs)
 	defer cancelTimeout()
 	ctx, stop := runctl.WithSignalsObs(ctx, os.Stderr, orun.Obs)
 	defer stop()
@@ -169,6 +201,10 @@ func run() (retErr error) {
 		return err
 	}
 	stop()
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "iddqpart: DEGRADED: every optimizer attempt failed; reporting the standard-partitioning fallback (cause: %v)\n",
+			res.DegradedErr)
+	}
 	if ev := res.Evolution; ev != nil && ev.Interrupted {
 		fmt.Fprintf(os.Stderr, "iddqpart: %v\n", ev.Err)
 		if ckpt != "" {

@@ -15,9 +15,36 @@ import (
 	"math"
 	"math/rand"
 
+	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partition"
 )
+
+// contain converts a panic escaping an optimizer body into an error (the
+// same containment the evolution worker pool applies per descendant).
+// Error-valued panics — the estimator's numeric guards, injected faults —
+// are wrapped rather than stringified so errors.Is sees through the
+// recover boundary. Used as: defer contain(&err, "annealing").
+func contain(err *error, optimizer string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if perr, ok := r.(error); ok {
+		*err = fmt.Errorf("anneal: %s panicked: %w", optimizer, perr)
+	} else {
+		*err = fmt.Errorf("anneal: %s panicked: %v", optimizer, r)
+	}
+}
+
+// checkFinite rejects a NaN/Inf move cost: a poisoned estimate must stop
+// the run with a named error instead of silently steering acceptance.
+func checkFinite(cost float64, moves int) error {
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return fmt.Errorf("anneal: move %d cost is %g: %w", moves, cost, partition.ErrNonFiniteCost)
+	}
+	return nil
+}
 
 // Params configures the annealing schedule.
 type Params struct {
@@ -127,11 +154,17 @@ func Anneal(start *partition.Partition, prm Params) (*Result, error) {
 // AnnealContext is Anneal with cooperative cancellation: the context is
 // checked at every temperature-epoch boundary, and a cancelled run
 // returns the best-so-far Result with Interrupted set (and a nil error)
-// instead of discarding the work done so far.
-func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) (*Result, error) {
+// instead of discarding the work done so far. A panic inside the move
+// loop (an estimator numeric guard, an injected fault) is contained into
+// an error; non-finite move costs end the run with an error wrapping
+// partition.ErrNonFiniteCost. Both keep the best-so-far Result when one
+// exists.
+func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) (res *Result, err error) {
+	defer contain(&err, "annealing")
 	if err := prm.validate(); err != nil {
 		return nil, err
 	}
+	inj := chaos.FromContext(ctx)
 	// Telemetry from the context; every handle is nil (and every record a
 	// no-op) on unobserved runs.
 	o := obs.FromContext(ctx)
@@ -145,7 +178,7 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 	rng := rand.New(rand.NewSource(prm.Seed))
 	cur := start.Clone()
 	curCost := penalised(cur)
-	res := &Result{Best: cur.Clone(), BestCost: curCost}
+	res = &Result{Best: cur.Clone(), BestCost: curCost}
 
 	temp := prm.InitialTemp
 	if temp == 0 {
@@ -171,7 +204,12 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 			}
 			res.Moves++
 			moves.Inc()
+			inj.MustPass(chaos.SiteAnnealPanic)
+			inj.Sleep(chaos.SiteAnnealDelay)
 			candCost := penalised(cand)
+			if err := checkFinite(candCost, res.Moves); err != nil {
+				return res, err
+			}
 			delta := candCost - curCost
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 				cur, curCost = cand, candCost
@@ -233,10 +271,14 @@ const hillClimbCheckEvery = 64
 
 // HillClimbContext is HillClimb with cooperative cancellation (see
 // AnnealContext; the context is checked every hillClimbCheckEvery moves).
-func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves, patience int, seed int64) (*Result, error) {
+// Panics in the move loop are contained into errors and non-finite move
+// costs are rejected, exactly as in AnnealContext.
+func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves, patience int, seed int64) (res *Result, err error) {
+	defer contain(&err, "hill climb")
 	if maxMoves < 1 || patience < 1 {
 		return nil, fmt.Errorf("anneal: hill climb needs positive budgets")
 	}
+	inj := chaos.FromContext(ctx)
 	o := obs.FromContext(ctx)
 	log := o.Log()
 	moves := o.Counter(MetricHillClimbMoves)
@@ -246,7 +288,7 @@ func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves,
 	rng := rand.New(rand.NewSource(seed))
 	cur := start.Clone()
 	curCost := penalised(cur)
-	res := &Result{Best: cur.Clone(), BestCost: curCost}
+	res = &Result{Best: cur.Clone(), BestCost: curCost}
 	log.Info("hill climb begin",
 		"circuit", start.E.A.Circuit.Name, "max_moves", maxMoves,
 		"patience", patience, "seed", seed)
@@ -267,7 +309,12 @@ func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves,
 		}
 		res.Moves++
 		moves.Inc()
+		inj.MustPass(chaos.SiteAnnealPanic)
+		inj.Sleep(chaos.SiteAnnealDelay)
 		candCost := penalised(cand)
+		if err := checkFinite(candCost, res.Moves); err != nil {
+			return res, err
+		}
 		if candCost < curCost {
 			cur, curCost = cand, candCost
 			res.Accepted++

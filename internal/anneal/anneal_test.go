@@ -1,10 +1,15 @@
 package anneal
 
 import (
+	"context"
+	"errors"
+	"strings"
+
 	"math/rand"
 	"testing"
 
 	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/circuits"
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/partition"
@@ -193,4 +198,51 @@ func TestOptimizersProduceFeasible(t *testing.T) {
 			t.Errorf("%s: infeasible result", name)
 		}
 	}
+}
+
+// An injected move-loop panic — the same class as an estimator numeric
+// guard firing — must be contained into an error that keeps its chain
+// (chaos.ErrInjected here), with the best-so-far partition preserved.
+func TestInjectedPanicContained(t *testing.T) {
+	start := startPartition(t, "c432", 8)
+	sched, err := chaos.ParseSchedule("seed=1,after=20,sites=anneal.move.panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := chaos.NewContext(context.Background(), chaos.New(sched, nil))
+	prm := DefaultParams()
+	prm.MaxMoves = 4000
+	res, aerr := AnnealContext(ctx, start, prm)
+	if aerr == nil {
+		t.Fatal("injected panic must surface as an error")
+	}
+	if !errors.Is(aerr, chaos.ErrInjected) {
+		t.Errorf("contained error %v lost chaos.ErrInjected from its chain", aerr)
+	}
+	if !strings.Contains(aerr.Error(), "panicked") {
+		t.Errorf("error %q should say the move loop panicked", aerr)
+	}
+	if res == nil || res.Best == nil {
+		t.Error("containment must keep the best-so-far result")
+	}
+
+	// The hill climber shares the containment.
+	hres, herr := HillClimbContext(ctx2(t), start, 4000, 400, 1)
+	if herr == nil || !errors.Is(herr, chaos.ErrInjected) {
+		t.Errorf("hill climb: err = %v, want wrapped chaos.ErrInjected", herr)
+	}
+	if hres == nil || hres.Best == nil {
+		t.Error("hill climb containment must keep the best-so-far result")
+	}
+}
+
+// ctx2 builds a fresh one-shot panic injection context (the injector in
+// TestInjectedPanicContained has already fired).
+func ctx2(t *testing.T) context.Context {
+	t.Helper()
+	sched, err := chaos.ParseSchedule("seed=1,after=20,sites=anneal.move.panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaos.NewContext(context.Background(), chaos.New(sched, nil))
 }

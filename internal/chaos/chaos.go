@@ -1,0 +1,230 @@
+// Package chaos is the deterministic fault-injection framework of
+// iddqsyn: the software analogue of the paper's built-in current sensors
+// and of E-QED-style systematic error provocation. The pipeline claims to
+// survive torn checkpoint writes, full disks, panicking cost-evaluation
+// workers and estimator numeric blow-ups; this package injects exactly
+// those failures, on a seeded schedule, so every claim is testable and
+// every observed failure replayable from a one-line spec.
+//
+// An Injector is driven by a Schedule (seed + rate/one-shot + site
+// globs). Each instrumented failure surface calls the injector at a named
+// site: the checkpoint/snapshot writers route their file I/O through the
+// FS wrapper (sites fs.*), the optimizer worker pools probe
+// evolution.worker.* before every cost evaluation, the comparison
+// optimizers probe anneal.move.*, and the estimator corrupts its own
+// outputs at estimate.*. Injection decisions come from per-site seeded
+// streams — never from an optimizer's counted random stream — so an
+// injector with a zero-hit schedule leaves every run bit-identical to an
+// uninjected one, and a nil *Injector is free (every method no-ops).
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"iddqsyn/internal/obs"
+)
+
+// ErrInjected is the root of every chaos-injected failure: any error or
+// recovered panic caused by the injector satisfies
+// errors.Is(err, ErrInjected), so tests and degradation policies can tell
+// provoked failures from organic ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// The registered fault sites. Schedules match these with glob patterns
+// (fs.*, *.panic, ...).
+const (
+	// File-publication protocol (the fsx atomic-write steps).
+	SiteFSCreate  = "fs.create"  // temp-file creation fails
+	SiteFSWrite   = "fs.write"   // short write + ENOSPC-style error
+	SiteFSSync    = "fs.sync"    // file fsync fails
+	SiteFSClose   = "fs.close"   // close reports a deferred write error
+	SiteFSRename  = "fs.rename"  // rename fails (destination untouched)
+	SiteFSSyncDir = "fs.syncdir" // directory fsync fails
+
+	// Optimizer worker pools.
+	SiteEvalPanic = "evolution.worker.panic" // cost-evaluation worker panics
+	SiteEvalDelay = "evolution.worker.delay" // cost evaluation stalls
+
+	// Comparison optimizers (annealer / hill climber move loop).
+	SiteAnnealPanic = "anneal.move.panic"
+	SiteAnnealDelay = "anneal.move.delay"
+
+	// Estimator boundary: non-finite values the numeric guards must catch.
+	SiteEstimateNaN = "estimate.nan" // iDD,max becomes NaN
+	SiteEstimateInf = "estimate.inf" // IDDQ,nd becomes +Inf
+)
+
+// Sites returns every registered site name.
+func Sites() []string {
+	return []string{
+		SiteFSCreate, SiteFSWrite, SiteFSSync, SiteFSClose, SiteFSRename, SiteFSSyncDir,
+		SiteEvalPanic, SiteEvalDelay,
+		SiteAnnealPanic, SiteAnnealDelay,
+		SiteEstimateNaN, SiteEstimateInf,
+	}
+}
+
+// MetricInjected counts every injected fault; per-site counts are
+// recorded under MetricInjected + "." + site.
+const MetricInjected = "chaos.injected"
+
+// Injector decides, deterministically per (schedule seed, site, call
+// index), whether each probe injects a fault. A nil *Injector never
+// injects and costs one pointer comparison per probe.
+type Injector struct {
+	sched Schedule
+	o     *obs.Obs
+	total *obs.Counter
+
+	mu    sync.Mutex
+	sites map[string]*siteState
+}
+
+type siteState struct {
+	matched  bool
+	calls    uint64
+	injected uint64
+	rng      *rand.Rand
+}
+
+// New builds an injector for one schedule. o, if non-nil, receives the
+// MetricInjected counters and a debug log event per injected fault.
+func New(sched Schedule, o *obs.Obs) *Injector {
+	return &Injector{
+		sched: sched,
+		o:     o,
+		total: o.Counter(MetricInjected),
+		sites: make(map[string]*siteState),
+	}
+}
+
+// Schedule returns the injector's schedule (zero value on nil).
+func (in *Injector) Schedule() Schedule {
+	if in == nil {
+		return Schedule{}
+	}
+	return in.sched
+}
+
+// Hit reports whether this call at site injects a fault. The decision is
+// a pure function of the schedule seed, the site name and the site's call
+// index; concurrent callers share the per-site call counter, so the set
+// of injecting call indices is deterministic even when the worker that
+// observes a given index is not.
+func (in *Injector) Hit(site string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	st := in.sites[site]
+	if st == nil {
+		st = &siteState{matched: in.sched.Matches(site)}
+		if st.matched {
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(site))
+			st.rng = rand.New(rand.NewSource(in.sched.Seed ^ int64(h.Sum64())))
+		}
+		in.sites[site] = st
+	}
+	if !st.matched {
+		in.mu.Unlock()
+		return false
+	}
+	st.calls++
+	hit := false
+	if in.sched.After > 0 {
+		hit = st.calls == in.sched.After
+	} else if in.sched.Rate > 0 {
+		hit = st.rng.Float64() < in.sched.Rate
+	}
+	if hit {
+		st.injected++
+	}
+	in.mu.Unlock()
+	if hit {
+		in.total.Inc()
+		in.o.Counter(MetricInjected + "." + site).Inc()
+		in.o.Log().Debug("chaos: fault injected", "site", site)
+	}
+	return hit
+}
+
+// Errf returns an ErrInjected-wrapping error for a fault at site.
+func Errf(site string) error {
+	return fmt.Errorf("%w at %s", ErrInjected, site)
+}
+
+// MustPass panics with an ErrInjected-wrapping error when the schedule
+// injects at site, and returns silently otherwise. It is the injected
+// analogue of a worker bug: the caller's panic-containment layer (the
+// evolution worker pool, the annealer's recover) must convert the panic
+// into an error, and the chaos soak asserts that it does.
+func (in *Injector) MustPass(site string) {
+	if in.Hit(site) {
+		panic(Errf(site))
+	}
+}
+
+// Sleep stalls for the schedule's delay when the schedule injects at
+// site (worker-starvation and slow-disk scenarios).
+func (in *Injector) Sleep(site string) {
+	if in.Hit(site) {
+		time.Sleep(in.sched.Delay)
+	}
+}
+
+// Counts returns the injected-fault count per site (only sites that
+// injected at least once appear). Nil-safe.
+func (in *Injector) Counts() map[string]uint64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64)
+	for site, st := range in.sites {
+		if st.injected > 0 {
+			out[site] = st.injected
+		}
+	}
+	return out
+}
+
+// Total returns the total number of injected faults. Nil-safe.
+func (in *Injector) Total() uint64 {
+	var n uint64
+	for _, c := range in.Counts() {
+		n += c
+	}
+	return n
+}
+
+// ctxKey is the private context key for the injector carriage.
+type ctxKey struct{}
+
+// NewContext returns a context carrying in, for call chains that thread a
+// context but no explicit injector (the annealer, the experiment
+// drivers). Like the obs carriage, this holds test plumbing only — never
+// business state.
+func NewContext(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// FromContext returns the injector carried by ctx, or nil (which is safe
+// to use directly — every method tolerates it).
+func FromContext(ctx context.Context) *Injector {
+	if ctx == nil {
+		return nil
+	}
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}

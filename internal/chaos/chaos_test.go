@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"iddqsyn/internal/obs"
+)
+
+func mustSchedule(t *testing.T, spec string) Schedule {
+	t.Helper()
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The injector's whole contract: the hit pattern is a deterministic
+// function of (seed, site, call index).
+func TestInjectorDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		in := New(mustSchedule(t, "seed=42,rate=0.3,sites=fs.sync|fs.rename"), nil)
+		var hits []bool
+		for i := 0; i < 200; i++ {
+			hits = append(hits, in.Hit(SiteFSSync))
+			hits = append(hits, in.Hit(SiteFSRename))
+			hits = append(hits, in.Hit(SiteEvalPanic)) // unmatched: always false
+		}
+		return hits
+	}
+	a, b := pattern(), pattern()
+	hitAny := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: injector is not deterministic", i)
+		}
+		hitAny = hitAny || a[i]
+	}
+	if !hitAny {
+		t.Error("rate=0.3 over 400 matched calls never injected")
+	}
+	// Different seeds must produce different patterns.
+	in2 := New(mustSchedule(t, "seed=43,rate=0.3,sites=fs.sync|fs.rename"), nil)
+	same := true
+	for i := 0; i < 200 && same; i++ {
+		h1, h2 := in2.Hit(SiteFSSync), in2.Hit(SiteFSRename)
+		if h1 != a[3*i] || h2 != a[3*i+1] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical injection patterns")
+	}
+}
+
+func TestInjectorOneShotAfter(t *testing.T) {
+	in := New(mustSchedule(t, "seed=1,after=3,sites=fs.sync"), nil)
+	var hits []int
+	for i := 1; i <= 10; i++ {
+		if in.Hit(SiteFSSync) {
+			hits = append(hits, i)
+		}
+	}
+	if len(hits) != 1 || hits[0] != 3 {
+		t.Errorf("after=3 hit at calls %v, want exactly [3]", hits)
+	}
+	if in.Counts()[SiteFSSync] != 1 || in.Total() != 1 {
+		t.Errorf("counts = %v, total = %d, want one injection", in.Counts(), in.Total())
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Hit(SiteFSSync) {
+		t.Error("nil injector injected")
+	}
+	in.MustPass(SiteEvalPanic) // must not panic
+	in.Sleep(SiteEvalDelay)    // must not sleep meaningfully or panic
+	if in.Counts() != nil || in.Total() != 0 {
+		t.Error("nil injector reports counts")
+	}
+	if in.Schedule().Rate != 0 {
+		t.Error("nil injector reports a schedule")
+	}
+}
+
+func TestMustPassPanicsWithErrInjected(t *testing.T) {
+	in := New(mustSchedule(t, "seed=1,after=1,sites=evolution.worker.panic"), nil)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustPass did not panic on an injected fault")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Errorf("panic value %v does not wrap ErrInjected", r)
+		}
+	}()
+	in.MustPass(SiteEvalPanic)
+}
+
+func TestInjectorRecordsMetrics(t *testing.T) {
+	o := obs.New("test-run", nil, nil)
+	in := New(mustSchedule(t, "seed=1,after=1,sites=fs.sync"), o)
+	in.Hit(SiteFSSync)
+	in.Hit(SiteFSSync)
+	if got := o.Counter(MetricInjected).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricInjected, got)
+	}
+	if got := o.Counter(MetricInjected + "." + SiteFSSync).Value(); got != 1 {
+		t.Errorf("per-site counter = %d, want 1", got)
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context carries an injector")
+	}
+	in := New(mustSchedule(t, "seed=1,rate=0,sites=fs.*"), nil)
+	ctx := NewContext(context.Background(), in)
+	if FromContext(ctx) != in {
+		t.Error("context round trip lost the injector")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Error("nil injector should not allocate a context")
+	}
+}

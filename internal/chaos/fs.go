@@ -1,0 +1,139 @@
+// The chaos filesystem: an fsx.FS that injects the disk failures the
+// atomic-write protocol claims to survive — failed temp creation, short
+// writes on a full disk, fsync errors, failed renames, lost directory
+// syncs — and records the exact operation sequence, so tests can assert
+// both the failure behaviour (the destination is never corrupted) and the
+// protocol itself (sync before rename, directory sync after).
+
+package chaos
+
+import (
+	"sync"
+
+	"iddqsyn/internal/fsx"
+)
+
+// FS wraps an fsx.FS with fault injection and operation recording. The
+// injected failure per site:
+//
+//	fs.create   CreateTemp fails outright
+//	fs.write    half the buffer lands, then an ENOSPC-style error
+//	fs.sync     file fsync fails (data may not be durable)
+//	fs.close    close reports a deferred write error (file is closed)
+//	fs.rename   rename fails with the destination untouched — the
+//	            crash-before-rename case the protocol must leave the
+//	            previous file visible for
+//	fs.syncdir  directory fsync fails (the rename may not be durable)
+//
+// Every injected error wraps ErrInjected.
+type FS struct {
+	inner fsx.FS
+	inj   *Injector
+
+	mu  sync.Mutex
+	ops []string
+}
+
+// NewFS builds a chaos filesystem over inner (nil = the real
+// filesystem), injecting per inj (nil = record only, inject nothing).
+func NewFS(inner fsx.FS, inj *Injector) *FS {
+	if inner == nil {
+		inner = fsx.OS{}
+	}
+	return &FS{inner: inner, inj: inj}
+}
+
+// Ops returns the recorded operation names, in call order: "create",
+// "write", "sync", "close", "rename", "syncdir", "remove".
+func (f *FS) Ops() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ops...)
+}
+
+func (f *FS) record(op string) {
+	f.mu.Lock()
+	f.ops = append(f.ops, op)
+	f.mu.Unlock()
+}
+
+// CreateTemp implements fsx.FS.
+func (f *FS) CreateTemp(dir, pattern string) (fsx.File, error) {
+	f.record("create")
+	if f.inj.Hit(SiteFSCreate) {
+		return nil, Errf(SiteFSCreate)
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{inner: file, fs: f}, nil
+}
+
+// Rename implements fsx.FS. An injected failure models a crash before
+// the rename: the destination is untouched.
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.record("rename")
+	if f.inj.Hit(SiteFSRename) {
+		return Errf(SiteFSRename)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements fsx.FS (never injected: cleanup must not be the
+// failure that hides the original one).
+func (f *FS) Remove(name string) error {
+	f.record("remove")
+	return f.inner.Remove(name)
+}
+
+// SyncDir implements fsx.FS.
+func (f *FS) SyncDir(dir string) error {
+	f.record("syncdir")
+	if f.inj.Hit(SiteFSSyncDir) {
+		return Errf(SiteFSSyncDir)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// chaosFile interposes on the per-file operations.
+type chaosFile struct {
+	inner fsx.File
+	fs    *FS
+}
+
+func (cf *chaosFile) Name() string { return cf.inner.Name() }
+
+// Write injects a short write: half the buffer reaches the file, then an
+// ENOSPC-style error — the torn-write case the temp-file protocol turns
+// into a clean retry instead of a truncated visible file.
+func (cf *chaosFile) Write(p []byte) (int, error) {
+	cf.fs.record("write")
+	if cf.fs.inj.Hit(SiteFSWrite) {
+		n := 0
+		if half := len(p) / 2; half > 0 {
+			n, _ = cf.inner.Write(p[:half]) // the injected error below is the one worth reporting
+		}
+		return n, Errf(SiteFSWrite)
+	}
+	return cf.inner.Write(p)
+}
+
+func (cf *chaosFile) Sync() error {
+	cf.fs.record("sync")
+	if cf.fs.inj.Hit(SiteFSSync) {
+		return Errf(SiteFSSync)
+	}
+	return cf.inner.Sync()
+}
+
+// Close closes the real file first (no descriptor leaks), then reports
+// the injected deferred-write error if one is scheduled.
+func (cf *chaosFile) Close() error {
+	cf.fs.record("close")
+	err := cf.inner.Close()
+	if cf.fs.inj.Hit(SiteFSClose) {
+		return Errf(SiteFSClose)
+	}
+	return err
+}

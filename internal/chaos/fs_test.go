@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"iddqsyn/internal/fsx"
+)
+
+// The protocol audit behind the fsync-before-rename guarantee: WriteAtomic
+// must sync the file before publishing it with rename, and sync the
+// directory after, so a crash can never leave an empty visible file (data
+// not yet allocated) or silently lose the rename.
+func TestWriteAtomicProtocolOrder(t *testing.T) {
+	cfs := NewFS(nil, nil) // record only
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := fsx.WriteAtomic(cfs, path, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	ops := cfs.Ops()
+	idx := func(op string) int {
+		for i, o := range ops {
+			if o == op {
+				return i
+			}
+		}
+		t.Fatalf("protocol never performed %q (ops: %v)", op, ops)
+		return -1
+	}
+	if !(idx("create") < idx("write") && idx("write") < idx("sync") &&
+		idx("sync") < idx("close") && idx("close") < idx("rename")) {
+		t.Errorf("protocol out of order: %v (want create < write < sync < close < rename)", ops)
+	}
+	if idx("sync") > idx("rename") {
+		t.Errorf("file was renamed before fsync: %v — a crash could expose an empty file", ops)
+	}
+	if idx("syncdir") < idx("rename") {
+		t.Errorf("directory synced before the rename it must persist: %v", ops)
+	}
+}
+
+// Every injectable step of the protocol, failed one at a time: the
+// destination must keep its previous content (or stay absent), the error
+// must wrap ErrInjected, and a bounded retry must mask the one-shot fault.
+func TestWriteAtomicUnderInjectedFaults(t *testing.T) {
+	sites := []string{SiteFSCreate, SiteFSWrite, SiteFSSync, SiteFSClose, SiteFSRename, SiteFSSyncDir}
+	for _, site := range sites {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "ck.json")
+			prev := []byte("previous checkpoint")
+			if err := os.WriteFile(path, prev, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			in := New(mustSchedule(t, "seed=1,after=1,sites="+site), nil)
+			cfs := NewFS(nil, in)
+			err := fsx.WriteAtomic(cfs, path, []byte("new checkpoint"))
+			if err == nil {
+				t.Fatal("injected fault must fail the write")
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("error %v does not wrap ErrInjected", err)
+			}
+			if !strings.Contains(err.Error(), site) {
+				t.Errorf("error %q does not name the injected site %s", err, site)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			// syncdir fails after the rename landed, so the new content is
+			// visible (just possibly not durable); every earlier failure
+			// must leave the previous checkpoint untouched.
+			want := string(prev)
+			if site == SiteFSSyncDir {
+				want = "new checkpoint"
+			}
+			if string(got) != want {
+				t.Errorf("after injected %s, destination = %q, want %q", site, got, want)
+			}
+
+			// The same one-shot fault under retry: masked completely.
+			in2 := New(mustSchedule(t, "seed=1,after=1,sites="+site), nil)
+			pol := &fsx.RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}}
+			if err := fsx.WriteAtomicRetry(NewFS(nil, in2), path, []byte("retried"), pol); err != nil {
+				t.Fatalf("retry did not mask a one-shot %s fault: %v", site, err)
+			}
+			if got, _ := os.ReadFile(path); string(got) != "retried" {
+				t.Errorf("after retry, destination = %q, want %q", got, "retried")
+			}
+		})
+	}
+}
+
+// A short write must never tear the destination, only the temp file.
+func TestShortWriteNeverTearsDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	in := New(mustSchedule(t, "seed=9,after=1,sites=fs.write"), nil)
+	err := fsx.WriteAtomic(NewFS(nil, in), path, []byte("0123456789"))
+	if err == nil {
+		t.Fatal("short write must fail the publication")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Errorf("a torn write left a visible destination: %v", serr)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("torn temp file not cleaned up: %v", entries)
+	}
+}

@@ -1,0 +1,144 @@
+// Fault schedules: the one-line, fully replayable specification of a
+// chaos run. A schedule names the sites it attacks (glob patterns over
+// the registered site names), how often (a Bernoulli rate per call, or a
+// one-shot "the Nth call at each site"), the seed of the injector's own
+// random stream, and the duration injected at *.delay sites. Because the
+// injector draws from its own seeded source — never from an optimizer's
+// counted stream — the full fault pattern of a run is a deterministic
+// function of the spec string.
+
+package chaos
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultDelay is the duration injected at *.delay sites when the spec
+// does not set one.
+const DefaultDelay = time.Millisecond
+
+// Schedule is a parsed fault schedule. The zero value injects nothing.
+type Schedule struct {
+	// Seed seeds the injector's per-site decision streams.
+	Seed int64
+	// Rate is the per-call Bernoulli injection probability at every
+	// matched site, in [0, 1]. Ignored when After is set.
+	Rate float64
+	// After, if nonzero, makes every matched site inject exactly once —
+	// on its After-th call (1-based) — instead of sampling Rate.
+	After uint64
+	// Sites are glob patterns (path.Match syntax) over site names; a site
+	// is attacked iff any pattern matches it.
+	Sites []string
+	// Delay is the duration injected at *.delay sites (0 = DefaultDelay).
+	Delay time.Duration
+}
+
+// ParseSchedule parses a one-line spec of comma-separated key=value
+// fields:
+//
+//	seed=7,rate=0.05,sites=fs.*|evolution.worker.panic
+//	seed=3,after=4,sites=estimate.nan,delay=2ms
+//
+// Keys: seed (int), rate (float in [0,1]), after (uint, one-shot at the
+// Nth call per site), sites (|-separated glob patterns, required), delay
+// (duration for *.delay sites). Unknown keys are errors — a typoed spec
+// must not silently inject nothing.
+func ParseSchedule(spec string) (Schedule, error) {
+	s := Schedule{Delay: DefaultDelay}
+	if strings.TrimSpace(spec) == "" {
+		return s, fmt.Errorf("chaos: empty schedule spec")
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return s, fmt.Errorf("chaos: malformed field %q (want key=value)", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "rate":
+			s.Rate, err = strconv.ParseFloat(v, 64)
+			if err == nil && (s.Rate < 0 || s.Rate > 1) {
+				err = fmt.Errorf("rate %v outside [0,1]", s.Rate)
+			}
+		case "after":
+			s.After, err = strconv.ParseUint(v, 10, 64)
+		case "sites":
+			for _, pat := range strings.Split(v, "|") {
+				pat = strings.TrimSpace(pat)
+				if pat == "" {
+					continue
+				}
+				if _, merr := path.Match(pat, "probe"); merr != nil {
+					return s, fmt.Errorf("chaos: bad site pattern %q: %v", pat, merr)
+				}
+				s.Sites = append(s.Sites, pat)
+			}
+		case "delay":
+			s.Delay, err = time.ParseDuration(v)
+		default:
+			return s, fmt.Errorf("chaos: unknown schedule key %q", k)
+		}
+		if err != nil {
+			return s, fmt.Errorf("chaos: bad %s value %q: %v", k, v, err)
+		}
+	}
+	if len(s.Sites) == 0 {
+		return s, fmt.Errorf("chaos: schedule names no sites (sites=...)")
+	}
+	if s.Delay <= 0 {
+		s.Delay = DefaultDelay
+	}
+	return s, nil
+}
+
+// String renders the schedule back to a spec line ParseSchedule accepts,
+// so any observed fault pattern is replayable from the log line alone.
+func (s Schedule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d", s.Seed)
+	if s.After > 0 {
+		fmt.Fprintf(&sb, ",after=%d", s.After)
+	} else {
+		fmt.Fprintf(&sb, ",rate=%v", s.Rate)
+	}
+	if s.Delay != DefaultDelay && s.Delay > 0 {
+		fmt.Fprintf(&sb, ",delay=%s", s.Delay)
+	}
+	fmt.Fprintf(&sb, ",sites=%s", strings.Join(s.Sites, "|"))
+	return sb.String()
+}
+
+// Matches reports whether any site pattern covers the given site name.
+func (s Schedule) Matches(site string) bool {
+	for _, pat := range s.Sites {
+		if ok, _ := path.Match(pat, site); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchedSites filters the registered site list down to the sites this
+// schedule attacks, sorted (diagnostics and tests).
+func (s Schedule) MatchedSites() []string {
+	var out []string
+	for _, site := range Sites() {
+		if s.Matches(site) {
+			out = append(out, site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	cases := []string{
+		"seed=7,rate=0.05,sites=fs.*|evolution.worker.panic",
+		"seed=3,after=4,sites=estimate.nan",
+		"seed=-1,rate=1,delay=2ms,sites=*.delay",
+		"seed=0,rate=0,sites=fs.sync",
+	}
+	for _, spec := range cases {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		// The rendered spec must parse back to the identical schedule.
+		s2, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q: %v", spec, s.String(), err)
+		}
+		if s.Seed != s2.Seed || s.Rate != s2.Rate || s.After != s2.After ||
+			s.Delay != s2.Delay || strings.Join(s.Sites, "|") != strings.Join(s2.Sites, "|") {
+			t.Errorf("round trip of %q changed the schedule: %+v -> %+v", spec, s, s2)
+		}
+	}
+}
+
+func TestParseScheduleDefaults(t *testing.T) {
+	s, err := ParseSchedule("seed=1,rate=0.5,sites=fs.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Delay != DefaultDelay {
+		t.Errorf("default delay = %v, want %v", s.Delay, DefaultDelay)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"",                          // empty
+		"rate=0.5",                  // no sites
+		"seed=1,sites=fs.*,bogus=1", // unknown key
+		"seed=x,sites=fs.*",         // bad int
+		"rate=1.5,sites=fs.*",       // rate out of range
+		"rate",                      // not key=value
+		"seed=1,sites=[",            // bad glob
+		"delay=fast,sites=fs.*",     // bad duration
+	}
+	for _, spec := range bad {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestScheduleMatches(t *testing.T) {
+	s, err := ParseSchedule("seed=1,rate=1,sites=fs.*|estimate.nan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site, want := range map[string]bool{
+		SiteFSSync:      true,
+		SiteFSRename:    true,
+		SiteEstimateNaN: true,
+		SiteEstimateInf: false,
+		SiteEvalPanic:   false,
+	} {
+		if got := s.Matches(site); got != want {
+			t.Errorf("Matches(%s) = %v, want %v", site, got, want)
+		}
+	}
+	matched := s.MatchedSites()
+	if len(matched) != 7 { // six fs.* sites + estimate.nan
+		t.Errorf("MatchedSites() = %v, want the 6 fs sites and estimate.nan", matched)
+	}
+}
+
+func TestDelayFieldParses(t *testing.T) {
+	s, err := ParseSchedule("seed=1,rate=1,delay=250us,sites=evolution.worker.delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Delay != 250*time.Microsecond {
+		t.Errorf("delay = %v, want 250µs", s.Delay)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"iddqsyn/internal/bic"
 	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/estimate"
 	"iddqsyn/internal/evolution"
@@ -27,6 +28,14 @@ import (
 	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 	"iddqsyn/internal/standard"
+)
+
+// Degradation telemetry: MetricOptimizerFailures counts failed optimizer
+// attempts (each retry that did not produce a result), MetricDegraded is
+// set to 1 when the synthesis fell back to standard partitioning.
+const (
+	MetricOptimizerFailures = "core.optimizer.failures"
+	MetricDegraded          = "core.degraded"
 )
 
 // Method selects the partitioning algorithm.
@@ -97,6 +106,28 @@ type Options struct {
 	// nil the Obs carried by the context (obs.FromContext) is used; if
 	// that is also nil the synthesis is unobserved at zero cost.
 	Obs *obs.Obs
+
+	// Chaos, if non-nil, injects deterministic faults into the synthesis
+	// failure surfaces — the estimator boundary and (through the
+	// optimizer Control) the evolution worker pool. When nil the injector
+	// carried by the context (chaos.FromContext) is used; if that is also
+	// nil nothing is ever injected. Test plumbing only.
+	Chaos *chaos.Injector
+
+	// Degrade enables graceful degradation: when every optimizer attempt
+	// fails (a poisoned estimator, persistent checkpoint I/O failure, a
+	// worker panic storm), the synthesis falls back to greedy standard
+	// partitioning instead of failing outright. The fallback result is
+	// marked (Result.Degraded, Obs.SetDegraded, MetricDegraded) so it can
+	// never masquerade as a converged optimization.
+	Degrade bool
+
+	// OptimizerRetries is how many times a failed evolution run is
+	// retried before failing (or degrading, with Degrade set). Each
+	// retry re-runs the identical seeded optimization, so a retry after a
+	// transient fault reproduces the uninjected run bit-identically.
+	// 0 means one retry when Degrade is set, none otherwise.
+	OptimizerRetries int
 }
 
 // Result is a synthesized IDDQ-testable design.
@@ -112,6 +143,13 @@ type Result struct {
 	// Evolution holds the optimizer trace for MethodEvolution (nil for
 	// the standard method).
 	Evolution *evolution.Result
+
+	// Degraded reports that the evolution optimizer failed every attempt
+	// and the partition came from the greedy standard fallback instead.
+	// DegradedErr preserves the optimizer's final error (its chain intact
+	// for errors.Is), so the cause of the degradation stays diagnosable.
+	Degraded    bool
+	DegradedErr error
 }
 
 // Synthesize runs the full flow on circuit c.
@@ -124,20 +162,44 @@ func Synthesize(c *circuit.Circuit, opt Options) (*Result, error) {
 // boundaries. A cancelled synthesis still returns a complete Result —
 // partition, sensors, costs — built from the optimizer's best-so-far
 // individual, with Result.Evolution.Interrupted set.
-func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Result, error) {
+func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (res *Result, err error) {
+	// Last-resort containment: whatever a poisoned estimator or injected
+	// fault manages to blow up, the synthesis ends with a named error —
+	// never a process crash, never an unvalidated result.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("core: synthesis panicked: %w", perr)
+			} else {
+				err = fmt.Errorf("core: synthesis panicked: %v", r)
+			}
+		}
+	}()
 	o := opt.Obs
 	if o == nil {
 		o = obs.FromContext(ctx)
 	}
-	// The optimizer resolves its Obs from the Control (or its context);
-	// inject ours into a copy so the caller's struct stays untouched.
+	inj := opt.Chaos
+	if inj == nil {
+		inj = chaos.FromContext(ctx)
+	}
+	// The optimizer resolves its Obs and injector from the Control (or
+	// its context); inject ours into a copy so the caller's struct stays
+	// untouched.
 	ctl := opt.Control
-	if o != nil && (ctl == nil || ctl.Obs == nil) {
+	if (o != nil && (ctl == nil || ctl.Obs == nil)) ||
+		(inj != nil && (ctl == nil || ctl.Chaos == nil)) {
 		cc := evolution.Control{}
 		if ctl != nil {
 			cc = *ctl
 		}
-		cc.Obs = o
+		if cc.Obs == nil {
+			cc.Obs = o
+		}
+		if cc.Chaos == nil {
+			cc.Chaos = inj
+		}
 		ctl = &cc
 	}
 	lib := opt.Library
@@ -170,57 +232,54 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 	sp = o.StartSpan("core.estimator")
 	e := estimate.New(a, prm)
 	e.SetObs(o)
+	e.SetChaos(inj)
 	sp.End()
 
-	res := &Result{Method: opt.Method, Circuit: c, Annotated: a, Estimator: e}
+	res = &Result{Method: opt.Method, Circuit: c, Annotated: a, Estimator: e}
 	optSpan := o.StartSpan("core.optimize", "method", opt.Method.String())
 	switch opt.Method {
 	case MethodEvolution:
+		attempts := 1 + opt.OptimizerRetries
+		if opt.Degrade && opt.OptimizerRetries <= 0 {
+			attempts = 2
+		}
 		var er *evolution.Result
-		if opt.Resume != nil {
-			er, err = evolution.ResumeContext(ctx, opt.Resume, e, w, cons, opt.Trace, ctl)
-			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
+		var optErr error
+		for attempt := 1; attempt <= attempts; attempt++ {
+			if attempt > 1 && ctx.Err() != nil {
+				break // cancelled mid-retry: keep the last failure
 			}
-		} else {
-			size := opt.ModuleSize
-			if size <= 0 {
-				size = standard.EstimateModuleSize(e, w, cons)
+			er, optErr = runEvolution(ctx, c, e, w, cons, eprm, opt, ctl)
+			if optErr == nil {
+				break
 			}
-			rng := rand.New(rand.NewSource(eprm.Seed))
-			starts := make([]*partition.Partition, 0, eprm.Mu)
-			// Deliberately not cancellable: a cancelled synthesis still
-			// returns the best-so-far design, which requires the start
-			// population to exist (see SynthesizeContext's contract).
-			//lint:ignore ctxloop cancellation is handled at generation boundaries; aborting here would break the best-so-far contract
-			for i := 0; i < eprm.Mu; i++ {
-				p, err := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
-				if err != nil {
-					return nil, fmt.Errorf("core: start partition: %w", err)
-				}
-				starts = append(starts, p)
-			}
-			er, err = evolution.OptimizeControlled(ctx, starts, eprm, opt.Trace, ctl)
-			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
-			}
+			o.Counter(MetricOptimizerFailures).Inc()
+			o.Log().Warn("optimizer attempt failed",
+				"attempt", attempt, "of", attempts, "err", optErr.Error())
 		}
-		res.Evolution = er
-		res.Partition = er.Best
+		switch {
+		case optErr == nil:
+			res.Evolution = er
+			res.Partition = er.Best
+		case opt.Degrade:
+			p, serr := standardGroups(c, opt, prm, e, w, cons)
+			if serr != nil {
+				return nil, fmt.Errorf("core: optimizer failed (%v); standard fallback also failed: %w", optErr, serr)
+			}
+			res.Degraded = true
+			res.DegradedErr = optErr
+			res.Partition = p
+			o.Counter(MetricDegraded).Inc()
+			o.SetDegraded(optErr.Error())
+			o.Log().Error("optimizer failed on every attempt: degraded to standard partitioning",
+				"attempts", attempts, "err", optErr.Error())
+		default:
+			return nil, optErr
+		}
 	case MethodStandard:
-		var groups [][]int
-		if opt.Modules > 0 {
-			groups = standard.StandardPartitionK(c, opt.Modules, prm.Rho)
-		} else {
-			size := opt.ModuleSize
-			if size <= 0 {
-				size = standard.EstimateModuleSize(e, w, cons)
-			}
-			groups = standard.StandardPartition(c, size, prm.Rho)
-		}
-		p, err := partition.New(e, groups, w, cons)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+		p, serr := standardGroups(c, opt, prm, e, w, cons)
+		if serr != nil {
+			return nil, serr
 		}
 		res.Partition = p
 	default:
@@ -256,12 +315,96 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (*R
 	return res, nil
 }
 
+// runEvolution runs one optimizer attempt — resume or fresh start — with
+// panic containment: a panic anywhere in the attempt (start-population
+// construction included) becomes an error with its chain intact, so the
+// retry/degrade loop above can classify it with errors.Is.
+func runEvolution(ctx context.Context, c *circuit.Circuit, e *estimate.Estimator,
+	w partition.Weights, cons partition.Constraints, eprm evolution.Params,
+	opt Options, ctl *evolution.Control) (er *evolution.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			er = nil
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("core: optimizer panicked: %w", perr)
+			} else {
+				err = fmt.Errorf("core: optimizer panicked: %v", r)
+			}
+		}
+	}()
+	if opt.Resume != nil {
+		er, err = evolution.ResumeContext(ctx, opt.Resume, e, w, cons, opt.Trace, ctl)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		return er, nil
+	}
+	size := opt.ModuleSize
+	if size <= 0 {
+		size = standard.EstimateModuleSize(e, w, cons)
+	}
+	rng := rand.New(rand.NewSource(eprm.Seed))
+	starts := make([]*partition.Partition, 0, eprm.Mu)
+	// Deliberately not cancellable: a cancelled synthesis still
+	// returns the best-so-far design, which requires the start
+	// population to exist (see SynthesizeContext's contract).
+	//lint:ignore ctxloop cancellation is handled at generation boundaries; aborting here would break the best-so-far contract
+	for i := 0; i < eprm.Mu; i++ {
+		p, perr := partition.New(e, standard.ChainStartPartition(c, size, rng), w, cons)
+		if perr != nil {
+			return nil, fmt.Errorf("core: start partition: %w", perr)
+		}
+		starts = append(starts, p)
+	}
+	er, err = evolution.OptimizeControlled(ctx, starts, eprm, opt.Trace, ctl)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return er, nil
+}
+
+// standardGroups builds the greedy standard partition — both the
+// MethodStandard main path and the degraded-mode fallback — with panic
+// containment so even a poisoned estimator yields a named error rather
+// than a crash.
+func standardGroups(c *circuit.Circuit, opt Options, prm estimate.Params,
+	e *estimate.Estimator, w partition.Weights, cons partition.Constraints) (p *partition.Partition, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = nil
+			if perr, ok := r.(error); ok {
+				err = fmt.Errorf("core: standard partitioning panicked: %w", perr)
+			} else {
+				err = fmt.Errorf("core: standard partitioning panicked: %v", r)
+			}
+		}
+	}()
+	var groups [][]int
+	if opt.Modules > 0 {
+		groups = standard.StandardPartitionK(c, opt.Modules, prm.Rho)
+	} else {
+		size := opt.ModuleSize
+		if size <= 0 {
+			size = standard.EstimateModuleSize(e, w, cons)
+		}
+		groups = standard.StandardPartition(c, size, prm.Rho)
+	}
+	p, err = partition.New(e, groups, w, cons)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return p, nil
+}
+
 // Report renders a human-readable synthesis report: the partition, the
 // per-module sensors, and the cost breakdown.
 func (r *Result) Report() string {
 	var sb strings.Builder
 	cv := r.Costs
 	fmt.Fprintf(&sb, "circuit %s — %s partitioning\n", r.Circuit.Name, r.Method)
+	if r.Degraded {
+		fmt.Fprintf(&sb, "  DEGRADED: optimizer failed, fell back to standard partitioning (%v)\n", r.DegradedErr)
+	}
 	fmt.Fprintf(&sb, "  gates: %d  modules: %d  feasible: %v (worst d = %.1f, required %.1f)\n",
 		r.Circuit.NumLogicGates(), r.Partition.NumModules(), r.Partition.Feasible(),
 		r.Partition.WorstDiscriminability(), r.Partition.Cons.MinDiscriminability)

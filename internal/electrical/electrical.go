@@ -5,16 +5,37 @@
 // of §3.4 — together with small numerical transient simulators used by the
 // tests to validate each closed form against the underlying RC network.
 //
-// Every model validates its physical inputs and reports non-positive
-// resistances, currents, delays, or thresholds as an error rather than a
-// panic, so a malformed cell library or parameter file surfaces as a
-// diagnosable failure instead of a crash.
+// Every model validates its physical inputs and reports non-positive or
+// non-finite resistances, currents, delays, or thresholds as an error
+// rather than a panic, so a malformed cell library or parameter file
+// surfaces as a diagnosable failure instead of a crash. Non-finite inputs
+// need their own checks — NaN slips through every ordered comparison — and
+// their errors wrap ErrNonFinite so callers can recognise a numeric
+// blow-up (an upstream overflow or division by zero) as a class.
 package electrical
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrNonFinite is wrapped by every error reporting a NaN or ±Inf input:
+// the signature of an upstream numeric blow-up rather than a merely
+// out-of-range parameter. errors.Is(err, ErrNonFinite) identifies the
+// class across the whole estimate/electrical boundary.
+var ErrNonFinite = errors.New("electrical: non-finite value")
+
+// finite reports whether every argument is an ordinary float (not NaN,
+// not ±Inf).
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
 
 // SensorROn returns the bypass-device ON resistance Rs* = r*/iDD,max
 // (§3.1): the largest resistance keeping the virtual-rail perturbation at
@@ -23,6 +44,9 @@ import (
 // delay impact is second-order — which is why the paper fixes Rs at
 // exactly this value instead of optimising it per module.
 func SensorROn(railLimit, iDDMax float64) (float64, error) {
+	if !finite(railLimit, iDDMax) {
+		return 0, fmt.Errorf("%w: SensorROn(r*=%g, iDD,max=%g)", ErrNonFinite, railLimit, iDDMax)
+	}
 	if railLimit <= 0 {
 		return 0, fmt.Errorf("electrical: non-positive rail limit r* = %g", railLimit)
 	}
@@ -43,6 +67,9 @@ func RailPerturbation(rs, iDDMax float64) float64 {
 // inversely proportional to the ON resistance (a lower Rs needs a wider
 // MOS bypass switch).
 func SensorArea(a0, a1, rs float64) (float64, error) {
+	if !finite(a0, a1, rs) {
+		return 0, fmt.Errorf("%w: SensorArea(a0=%g, a1=%g, rs=%g)", ErrNonFinite, a0, a1, rs)
+	}
 	if rs <= 0 {
 		return 0, fmt.Errorf("electrical: non-positive Rs = %g", rs)
 	}
@@ -66,6 +93,9 @@ func DelayDegradation(n int, rs, rg, d, cs float64) (float64, error) {
 	if n < 1 {
 		n = 1
 	}
+	if !finite(rs, rg, d, cs) {
+		return 0, fmt.Errorf("%w: DelayDegradation(rs=%g, rg=%g, d=%g, cs=%g)", ErrNonFinite, rs, rg, d, cs)
+	}
 	if rs <= 0 || rg <= 0 || d <= 0 {
 		return 0, fmt.Errorf("electrical: non-positive rs=%g/rg=%g/d=%g", rs, rg, d)
 	}
@@ -82,6 +112,9 @@ func DelayDegradation(n int, rs, rg, d, cs float64) (float64, error) {
 // which the quiescent current can be measured. The result is never
 // negative; a peak already below threshold settles instantly.
 func SettlingTime(tau, iPeak, iThreshold float64) (float64, error) {
+	if !finite(tau, iPeak, iThreshold) {
+		return 0, fmt.Errorf("%w: SettlingTime(tau=%g, iPeak=%g, iTh=%g)", ErrNonFinite, tau, iPeak, iThreshold)
+	}
 	if tau <= 0 || iPeak <= 0 || iThreshold <= 0 {
 		return 0, fmt.Errorf("electrical: non-positive settling parameters tau=%g/iPeak=%g/iTh=%g",
 			tau, iPeak, iThreshold)

@@ -1,6 +1,7 @@
 package electrical
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -330,4 +331,31 @@ func TestRejectsBadParameters(t *testing.T) {
 
 func close(a, b, eps float64) bool {
 	return math.Abs(a-b) <= eps
+}
+
+// NaN slips through every ordered comparison, so the non-positive guards
+// alone would let a poisoned estimate propagate silently; each model must
+// reject non-finite inputs with an error wrapping ErrNonFinite.
+func TestNonFiniteInputsRejected(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"SensorROn(NaN current)", func() error { _, err := SensorROn(0.2, nan); return err }()},
+		{"SensorROn(Inf limit)", func() error { _, err := SensorROn(inf, 1e-3); return err }()},
+		{"SensorArea(NaN rs)", func() error { _, err := SensorArea(1, 1, nan); return err }()},
+		{"DelayDegradation(Inf rg)", func() error { _, err := DelayDegradation(2, 10, inf, 1, 0); return err }()},
+		{"DelayDegradation(NaN cs)", func() error { _, err := DelayDegradation(2, 10, 100, 1, nan); return err }()},
+		{"SettlingTime(NaN peak)", func() error { _, err := SettlingTime(1e-9, nan, 1e-6); return err }()},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: accepted a non-finite input", c.name)
+			continue
+		}
+		if !errors.Is(c.err, ErrNonFinite) {
+			t.Errorf("%s: error %v does not wrap ErrNonFinite", c.name, c.err)
+		}
+	}
 }

@@ -5,7 +5,10 @@ import (
 	"testing"
 	"testing/quick"
 
+	"errors"
+
 	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/circuits"
 	"iddqsyn/internal/electrical"
@@ -354,4 +357,46 @@ func approx(a, b, eps float64) bool {
 		d = -d
 	}
 	return d <= eps
+}
+
+// evalPanics runs EvalModule and returns the recovered panic value (nil if
+// none): the contract between the estimator's numeric guards and the
+// optimizer worker pools that convert these panics into errors.
+func evalPanics(e *Estimator, gates []int) (r any) {
+	defer func() { r = recover() }()
+	e.EvalModule(gates)
+	return nil
+}
+
+// A chaos-poisoned estimate must never leave EvalModule as a number: the
+// guards turn it into a panic whose value is an error wrapping both
+// chaos-visible context and electrical.ErrNonFinite, so the worker pools
+// can classify it after recovery.
+func TestChaosPoisonedEstimatePanicsTyped(t *testing.T) {
+	for _, site := range []string{chaos.SiteEstimateNaN, chaos.SiteEstimateInf} {
+		t.Run(site, func(t *testing.T) {
+			a := annotatedC17(t)
+			e := New(a, DefaultParams())
+			sched, err := chaos.ParseSchedule("seed=1,after=1,sites=" + site)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.SetChaos(chaos.New(sched, nil))
+			r := evalPanics(e, a.Circuit.LogicGates())
+			if r == nil {
+				t.Fatal("poisoned estimate did not panic")
+			}
+			perr, ok := r.(error)
+			if !ok {
+				t.Fatalf("panic value %v (%T) is not an error", r, r)
+			}
+			if !errors.Is(perr, electrical.ErrNonFinite) {
+				t.Errorf("panic error %v does not wrap electrical.ErrNonFinite", perr)
+			}
+			// A second evaluation is clean: the schedule was one-shot.
+			if r := evalPanics(e, a.Circuit.LogicGates()); r != nil {
+				t.Errorf("one-shot schedule injected twice: %v", r)
+			}
+		})
+	}
 }

@@ -1,9 +1,12 @@
 package estimate
 
 import (
+	"fmt"
+	"math"
 	"time"
 
 	"iddqsyn/internal/celllib"
+	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/electrical"
 	"iddqsyn/internal/obs"
@@ -71,6 +74,12 @@ type Estimator struct {
 	// optimizer worker pools record through them without contention.
 	evalCalls   *obs.Counter
 	evalSeconds *obs.Histogram
+
+	// Fault injector, attached by SetChaos; nil in production. The
+	// injector corrupts the estimator's own outputs (estimate.nan,
+	// estimate.inf) so the numeric guards between here and the optimizers
+	// can be exercised deterministically.
+	chaos *chaos.Injector
 }
 
 // SetObs attaches run telemetry: every EvalModule call increments
@@ -84,6 +93,17 @@ func (e *Estimator) SetObs(o *obs.Obs) {
 	}
 	e.evalCalls = o.Counter(MetricEvalModuleCalls)
 	e.evalSeconds = o.Histogram(MetricEvalModuleSeconds, nil)
+}
+
+// SetChaos attaches a fault injector that poisons estimator outputs at
+// the estimate.nan and estimate.inf sites. Like SetObs it must run before
+// the estimator is shared; a nil injector (the default) costs one nil
+// check per EvalModule.
+func (e *Estimator) SetChaos(in *chaos.Injector) {
+	if e == nil {
+		return
+	}
+	e.chaos = in
 }
 
 // New builds an Estimator, computing the transition-time sets, the
@@ -139,10 +159,23 @@ func (m *Module) Discriminability(iddqTh float64) float64 {
 // the models validated inputs — positive Params from DefaultParams and
 // positive currents/delays from an annotated cell library — so an error
 // here is an invariant violation, not an input condition; the optimizer
-// worker pools recover such panics into errors.
+// worker pools recover such panics into errors. The panic value is the
+// wrapped error itself, so errors.Is still sees electrical.ErrNonFinite
+// after the recover boundary.
 func must(v float64, err error) float64 {
 	if err != nil {
-		panic("estimate: " + err.Error())
+		panic(fmt.Errorf("estimate: %w", err))
+	}
+	return v
+}
+
+// mustFinite guards an estimate that does not pass through an electrical
+// model (and so would otherwise carry NaN/Inf silently into the cost
+// function). Like must, it panics with an ErrNonFinite-wrapping error for
+// the worker pools to recover.
+func mustFinite(name string, v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic(fmt.Errorf("estimate: %s = %g: %w", name, v, electrical.ErrNonFinite))
 	}
 	return v
 }
@@ -159,6 +192,9 @@ func (e *Estimator) EvalModule(gates []int) *Module {
 		return m
 	}
 	m.IDDMax = e.TS.MaxCurrent(e.A, gates)
+	if e.chaos.Hit(chaos.SiteEstimateNaN) {
+		m.IDDMax = math.NaN() // poison: SensorROn's guard must catch it
+	}
 	m.Rs = must(electrical.SensorROn(e.P.RailLimit, m.IDDMax))
 	m.Cs = e.P.CsSensor
 	for _, g := range gates {
@@ -167,6 +203,10 @@ func (e *Estimator) EvalModule(gates []int) *Module {
 	m.Tau = m.Rs * m.Cs
 	m.SensorArea = must(electrical.SensorArea(e.P.AreaA0, e.P.AreaA1, m.Rs))
 	m.LeakND = e.A.TotalLeakageMax(gates)
+	if e.chaos.Hit(chaos.SiteEstimateInf) {
+		m.LeakND = math.Inf(1) // poison: mustFinite below must catch it
+	}
+	m.LeakND = mustFinite("IDDQ,nd", m.LeakND)
 	m.Settle = must(electrical.SettlingTime(m.Tau, m.IDDMax, e.P.IDDQth))
 	m.Separation = e.SeparationModule(gates)
 	m.Activity = e.TS.ActivityProfile(gates)

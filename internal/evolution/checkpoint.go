@@ -11,16 +11,25 @@ package evolution
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
-	"path/filepath"
 
 	"iddqsyn/internal/estimate"
+	"iddqsyn/internal/fsx"
 	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partcheck"
 	"iddqsyn/internal/partition"
 )
+
+// ErrCorruptCheckpoint is wrapped by every LoadCheckpoint failure caused
+// by the file's content — zero length, truncated or otherwise unparsable
+// JSON, or a structure that fails validation. Callers distinguish "the
+// checkpoint is damaged" (fall back to a fresh run, keep the file for
+// forensics) from "the file cannot be read at all" (an I/O error, worth
+// retrying) with errors.Is.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
 
 // CheckpointFormat and CheckpointVersion identify the checkpoint file
 // format. The version is bumped whenever the serialized state or the
@@ -102,33 +111,21 @@ func (s *state) checkpoint() *Checkpoint {
 	return ck
 }
 
-// write persists the checkpoint atomically: marshal, write a sibling temp
-// file, fsync, rename. A crash mid-write leaves the previous checkpoint
-// (or none) in place, never a truncated one.
-func (ck *Checkpoint) write(path string) error {
+// write persists the checkpoint through the crash-safe publication
+// protocol of fsx (temp file, fsync, rename, directory fsync), retrying
+// transient failures per pol (nil = fsx defaults). A crash or injected
+// fault mid-write leaves the previous checkpoint (or none) in place,
+// never a truncated one.
+func (ck *Checkpoint) write(fs fsx.FS, path string, pol *fsx.RetryPolicy) error {
 	data, err := json.MarshalIndent(ck, "", " ")
 	if err != nil {
 		return fmt.Errorf("evolution: marshal checkpoint: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
+	if fs == nil {
+		fs = fsx.OS{}
+	}
+	if err := fsx.WriteAtomicRetry(fs, path, data, pol); err != nil {
 		return fmt.Errorf("evolution: write checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		_ = tmp.Close() // the write error is the one worth reporting
-		return fmt.Errorf("evolution: write checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close() // the sync error is the one worth reporting
-		return fmt.Errorf("evolution: sync checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("evolution: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("evolution: commit checkpoint: %w", err)
 	}
 	return nil
 }
@@ -138,7 +135,7 @@ func WriteCheckpoint(ck *Checkpoint, path string) error {
 	if err := ck.validate(); err != nil {
 		return err
 	}
-	return ck.write(path)
+	return ck.write(fsx.OS{}, path, nil)
 }
 
 // LoadCheckpoint reads and validates a checkpoint file. Corrupted files,
@@ -148,12 +145,18 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("evolution: load checkpoint: %w", err)
 	}
+	if len(data) == 0 {
+		// An empty file parses to nothing useful; name the corruption
+		// directly (the atomic-write protocol makes this state impossible
+		// to produce by crashing, so it points at an external cause).
+		return nil, fmt.Errorf("evolution: checkpoint %s is corrupted: %w: zero-length file", path, ErrCorruptCheckpoint)
+	}
 	ck := &Checkpoint{}
 	if err := json.Unmarshal(data, ck); err != nil {
-		return nil, fmt.Errorf("evolution: checkpoint %s is corrupted: %w", path, err)
+		return nil, fmt.Errorf("evolution: checkpoint %s is corrupted: %w: %w", path, ErrCorruptCheckpoint, err)
 	}
 	if err := ck.validate(); err != nil {
-		return nil, fmt.Errorf("evolution: checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("evolution: checkpoint %s: %w: %w", path, ErrCorruptCheckpoint, err)
 	}
 	return ck, nil
 }
@@ -193,16 +196,19 @@ func ResumeContext(ctx context.Context, ck *Checkpoint, e *estimate.Estimator, w
 		return nil, err
 	}
 	c := e.A.Circuit
+	// Identity first: auditing groupings against the wrong netlist would
+	// produce a misleading structural diagnosis for what is simply a
+	// checkpoint/circuit mismatch.
+	if ck.Circuit != c.Name || ck.Gates != c.NumGates() {
+		return nil, fmt.Errorf("evolution: checkpoint is for circuit %q (%d gates), not %q (%d gates)",
+			ck.Circuit, ck.Gates, c.Name, c.NumGates())
+	}
 	// Statically audit every grouping in the checkpoint before trusting
 	// it: a hand-edited or corrupted file is rejected here with the
 	// violated constraint named, instead of surfacing later as a bad
 	// optimization result.
 	if r := partcheck.VerifyStructure(c, ck.Best); !r.OK() {
 		return nil, fmt.Errorf("evolution: checkpoint best individual: %w", r.Err())
-	}
-	if ck.Circuit != c.Name || ck.Gates != c.NumGates() {
-		return nil, fmt.Errorf("evolution: checkpoint is for circuit %q (%d gates), not %q (%d gates)",
-			ck.Circuit, ck.Gates, c.Name, c.NumGates())
 	}
 	src := newCountingSource(ck.Params.Seed)
 	src.skip(ck.RNGDraws)
@@ -220,6 +226,7 @@ func ResumeContext(ctx context.Context, ck *Checkpoint, e *estimate.Estimator, w
 			History:     append([]float64(nil), ck.History...),
 		},
 	}
+	s.attachControl(ctx, ctl)
 	if s.obs.on && ck.Metrics != nil {
 		// Seed the registry with the checkpointed totals: cumulative
 		// counters and histograms continue monotonically across the

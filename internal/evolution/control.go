@@ -10,11 +10,14 @@ package evolution
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"iddqsyn/internal/chaos"
+	"iddqsyn/internal/fsx"
 	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partition"
 )
@@ -41,6 +44,24 @@ type Control struct {
 	// Obs carried by the run's context (obs.FromContext) is used instead;
 	// if that is also nil the run is unobserved at zero cost.
 	Obs *obs.Obs
+
+	// FS, if non-nil, routes every checkpoint write through this
+	// filesystem instead of the real one. Chaos tests pass a chaos.FS
+	// here to provoke torn writes, full disks and failed renames.
+	FS fsx.FS
+
+	// Retry, if non-nil, overrides the bounded retry-with-backoff policy
+	// for checkpoint writes (nil = fsx defaults: 3 attempts, jittered
+	// exponential backoff from 2ms). The run's OnRetry telemetry is
+	// layered on top of any callback set here.
+	Retry *fsx.RetryPolicy
+
+	// Chaos, if non-nil, injects faults into the run's failure surfaces
+	// (worker panics/delays; combine with FS for I/O faults). When nil
+	// the injector carried by the run's context (chaos.FromContext) is
+	// used instead; if that is also nil, nothing is ever injected and the
+	// run is bit-identical to an uninstrumented one.
+	Chaos *chaos.Injector
 }
 
 func (c *Control) every() int {
@@ -103,6 +124,39 @@ type state struct {
 	stall   int
 	nextGen int // first generation the loop will run (1 for fresh runs)
 	obs     *runObs
+
+	// Failure-surface plumbing, resolved once by attachControl. None of
+	// it ever touches the seeded random stream: an inert injector and the
+	// real filesystem leave the run bit-identical to an unplumbed one.
+	chaos *chaos.Injector
+	fs    fsx.FS
+	retry *fsx.RetryPolicy
+}
+
+// attachControl resolves the run's failure-surface plumbing: the fault
+// injector (explicit Control field first, then the context carriage), the
+// checkpoint filesystem, and the retry policy with the run's telemetry
+// layered onto its OnRetry callback.
+func (s *state) attachControl(ctx context.Context, ctl *Control) {
+	s.chaos = resolveChaos(ctx, ctl)
+	s.fs = fsx.OS{}
+	if ctl != nil && ctl.FS != nil {
+		s.fs = ctl.FS
+	}
+	var pol fsx.RetryPolicy
+	if ctl != nil && ctl.Retry != nil {
+		pol = *ctl.Retry
+	}
+	inner := pol.OnRetry
+	pol.OnRetry = func(attempt int, err error) {
+		s.obs.checkpointRetries.Inc()
+		s.obs.log.Warn("checkpoint write retrying",
+			"attempt", attempt, "err", err.Error())
+		if inner != nil {
+			inner(attempt, err)
+		}
+	}
+	s.retry = &pol
 }
 
 // run executes generations nextGen..MaxGenerations with cancellation
@@ -156,7 +210,7 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			}
 			parent.age++
 		}
-		if err := evaluate(descendants, s.prm.Workers, costOf, s.obs.evalSeconds); err != nil {
+		if err := evaluate(descendants, s.prm.Workers, costOf, s.obs.evalSeconds, s.chaos); err != nil {
 			return nil, err
 		}
 		s.res.Evaluations += len(descendants)
@@ -224,7 +278,7 @@ func (s *state) writeCheckpoint(path string) error {
 		// run restores already includes the write that produced it.
 		s.obs.checkpointWrites.Inc()
 	}
-	if err := s.checkpoint().write(path); err != nil {
+	if err := s.checkpoint().write(s.fs, path, s.retry); err != nil {
 		return err
 	}
 	if s.obs.on {
@@ -262,24 +316,42 @@ var testEvalHook func(i int, p *partition.Partition)
 // sequential one. A panic inside a cost evaluation (however it is
 // provoked — corrupted state, a bug in an estimator, an injected fault)
 // is recovered and returned as an error naming the offending descendant;
-// the remaining workers drain and exit cleanly. A non-nil hist receives
-// the per-descendant evaluation latency in seconds (histogram updates
-// are atomic, so the worker pool records without contention).
-func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64, hist *obs.Histogram) error {
+// when the panic value is itself an error (the estimator's numeric guards
+// panic with wrapped errors) it is wrapped rather than stringified, so
+// errors.Is sees through the recover boundary. A cost that comes back
+// NaN/Inf without panicking is likewise an error (ErrNonFiniteCost): a
+// poisoned number must never enter selection or a checkpoint. The
+// remaining workers drain and exit cleanly. A non-nil hist receives the
+// per-descendant evaluation latency in seconds; a non-nil inj probes the
+// chaos sites evolution.worker.panic / evolution.worker.delay before each
+// evaluation.
+func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64, hist *obs.Histogram, inj *chaos.Injector) error {
 	eval := func(i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("evolution: cost evaluation of descendant %d/%d panicked: %v",
-					i, len(descendants), r)
+				if perr, ok := r.(error); ok {
+					err = fmt.Errorf("evolution: cost evaluation of descendant %d/%d panicked: %w",
+						i, len(descendants), perr)
+				} else {
+					err = fmt.Errorf("evolution: cost evaluation of descendant %d/%d panicked: %v",
+						i, len(descendants), r)
+				}
 			}
 		}()
 		if testEvalHook != nil {
 			testEvalHook(i, descendants[i].p)
 		}
+		inj.MustPass(chaos.SiteEvalPanic)
+		inj.Sleep(chaos.SiteEvalDelay)
 		if hist != nil {
 			defer hist.ObserveSince(time.Now())
 		}
-		descendants[i].cost = cost(descendants[i].p)
+		c := cost(descendants[i].p)
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("evolution: descendant %d/%d cost is %g: %w",
+				i, len(descendants), c, partition.ErrNonFiniteCost)
+		}
+		descendants[i].cost = c
 		return nil
 	}
 

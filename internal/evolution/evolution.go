@@ -180,6 +180,7 @@ func OptimizeControlled(ctx context.Context, starts []*partition.Partition, prm 
 		nextGen: 1,
 		obs:     newRunObs(resolveObs(ctx, ctl)),
 	}
+	s.attachControl(ctx, ctl)
 	s.pop = make([]*individual, 0, len(starts))
 	for _, st := range starts {
 		s.pop = append(s.pop, &individual{p: st, m: prm.MaxMove})
@@ -191,7 +192,7 @@ func OptimizeControlled(ctx context.Context, starts []*partition.Partition, prm 
 		"workers", prm.Workers)
 	// The initial evaluation runs sequentially (it is μ cheap calls) but
 	// through the same panic-recovering path as the generation loop.
-	if err := evaluate(s.pop, 1, costOf, s.obs.evalSeconds); err != nil {
+	if err := evaluate(s.pop, 1, costOf, s.obs.evalSeconds, s.chaos); err != nil {
 		return nil, err
 	}
 	s.res.Evaluations += len(s.pop)

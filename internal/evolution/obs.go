@@ -11,6 +11,7 @@ package evolution
 import (
 	"context"
 
+	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/obs"
 )
 
@@ -28,6 +29,7 @@ const (
 	MetricInfeasible         = "evolution.descendants.infeasible"
 	MetricImprovements       = "evolution.improvements"
 	MetricCheckpointWrites   = "evolution.checkpoint.writes"
+	MetricCheckpointRetries  = "evolution.checkpoint.retries"
 
 	MetricGenerationGauge = "evolution.generation"
 	MetricBestCostGauge   = "evolution.best_cost"
@@ -78,6 +80,7 @@ type runObs struct {
 	infeasible                           *obs.Counter
 	improvements                         *obs.Counter
 	checkpointWrites                     *obs.Counter
+	checkpointRetries                    *obs.Counter
 
 	generation, bestCost, stall, population, stepWidth *obs.Gauge
 
@@ -91,6 +94,16 @@ func resolveObs(ctx context.Context, ctl *Control) *obs.Obs {
 		return ctl.Obs
 	}
 	return obs.FromContext(ctx)
+}
+
+// resolveChaos picks the run's fault injector the same way: an explicit
+// Control.Chaos wins, else the context carriage. Nil (the overwhelmingly
+// common case) means nothing is ever injected.
+func resolveChaos(ctx context.Context, ctl *Control) *chaos.Injector {
+	if ctl != nil && ctl.Chaos != nil {
+		return ctl.Chaos
+	}
+	return chaos.FromContext(ctx)
 }
 
 // newRunObs resolves every metric handle once. With o == nil the handles
@@ -111,6 +124,7 @@ func newRunObs(o *obs.Obs) *runObs {
 	r.infeasible = o.Counter(MetricInfeasible)
 	r.improvements = o.Counter(MetricImprovements)
 	r.checkpointWrites = o.Counter(MetricCheckpointWrites)
+	r.checkpointRetries = o.Counter(MetricCheckpointRetries)
 	r.generation = o.Gauge(MetricGenerationGauge)
 	r.bestCost = o.Gauge(MetricBestCostGauge)
 	r.stall = o.Gauge(MetricStallGauge)

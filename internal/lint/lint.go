@@ -13,6 +13,9 @@
 //   - closecheck: Close/Sync errors on writers and Shutdown errors on
 //     servers must be checked — the atomic-checkpoint guarantee and the
 //     debug server's graceful drain depend on them.
+//   - renameatomic: files are published with the shared fsx atomic-write
+//     helper (temp file + fsync + rename + directory fsync), never with a
+//     bare os.Rename that silently skips the fsyncs.
 //
 // The analyzers are syntactic (no type information), which keeps the suite
 // dependency-free; each one documents the approximations that follow from
@@ -32,7 +35,7 @@ import (
 
 // Analyzers returns the full iddqlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck}
+	return []*analysis.Analyzer{NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck, RenameAtomic}
 }
 
 // ByName resolves one analyzer by name.
@@ -47,11 +50,17 @@ func ByName(name string) (*analysis.Analyzer, bool) {
 
 // Applies reports whether an analyzer's policy covers the given import
 // path. The panic policy governs library code only — commands and examples
-// may still panic at top level — while the other checks apply everywhere.
+// may still panic at top level; renameatomic exempts internal/fsx, the one
+// package allowed to call os.Rename (it implements the atomic-write helper
+// everyone else must use). The other checks apply everywhere.
 func Applies(a *analysis.Analyzer, pkgPath string) bool {
-	if a.Name == PanicPolicy.Name {
+	switch a.Name {
+	case PanicPolicy.Name:
 		return strings.HasPrefix(pkgPath, "internal/") ||
 			strings.Contains(pkgPath, "/internal/")
+	case RenameAtomic.Name:
+		return pkgPath != "internal/fsx" &&
+			!strings.HasSuffix(pkgPath, "/internal/fsx")
 	}
 	return true
 }

@@ -23,6 +23,10 @@ func TestCloseCheck(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.CloseCheck, "closecheck")
 }
 
+func TestRenameAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.RenameAtomic, "renameatomic")
+}
+
 func TestApplies(t *testing.T) {
 	cases := []struct {
 		analyzer string
@@ -35,6 +39,10 @@ func TestApplies(t *testing.T) {
 		{"norandglobal", "iddqsyn/cmd/iddqsim", true},
 		{"ctxloop", "iddqsyn/examples/sweep", true},
 		{"closecheck", "iddqsyn/cmd/table1", true},
+		{"renameatomic", "iddqsyn/internal/fsx", false},
+		{"renameatomic", "internal/fsx", false},
+		{"renameatomic", "iddqsyn/internal/evolution", true},
+		{"renameatomic", "iddqsyn/cmd/iddqpart", true},
 	}
 	for _, c := range cases {
 		a, ok := lint.ByName(c.analyzer)
@@ -51,7 +59,7 @@ func TestByNameUnknown(t *testing.T) {
 	if _, ok := lint.ByName("nosuch"); ok {
 		t.Fatal("ByName(nosuch) succeeded")
 	}
-	if len(lint.Analyzers()) != 4 {
-		t.Fatalf("expected 4 analyzers, got %d", len(lint.Analyzers()))
+	if len(lint.Analyzers()) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(lint.Analyzers()))
 	}
 }

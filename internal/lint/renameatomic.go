@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// RenameAtomic forbids direct os.Rename calls outside internal/fsx. The
+// project's durability story — checkpoints and run snapshots that survive
+// a crash at any instant — rests on one shared protocol: write to a temp
+// file, fsync it, close it, rename it into place, fsync the directory
+// (fsx.WriteAtomic / fsx.WriteAtomicRetry). A hand-rolled os.Rename
+// almost always skips one of those steps (most often the fsyncs), which
+// produces files that look atomic in tests and lose data on power loss.
+// The check is syntactic: it flags every os.Rename selector call in
+// non-test code; fsx itself (the one legitimate call site) is exempted
+// through Applies, and a reasoned //lint:ignore renameatomic directive
+// suppresses deliberate exceptions.
+var RenameAtomic = &analysis.Analyzer{
+	Name: "renameatomic",
+	Doc: "forbid direct os.Rename outside internal/fsx: files must be published with " +
+		"fsx.WriteAtomic/WriteAtomicRetry (temp file + fsync + rename + dir fsync) " +
+		"so a crash can never expose a truncated or missing file",
+	Run: runRenameAtomic,
+}
+
+func runRenameAtomic(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		osName := importName(f, "os")
+		if osName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != osName || sel.Sel.Name != "Rename" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.Rename skips the atomic-write protocol; publish the file with fsx.WriteAtomic or fsx.WriteAtomicRetry (or rename through an fsx.FS)")
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,32 @@
+// Package renameatomic is the golden input for the renameatomic analyzer.
+package renameatomic
+
+import "os"
+
+// Bad: a hand-rolled temp-file publish that skips the fsync steps.
+func publish(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want `direct os.Rename skips the atomic-write protocol`
+}
+
+// Good: a suppressed call carries a reasoned directive.
+func rotate(old, dir string) error {
+	//lint:ignore renameatomic log rotation renames an already-synced file between directories
+	return os.Rename(old, dir)
+}
+
+// Good: other os calls and Rename methods on non-os values are not the
+// analyzer's business.
+type mover struct{}
+
+func (mover) Rename(a, b string) error { return nil }
+
+func fine(m mover, path string) error {
+	if err := m.Rename(path, path+".bak"); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}

@@ -1,0 +1,8 @@
+package renameatomic
+
+import stdos "os"
+
+// Bad: a renamed import does not hide the call.
+func publishAliased(tmp, path string) error {
+	return stdos.Rename(tmp, path) // want `direct os.Rename skips the atomic-write protocol`
+}

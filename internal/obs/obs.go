@@ -29,10 +29,11 @@ import (
 // structured logger stamped with the run ID, and an atomically published
 // status value that the /runz introspection endpoint serves live.
 type Obs struct {
-	run    string
-	reg    *Registry
-	log    *Logger
-	status atomic.Value // latest run status, any JSON-marshalable value
+	run      string
+	reg      *Registry
+	log      *Logger
+	status   atomic.Value           // latest run status, any JSON-marshalable value
+	degraded atomic.Pointer[string] // non-nil once the run entered degraded mode; value = reason
 }
 
 // New assembles an Obs for one run. A nil registry gets a fresh one; a
@@ -99,6 +100,30 @@ func (o *Obs) Status() any {
 		return nil
 	}
 	return o.status.Load()
+}
+
+// SetDegraded marks the run as having fallen back to a degraded mode
+// (e.g. greedy standard partitioning after repeated optimizer failures),
+// recording why. The flag is sticky for the run's lifetime and lands in
+// the run snapshot, so a degraded result can never masquerade as a fully
+// optimized one.
+func (o *Obs) SetDegraded(reason string) {
+	if o == nil {
+		return
+	}
+	o.degraded.Store(&reason)
+}
+
+// Degraded reports whether SetDegraded was called, and the recorded
+// reason. Nil-safe.
+func (o *Obs) Degraded() (bool, string) {
+	if o == nil {
+		return false, ""
+	}
+	if r := o.degraded.Load(); r != nil {
+		return true, *r
+	}
+	return false, ""
 }
 
 // runSeq disambiguates run IDs minted within the same nanosecond.

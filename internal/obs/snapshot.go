@@ -12,7 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
+
+	"iddqsyn/internal/fsx"
 )
 
 // SnapshotFormat and SnapshotVersion identify the snapshot file format.
@@ -33,46 +34,47 @@ type RunSnapshot struct {
 	// published via Obs.SetStatus — generation, best cost, history, ...).
 	Status any `json:"status,omitempty"`
 
+	// Degraded records that the run fell back to a degraded mode (see
+	// Obs.SetDegraded) and why — the evidence that a result came from the
+	// fallback path rather than a converged optimization.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
 	Metrics *MetricsSnapshot `json:"metrics"`
 }
 
 // NewRunSnapshot assembles a snapshot of o's current state.
 func NewRunSnapshot(o *Obs, circuit string) *RunSnapshot {
+	degraded, reason := o.Degraded()
 	return &RunSnapshot{
-		Format:  SnapshotFormat,
-		Version: SnapshotVersion,
-		Run:     o.Run(),
-		Circuit: circuit,
-		Status:  o.Status(),
-		Metrics: o.Registry().Snapshot(),
+		Format:         SnapshotFormat,
+		Version:        SnapshotVersion,
+		Run:            o.Run(),
+		Circuit:        circuit,
+		Status:         o.Status(),
+		Degraded:       degraded,
+		DegradedReason: reason,
+		Metrics:        o.Registry().Snapshot(),
 	}
 }
 
-// WriteFile persists the snapshot atomically: marshal, write a sibling
-// temp file, fsync, rename — a crash never leaves a truncated snapshot.
+// WriteFile persists the snapshot through the crash-safe fsx protocol
+// (temp file, fsync, rename, directory fsync) — a crash never leaves a
+// truncated or empty snapshot visible.
 func (s *RunSnapshot) WriteFile(path string) error {
+	return s.WriteFileFS(fsx.OS{}, path, nil)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem and retry policy
+// (nil policy = fsx defaults). Chaos tests pass a fault-injecting FS to
+// exercise the snapshot's durability claims.
+func (s *RunSnapshot) WriteFileFS(fs fsx.FS, path string, pol *fsx.RetryPolicy) error {
 	data, err := json.MarshalIndent(s, "", " ")
 	if err != nil {
 		return fmt.Errorf("obs: marshal run snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
+	if err := fsx.WriteAtomicRetry(fs, path, data, pol); err != nil {
 		return fmt.Errorf("obs: write run snapshot: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		_ = tmp.Close() // the write error is the one worth reporting
-		return fmt.Errorf("obs: write run snapshot: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close() // the sync error is the one worth reporting
-		return fmt.Errorf("obs: sync run snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("obs: close run snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("obs: commit run snapshot: %w", err)
 	}
 	return nil
 }

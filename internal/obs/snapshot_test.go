@@ -160,3 +160,41 @@ func TestContextCarriage(t *testing.T) {
 		t.Error("NewContext with nil Obs must return the context unchanged")
 	}
 }
+
+// The degraded flag is sticky, nil-safe, and lands in the snapshot — the
+// contract the core degradation path relies on to make fallback results
+// distinguishable from converged ones.
+func TestDegradedFlagInSnapshot(t *testing.T) {
+	var nilObs *Obs
+	nilObs.SetDegraded("must not panic")
+	if d, _ := nilObs.Degraded(); d {
+		t.Error("nil Obs reports degraded")
+	}
+
+	o := New("r-degraded", nil, nil)
+	if d, _ := o.Degraded(); d {
+		t.Error("fresh Obs already degraded")
+	}
+	s := NewRunSnapshot(o, "c17")
+	if s.Degraded || s.DegradedReason != "" {
+		t.Error("snapshot of a healthy run carries a degraded flag")
+	}
+
+	o.SetDegraded("optimizer failed 3 times: injected fault")
+	d, reason := o.Degraded()
+	if !d || reason != "optimizer failed 3 times: injected fault" {
+		t.Errorf("Degraded() = %v, %q", d, reason)
+	}
+	path := filepath.Join(t.TempDir(), "degraded.json")
+	if err := NewRunSnapshot(o, "c17").WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRunSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Degraded || loaded.DegradedReason != reason {
+		t.Errorf("loaded snapshot degraded = %v/%q, want true/%q",
+			loaded.Degraded, loaded.DegradedReason, reason)
+	}
+}

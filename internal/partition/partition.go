@@ -16,6 +16,7 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -23,6 +24,14 @@ import (
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/estimate"
 )
+
+// ErrNonFiniteCost reports that a partition's weighted cost evaluated to
+// NaN or ±Inf — the sign of a numeric blow-up in the estimators, never a
+// legitimately expensive partition (infeasible partitions are graded with
+// a large but finite penalty). Optimizers check candidate costs against
+// this so a poisoned estimate can neither win selection nor corrupt a
+// checkpointed best.
+var ErrNonFiniteCost = errors.New("partition: non-finite cost")
 
 // Weights are the αᵢ of the global cost function.
 type Weights struct {

@@ -25,6 +25,11 @@ import (
 // escape hatch fired).
 const MetricSignals = "runctl.signals"
 
+// MetricTimeouts counts wall-clock deadlines that fired (0 or 1 per run):
+// a run snapshot with this set explains an Interrupted result without
+// any signal having been delivered.
+const MetricTimeouts = "runctl.timeouts"
+
 // ForcedExitCode is the exit status of a hard exit on the second signal
 // (128 + SIGINT, the conventional "killed by Ctrl-C" status).
 const ForcedExitCode = 130
@@ -90,8 +95,30 @@ func WithSignalsObs(ctx context.Context, w io.Writer, o *obs.Obs) (context.Conte
 // deadline. It composes with WithSignals: apply the timeout first, then
 // the signal handler.
 func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return WithTimeoutObs(ctx, d, nil)
+}
+
+// WithTimeoutObs is WithTimeout with telemetry: when the deadline fires
+// (rather than the run finishing first), MetricTimeouts is incremented
+// and a structured warning is logged, so a snapshot of an interrupted
+// run records why it stopped. A nil o keeps WithTimeout's behaviour
+// exactly.
+func WithTimeoutObs(ctx context.Context, d time.Duration, o *obs.Obs) (context.Context, context.CancelFunc) {
 	if d <= 0 {
 		return context.WithCancel(ctx)
 	}
-	return context.WithTimeout(ctx, d)
+	ctx, cancel := context.WithTimeout(ctx, d)
+	if o == nil {
+		return ctx, cancel
+	}
+	timeouts := o.Counter(MetricTimeouts)
+	log := o.Log()
+	go func() {
+		<-ctx.Done()
+		if context.Cause(ctx) == context.DeadlineExceeded {
+			timeouts.Inc()
+			log.Warn("wall-clock budget exhausted: cancelling run", "budget", d.String())
+		}
+	}()
+	return ctx, cancel
 }

@@ -8,6 +8,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"iddqsyn/internal/obs"
 )
 
 func TestWithTimeoutZeroMeansNoDeadline(t *testing.T) {
@@ -101,5 +103,35 @@ func TestWithSignalsStopIsIdempotent(t *testing.T) {
 	stop() // must not panic (double close)
 	if ctx.Err() == nil {
 		t.Error("stop must cancel the context")
+	}
+}
+
+// A fired deadline must be visible in the run's telemetry; a run that
+// finishes inside its budget must not be.
+func TestWithTimeoutObsRecordsExpiry(t *testing.T) {
+	o := obs.New("r-timeout", nil, nil)
+	ctx, cancel := WithTimeoutObs(context.Background(), 5*time.Millisecond, o)
+	defer cancel()
+	<-ctx.Done()
+	deadline := func() bool {
+		for i := 0; i < 100; i++ { // the watcher goroutine races the test
+			if o.Counter(MetricTimeouts).Value() == 1 {
+				return true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return false
+	}
+	if !deadline() {
+		t.Errorf("%s = %d, want 1 after expiry", MetricTimeouts, o.Counter(MetricTimeouts).Value())
+	}
+
+	o2 := obs.New("r-finished", nil, nil)
+	ctx2, cancel2 := WithTimeoutObs(context.Background(), time.Hour, o2)
+	cancel2()
+	<-ctx2.Done()
+	time.Sleep(5 * time.Millisecond)
+	if got := o2.Counter(MetricTimeouts).Value(); got != 0 {
+		t.Errorf("%s = %d for a run cancelled before its deadline, want 0", MetricTimeouts, got)
 	}
 }

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Chaos verification: run the deterministic fault-injection soak (the
+# schedule matrix in internal/chaos/soak_test.go plus every chaos-tagged
+# package test), then drive the CLI end-to-end with a persistent fault
+# schedule and assert the run degrades loudly instead of crashing: the
+# exit status is 0, the report says DEGRADED, and the run snapshot
+# records degraded=true with the cause.
+#
+# CHAOS_OUT overrides where the chaos-armed run writes its snapshot
+# (CI uploads it as a workflow artifact).
+set -eu
+cd "$(dirname "$0")/.."
+
+CHAOS_OUT="${CHAOS_OUT:-/tmp/iddqsyn-chaos-run.json}"
+
+echo "== chaos soak (go test -run TestChaosSoak ./internal/chaos/)"
+go test -run TestChaosSoak ./internal/chaos/
+
+echo "== fault-injection package tests"
+go test ./internal/chaos/ ./internal/fsx/ ./internal/core/ ./internal/evolution/
+
+echo "== chaos-armed CLI run (snapshot -> $CHAOS_OUT)"
+go run ./cmd/iddqpart -gens 5 \
+    -chaos "seed=1,rate=1,sites=evolution.worker.panic" \
+    -metrics "$CHAOS_OUT" -log-format json -log-level error \
+    benchmarks/c432.bench >/dev/null
+grep -q '"degraded": *true' "$CHAOS_OUT" || {
+    echo "chaos: run snapshot does not record the degradation: $CHAOS_OUT" >&2
+    exit 1
+}
+echo "chaos: OK"

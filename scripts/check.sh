@@ -20,6 +20,8 @@ echo "== iddqlint ./..."
 go run ./cmd/iddqlint ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
+echo "== chaos soak (go test -run TestChaosSoak ./internal/chaos/)"
+go test -run TestChaosSoak ./internal/chaos/
 echo "== instrumented run (metrics -> $METRICS_OUT)"
 go run ./cmd/iddqpart -gens 3 -metrics "$METRICS_OUT" \
     -log-format json -log-level info benchmarks/c432.bench >/dev/null
