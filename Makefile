@@ -1,15 +1,22 @@
 GO ?= go
 
-.PHONY: check build test vet lint race chaos fuzz-isc fuzz-ckpt bench obs-demo clean
+.PHONY: check build test vet lint lint-baseline race chaos fuzz-isc fuzz-ckpt bench obs-demo clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
 	sh scripts/check.sh
 
-# Project-specific static analysis: determinism, panic policy, context
-# cancellation and Close/Sync error discipline (see cmd/iddqlint).
+# Types-aware project-specific static analysis: determinism taint,
+# error-wrap and mutex-guard discipline, panic policy, context
+# cancellation, Close/Sync errors, atomic rename (see cmd/iddqlint).
+# Findings already recorded in lint.baseline are suppressed.
 lint:
-	$(GO) run ./cmd/iddqlint ./...
+	$(GO) run ./cmd/iddqlint -baseline lint.baseline ./...
+
+# Regenerate the committed lint baseline. Only for deliberately
+# accepting existing findings — the goal state is an empty baseline.
+lint-baseline:
+	$(GO) run ./cmd/iddqlint -baseline-update ./...
 
 build:
 	$(GO) build ./...

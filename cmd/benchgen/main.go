@@ -118,7 +118,7 @@ func parseSpec(s string) (circuits.Spec, error) {
 		}
 		n, err := strconv.Atoi(parts[1])
 		if err != nil {
-			return spec, fmt.Errorf("random spec %q: %v", kv, err)
+			return spec, fmt.Errorf("random spec %q: %w", kv, err)
 		}
 		switch parts[0] {
 		case "inputs":

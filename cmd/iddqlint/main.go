@@ -1,45 +1,80 @@
 // Command iddqlint is the multichecker driver for the iddqsyn analyzer
 // suite (internal/lint): project-specific static checks that enforce the
-// determinism, panic and cancellation policies the optimizer's
-// bit-identical checkpoint resume depends on.
+// determinism, panic, cancellation, locking and error-wrapping policies
+// the optimizer's bit-identical checkpoint resume depends on.
 //
 // Usage:
 //
-//	iddqlint [-list] [-enable names] [-disable names] [packages...]
+//	iddqlint [flags] [packages...]
 //
 // Packages are directory patterns relative to the module root: "./..."
 // (the default), "./internal/...", or plain directories like
-// "./internal/atpg". The exit status is 0 when the tree is clean, 1 when
-// findings were reported, and 2 on usage or load errors — the same
-// convention as go vet, so `make lint` and CI can gate on it.
+// "./internal/atpg". The whole module slice is loaded and type-checked
+// once; analyzers run in dependency order, in parallel across packages,
+// so cross-package facts (e.g. determtaint's "this function derives from
+// time.Now") are always complete when a dependent package is checked.
+//
+// Flags:
+//
+//	-list             list analyzers and exit
+//	-enable names     comma-separated analyzers to run (default: all)
+//	-disable names    comma-separated analyzers to skip
+//	-root dir         module root (default: current directory)
+//	-parallel n       max packages analyzed concurrently (default GOMAXPROCS)
+//	-json             emit findings as JSON instead of text
+//	-sarif file       write a SARIF 2.1.0 log to file ("-" for stdout)
+//	-baseline file    subtract grandfathered findings recorded in file
+//	-baseline-update  rewrite the baseline file from current findings
+//	-fact-debug       dump exported facts to stderr after the run
+//
+// The exit status is 0 when the tree is clean (or fully absorbed by the
+// baseline), 1 when findings were reported, and 2 on usage, load,
+// type-check or analyzer failure — the same convention as go vet, so
+// `make lint` and CI can distinguish "dirty tree" from "broken tooling".
 //
 // Individual findings can be suppressed with a reasoned directive on or
 // directly above the flagged line:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// The analyzer name must match exactly; unused, malformed or
+// unknown-name directives are themselves findings (analyzer
+// "lintdirective").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"iddqsyn/internal/lint"
 	"iddqsyn/internal/lint/analysis"
 )
 
+// toolVersion is reported in SARIF logs.
+const toolVersion = "2.0.0"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("iddqlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the available analyzers and exit")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	root := fs.String("root", "", "module root (default: current directory)")
+	parallel := fs.Int("parallel", 0, "max packages analyzed concurrently (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings")
+	baselineUpdate := fs.Bool("baseline-update", false, "rewrite the baseline file from current findings")
+	factDebug := fs.Bool("fact-debug", false, "dump exported facts to stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,6 +82,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(stdout, "%-14s %s\n", analysis.DirectiveAnalyzer,
+			"(framework) malformed, unknown-name and unused //lint:ignore directives")
 		return 0
 	}
 
@@ -57,47 +94,149 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	dir := *root
 	if dir == "" {
-		dir, err = os.Getwd()
-		if err != nil {
+		if dir, err = os.Getwd(); err != nil {
 			fmt.Fprintln(stderr, "iddqlint:", err)
 			return 2
 		}
+	}
+	if dir, err = filepath.Abs(dir); err != nil {
+		fmt.Fprintln(stderr, "iddqlint:", err)
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.LoadPackages(dir, patterns)
+
+	prog, err := analysis.LoadModule(dir, patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "iddqlint:", err)
 		return 2
 	}
-	if len(pkgs) == 0 {
+	if len(prog.Roots) == 0 {
 		fmt.Fprintln(stderr, "iddqlint: no packages matched", strings.Join(patterns, " "))
 		return 2
 	}
+	opts := analysis.Options{
+		Parallel:       *parallel,
+		Applies:        lint.Applies,
+		KnownAnalyzers: lint.Names(),
+		RootsOnly:      true,
+	}
+	if *factDebug {
+		opts.FactDebug = stderr
+	}
+	findings, err := prog.Run(analyzers, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "iddqlint:", err)
+		return 2
+	}
 
-	exit := 0
-	for _, pkg := range pkgs {
-		// Policy scoping happens here, per package, so the analyzers
-		// themselves stay context-free and fully testable.
-		var applicable []*analysis.Analyzer
-		for _, a := range analyzers {
-			if lint.Applies(a, pkg.Path) {
-				applicable = append(applicable, a)
+	bpath := *baselinePath
+	if bpath == "" && *baselineUpdate {
+		bpath = filepath.Join(dir, analysis.BaselinePathDefault)
+	}
+	if *baselineUpdate {
+		f, err := os.Create(bpath)
+		if err == nil {
+			err = analysis.WriteBaseline(f, findings, dir)
+			if cerr := f.Close(); err == nil {
+				err = cerr
 			}
 		}
-		findings, err := analysis.RunAnalyzers(applicable, []*analysis.Package{pkg})
 		if err != nil {
 			fmt.Fprintln(stderr, "iddqlint:", err)
 			return 2
 		}
-		for _, f := range findings {
-			fmt.Fprintln(stdout, f)
-			exit = 1
+		fmt.Fprintf(stdout, "iddqlint: wrote %d finding(s) to %s\n", len(findings), bpath)
+		return 0
+	}
+	if bpath != "" {
+		f, err := os.Open(bpath)
+		if err != nil {
+			fmt.Fprintln(stderr, "iddqlint:", err)
+			return 2
+		}
+		baseline, err := analysis.ParseBaseline(f)
+		_ = f.Close() // read-only
+
+		if err != nil {
+			fmt.Fprintf(stderr, "iddqlint: %s: %v\n", bpath, err)
+			return 2
+		}
+		var absorbed int
+		findings, absorbed = baseline.Filter(findings, dir)
+		if absorbed > 0 {
+			fmt.Fprintf(stderr, "iddqlint: baseline absorbed %d finding(s) (%d recorded)\n",
+				absorbed, baseline.Len())
 		}
 	}
-	return exit
+
+	if *sarifPath != "" {
+		w := stdout
+		var closer io.Closer
+		if *sarifPath != "-" {
+			f, err := os.Create(*sarifPath)
+			if err != nil {
+				fmt.Fprintln(stderr, "iddqlint:", err)
+				return 2
+			}
+			w, closer = f, f
+		}
+		err := analysis.WriteSARIF(w, findings, analyzers, toolVersion, dir)
+		if closer != nil {
+			if cerr := closer.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "iddqlint:", err)
+			return 2
+		}
+	}
+	// Text or JSON findings go to stdout unless SARIF already claimed it.
+	if *sarifPath != "-" {
+		if *jsonOut {
+			if err := writeJSON(stdout, findings, dir); err != nil {
+				fmt.Fprintln(stderr, "iddqlint:", err)
+				return 2
+			}
+		} else {
+			for _, f := range findings {
+				fmt.Fprintln(stdout, f)
+			}
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the -json output shape, one object per finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, findings []analysis.Finding, root string) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Position.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonFinding{
+			File: file, Line: f.Position.Line, Column: f.Position.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {

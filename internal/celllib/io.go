@@ -51,7 +51,7 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 			}
 			vdd, err := strconv.ParseFloat(fields[3], 64)
 			if err != nil {
-				return nil, fmt.Errorf("celllib: line %d: bad vdd: %v", lineno, err)
+				return nil, fmt.Errorf("celllib: line %d: bad vdd: %w", lineno, err)
 			}
 			lib = New(fields[1], vdd)
 		case "cell":
@@ -60,10 +60,10 @@ func ReadLibrary(r io.Reader) (*Library, error) {
 			}
 			c, err := parseCellLine(fields)
 			if err != nil {
-				return nil, fmt.Errorf("celllib: line %d: %v", lineno, err)
+				return nil, fmt.Errorf("celllib: line %d: %w", lineno, err)
 			}
 			if err := lib.Add(c); err != nil {
-				return nil, fmt.Errorf("celllib: line %d: %v", lineno, err)
+				return nil, fmt.Errorf("celllib: line %d: %w", lineno, err)
 			}
 		default:
 			return nil, fmt.Errorf("celllib: line %d: unknown directive %q", lineno, fields[0])

@@ -83,7 +83,7 @@ type Injector struct {
 	total *obs.Counter
 
 	mu    sync.Mutex
-	sites map[string]*siteState
+	sites map[string]*siteState // guarded by mu
 }
 
 type siteState struct {

@@ -31,7 +31,7 @@ type FS struct {
 	inj   *Injector
 
 	mu  sync.Mutex
-	ops []string
+	ops []string // guarded by mu
 }
 
 // NewFS builds a chaos filesystem over inner (nil = the real

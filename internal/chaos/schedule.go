@@ -81,7 +81,7 @@ func ParseSchedule(spec string) (Schedule, error) {
 					continue
 				}
 				if _, merr := path.Match(pat, "probe"); merr != nil {
-					return s, fmt.Errorf("chaos: bad site pattern %q: %v", pat, merr)
+					return s, fmt.Errorf("chaos: bad site pattern %q: %w", pat, merr)
 				}
 				s.Sites = append(s.Sites, pat)
 			}
@@ -91,7 +91,7 @@ func ParseSchedule(spec string) (Schedule, error) {
 			return s, fmt.Errorf("chaos: unknown schedule key %q", k)
 		}
 		if err != nil {
-			return s, fmt.Errorf("chaos: bad %s value %q: %v", k, v, err)
+			return s, fmt.Errorf("chaos: bad %s value %q: %w", k, v, err)
 		}
 	}
 	if len(s.Sites) == 0 {

@@ -264,7 +264,7 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (re
 		case opt.Degrade:
 			p, serr := standardGroups(c, opt, prm, e, w, cons)
 			if serr != nil {
-				return nil, fmt.Errorf("core: optimizer failed (%v); standard fallback also failed: %w", optErr, serr)
+				return nil, fmt.Errorf("core: optimizer failed (%w); standard fallback also failed: %w", optErr, serr)
 			}
 			res.Degraded = true
 			res.DegradedErr = optErr

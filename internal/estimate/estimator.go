@@ -3,6 +3,7 @@ package estimate
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"iddqsyn/internal/celllib"
@@ -117,13 +118,21 @@ func New(a *celllib.Annotated, p Params) *Estimator {
 	e.nbrDist = make([][]uint8, c.NumGates())
 	for _, g := range c.LogicGates() {
 		dist := c.BoundedDistances(g, p.Rho)
-		gates := make([]int32, 0, len(dist)-1)
-		dists := make([]uint8, 0, len(dist)-1)
-		for nb, d := range dist {
+		// Iterate the neighbor map in sorted order: the cache's layout
+		// feeds float summations in the cost path, where accumulation
+		// order changes the rounding and breaks bit-identical resume.
+		nbs := make([]int, 0, len(dist))
+		for nb := range dist {
 			if nb != g {
-				gates = append(gates, int32(nb))
-				dists = append(dists, uint8(d))
+				nbs = append(nbs, nb)
 			}
+		}
+		sort.Ints(nbs)
+		gates := make([]int32, 0, len(nbs))
+		dists := make([]uint8, 0, len(nbs))
+		for _, nb := range nbs {
+			gates = append(gates, int32(nb))
+			dists = append(dists, uint8(dist[nb]))
 		}
 		e.nbrGate[g] = gates
 		e.nbrDist[g] = dists

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed inventory of grandfathered findings: CI fails
+// on any finding not in the baseline, while the debt it records is
+// tracked (and shrinks as entries stop matching). Entries are keyed by
+// (file, analyzer, message) — deliberately not by line number, so pure
+// code motion does not invalidate the baseline — and matched as a
+// multiset: three identical grandfathered findings cover at most three
+// live ones.
+//
+// The file format is one entry per line,
+//
+//	<file>\t<analyzer>\t<message>
+//
+// with '#' comment lines and blank lines skipped, sorted for stable
+// diffs. File paths are slash-separated and relative to the module root.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+// ParseBaseline reads a baseline file.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{counts: map[baselineKey]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want <file>\\t<analyzer>\\t<message>, got %q", lineNo, line)
+		}
+		b.counts[baselineKey{parts[0], parts[1], parts[2]}]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len reports the number of grandfathered entries.
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Filter splits findings into new ones (not covered by the baseline) and
+// the count of findings the baseline absorbed. root relativizes finding
+// file names the same way WriteBaseline does.
+func (b *Baseline) Filter(findings []Finding, root string) (fresh []Finding, absorbed int) {
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, c := range b.counts {
+		remaining[k] = c
+	}
+	for _, f := range findings {
+		k := baselineKey{relURI(root, f.Position.Filename), f.Analyzer, f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, absorbed
+}
+
+// WriteBaseline renders findings in baseline format, sorted.
+func WriteBaseline(w io.Writer, findings []Finding, root string) error {
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		lines = append(lines, fmt.Sprintf("%s\t%s\t%s",
+			relURI(root, f.Position.Filename), f.Analyzer, f.Message))
+	}
+	sort.Strings(lines)
+	if _, err := fmt.Fprintln(w, "# iddqlint baseline: grandfathered findings (one per line,"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# file<TAB>analyzer<TAB>message). Regenerate with iddqlint -baseline-update."); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BaselinePathDefault is the conventional baseline location at the
+// module root.
+const BaselinePathDefault = "lint.baseline"

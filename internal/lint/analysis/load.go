@@ -8,24 +8,61 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
-// LoadPackages parses the packages selected by patterns, rooted at the
-// module directory root. Supported patterns are the ones the iddqlint
-// driver needs: "./..." (every package under root), "./dir/..." (every
-// package under a subtree) and plain directory paths ("./cmd/iddqlint",
-// "internal/atpg"). Directories named "testdata" or "vendor", and hidden
-// or underscore-prefixed directories, are skipped during "..." expansion.
-//
-// Files are parsed with comments (analyzers and the ignore-directive
-// machinery need them) but not type-checked: the iddqlint analyzers are
-// syntactic by design, so the loader stays fast and dependency-free.
-func LoadPackages(root string, patterns []string) ([]*Package, error) {
-	modPath, err := modulePath(root)
+// Config selects what Load loads.
+type Config struct {
+	// Root is the directory the patterns are resolved against: the module
+	// root in module mode, or a testdata directory in GOPATH-style mode.
+	Root string
+	// ModulePath is the module's import-path prefix ("iddqsyn"). When
+	// empty, Load runs in testdata mode: packages live under Root/src and
+	// are imported by their path relative to Root/src, the layout the
+	// analysistest golden packages use.
+	ModulePath string
+	// Patterns are the package patterns: "./..." (every package under
+	// Root), "./dir/..." (a subtree), or plain directories. In testdata
+	// mode a pattern is a package path under Root/src.
+	Patterns []string
+}
+
+// Program is a loaded package graph: every matched package plus the
+// in-module dependency closure needed to type-check it, sharing one
+// FileSet, topologically sorted so every package appears after its
+// imports.
+type Program struct {
+	Fset *token.FileSet
+	// Packages is the dependency closure in topological (dependencies
+	// first) order.
+	Packages []*Package
+	// Roots is the subset of Packages matched by the patterns themselves
+	// (the packages the caller asked to analyze), in topological order.
+	Roots []*Package
+
+	byPath map[string]*Package
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
+
+// Load parses the packages selected by cfg plus their in-module
+// dependency closure and arranges them in dependency order. Files are
+// parsed with comments (analyzers and the ignore-directive machinery need
+// them); type-checking happens later, inside Program.Run, in parallel
+// across packages.
+func Load(cfg Config) (*Program, error) {
+	root, err := filepath.Abs(cfg.Root)
 	if err != nil {
 		return nil, err
 	}
+	srcRoot := root // where import paths are anchored
+	if cfg.ModulePath == "" {
+		srcRoot = filepath.Join(root, "src")
+	}
+
+	// Resolve patterns to package directories.
 	dirSet := map[string]bool{}
 	var dirs []string
 	add := func(d string) {
@@ -35,67 +72,147 @@ func LoadPackages(root string, patterns []string) ([]*Package, error) {
 			dirs = append(dirs, d)
 		}
 	}
-	for _, pat := range patterns {
+	for _, pat := range cfg.Patterns {
 		switch {
 		case pat == "./..." || pat == "...":
-			if err := walkGoDirs(root, add); err != nil {
+			if err := walkGoDirs(srcRoot, add); err != nil {
 				return nil, err
 			}
 		case strings.HasSuffix(pat, "/..."):
-			base := filepath.Join(root, strings.TrimSuffix(pat, "/..."))
+			base := filepath.Join(srcRoot, strings.TrimSuffix(pat, "/..."))
 			if err := walkGoDirs(base, add); err != nil {
 				return nil, err
 			}
 		default:
 			d := pat
 			if !filepath.IsAbs(d) {
-				d = filepath.Join(root, d)
+				d = filepath.Join(srcRoot, d)
 			}
 			add(d)
 		}
 	}
 	sort.Strings(dirs)
 
-	var pkgs []*Package
+	prog := &Program{Fset: token.NewFileSet(), byPath: map[string]*Package{}}
+	rootSet := map[string]bool{}
+	// Load the matched packages, then chase in-module imports to closure.
+	queue := make([]string, 0, len(dirs))
 	for _, dir := range dirs {
-		pkg, err := loadDir(modPath, root, dir)
+		path, err := importPathFor(cfg.ModulePath, srcRoot, dir)
 		if err != nil {
 			return nil, err
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
+		rootSet[path] = true
+		queue = append(queue, path)
+	}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if prog.byPath[path] != nil {
+			continue
+		}
+		dir := dirFor(cfg.ModulePath, srcRoot, path)
+		pkg, err := loadDir(prog.Fset, dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			if rootSet[path] {
+				delete(rootSet, path) // matched dir with no Go files
+			}
+			continue
+		}
+		prog.byPath[path] = pkg
+		for _, imp := range pkg.importPaths {
+			if inModule(cfg.ModulePath, srcRoot, imp) && prog.byPath[imp] == nil {
+				queue = append(queue, imp)
+			}
 		}
 	}
-	return pkgs, nil
-}
 
-// LoadDir parses a single directory as one package with the given import
-// path. It is the entry point the analysistest harness uses for testdata
-// packages.
-func LoadDir(dir, importPath string) (*Package, error) {
-	return loadDirAs(dir, importPath)
-}
-
-func loadDir(modPath, root, dir string) (*Package, error) {
-	rel, err := filepath.Rel(root, dir)
+	// Resolve in-module import edges and topologically sort.
+	for _, pkg := range prog.byPath {
+		for _, imp := range pkg.importPaths {
+			if dep := prog.byPath[imp]; dep != nil && dep != pkg {
+				pkg.Imports = append(pkg.Imports, dep)
+			}
+		}
+	}
+	sorted, err := topoSort(prog.byPath)
 	if err != nil {
 		return nil, err
 	}
-	importPath := modPath
-	if rel != "." {
-		importPath = modPath + "/" + filepath.ToSlash(rel)
+	prog.Packages = sorted
+	for _, pkg := range sorted {
+		if rootSet[pkg.Path] {
+			prog.Roots = append(prog.Roots, pkg)
+		}
 	}
-	return loadDirAs(dir, importPath)
+	return prog, nil
 }
 
-func loadDirAs(dir, importPath string) (*Package, error) {
+// LoadModule loads patterns against the module rooted at root, reading
+// the module path from go.mod.
+func LoadModule(root string, patterns []string) (*Program, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	return Load(Config{Root: root, ModulePath: modPath, Patterns: patterns})
+}
+
+// importPathFor maps a package directory to its import path.
+func importPathFor(modPath, srcRoot, dir string) (string, error) {
+	rel, err := filepath.Rel(srcRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside %s", dir, srcRoot)
+	}
+	if rel == "." {
+		if modPath == "" {
+			return "", fmt.Errorf("lint: cannot import the testdata src root itself")
+		}
+		return modPath, nil
+	}
+	if modPath == "" {
+		return filepath.ToSlash(rel), nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor is the inverse of importPathFor.
+func dirFor(modPath, srcRoot, path string) string {
+	if modPath == "" {
+		return filepath.Join(srcRoot, filepath.FromSlash(path))
+	}
+	if path == modPath {
+		return srcRoot
+	}
+	return filepath.Join(srcRoot, filepath.FromSlash(strings.TrimPrefix(path, modPath+"/")))
+}
+
+// inModule reports whether an import path belongs to the loaded world:
+// the module itself in module mode, or any package under Root/src in
+// testdata mode (stdlib paths are excluded by checking the directory
+// exists).
+func inModule(modPath, srcRoot, path string) bool {
+	if modPath != "" {
+		return path == modPath || strings.HasPrefix(path, modPath+"/")
+	}
+	st, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// loadDir parses one directory as one package. Test files are parsed into
+// Files but only primary-package non-test files enter CheckedFiles (the
+// type-check set). Returns nil for directories without Go files.
+func loadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: read %s: %w", dir, err)
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
+	var files, checked []*ast.File
 	var name, testName string
+	importSet := map[string]bool{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
 			continue
@@ -105,9 +222,8 @@ func loadDirAs(dir, importPath string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
 		}
-		// The package name comes from the first non-test file; test-only
-		// directories fall back to whatever the test files declare.
-		if strings.HasSuffix(e.Name(), "_test.go") {
+		isTest := strings.HasSuffix(e.Name(), "_test.go")
+		if isTest {
 			if testName == "" {
 				testName = f.Name.Name
 			}
@@ -115,6 +231,14 @@ func loadDirAs(dir, importPath string) (*Package, error) {
 			name = f.Name.Name
 		}
 		files = append(files, f)
+		if !isTest && f.Name.Name == name {
+			checked = append(checked, f)
+			for _, imp := range f.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+					importSet[p] = true
+				}
+			}
+		}
 	}
 	if len(files) == 0 {
 		return nil, nil // not a Go package (e.g. a docs-only directory)
@@ -122,7 +246,66 @@ func loadDirAs(dir, importPath string) (*Package, error) {
 	if name == "" {
 		name = testName
 	}
-	return &Package{Path: importPath, Name: name, Dir: dir, Fset: fset, Files: files}, nil
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	return &Package{
+		Path: importPath, Name: name, Dir: dir, Fset: fset,
+		Files: files, CheckedFiles: checked, importPaths: imports,
+	}, nil
+}
+
+// topoSort orders packages dependencies-first (Kahn), with ties broken by
+// import path so the order is deterministic. An import cycle is an error.
+func topoSort(byPath map[string]*Package) ([]*Package, error) {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	indeg := map[*Package]int{}
+	dependents := map[*Package][]*Package{}
+	for _, p := range paths {
+		pkg := byPath[p]
+		indeg[pkg] += 0
+		for _, dep := range pkg.Imports {
+			indeg[pkg]++
+			dependents[dep] = append(dependents[dep], pkg)
+		}
+	}
+	var ready []*Package
+	for _, p := range paths {
+		if indeg[byPath[p]] == 0 {
+			ready = append(ready, byPath[p])
+		}
+	}
+	var out []*Package
+	for len(ready) > 0 {
+		pkg := ready[0]
+		ready = ready[1:]
+		out = append(out, pkg)
+		for _, dep := range dependents[pkg] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+		// Keep the ready list deterministic.
+		sort.Slice(ready, func(i, j int) bool { return ready[i].Path < ready[j].Path })
+	}
+	if len(out) != len(byPath) {
+		var cyc []string
+		for _, p := range paths {
+			if indeg[byPath[p]] > 0 {
+				cyc = append(cyc, p)
+			}
+		}
+		return nil, fmt.Errorf("lint: import cycle among %s", strings.Join(cyc, ", "))
+	}
+	return out, nil
 }
 
 // walkGoDirs calls add for every directory under base that contains at

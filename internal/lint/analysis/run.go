@@ -2,53 +2,288 @@ package analysis
 
 import (
 	"fmt"
-	"go/ast"
+	"go/token"
+	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // IgnoreDirective is the comment prefix that suppresses a finding:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// placed on the flagged line or on the line directly above it. The reason
-// is mandatory — a bare ignore is itself a policy violation, so the
-// framework treats it as not matching.
+// placed on the flagged line or on the line directly above it. The
+// analyzer name must match the reporting analyzer exactly, and the reason
+// is mandatory. A directive that suppresses nothing is itself reported
+// (as analyzer "lintdirective"), so stale exemptions cannot linger after
+// the code they excused is gone.
 const IgnoreDirective = "lint:ignore"
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// surviving findings sorted by file position. An analyzer error aborts the
-// run (it is a bug in the analyzer, not a finding).
-func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		ignored := ignoreLines(pkg)
+// DirectiveAnalyzer is the pseudo-analyzer name under which the framework
+// reports malformed, unknown-analyzer and unused ignore directives. It is
+// not suppressible.
+const DirectiveAnalyzer = "lintdirective"
+
+// Options configures one Program.Run.
+type Options struct {
+	// Parallel bounds the number of packages type-checked and analyzed
+	// concurrently; 0 means GOMAXPROCS.
+	Parallel int
+	// Applies, when non-nil, gates which analyzers run on which package
+	// (by import path). An analyzer that does not apply is skipped for
+	// that package, and ignore directives naming it there are left alone.
+	Applies func(a *Analyzer, pkgPath string) bool
+	// KnownAnalyzers is the full suite's names, used to distinguish an
+	// ignore directive naming an unknown analyzer (reported) from one
+	// naming a real analyzer that simply is not running (left alone).
+	// When empty, the names of the analyzers being run are used.
+	KnownAnalyzers []string
+	// RootsOnly restricts findings to the packages matched by the load
+	// patterns; dependency packages are still type-checked and analyzed
+	// so their facts flow, but their diagnostics are dropped.
+	RootsOnly bool
+	// FactDebug, when non-nil, receives one line per exported fact after
+	// the run completes.
+	FactDebug io.Writer
+}
+
+// Run type-checks every package of the Program and applies the analyzers,
+// in dependency order and in parallel across packages: a package starts
+// as soon as all its in-module imports have finished, so facts exported
+// while analyzing a dependency are always visible to its dependents, and
+// independent subtrees of the import graph proceed concurrently.
+//
+// The returned error reports broken tooling — a type-check failure or a
+// panicking/failing analyzer — as distinct from findings, so drivers can
+// exit 2 rather than 1 (see cmd/iddqlint).
+func (prog *Program) Run(analyzers []*Analyzer, opts Options) ([]Finding, error) {
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	known := map[string]bool{}
+	for _, n := range opts.KnownAnalyzers {
+		known[n] = true
+	}
+	if len(known) == 0 {
 		for _, a := range analyzers {
-			var diags []Diagnostic
-			pass := &Pass{
-				Analyzer: a,
-				Pkg:      pkg,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Report:   func(d Diagnostic) { diags = append(diags, d) },
-			}
-			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range diags {
-				pos := pkg.Fset.Position(d.Pos)
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				if names := ignored[key]; names[a.Name] || names["*"] {
-					continue
+			known[a.Name] = true
+		}
+	}
+	facts := newFactStore()
+
+	rootSet := map[*Package]bool{}
+	for _, pkg := range prog.Roots {
+		rootSet[pkg] = true
+	}
+
+	var (
+		mu       sync.Mutex
+		findings []Finding
+		failures []error
+	)
+
+	// Dependency-counting scheduler: a package becomes ready when every
+	// in-module import is done; `parallel` workers drain the ready queue.
+	waiting := map[*Package]int{}
+	dependents := map[*Package][]*Package{}
+	ready := make(chan *Package, len(prog.Packages))
+	for _, pkg := range prog.Packages {
+		waiting[pkg] = len(pkg.Imports)
+		for _, dep := range pkg.Imports {
+			dependents[dep] = append(dependents[dep], pkg)
+		}
+		if len(pkg.Imports) == 0 {
+			ready <- pkg
+		}
+	}
+	done := make(chan *Package, len(prog.Packages))
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkg := range ready {
+				fs, errs := prog.runPackage(pkg, analyzers, opts, known, facts)
+				mu.Lock()
+				if opts.RootsOnly && !rootSet[pkg] {
+					fs = nil
 				}
-				findings = append(findings, Finding{
-					Position: pos,
-					Analyzer: a.Name,
-					Message:  d.Message,
-				})
+				findings = append(findings, fs...)
+				if len(errs) > 0 {
+					failures = append(failures, errs...)
+				}
+				mu.Unlock()
+				done <- pkg
+			}
+		}()
+	}
+
+	for finished := 0; finished < len(prog.Packages); finished++ {
+		pkg := <-done
+		for _, dep := range dependents[pkg] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				ready <- dep
 			}
 		}
 	}
+	close(ready)
+	wg.Wait()
+
+	if opts.FactDebug != nil {
+		for _, line := range facts.dump() {
+			fmt.Fprintln(opts.FactDebug, line)
+		}
+	}
+	if len(failures) > 0 {
+		msgs := make([]string, len(failures))
+		for i, e := range failures {
+			msgs[i] = e.Error()
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("%s", strings.Join(msgs, "\n"))
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// runPackage type-checks one package and applies every applicable
+// analyzer, resolving ignore directives. Returned errors are tooling
+// failures, not findings.
+func (prog *Program) runPackage(pkg *Package, analyzers []*Analyzer, opts Options,
+	known map[string]bool, facts *factStore) ([]Finding, []error) {
+
+	// A dependency that failed to type-check poisons this package too;
+	// stay quiet about it (the root cause is already reported).
+	for _, dep := range pkg.Imports {
+		if dep.Types == nil {
+			return nil, nil
+		}
+	}
+	if err := prog.typeCheck(pkg); err != nil {
+		return nil, []error{err}
+	}
+
+	directives := collectDirectives(pkg)
+	ran := map[string]bool{}
+	var findings []Finding
+	for _, a := range analyzers {
+		if opts.Applies != nil && !opts.Applies(a, pkg.Path) {
+			continue
+		}
+		ran[a.Name] = true
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Pkg:       pkg,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			TypesPkg:  pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			facts:     facts,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, []error{fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)}
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if suppressed(directives, a.Name, pos) {
+				continue
+			}
+			findings = append(findings, Finding{Position: pos, Analyzer: a.Name, Message: d.Message})
+		}
+	}
+	findings = append(findings, directiveFindings(directives, known, ran)...)
+	return findings, nil
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos     token.Position
+	name    string // analyzer named by the directive ("" if malformed)
+	reason  string
+	inTest  bool
+	used    bool
+	malform bool
+}
+
+// collectDirectives parses every lint:ignore comment in the package.
+func collectDirectives(pkg *Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		fileName := pkg.Fset.Position(f.Pos()).Filename
+		inTest := strings.HasSuffix(fileName, "_test.go")
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos()), inTest: inTest}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					d.malform = true
+				} else {
+					d.name = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic of the named analyzer at pos is
+// covered by a directive (exact analyzer-name match, on the same line or
+// the line above), marking every covering directive used.
+func suppressed(directives []*directive, analyzer string, pos token.Position) bool {
+	hit := false
+	for _, d := range directives {
+		if d.malform || d.name != analyzer || d.pos.Filename != pos.Filename {
+			continue
+		}
+		if d.pos.Line == pos.Line || d.pos.Line == pos.Line-1 {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// directiveFindings reports directive hygiene violations: malformed
+// directives, directives naming an analyzer that does not exist, and
+// directives that suppressed nothing even though their analyzer ran.
+// Directives naming a real analyzer that was not run here (disabled, or
+// scoped away by Applies) are left alone. Test files never produce
+// analyzer findings, so unused directives there are skipped too.
+func directiveFindings(directives []*directive, known, ran map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range directives {
+		switch {
+		case d.malform:
+			out = append(out, Finding{Position: d.pos, Analyzer: DirectiveAnalyzer,
+				Message: "malformed ignore directive: want //lint:ignore <analyzer> <reason>"})
+		case !known[d.name]:
+			out = append(out, Finding{Position: d.pos, Analyzer: DirectiveAnalyzer,
+				Message: fmt.Sprintf("ignore directive names unknown analyzer %q (see iddqlint -list); the exact name is required", d.name)})
+		case !d.used && ran[d.name] && !d.inTest:
+			out = append(out, Finding{Position: d.pos, Analyzer: DirectiveAnalyzer,
+				Message: fmt.Sprintf("unused ignore directive: %s reports nothing here; remove the directive", d.name)})
+		}
+	}
+	return out
+}
+
+// sortFindings orders findings by file position, then analyzer.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Position, findings[j].Position
 		if a.Filename != b.Filename {
@@ -62,47 +297,4 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 		}
 		return findings[i].Analyzer < findings[j].Analyzer
 	})
-	return findings, nil
-}
-
-// ignoreLines collects, per "file:line" key, the analyzer names suppressed
-// there by lint:ignore directives. A directive suppresses its own line and
-// the following line, so both trailing comments and own-line comments
-// above the flagged statement work.
-func ignoreLines(pkg *Package) map[string]map[string]bool {
-	out := map[string]map[string]bool{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, IgnoreDirective)
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					continue // no reason given: directive does not apply
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					if out[key] == nil {
-						out[key] = map[string]bool{}
-					}
-					out[key][fields[0]] = true
-				}
-			}
-		}
-	}
-	return out
-}
-
-// Inspect walks every node of every non-nil file in depth-first order,
-// calling fn; fn returning false prunes the subtree. It mirrors
-// ast.Inspect over a whole pass.
-func Inspect(files []*ast.File, fn func(ast.Node) bool) {
-	for _, f := range files {
-		ast.Inspect(f, fn)
-	}
 }

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output (the OASIS Static Analysis Results Interchange
+// Format), the shape GitHub code scanning ingests. Only the required
+// subset is emitted: one run, one tool driver with a rule per analyzer,
+// and one result per finding with a physical location. File URIs are
+// emitted relative to the module root so the log is stable across
+// machines and usable with SARIF's uriBaseId convention.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Version        string      `json:"version,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	FullDescription  sarifMessage `json:"fullDescription,omitempty"`
+	DefaultConfig    *sarifConfig `json:"defaultConfiguration,omitempty"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. analyzers supplies
+// the rule metadata (every finding's analyzer should be listed; the
+// framework's own "lintdirective" rule is added automatically); root,
+// when non-empty, makes file URIs relative to it.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, toolVersion, root string) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := map[string]int{}
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: firstSentence(doc)},
+			FullDescription:  sarifMessage{Text: doc},
+			DefaultConfig:    &sarifConfig{Level: "error"},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule(DirectiveAnalyzer,
+		"lint:ignore directive hygiene: directives must name a real analyzer exactly and must suppress a live finding")
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		ri, ok := index[f.Analyzer]
+		if !ok {
+			addRule(f.Analyzer, f.Analyzer)
+			ri = index[f.Analyzer]
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relURI(root, f.Position.Filename)},
+					Region:           sarifRegion{StartLine: f.Position.Line, StartColumn: f.Position.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "iddqlint",
+				InformationURI: "https://example.com/iddqsyn/cmd/iddqlint",
+				Version:        toolVersion,
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relURI renders path relative to root with forward slashes, falling
+// back to the path itself when it is not under root.
+func relURI(root, path string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(path)
+}
+
+// firstSentence trims doc to its first sentence-ish fragment for the
+// short description.
+func firstSentence(doc string) string {
+	doc = strings.TrimSpace(doc)
+	if i := strings.IndexAny(doc, ";.\n"); i > 0 {
+		return doc[:i]
+	}
+	return doc
+}

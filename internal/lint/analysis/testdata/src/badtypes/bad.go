@@ -1,0 +1,5 @@
+// Package badtypes fails to type-check: drivers must report this as a
+// tooling failure (exit 2), not as findings.
+package badtypes
+
+func f() int { return undefinedIdent() }

@@ -1,0 +1,4 @@
+// Package base is the leaf of the fact-flow chain.
+package base
+
+func Leaf() int { return 1 }

@@ -1,0 +1,6 @@
+// Package mid depends on base.
+package mid
+
+import "chain/base"
+
+func Mid() int { return base.Leaf() + 1 }

@@ -1,0 +1,6 @@
+// Package top depends on mid (and, transitively, base).
+package top
+
+import "chain/mid"
+
+func Top() int { return mid.Mid() + 1 }

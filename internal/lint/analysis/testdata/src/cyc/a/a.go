@@ -1,0 +1,6 @@
+// Package a participates in an import cycle with b.
+package a
+
+import "cyc/b"
+
+func A() int { return b.B() }

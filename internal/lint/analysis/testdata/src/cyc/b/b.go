@@ -1,0 +1,6 @@
+// Package b participates in an import cycle with a.
+package b
+
+import "cyc/a"
+
+func B() int { return a.A() }

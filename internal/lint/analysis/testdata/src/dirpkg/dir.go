@@ -1,0 +1,23 @@
+// Package dirpkg exercises ignore-directive hygiene against the test
+// analyzer "flagme", which reports every function whose name starts with
+// "Bad".
+package dirpkg
+
+//lint:ignore flagme demonstration suppression
+func BadSuppressed() {}
+
+func BadLive() {}
+
+func BadSameLine() {} //lint:ignore flagme same-line suppression
+
+//lint:ignore flagme nothing to suppress here
+func Fine() {}
+
+//lint:ignore nosuch analyzer does not exist
+func Fine2() {}
+
+//lint:ignore flagme
+func BadMalformed() {}
+
+//lint:ignore other not running in this suite
+func Fine3() {}

@@ -1,6 +1,6 @@
 // Package analysistest is a miniature clone of
-// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
-// golden package under testdata/src and compares the diagnostics against
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over
+// golden packages under testdata/src and compares the diagnostics against
 // `// want "..."` comments.
 //
 // A want comment expects, on its own line, at least one diagnostic whose
@@ -12,6 +12,14 @@
 // a diagnostic on its line, and every diagnostic must be covered by a
 // want, or the test fails — the golden packages therefore pin both the
 // positives and the non-findings of each analyzer.
+//
+// Golden packages are loaded through the same types-aware Program loader
+// the real driver uses, so they must type-check, may import the standard
+// library, and may import each other by their path under testdata/src —
+// which is how the cross-package fact tests exercise dependency-order
+// fact flow: the analyzer runs over the named package's dependencies
+// first (facts exported), then over the named package (facts consumed);
+// wants are checked in the named packages only.
 package analysistest
 
 import (
@@ -26,25 +34,39 @@ import (
 
 var wantRE = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 
-// Run loads testdata/src/<pkg> for every named package and checks the
-// analyzer's findings against the want comments.
+// Run loads testdata/src/<pkg> for every named package (plus any testdata
+// packages they import) and checks the analyzer's findings against the
+// want comments in the named packages.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	for _, pkgName := range pkgs {
-		dir := filepath.Join(testdata, "src", pkgName)
-		pkg, err := analysis.LoadDir(dir, pkgName)
-		if err != nil {
-			t.Fatalf("%s: %v", pkgName, err)
-		}
-		if pkg == nil {
-			t.Fatalf("%s: no Go files in %s", pkgName, dir)
-		}
-		findings, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
-		if err != nil {
-			t.Fatalf("%s: %v", pkgName, err)
-		}
-		checkWants(t, pkg, a.Name, findings)
+	RunWithSuite(t, testdata, a, nil, pkgs...)
+}
+
+// RunWithSuite is Run with an explicit "known analyzer names" universe,
+// for goldens that exercise the framework's directive hygiene findings
+// (analyzer "lintdirective"): a directive naming any analyzer in known is
+// legal but possibly unused, one naming anything else is unknown.
+func RunWithSuite(t *testing.T, testdata string, a *analysis.Analyzer, known []string, pkgs ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
 	}
+	prog, err := analysis.Load(analysis.Config{Root: abs, Patterns: pkgs})
+	if err != nil {
+		t.Fatalf("load %v: %v", pkgs, err)
+	}
+	if len(prog.Roots) != len(pkgs) {
+		t.Fatalf("load %v: matched %d packages", pkgs, len(prog.Roots))
+	}
+	findings, err := prog.Run([]*analysis.Analyzer{a}, analysis.Options{
+		RootsOnly:      true,
+		KnownAnalyzers: known,
+	})
+	if err != nil {
+		t.Fatalf("run %s on %v: %v", a.Name, pkgs, err)
+	}
+	checkWants(t, prog, a.Name, findings)
 }
 
 type want struct {
@@ -54,9 +76,9 @@ type want struct {
 	matched bool
 }
 
-func checkWants(t *testing.T, pkg *analysis.Package, analyzer string, findings []analysis.Finding) {
+func checkWants(t *testing.T, prog *analysis.Program, analyzer string, findings []analysis.Finding) {
 	t.Helper()
-	wants := collectWants(t, pkg)
+	wants := collectWants(t, prog)
 	for _, f := range findings {
 		covered := false
 		for _, w := range wants {
@@ -78,30 +100,32 @@ func checkWants(t *testing.T, pkg *analysis.Package, analyzer string, findings [
 	}
 }
 
-func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+func collectWants(t *testing.T, prog *analysis.Program) []*want {
 	t.Helper()
 	var wants []*want
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
-					raw := m[1]
-					var pat string
-					if strings.HasPrefix(raw, "`") {
-						pat = strings.Trim(raw, "`")
-					} else {
-						var err error
-						pat, err = strconv.Unquote(raw)
-						if err != nil {
-							t.Fatalf("bad want comment %q: %v", c.Text, err)
+	for _, pkg := range prog.Roots {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						raw := m[1]
+						var pat string
+						if strings.HasPrefix(raw, "`") {
+							pat = strings.Trim(raw, "`")
+						} else {
+							var err error
+							pat, err = strconv.Unquote(raw)
+							if err != nil {
+								t.Fatalf("bad want comment %q: %v", c.Text, err)
+							}
 						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", pat, err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("bad want pattern %q: %v", pat, err)
-					}
-					pos := pkg.Fset.Position(c.Pos())
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
 				}
 			}
 		}

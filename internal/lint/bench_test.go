@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"iddqsyn/internal/lint"
+	"iddqsyn/internal/lint/analysis"
+)
+
+// BenchmarkLintRepo times a full lint of this repository — load,
+// type-check, and the complete analyzer suite — which is what every CI
+// run and pre-commit hook pays. CI holds the wall-clock for one pass
+// under 30s (scripts/check.sh); this benchmark is how a regression in
+// the loader or an analyzer shows up locally before tripping that gate.
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, err := analysis.LoadModule("../..", []string{"./..."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		findings, err := prog.Run(lint.Analyzers(), analysis.Options{
+			Applies:        lint.Applies,
+			KnownAnalyzers: lint.Names(),
+			RootsOnly:      true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) > 0 {
+			b.Fatalf("repo should lint clean, got %d findings (first: %s)", len(findings), findings[0])
+		}
+	}
+}

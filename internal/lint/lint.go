@@ -16,13 +16,25 @@
 //   - renameatomic: files are published with the shared fsx atomic-write
 //     helper (temp file + fsync + rename + directory fsync), never with a
 //     bare os.Rename that silently skips the fsyncs.
+//   - determtaint: types-aware taint analysis; nondeterministic values
+//     (wall clock, process identity, global rand, map iteration order,
+//     select races) must not flow into the seeded optimizer path or into
+//     checkpoint bytes. Taint facts cross package boundaries.
+//   - errwrapcheck: errors passed to fmt.Errorf use %w, never %v/%s/%q,
+//     so sentinel errors survive wrapping for errors.Is/As.
+//   - mutexguard: fields annotated `// guarded by mu` are only accessed
+//     by functions that lock mu (or are named *Locked).
 //
-// The analyzers are syntactic (no type information), which keeps the suite
-// dependency-free; each one documents the approximations that follow from
-// that. A finding can be suppressed with a reasoned directive on or above
-// the flagged line:
+// The suite runs on a whole-program type-checked view (see the analysis
+// package): packages are loaded and type-checked once, analyzers run in
+// dependency order in parallel across packages, and facts exported while
+// analyzing a dependency are visible to its dependents. A finding can be
+// suppressed with a reasoned directive on or above the flagged line:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// The analyzer name must match exactly, and a directive that suppresses
+// nothing is itself reported, so stale exemptions cannot linger.
 package lint
 
 import (
@@ -35,7 +47,21 @@ import (
 
 // Analyzers returns the full iddqlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck, RenameAtomic}
+	return []*analysis.Analyzer{
+		NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck, RenameAtomic,
+		DetermTaint, ErrWrapCheck, MutexGuard,
+	}
+}
+
+// Names returns the analyzer names in suite order, plus the framework's
+// directive-hygiene pseudo-analyzer — the full universe a lint:ignore
+// directive may legally name.
+func Names() []string {
+	names := make([]string, 0, len(Analyzers())+1)
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return append(names, analysis.DirectiveAnalyzer)
 }
 
 // ByName resolves one analyzer by name.

@@ -27,6 +27,21 @@ func TestRenameAtomic(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.RenameAtomic, "renameatomic")
 }
 
+// TestDetermTaint covers the determinism-scope package (base name
+// "evolution", with cross-package facts from clocksrc and the obs
+// exemption) and the *rand.Rand-parameter contract (package atpglike).
+func TestDetermTaint(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.DetermTaint, "determtaint/evolution", "atpglike")
+}
+
+func TestErrWrapCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ErrWrapCheck, "errwrapcheck")
+}
+
+func TestMutexGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MutexGuard, "mutexguard")
+}
+
 func TestApplies(t *testing.T) {
 	cases := []struct {
 		analyzer string
@@ -59,7 +74,11 @@ func TestByNameUnknown(t *testing.T) {
 	if _, ok := lint.ByName("nosuch"); ok {
 		t.Fatal("ByName(nosuch) succeeded")
 	}
-	if len(lint.Analyzers()) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(lint.Analyzers()))
+	if len(lint.Analyzers()) != 8 {
+		t.Fatalf("expected 8 analyzers, got %d", len(lint.Analyzers()))
+	}
+	names := lint.Names()
+	if len(names) != 9 || names[len(names)-1] != "lintdirective" {
+		t.Fatalf("Names() = %v, want 8 analyzers plus lintdirective", names)
 	}
 }

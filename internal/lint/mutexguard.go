@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// MutexGuard checks "guarded by" annotations: a struct field or package
+// variable declared with a comment
+//
+//	count int // guarded by mu
+//
+// may only be accessed from a function that (somewhere in its body) locks
+// that mutex — a call to <...>.mu.Lock() or <...>.mu.RLock(), or mu.Lock()
+// for a package-level mutex — or that visibly opts out of locking:
+//
+//   - functions whose name ends in "Locked" (the caller-holds-the-lock
+//     naming convention);
+//   - accesses whose receiver is a local variable declared in the same
+//     function (a freshly built value not yet shared).
+//
+// The check is per-function, not path-sensitive: holding the lock
+// anywhere in the function is accepted. That is deliberately coarse — the
+// analyzer's job is to catch fields that grew a new access site in a
+// function that never touches the mutex at all, the mistake the race
+// detector only finds when a test happens to interleave.
+var MutexGuard = &analysis.Analyzer{
+	Name: "mutexguard",
+	Doc: "fields and variables annotated `// guarded by mu` must only be accessed by functions " +
+		"that lock mu (or are named *Locked); catches unsynchronized access sites statically",
+	Run: runMutexGuard,
+}
+
+// guardedByRE anchors the annotation to the start of a comment line (or
+// the start of a sentence), so prose that merely *mentions* the
+// convention — like this analyzer's own doc comment — does not register
+// as an annotation.
+var guardedByRE = regexp.MustCompile(`(?m)(?:^|\. )guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runMutexGuard(pass *analysis.Pass) (interface{}, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Pkg.CheckedFiles {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, guards, fd)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards maps guarded objects (struct fields and package-level
+// variables) to the name of their guarding mutex.
+func collectGuards(pass *analysis.Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, f := range pass.Pkg.CheckedFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.StructType:
+				for _, field := range nn.Fields.List {
+					guard := guardAnnotation(field.Doc, field.Comment)
+					if guard == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							guards[obj] = guard
+						}
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range nn.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					guard := guardAnnotation(vs.Doc, vs.Comment)
+					if guard == "" && len(nn.Specs) == 1 {
+						guard = guardAnnotation(nn.Doc, nil)
+					}
+					if guard == "" {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if v, ok := obj.(*types.Var); ok && v.Parent() == pass.TypesPkg.Scope() {
+							guards[obj] = guard
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(g.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses reports guarded-object accesses inside one
+// function that holds none of the required mutexes.
+func checkGuardedAccesses(pass *analysis.Pass, guards map[types.Object]string, fd *ast.FuncDecl) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	locked := lockedMutexes(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[nn.Sel]
+			if obj == nil {
+				return true
+			}
+			guard, ok := guards[obj]
+			if !ok || locked[guard] {
+				return true
+			}
+			if localReceiver(pass, fd, nn.X) {
+				return true
+			}
+			pass.Reportf(nn.Sel.Pos(),
+				"%q is guarded by %q (see its declaration) but this function never locks it; "+
+					"acquire %s.Lock/RLock or use a *Locked accessor", obj.Name(), guard, guard)
+			return true
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[nn]
+			if obj == nil {
+				return true
+			}
+			if guard, ok := guards[obj]; ok && !locked[guard] {
+				// Package-level guarded variable accessed bare.
+				if v, isVar := obj.(*types.Var); isVar && !v.IsField() {
+					pass.Reportf(nn.Pos(),
+						"%q is guarded by %q (see its declaration) but this function never locks it; "+
+							"acquire %s.Lock/RLock or use a *Locked accessor", obj.Name(), guard, guard)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockedMutexes collects the names of mutexes this function locks
+// anywhere in its body: calls of the form <path>.mu.Lock(), mu.Lock(),
+// and their RLock variants (including deferred ones).
+func lockedMutexes(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch base := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			locked[base.Name] = true
+		case *ast.SelectorExpr:
+			locked[base.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// localReceiver reports whether the access base bottoms out in a local
+// variable declared inside this function (excluding parameters and
+// receivers): a value still private to the constructor that built it.
+func localReceiver(pass *analysis.Pass, fd *ast.FuncDecl, base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Declared inside the body (not in the signature)?
+	return obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+}

@@ -1,0 +1,35 @@
+// Package atpglike is outside the determinism-scope package list, but
+// functions taking a *math/rand.Rand parameter join the seeded optimizer
+// path by contract — accepting the injected stream is the API signal.
+package atpglike
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Generate takes the seeded stream, so wall-clock reads inside it are
+// contract violations.
+func Generate(rng *rand.Rand, n int) []int {
+	out := make([]int, 0, n)
+	if time.Now().UnixNano()%2 == 0 { // want `time\.Now`
+		out = append(out, 0)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, rng.Intn(n)) // injected stream: fine
+	}
+	return out
+}
+
+// Helper has no rand parameter and the package is out of scope: no
+// report here, but the taint fact is still exported for callers.
+func Helper() int64 {
+	return time.Now().UnixNano()
+}
+
+// Shuffle consumes the tainted helper while holding the seeded stream.
+func Shuffle(rng *rand.Rand, xs []int) {
+	off := Helper() // tainted, but absorbed into a local...
+	_ = off
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,27 @@
+// Package clocksrc is a dependency package for the determtaint
+// cross-package fact test: it is outside the determinism scope (nothing
+// is reported here), but its nondeterministic functions export
+// TaintedFacts that the evolution golden package consumes.
+package clocksrc
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp derives its result from the wall clock: callers on the seeded
+// optimizer path are flagged via the exported fact.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// RunID mixes in the process id — same story.
+func RunID() int64 { return int64(os.Getpid()) }
+
+// Fixed is deterministic; calling it is always fine.
+func Fixed() int64 { return 42 }
+
+// chained propagates taint through an intra-package call chain before the
+// fact crosses the package boundary.
+func chained() int64 { return Stamp() + 1 }
+
+// Chained2 is the exported head of the chain.
+func Chained2() int64 { return chained() }

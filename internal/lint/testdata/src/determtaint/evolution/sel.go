@@ -1,0 +1,46 @@
+package evolution
+
+import "context"
+
+// pickWinner races two result channels: whichever is ready first (or a
+// uniform coin flip when both are) decides — nondeterministic.
+func pickWinner(a, b chan int) int {
+	select { // want `2 competing communications`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// waitOne is the blessed pattern: one real communication plus a
+// cancellation check.
+func waitOne(ctx context.Context, c chan int) (int, bool) {
+	select {
+	case <-ctx.Done():
+		return 0, false
+	case v := <-c:
+		return v, true
+	}
+}
+
+// drainOrStop with a bare done channel is also fine.
+func drainOrStop(done chan struct{}, c chan int) int {
+	select {
+	case <-done:
+		return 0
+	case v := <-c:
+		return v
+	}
+}
+
+// pollOne with a default case is deterministic enough (single
+// communication, non-blocking): silent.
+func pollOne(c chan int) (int, bool) {
+	select {
+	case v := <-c:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,75 @@
+// Package errwrapcheck pins the %w wrapping policy: an error formatted
+// into a new error with %v/%s/%q disappears from errors.Is/As.
+package errwrapcheck
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrap: " + w.inner.Error() }
+
+func bad(err error) error {
+	return fmt.Errorf("load config: %v", err) // want `error formatted with %v.*use %w`
+}
+
+func badS(err error) error {
+	return fmt.Errorf("load: %s", err) // want `error formatted with %s`
+}
+
+func badQ(err error) error {
+	return fmt.Errorf("load: %q", err) // want `error formatted with %q`
+}
+
+func badMixed(path string, err error) error {
+	return fmt.Errorf("read %q: %v", path, err) // want `error formatted with %v`
+}
+
+func badConcrete(w *wrapErr) error {
+	return fmt.Errorf("outer: %v", w) // want `use %w`
+}
+
+func badSentinel() error {
+	return fmt.Errorf("during sweep: %v", errSentinel) // want `use %w`
+}
+
+func good(err error) error {
+	return fmt.Errorf("load config: %w", err)
+}
+
+func goodTwo(path string, err error) error {
+	return fmt.Errorf("read %q: %w", path, err)
+}
+
+func goodType(err error) error {
+	return fmt.Errorf("unexpected error type %T", err)
+}
+
+func goodNonError(name string, n int) error {
+	return fmt.Errorf("no module %q (%d known)", name, n)
+}
+
+func goodDynamic(format string, err error) error {
+	return fmt.Errorf(format, err) // non-constant format: not checked
+}
+
+func goodIndexed(err error) error {
+	return fmt.Errorf("%[1]v", err) // explicit index: not checked
+}
+
+func goodWidth(x float64, err error) error {
+	return fmt.Errorf("x=%6.2f: %w", x, err)
+}
+
+func goodStarWidth(w int, x float64, err error) error {
+	return fmt.Errorf("x=%*f: %w", w, x, err)
+}
+
+func ignored(err error) error {
+	//lint:ignore errwrapcheck chain deliberately severed at the API boundary
+	return fmt.Errorf("opaque failure: %v", err)
+}

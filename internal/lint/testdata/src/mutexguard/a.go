@@ -1,0 +1,78 @@
+// Package mutexguard pins the `// guarded by mu` annotation check.
+package mutexguard
+
+import "sync"
+
+type counter struct {
+	mu        sync.Mutex
+	n         int // guarded by mu
+	last      int // guarded by mu
+	unguarded int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.last = c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `"n" is guarded by "mu"`
+}
+
+func (c *counter) BadWrite(v int) {
+	c.last = v // want `"last" is guarded by "mu"`
+}
+
+// readLocked follows the caller-holds-the-lock naming convention.
+func (c *counter) readLocked() int {
+	return c.n
+}
+
+func (c *counter) Free() int {
+	return c.unguarded
+}
+
+// newCounter touches guarded fields of a value it just built: fine.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// rlockRead holds the read lock — RLock counts.
+type gauge struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+func (g *gauge) Load() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *gauge) LoadBad() float64 {
+	return g.v // want `"v" is guarded by "mu"`
+}
+
+var regMu sync.Mutex
+
+// registry of named counters. guarded by regMu
+var registry = map[string]*counter{}
+
+func register(name string, c *counter) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = c
+}
+
+func lookupBad(name string) *counter {
+	return registry[name] // want `"registry" is guarded by "regMu"`
+}
+
+func ignoredLookup(name string) *counter {
+	//lint:ignore mutexguard snapshot read is racy by design here
+	return registry[name]
+}

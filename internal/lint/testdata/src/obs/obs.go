@@ -1,0 +1,20 @@
+// Package obs is a miniature stand-in for the real internal/obs: its base
+// name is "obs", which makes it an observation-exempt package for
+// determtaint — values it consumes or produces never feed optimization.
+package obs
+
+import "time"
+
+type Histogram struct{ n int }
+
+func (h *Histogram) Observe(v float64)         { h.n++ }
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+func (h *Histogram) Count() int                { return h.n }
+
+type Logger struct{}
+
+func (l *Logger) Info(msg string, kv ...interface{}) {}
+
+// StartedAt returns a wall-clock value; determtaint must treat it as
+// clean for callers because it comes from an observation package.
+func StartedAt() time.Time { return time.Now() }

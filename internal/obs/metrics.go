@@ -160,9 +160,9 @@ func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 4, 14) }
 // a nil receiver (returning nil metrics whose methods are no-ops).
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

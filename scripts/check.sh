@@ -16,8 +16,8 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
-echo "== iddqlint ./..."
-go run ./cmd/iddqlint ./...
+echo "== iddqlint -baseline lint.baseline ./..."
+go run ./cmd/iddqlint -baseline lint.baseline ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 echo "== chaos soak (go test -run TestChaosSoak ./internal/chaos/)"
