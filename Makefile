@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint lint-baseline race chaos fuzz-isc fuzz-ckpt bench obs-demo clean
+.PHONY: check build test vet lint lint-baseline race chaos fuzz-isc fuzz-ckpt fuzz-jobspec bench bench-json obs-demo serve-demo serve-soak clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
@@ -52,8 +52,29 @@ fuzz-isc:
 fuzz-ckpt:
 	$(GO) test ./internal/evolution/ -fuzz FuzzCheckpointRoundTrip -fuzztime 30s
 
+# Fuzz the serving layer's job-spec parser (named errors, never panics).
+fuzz-jobspec:
+	$(GO) test ./internal/serve/ -fuzz FuzzJobSpec -fuzztime 30s
+
+# Serving-layer quick-start: boot iddqserve, submit c432 as raw bench
+# text and as a JSON spec (content-cache hit), stream SSE progress,
+# print the report, shut down gracefully.
+serve-demo:
+	sh scripts/serve_demo.sh
+
+# Serving-layer soak: the process-level SIGKILL/restart bit-identity
+# test, then a race-enabled smoke boot under concurrent client load
+# with the /metricz snapshot saved (SOAK_OUT overrides; CI uploads it).
+serve-soak:
+	sh scripts/serve_soak.sh
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The committed perf trajectory: BenchmarkEvolve + BenchmarkServeSubmit
+# rendered to BENCH_<n>.json (BENCH_PR / BENCH_OUT override).
+bench-json:
+	sh scripts/bench.sh
 
 clean:
 	$(GO) clean ./...

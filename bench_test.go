@@ -129,6 +129,11 @@ func benchmarkConvergence(b *testing.B, circuit string) {
 	b.ReportMetric(float64(evals), "evaluations")
 }
 
+// BenchmarkEvolve is the canonical optimizer figure for the committed
+// perf trajectory (BENCH_<n>.json via scripts/bench.sh): one full c432
+// evolution to convergence per iteration.
+func BenchmarkEvolve(b *testing.B) { benchmarkConvergence(b, "c432") }
+
 func BenchmarkEvolutionConvergence_C432(b *testing.B)  { benchmarkConvergence(b, "c432") }
 func BenchmarkEvolutionConvergence_C880(b *testing.B)  { benchmarkConvergence(b, "c880") }
 func BenchmarkEvolutionConvergence_C1908(b *testing.B) { benchmarkConvergence(b, "c1908") }

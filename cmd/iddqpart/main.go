@@ -44,10 +44,16 @@
 // Long evolution runs are fully run-controlled: a SIGINT or SIGTERM (or
 // an expired -timeout) stops the optimizer at the next generation
 // boundary, persists a checkpoint if -checkpoint is set, and prints the
-// best-so-far design with exit status 0 — a second signal hard-exits.
-// `iddqpart -resume run.ckpt` continues a checkpointed run and, by the
-// determinism of the seeded evolution strategy, finishes with exactly the
-// result the uninterrupted run would have produced.
+// best-so-far design — a second signal hard-exits. `iddqpart -resume
+// run.ckpt` continues a checkpointed run and, by the determinism of the
+// seeded evolution strategy, finishes with exactly the result the
+// uninterrupted run would have produced.
+//
+// Exit status (the runctl contract, shared with iddqstudy and
+// iddqserve): 0 converged, 1 generic failure, 2 usage error, 3 -timeout
+// expired (best-so-far design reported), 4 stopped by the first
+// SIGINT/SIGTERM (best-so-far design reported), 5 named optimizer
+// failure, 130 forced exit on the second signal.
 package main
 
 import (
@@ -71,13 +77,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iddqpart:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run() (retErr error) {
+func run() (code int, retErr error) {
 	method := flag.String("method", "evolution", "partitioning method: evolution or standard")
 	libPath := flag.String("lib", "", "cell library file (default: built-in 1µm CMOS library)")
 	size := flag.Int("size", 0, "module size (0 = estimate from averaged parameters)")
@@ -102,7 +109,7 @@ func run() (retErr error) {
 
 	c, err := readCircuit(flag.Arg(0))
 	if err != nil {
-		return err
+		return runctl.ExitFailure, err
 	}
 
 	opt := core.Options{ModuleSize: *size, Modules: *modules}
@@ -112,17 +119,17 @@ func run() (retErr error) {
 	case "standard":
 		opt.Method = core.MethodStandard
 	default:
-		return fmt.Errorf("unknown method %q", *method)
+		return runctl.ExitUsage, fmt.Errorf("unknown method %q", *method)
 	}
 	if *libPath != "" {
 		f, err := os.Open(*libPath)
 		if err != nil {
-			return err
+			return runctl.ExitFailure, err
 		}
 		lib, err := celllib.ReadLibrary(f)
 		_ = f.Close() // read-only; a close error cannot corrupt anything
 		if err != nil {
-			return err
+			return runctl.ExitFailure, err
 		}
 		opt.Library = lib
 	}
@@ -144,7 +151,7 @@ func run() (retErr error) {
 	if *resume != "" {
 		ck, err := evolution.LoadCheckpoint(*resume)
 		if err != nil {
-			return err
+			return runctl.ExitFailure, err
 		}
 		opt.Resume = ck
 		if ckpt == "" {
@@ -155,7 +162,7 @@ func run() (retErr error) {
 		opt.Control = &evolution.Control{CheckpointPath: ckpt, CheckpointEvery: *ckptEvery}
 	}
 	if opt.Method != core.MethodEvolution && (ckpt != "" || opt.Resume != nil) {
-		return fmt.Errorf("-checkpoint/-resume apply to -method evolution only")
+		return runctl.ExitUsage, fmt.Errorf("-checkpoint/-resume apply to -method evolution only")
 	}
 
 	// Observability: structured run log, live debug server, -metrics
@@ -163,11 +170,12 @@ func run() (retErr error) {
 	// interrupted run is exactly the evidence worth keeping.
 	orun, err := oc.Start(os.Stderr)
 	if err != nil {
-		return err
+		return runctl.ExitFailure, err
 	}
 	defer func() {
 		if ferr := orun.Finish(c.Name); ferr != nil && retErr == nil {
 			retErr = ferr
+			code = runctl.ExitFailure
 		}
 	}()
 	opt.Obs = orun.Obs
@@ -179,7 +187,7 @@ func run() (retErr error) {
 	if *chaosSpec != "" {
 		sched, err := chaos.ParseSchedule(*chaosSpec)
 		if err != nil {
-			return err
+			return runctl.ExitUsage, err
 		}
 		inj := chaos.New(sched, orun.Obs)
 		opt.Chaos = inj
@@ -198,7 +206,10 @@ func run() (retErr error) {
 
 	res, err := core.SynthesizeContext(ctx, c, opt)
 	if err != nil {
-		return err
+		// The documented exit-code contract: a failure provoked by the
+		// -timeout deadline or a delivered signal classifies as that
+		// controlled stop; anything else is a named optimizer failure.
+		return runctl.ExitCode(err, context.Cause(ctx)), err
 	}
 	stop()
 	if res.Degraded {
@@ -218,10 +229,16 @@ func run() (retErr error) {
 		r := partcheck.VerifyPartition(res.Partition, partcheck.Feasibility(*disc))
 		fmt.Fprintln(os.Stderr, r)
 		if err := r.Err(); err != nil {
-			return err
+			return runctl.ExitFailure, err
 		}
 	}
-	return nil
+	if ev := res.Evolution; ev != nil && ev.Interrupted {
+		// Best-so-far result reported, but the run was cut short: exit
+		// with the documented timeout/interrupt status so callers can
+		// tell a stopped run from a converged one.
+		return runctl.ExitCode(nil, context.Cause(ctx)), nil
+	}
+	return runctl.ExitOK, nil
 }
 
 func readCircuit(path string) (*circuit.Circuit, error) {

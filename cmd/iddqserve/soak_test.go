@@ -1,0 +1,333 @@
+package main
+
+// Process-level soak: SIGKILL the server mid-job under an armed chaos
+// schedule, restart it over the same data directory, and require the
+// journal replay + checkpoint resume to finish the job bit-identically
+// to a run that was never interrupted. This is the end-to-end proof of
+// the durability contract — the in-process variant lives in
+// internal/serve; this one goes through a real binary, real signals,
+// and a real filesystem.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"iddqsyn/internal/runctl"
+)
+
+// soakChaos delays evolution workers without touching their RNG
+// streams, so it stretches the kill window while preserving the
+// bit-identity the test asserts.
+const soakChaos = "seed=1,rate=0.5,delay=3ms,sites=evolution.worker.delay"
+
+var (
+	buildOnce sync.Once
+	serveBin  string
+	buildErr  error
+)
+
+// buildServe compiles the iddqserve binary once per test run.
+func buildServe(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "iddqserve-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		serveBin = filepath.Join(dir, "iddqserve")
+		out, err := exec.Command("go", "build", "-o", serveBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return serveBin
+}
+
+// proc is one running iddqserve process plus the address it bound.
+type proc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+}
+
+// startServe launches the binary and waits for its "listening on" line.
+func startServe(t *testing.T, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(buildServe(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, stderr: &stderr}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_, _ = p.cmd.Process.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(time.Minute)
+	got := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on ") {
+				got <- strings.Fields(line)[3]
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+		close(got)
+	}()
+	select {
+	case addr, ok := <-got:
+		if !ok {
+			t.Fatalf("server exited before announcing its address; stderr:\n%s", stderr.String())
+		}
+		p.addr = addr
+	case <-deadline:
+		t.Fatalf("no listening line within a minute; stderr:\n%s", stderr.String())
+	}
+	return p
+}
+
+func (p *proc) url(path string) string { return "http://" + p.addr + path }
+
+// getJSON decodes a GET response into out, returning the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// waitHealthy polls /healthz until the admission gate opens.
+func waitHealthy(t *testing.T, p *proc) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.url("/healthz"))
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never became healthy; stderr:\n%s", p.addr, p.stderr.String())
+}
+
+// soakSpec is the job every soak process runs: c432 is big enough that
+// the kill window (generation >= 10 of 120) is easy to hit under the
+// delay schedule.
+func soakSpec(t *testing.T) []byte {
+	t.Helper()
+	netlist, err := os.ReadFile(filepath.Join("..", "..", "benchmarks", "c432.bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"netlist":     string(netlist),
+		"name":        "soak-c432",
+		"module_size": 40,
+		"generations": 120,
+		"seed":        3,
+		"timeout":     "5m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// submit posts the spec and returns the job ID.
+func submit(t *testing.T, p *proc, body []byte) string {
+	t.Helper()
+	resp, err := http.Post(p.url("/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, raw)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+type soakStatus struct {
+	Phase      string `json:"phase"`
+	Generation int    `json:"generation"`
+	Detail     string `json:"detail"`
+}
+
+type soakResult struct {
+	Cost        float64 `json:"cost"`
+	Feasible    bool    `json:"feasible"`
+	Modules     int     `json:"modules"`
+	Generations int     `json:"generations"`
+	Evaluations int     `json:"evaluations"`
+	Degraded    bool    `json:"degraded"`
+	TimedOut    bool    `json:"timed_out"`
+	Report      string  `json:"report"`
+}
+
+// waitPhase polls the job until it reaches phase, failing on "failed".
+func waitPhase(t *testing.T, p *proc, id, phase string, timeout time.Duration) soakStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var st soakStatus
+	for time.Now().Before(deadline) {
+		getJSON(t, p.url("/jobs/"+id), &st)
+		if st.Phase == phase {
+			return st
+		}
+		if st.Phase == "failed" {
+			t.Fatalf("job %s failed: %s", id, st.Detail)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached phase %q (last: %+v); stderr:\n%s", id, phase, st, p.stderr.String())
+	return st
+}
+
+func TestSoakKillRestartBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level soak skipped in -short mode")
+	}
+	spec := soakSpec(t)
+
+	// Reference: an uninterrupted run in a fresh directory, no chaos.
+	ref := startServe(t, "-dir", t.TempDir(), "-workers", "2")
+	waitHealthy(t, ref)
+	refID := submit(t, ref, spec)
+	waitPhase(t, ref, refID, "done", 2*time.Minute)
+	var want soakResult
+	if code := getJSON(t, ref.url("/jobs/"+refID+"/result"), &want); code != http.StatusOK {
+		t.Fatalf("reference result: status %d", code)
+	}
+	if want.Degraded || want.TimedOut || !want.Feasible {
+		t.Fatalf("reference run unhealthy: %+v", want)
+	}
+
+	// Victim: chaos-armed, checkpointing every generation. SIGKILL it
+	// once the job is demonstrably mid-flight.
+	dir := t.TempDir()
+	args := []string{"-dir", dir, "-workers", "2", "-checkpoint-every", "1", "-chaos", soakChaos}
+	p1 := startServe(t, args...)
+	waitHealthy(t, p1)
+	id := submit(t, p1, spec)
+	if id != refID {
+		t.Fatalf("content-addressed IDs diverged: %s vs %s", id, refID)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var st soakStatus
+		getJSON(t, p1.url("/jobs/"+id), &st)
+		if st.Phase == "running" && st.Generation >= 10 {
+			break
+		}
+		if st.Phase == "done" {
+			t.Fatal("job finished before the kill window; slow the chaos schedule down")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached generation 10 (last: %+v); stderr:\n%s", st, p1.stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p1.cmd.Wait()
+
+	// Restart over the same directory: replay must requeue the job and
+	// resume it from its checkpoint.
+	p2 := startServe(t, args...)
+	waitHealthy(t, p2)
+	waitPhase(t, p2, id, "done", 2*time.Minute)
+	var got soakResult
+	if code := getJSON(t, p2.url("/jobs/"+id+"/result"), &got); code != http.StatusOK {
+		t.Fatalf("resumed result: status %d", code)
+	}
+	if got != want {
+		t.Errorf("resumed run is not bit-identical to the uninterrupted run:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	getJSON(t, p2.url("/metricz"), &snap)
+	if snap.Counters["serve.jobs.resumed"] == 0 {
+		t.Errorf("serve.jobs.resumed = 0 after a kill/restart; counters: %v", snap.Counters)
+	}
+
+	// Graceful stop: the first SIGTERM must exit with the shared
+	// interrupted code.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err == nil {
+		t.Fatal("SIGTERM exit reported success; want the interrupted exit code")
+	} else if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != runctl.ExitInterrupted {
+		t.Fatalf("SIGTERM exit: %v (stderr:\n%s)", err, p2.stderr.String())
+	}
+	_ = ref.cmd.Process.Kill()
+}
+
+// TestServeUsageExit pins the usage exit code for stray arguments.
+func TestServeUsageExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the built binary")
+	}
+	err := exec.Command(buildServe(t), "stray").Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != runctl.ExitUsage {
+		t.Fatalf("stray-argument exit: %v, want code %d", err, runctl.ExitUsage)
+	}
+}
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(m.Run())
+}

@@ -23,6 +23,12 @@
 // -timeout) cancels the running optimizers at their next generation
 // boundary — already-computed studies keep their output, the running one
 // completes on its best-so-far state, and the remaining ones are skipped.
+//
+// Exit status (the runctl contract, shared with iddqpart and iddqserve):
+// 0 all studies passed, 1 generic failure, 2 usage error, 3 the -timeout
+// budget expired, 4 stopped by the first SIGINT/SIGTERM, 5 one or more
+// studies failed with a named optimizer error, 130 forced exit on the
+// second signal.
 package main
 
 import (
@@ -59,13 +65,13 @@ func main() {
 		"sweep": true, "yield": true, "scan": true, "delta": true}
 	if !known[*study] {
 		fmt.Fprintf(os.Stderr, "iddqstudy: unknown study %q\n", *study)
-		os.Exit(2)
+		os.Exit(runctl.ExitUsage)
 	}
 
 	orun, err := oc.Start(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iddqstudy:", err)
-		os.Exit(1)
+		os.Exit(runctl.ExitFailure)
 	}
 
 	ctx, cancelTimeout := runctl.WithTimeout(context.Background(), *timeout)
@@ -243,16 +249,28 @@ func main() {
 		return nil
 	})
 
+	obsFailed := false
 	if err := orun.Finish(*circuit); err != nil {
 		fmt.Fprintf(os.Stderr, "iddqstudy: %v\n", err)
-		failed = append(failed, "observability")
+		obsFailed = true
 	}
 	if len(skipped) > 0 {
 		fmt.Fprintf(os.Stderr, "iddqstudy: cancelled before %v could run\n", skipped)
 	}
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "iddqstudy: %d of the requested studies failed: %v\n", len(failed), failed)
-		os.Exit(1)
+	}
+	// The documented exit contract (see runctl): a batch cut short by
+	// the -timeout budget or a signal reports that controlled stop, a
+	// batch with failing studies reports a named optimizer failure, and
+	// only a snapshot-write problem is a generic failure.
+	switch cause := context.Cause(ctx); {
+	case cause != nil:
+		os.Exit(runctl.ExitCode(nil, cause))
+	case len(failed) > 0:
+		os.Exit(runctl.ExitOptimizer)
+	case obsFailed:
+		os.Exit(runctl.ExitFailure)
 	}
 }
 

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 
 	"iddqsyn/internal/lint/analysis"
 )
@@ -16,14 +17,17 @@ import (
 // connection, an expired context) through the Shutdown error, and a
 // dropped one hides that the process exited with requests on the floor.
 //
-// Without type information the check cannot distinguish a writable file
-// from a read-only one, so it flags every bare `x.Close()` / `x.Sync()`
-// expression statement, and `x.Shutdown(...)` with any argument count.
-// Read-side closes where the error is genuinely irrelevant state that
-// explicitly with `_ = f.Close()`; deferred closes are left to the author
-// (the idiomatic read-path `defer f.Close()` is fine, and write paths in
-// this codebase close explicitly before rename) — but a deferred
-// Shutdown is flagged, because its error can never reach a caller.
+// Type information cannot distinguish a writable file from a read-only
+// one, so the check flags every bare `x.Close()` / `x.Sync()` expression
+// statement whose callee actually returns something, and `x.Shutdown(...)`
+// with any argument count. Callees that return no values (a broadcaster's
+// fire-and-forget Close, a queue shutdown) have no error to observe and
+// are skipped. Read-side closes where the error is genuinely irrelevant
+// state that explicitly with `_ = f.Close()`; deferred closes are left to
+// the author (the idiomatic read-path `defer f.Close()` is fine, and
+// write paths in this codebase close explicitly before rename) — but a
+// deferred Shutdown is flagged, because its error can never reach a
+// caller.
 var CloseCheck = &analysis.Analyzer{
 	Name: "closecheck",
 	Doc: "flag Close/Sync/Shutdown calls whose error is silently discarded; " +
@@ -40,7 +44,7 @@ func runCloseCheck(pass *analysis.Pass) (interface{}, error) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch stmt := n.(type) {
 			case *ast.ExprStmt:
-				if sel, ok := discardedCall(stmt.X); ok {
+				if sel, ok := discardedCall(stmt.X); ok && returnsValue(pass, sel) {
 					pass.Reportf(stmt.Pos(),
 						"error from %s() is discarded; check it, or discard explicitly with `_ =` on read-only paths",
 						exprString(sel))
@@ -49,7 +53,8 @@ func runCloseCheck(pass *analysis.Pass) (interface{}, error) {
 				// Only Shutdown: a deferred Close is the idiomatic read
 				// path, but a deferred Shutdown drops the drain error with
 				// no way to observe it.
-				if sel, ok := callSelector(stmt.Call); ok && sel.Sel.Name == "Shutdown" {
+				if sel, ok := callSelector(stmt.Call); ok && sel.Sel.Name == "Shutdown" &&
+					returnsValue(pass, sel) {
 					pass.Reportf(stmt.Pos(),
 						"error from deferred %s() is discarded; shut down explicitly (or in a deferred func) and check the error",
 						exprString(sel))
@@ -80,6 +85,21 @@ func discardedCall(expr ast.Expr) (*ast.SelectorExpr, bool) {
 		return sel, true
 	}
 	return nil, false
+}
+
+// returnsValue reports whether the selected callee returns at least one
+// value. A Close/Shutdown that returns nothing has no error to discard.
+// Missing type info (a broken package under analysis) defaults to true,
+// preserving the analyzer's old syntactic behavior.
+func returnsValue(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if pass.TypesInfo == nil {
+		return true
+	}
+	sig, ok := pass.TypesInfo.TypeOf(sel).(*types.Signature)
+	if !ok {
+		return true
+	}
+	return sig.Results().Len() > 0
 }
 
 // callSelector unwraps a call's selector function, if it has one.

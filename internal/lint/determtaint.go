@@ -185,13 +185,39 @@ type taintState struct {
 	t *taintChecker
 	// vars maps tainted local objects to their root source.
 	vars map[types.Object]*TaintedFact
+	// cleansed records objects whose map-order taint a sort call removed.
+	// A cleansed object never re-acquires map-order taint: without this,
+	// a var deriving map-order taint from another still-tainted var
+	// (`out := make(..., len(ids))`) and later sorted would be re-tainted
+	// and re-cleansed every round, and the fixpoint would never converge.
+	cleansed map[types.Object]bool
+}
+
+const mapOrderSource = "map iteration order"
+
+// setVar taints obj with fact, reporting whether the state changed.
+// Taint is set-once, and cleansed objects refuse the cleansable
+// (map-order) source, which keeps the fixpoint monotone.
+func (st *taintState) setVar(obj types.Object, fact *TaintedFact) bool {
+	if obj == nil || st.vars[obj] != nil {
+		return false
+	}
+	if st.cleansed[obj] && fact.Source == mapOrderSource {
+		return false
+	}
+	st.vars[obj] = fact
+	return true
 }
 
 // analyzeLocals runs the local taint propagation to a fixpoint: local
 // assignments carry taint forward; sort calls cleanse map-order taint;
 // map-range appends introduce it.
 func (t *taintChecker) analyzeLocals(fn fnInfo) *taintState {
-	st := &taintState{t: t, vars: map[types.Object]*TaintedFact{}}
+	st := &taintState{
+		t:        t,
+		vars:     map[types.Object]*TaintedFact{},
+		cleansed: map[types.Object]bool{},
+	}
 	for changed := true; changed; {
 		changed = false
 		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
@@ -201,8 +227,7 @@ func (t *taintChecker) analyzeLocals(fn fnInfo) *taintState {
 					if fact := st.exprTaint(nn.Rhs[0]); fact != nil {
 						for _, lhs := range nn.Lhs {
 							if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
-								if obj := st.objOf(id); obj != nil && st.vars[obj] == nil {
-									st.vars[obj] = fact
+								if st.setVar(st.objOf(id), fact) {
 									changed = true
 								}
 							}
@@ -215,8 +240,7 @@ func (t *taintChecker) analyzeLocals(fn fnInfo) *taintState {
 						}
 						if fact := st.exprTaint(nn.Rhs[i]); fact != nil {
 							if id, ok := nn.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
-								if obj := st.objOf(id); obj != nil && st.vars[obj] == nil {
-									st.vars[obj] = fact
+								if st.setVar(st.objOf(id), fact) {
 									changed = true
 								}
 							}
@@ -229,29 +253,30 @@ func (t *taintChecker) analyzeLocals(fn fnInfo) *taintState {
 						break
 					}
 					if fact := st.exprTaint(v); fact != nil {
-						if obj := t.pass.TypesInfo.Defs[nn.Names[i]]; obj != nil && st.vars[obj] == nil {
-							st.vars[obj] = fact
+						if st.setVar(t.pass.TypesInfo.Defs[nn.Names[i]], fact) {
 							changed = true
 						}
 					}
 				}
 			case *ast.RangeStmt:
 				if st.isMapRange(nn) {
-					if tgt := st.unsortedAppendTarget(fn.decl.Body, nn); tgt != nil && st.vars[tgt] == nil {
-						st.vars[tgt] = &TaintedFact{
-							Source: "map iteration order",
+					if tgt := st.unsortedAppendTarget(fn.decl.Body, nn); tgt != nil {
+						fact := &TaintedFact{
+							Source: mapOrderSource,
 							At:     st.t.posOf(nn.Pos()),
 						}
-						changed = true
+						if st.setVar(tgt, fact) {
+							changed = true
+						}
 					}
 				}
 			case *ast.CallExpr:
 				if obj := st.sortTarget(nn); obj != nil && st.vars[obj] != nil &&
-					st.vars[obj].Source == "map iteration order" {
+					st.vars[obj].Source == mapOrderSource {
 					delete(st.vars, obj)
-					// Not flagged as "changed": cleansing converges (a
-					// var cannot oscillate — the append site no longer
-					// re-taints because vars[obj] was already set once).
+					st.cleansed[obj] = true
+					// Not flagged as "changed": the cleansed set makes
+					// re-tainting impossible, so deletion converges.
 				}
 			}
 			return true

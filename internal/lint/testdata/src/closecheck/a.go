@@ -61,6 +61,20 @@ func drainDropped(srv shutdowner, ctx interface{}) {
 	defer srv.Shutdown(ctx) // want `error from deferred srv.Shutdown\(\) is discarded`
 }
 
+// broadcaster stands in for a fire-and-forget resource: its Close and
+// Shutdown return nothing, so there is no error to observe and nothing
+// to flag — even deferred.
+type broadcaster struct{}
+
+func (broadcaster) Close()    {}
+func (broadcaster) Shutdown() {}
+
+func closeVoid(b broadcaster) {
+	b.Close() // no diagnostic: Close returns no error
+	defer b.Shutdown()
+	b.Shutdown()
+}
+
 // Good: the drain error is observed (or explicitly discarded).
 func drainChecked(srv shutdowner, ctx interface{}) error {
 	defer func() {

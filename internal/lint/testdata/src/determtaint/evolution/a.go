@@ -44,6 +44,25 @@ func moduleIDs(mods map[int][]int) []int {
 	return ids
 }
 
+// statuses is the regression shape that once livelocked the fixpoint: a
+// never-sorted map-order accumulator (ids), plus a second slice derived
+// from it whose later sort cleansed the derived taint every round while
+// the derivation re-added it. The derived, sorted slice must stay
+// silent; the accumulator itself still reports.
+func statuses(mods map[int][]int) []int {
+	ids := make([]*int, 0, len(mods))
+	for id := range mods { // want `"ids" accumulates it and is never sorted`
+		id := id
+		ids = append(ids, &id)
+	}
+	out := make([]int, 0, len(ids))
+	for _, p := range ids {
+		out = append(out, *p)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // sortedModuleIDs is the fix idiom and must stay silent.
 func sortedModuleIDs(mods map[int][]int) []int {
 	ids := make([]int, 0, len(mods))

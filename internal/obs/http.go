@@ -28,6 +28,51 @@ import (
 	"time"
 )
 
+// Shared HTTP hardening defaults: every iddqsyn HTTP surface (this debug
+// server and the internal/serve job service) builds its *http.Server via
+// HardenedServer so the same slow-client and oversized-request limits
+// apply everywhere.
+const (
+	// DefaultReadHeaderTimeout bounds how long a client may dribble its
+	// request headers.
+	DefaultReadHeaderTimeout = 5 * time.Second
+	// DefaultReadTimeout bounds the whole request read, body included.
+	DefaultReadTimeout = time.Minute
+	// DefaultWriteTimeout bounds each response write. Handlers that
+	// legitimately stream for longer (SSE progress, long pprof profiles)
+	// must extend their own deadline via http.NewResponseController.
+	DefaultWriteTimeout = 2 * time.Minute
+	// DefaultIdleTimeout reclaims idle keep-alive connections.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultMaxRequestBytes caps request bodies on surfaces that accept
+	// no meaningful payload (the debug endpoints). Services that ingest
+	// real payloads (netlist submission) pass their own larger limit to
+	// HardenedServerMax.
+	DefaultMaxRequestBytes = 1 << 20
+)
+
+// HardenedServer wraps h in an *http.Server with the shared protective
+// timeouts and the default request-body cap.
+func HardenedServer(h http.Handler) *http.Server {
+	return HardenedServerMax(h, DefaultMaxRequestBytes)
+}
+
+// HardenedServerMax is HardenedServer with an explicit request-body cap
+// (<= 0 keeps DefaultMaxRequestBytes). Bodies beyond the cap fail the
+// handler's read with an http.MaxBytesError and a 413 response.
+func HardenedServerMax(h http.Handler, maxBytes int64) *http.Server {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxRequestBytes
+	}
+	return &http.Server{
+		Handler:           http.MaxBytesHandler(h, maxBytes),
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
+
 // expvar.Publish panics on duplicate names, so the registry hook is
 // installed once per process and reads the latest-served registry
 // through an atomic pointer (tests start several servers).
@@ -64,6 +109,26 @@ func Serve(addr string, o *Obs) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
+	s := &Server{
+		o:    o,
+		ln:   ln,
+		srv:  HardenedServer(NewMux(o)),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			o.Log().Error("debug server failed", "addr", ln.Addr().String(), "err", err.Error())
+		}
+	}()
+	o.Log().Info("debug server listening", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// NewMux builds the introspection route table for o — the handler set
+// Serve exposes, also mountable inside another service's mux (the job
+// service delegates its /debug/ tree here).
+func NewMux(o *Obs) *http.ServeMux {
 	publishExpvar(o.Registry())
 
 	mux := http.NewServeMux()
@@ -85,13 +150,13 @@ func Serve(addr string, o *Obs) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/runz", func(w http.ResponseWriter, _ *http.Request) {
-		serveJSON(w, struct {
+		WriteJSON(w, struct {
 			Run    string `json:"run"`
 			Status any    `json:"status"`
 		}{Run: o.Run(), Status: o.Status()})
 	})
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, _ *http.Request) {
-		serveJSON(w, o.Registry().Snapshot())
+		WriteJSON(w, o.Registry().Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -99,21 +164,7 @@ func Serve(addr string, o *Obs) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{
-		o:    o,
-		ln:   ln,
-		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-		done: make(chan struct{}),
-	}
-	go func() {
-		defer close(s.done)
-		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			o.Log().Error("debug server failed", "addr", ln.Addr().String(), "err", err.Error())
-		}
-	}()
-	o.Log().Info("debug server listening", "addr", ln.Addr().String())
-	return s, nil
+	return mux
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -146,7 +197,9 @@ func (s *Server) Close(ctx context.Context) error {
 	return nil
 }
 
-func serveJSON(w http.ResponseWriter, v any) {
+// WriteJSON serves v as an indented JSON response — the one encoding
+// every iddqsyn HTTP endpoint uses.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -1,0 +1,133 @@
+// Live event streaming: a Broadcaster fans one producer's progress
+// events out to any number of subscribers — the substrate of the serving
+// layer's per-job SSE progress streams. Like the rest of the package it
+// is nil-tolerant (every method no-ops on a nil receiver) and never
+// blocks the producer: a slow subscriber loses its oldest buffered
+// events, never stalls the optimizer that is publishing them.
+
+package obs
+
+import "sync"
+
+// DefaultSubscriberBuffer is the per-subscriber event buffer used when
+// Subscribe is called with a non-positive size.
+const DefaultSubscriberBuffer = 16
+
+// Broadcaster distributes events from one producer to many subscribers.
+// Publish is non-blocking: when a subscriber's buffer is full its oldest
+// event is dropped to make room, so consumers always converge on the
+// latest state while a stuck consumer costs nothing.
+type Broadcaster struct {
+	mu     sync.Mutex
+	subs   map[int]chan any
+	nextID int
+	last   any
+	closed bool
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[int]chan any)}
+}
+
+// Publish delivers v to every subscriber and records it as the latest
+// event (new subscribers receive it immediately). Nil-safe; publishing
+// after Close is a no-op.
+func (b *Broadcaster) Publish(v any) {
+	if b == nil || v == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.last = v
+	for _, ch := range b.subs {
+		for {
+			select {
+			case ch <- v:
+			default:
+				// Buffer full: drop the oldest event and retry, so the
+				// subscriber keeps the freshest view without ever
+				// blocking the publisher.
+				select {
+				case <-ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Subscribe registers a new subscriber with a buffer of size buf
+// (<= 0 selects DefaultSubscriberBuffer). The channel is primed with the
+// latest published event, if any, and is closed when the broadcaster
+// closes. The returned cancel function removes the subscription; it is
+// idempotent and must be called to release the channel.
+func (b *Broadcaster) Subscribe(buf int) (<-chan any, func()) {
+	if b == nil {
+		ch := make(chan any)
+		close(ch)
+		return ch, func() {}
+	}
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan any, buf)
+	if b.last != nil {
+		ch <- b.last
+	}
+	if b.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := b.subs[id]; ok {
+				delete(b.subs, id)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Last returns the most recently published event (nil if none yet).
+func (b *Broadcaster) Last() any {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.last
+}
+
+// Close ends the stream: every subscriber channel is closed (after its
+// buffered events drain) and future Publish/Subscribe calls are no-ops.
+// Idempotent and nil-safe.
+func (b *Broadcaster) Close() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}

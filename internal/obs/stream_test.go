@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBroadcasterDeliversInOrder(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe(8)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		b.Publish(i)
+	}
+	for want := 0; want < 5; want++ {
+		got := <-ch
+		if got != want {
+			t.Fatalf("event %d: got %v", want, got)
+		}
+	}
+}
+
+func TestBroadcasterPrimesWithLast(t *testing.T) {
+	b := NewBroadcaster()
+	b.Publish("state-1")
+	b.Publish("state-2")
+	ch, cancel := b.Subscribe(4)
+	defer cancel()
+	if got := <-ch; got != "state-2" {
+		t.Fatalf("new subscriber primed with %v, want state-2", got)
+	}
+	if b.Last() != "state-2" {
+		t.Fatalf("Last = %v", b.Last())
+	}
+}
+
+func TestBroadcasterDropsOldestWhenFull(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		b.Publish(i)
+	}
+	// The buffer holds the two freshest events; the older eight dropped.
+	if got := <-ch; got != 8 {
+		t.Fatalf("first buffered event = %v, want 8", got)
+	}
+	if got := <-ch; got != 9 {
+		t.Fatalf("second buffered event = %v, want 9", got)
+	}
+}
+
+func TestBroadcasterCloseEndsSubscribers(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe(2)
+	defer cancel()
+	b.Publish("final")
+	b.Close()
+	if got, ok := <-ch; !ok || got != "final" {
+		t.Fatalf("buffered event after close: %v %v", got, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after Close")
+	}
+	// Post-close operations are inert.
+	b.Publish("late")
+	late, cancel2 := b.Subscribe(1)
+	defer cancel2()
+	if got, ok := <-late; ok && got != "final" {
+		t.Fatalf("post-close subscriber got %v", got)
+	}
+}
+
+func TestBroadcasterCancelIsIdempotent(t *testing.T) {
+	b := NewBroadcaster()
+	_, cancel := b.Subscribe(1)
+	cancel()
+	cancel() // must not panic (double close)
+	b.Publish("after-cancel")
+}
+
+func TestBroadcasterNilSafe(t *testing.T) {
+	var b *Broadcaster
+	b.Publish("x")
+	b.Close()
+	if b.Last() != nil {
+		t.Fatal("nil Last")
+	}
+	ch, cancel := b.Subscribe(1)
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("nil broadcaster subscription must be closed")
+	}
+}
+
+func TestBroadcasterConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBroadcaster()
+	var pubs, subs sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish(i)
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			ch, cancel := b.Subscribe(4)
+			defer cancel()
+			for range ch { // drains until Close
+			}
+		}()
+	}
+	pubs.Wait()
+	b.Close()
+	subs.Wait()
+}

@@ -9,6 +9,7 @@ package runctl
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -30,9 +31,55 @@ const MetricSignals = "runctl.signals"
 // any signal having been delivered.
 const MetricTimeouts = "runctl.timeouts"
 
+// The documented exit codes shared by every iddqsyn binary (iddqpart,
+// iddqstudy, iddqserve). A run that ends early for a *controlled* reason
+// — the -timeout budget expired, or the first SIGINT/SIGTERM triggered a
+// graceful stop — reports that reason in its exit status, distinct from
+// a real failure, so wrapping scripts and CI can tell "the budget ran
+// out, the best-so-far result is valid" from "the optimizer broke".
+const (
+	// ExitOK: the run completed.
+	ExitOK = 0
+	// ExitFailure: a generic failure outside the optimizer run itself
+	// (unreadable input, bad library file, snapshot write failure).
+	ExitFailure = 1
+	// ExitUsage: bad flags or arguments.
+	ExitUsage = 2
+	// ExitTimeout: the -timeout wall-clock budget expired; long-running
+	// commands still report their best-so-far result before exiting.
+	ExitTimeout = 3
+	// ExitInterrupted: the first SIGINT/SIGTERM stopped the run
+	// gracefully (state persisted, best-so-far result reported).
+	ExitInterrupted = 4
+	// ExitOptimizer: a named optimizer/synthesis failure — every attempt
+	// failed with the cause named in the error chain (and degradation,
+	// if enabled, also failed).
+	ExitOptimizer = 5
+)
+
 // ForcedExitCode is the exit status of a hard exit on the second signal
 // (128 + SIGINT, the conventional "killed by Ctrl-C" status).
 const ForcedExitCode = 130
+
+// ExitCode classifies how a guarded run ended. err is the failure
+// returned by the run phase itself (nil on success); cause is
+// context.Cause of the run's context after WithTimeout/WithSignals
+// composition. Deadline expiry wins over cancellation, cancellation
+// wins over a plain failure — an optimizer error provoked by the
+// context going away is reported as the timeout/interrupt it is, not as
+// an optimizer failure. Setup failures outside the guarded run phase
+// are the caller's to map (conventionally ExitFailure/ExitUsage).
+func ExitCode(err, cause error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(cause, context.DeadlineExceeded):
+		return ExitTimeout
+	case errors.Is(err, context.Canceled) || errors.Is(cause, context.Canceled):
+		return ExitInterrupted
+	case err != nil:
+		return ExitOptimizer
+	}
+	return ExitOK
+}
 
 // exit is swapped out by tests; the second signal must never return.
 var exit = os.Exit

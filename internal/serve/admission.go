@@ -1,0 +1,70 @@
+// Chaos admission: a server armed with -chaos refuses to serve until a
+// self-test job has survived the injected faults end to end. The
+// self-test is not a mock — it is a real job through the real admission
+// path, journal, queue, worker pool, optimizer, retry/degrade loop and
+// static audit, so "ready" means the whole pipeline demonstrably
+// produces a partcheck-valid result under the configured fault schedule.
+
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/partcheck"
+)
+
+// SelfTestSpec is the admission probe: the paper's C17 example circuit
+// under a small, fixed evolution budget — milliseconds of work, every
+// failure surface exercised.
+func SelfTestSpec() *JobSpec {
+	return &JobSpec{
+		Netlist:     bench.Format(circuits.C17()),
+		Name:        "selftest-c17",
+		Generations: 40,
+		Seed:        1,
+		Timeout:     "30s",
+	}
+}
+
+// SelfTest submits the probe job through the full service path and
+// waits for it to finish. On a durable, partcheck-valid result the
+// server becomes ready; any other outcome keeps it refusing traffic.
+// Start must have been called (the probe needs the worker pool).
+func (s *Server) SelfTest(ctx context.Context) error {
+	spec := SelfTestSpec()
+	j, _, err := s.submit(spec, "selftest")
+	if err != nil {
+		return fmt.Errorf("serve: self-test submit: %w", err)
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("serve: self-test: %w", context.Cause(ctx))
+	case <-s.ctx.Done():
+		return fmt.Errorf("serve: self-test: %w", context.Cause(s.ctx))
+	case <-j.done:
+	}
+	st := j.status()
+	if st.Phase != PhaseDone.String() {
+		return fmt.Errorf("serve: self-test job %s: %s", st.Phase, st.Detail)
+	}
+	res, err := s.journal.LoadResult(j.id)
+	if err != nil {
+		return fmt.Errorf("serve: self-test result: %w", err)
+	}
+	// Trust nothing: re-audit the durable result against the probe
+	// circuit before declaring the pipeline healthy.
+	c, err := spec.Circuit()
+	if err != nil {
+		return err
+	}
+	if r := partcheck.VerifyStructure(c, res.Groups); !r.OK() {
+		return fmt.Errorf("serve: self-test result fails the static audit: %w", r.Err())
+	}
+	s.ready.Store(true)
+	s.o.Log().Info("admission self-test passed",
+		"job", j.id, "modules", res.Modules, "degraded", res.Degraded)
+	return nil
+}

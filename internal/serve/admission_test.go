@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"iddqsyn/internal/chaos"
+	"iddqsyn/internal/fsx"
+	"iddqsyn/internal/obs"
+)
+
+// Until the admission self-test passes, the service refuses traffic:
+// /healthz is 503 and submissions bounce. After it passes, both open up.
+func TestSelfTestGatesAdmission(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 1, SelfTestAdmission: true})
+	s.Start()
+	if s.Ready() {
+		t.Fatal("server ready before the self-test ran")
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before self-test: %d, want 503", resp.StatusCode)
+	}
+	sub, err := http.Post(hs.URL+"/jobs", "text/plain", strings.NewReader(c17Netlist(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sub.Body.Close()
+	if sub.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit before self-test: %d, want 503", sub.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.SelfTest(ctx); err != nil {
+		t.Fatalf("self-test on a healthy pipeline: %v", err)
+	}
+	if !s.Ready() {
+		t.Fatal("self-test passed but the server stayed unready")
+	}
+	resp2, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after self-test: %d", resp2.StatusCode)
+	}
+}
+
+// Chaos admission, the survivable case: one-shot injected faults on the
+// worker pool, the estimator and the checkpoint filesystem are absorbed
+// by retry/degrade, so the probe converges and the server opens.
+func TestSelfTestSurvivesChaos(t *testing.T) {
+	sched, err := chaos.ParseSchedule("seed=3,after=2,sites=evolution.worker.panic|estimate.nan|fs.sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New("admission-chaos", nil, nil)
+	inj := chaos.New(sched, o)
+	s, _ := newTestServer(t, Config{
+		Workers: 1, SelfTestAdmission: true,
+		Obs: o, Chaos: inj, FS: chaos.NewFS(fsx.OS{}, inj),
+	})
+	s.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.SelfTest(ctx); err != nil {
+		t.Fatalf("self-test under one-shot chaos: %v", err)
+	}
+	if !s.Ready() {
+		t.Fatal("survivable chaos left the server unready")
+	}
+	if inj.Total() == 0 {
+		t.Fatal("the schedule injected nothing — the test proved nothing")
+	}
+}
+
+// Chaos admission, the fatal case: an estimator that always poisons
+// every evaluation defeats retries and the standard fallback alike. The
+// self-test must fail and the server must keep refusing traffic —
+// that is the admission contract.
+func TestSelfTestRefusesFatalChaos(t *testing.T) {
+	sched, err := chaos.ParseSchedule("seed=1,rate=1,sites=estimate.nan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New("admission-fatal", nil, nil)
+	s, hs := newTestServer(t, Config{
+		Workers: 1, SelfTestAdmission: true,
+		Obs: o, Chaos: chaos.New(sched, o),
+	})
+	s.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.SelfTest(ctx); err == nil {
+		t.Fatal("self-test passed under a fully poisoned estimator")
+	}
+	if s.Ready() {
+		t.Fatal("failed self-test left the server ready")
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after failed self-test: %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/obs"
+)
+
+// BenchmarkServeSubmit measures the full admission path per distinct
+// submission: spec parse, content hash, durable spec + journal records,
+// and fair-queue enqueue. Workers are never started, so the figure is
+// pure admission cost (journal fsyncs included — durability is the
+// product, not overhead).
+func BenchmarkServeSubmit(b *testing.B) {
+	dir := b.TempDir()
+	s, err := New(Config{Dir: dir, Workers: 1, QueueCap: 1 << 30, Obs: obs.New("bench", nil, nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	netlist := c17Netlist(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration defeats the content cache: every
+		// submission takes the full durable path.
+		body, _ := json.Marshal(&JobSpec{Netlist: netlist, Seed: int64(i + 1)})
+		resp, err := http.Post(hs.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("status %d at iteration %d", resp.StatusCode, i)
+		}
+	}
+}
+
+// BenchmarkServeSubmitCached measures the cache-hit path: the identical
+// spec resubmitted, answered from the content-hash cache without
+// touching the journal.
+func BenchmarkServeSubmitCached(b *testing.B) {
+	dir := b.TempDir()
+	s, err := New(Config{Dir: dir, Workers: 1, Obs: obs.New("bench", nil, nil)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	body, _ := json.Marshal(&JobSpec{Netlist: c17Netlist(b)})
+	warm, err := http.Post(hs.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = warm.Body.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(hs.URL+"/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// The HTTP surface of the job service, on the Go 1.22 pattern mux:
+//
+//	POST /jobs              submit (JSON spec, or a raw bench netlist)
+//	GET  /jobs/{id}         job status
+//	GET  /jobs/{id}/result  durable result (once done)
+//	GET  /jobs/{id}/events  SSE progress stream
+//	GET  /jobz              every job's status
+//	GET  /healthz           readiness (503 until admission passes)
+//	GET  /metricz           metrics snapshot
+//	GET  /debug/...         the obs introspection tree (expvar, pprof)
+//
+// The handler is mounted behind obs.HardenedServerMax (body cap, read/
+// write/idle timeouts); the SSE handler is the one place that extends
+// its own write deadline, via http.NewResponseController.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"iddqsyn/internal/obs"
+)
+
+// MaxSubmitBytes caps a submission body: the largest netlist plus spec
+// overhead. cmd/iddqserve passes it to obs.HardenedServerMax.
+const MaxSubmitBytes = MaxNetlistBytes + 64*1024
+
+// Handler builds the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobz", func(w http.ResponseWriter, _ *http.Request) {
+		obs.WriteJSON(w, s.Jobs())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "admission self-test pending or failed")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, _ *http.Request) {
+		obs.WriteJSON(w, s.o.Registry().Snapshot())
+	})
+	mux.Handle("GET /debug/", obs.NewMux(s.o))
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "iddqserve — IDDQ-testable partition synthesis as a service")
+		fmt.Fprintln(w, "")
+		fmt.Fprintln(w, "POST /jobs              submit a netlist (bench text or JSON spec)")
+		fmt.Fprintln(w, "GET  /jobs/{id}         job status")
+		fmt.Fprintln(w, "GET  /jobs/{id}/result  result (once done)")
+		fmt.Fprintln(w, "GET  /jobs/{id}/events  SSE progress stream")
+		fmt.Fprintln(w, "GET  /jobz /healthz /metricz /debug/")
+	})
+	return mux
+}
+
+// writeError serves a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable,
+			errors.New("serve: admission self-test pending or failed"))
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := ParseJobSpec(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = spec.Tenant
+	}
+	j, cached, err := s.submit(spec, tenant)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		// The documented backpressure contract: 429 plus a Retry-After
+		// estimate derived from the backlog and the worker pool.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.RetryAfter()))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrSpec):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	w.Header().Set("Location", "/jobs/"+j.id)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(j.status())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	obs.WriteJSON(w, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	st := j.status()
+	switch st.Phase {
+	case PhaseDone.String():
+		res, err := s.journal.LoadResult(j.id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		obs.WriteJSON(w, res)
+	case PhaseFailed.String():
+		writeError(w, http.StatusInternalServerError,
+			fmt.Errorf("serve: job failed: %s", st.Detail))
+	default:
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.RetryAfter()))
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: job is %s; no result yet", st.Phase))
+	}
+}
+
+// handleEvents streams the job's progress as server-sent events until
+// the job reaches a terminal phase or the client goes away. The first
+// event is always the job's current status, so a subscriber to an
+// already-finished job still observes its outcome.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	rc := http.NewResponseController(w)
+	// A progress stream legitimately outlives the server's WriteTimeout;
+	// clear the per-response deadline (the idle/read limits still apply
+	// to the connection).
+	_ = rc.SetWriteDeadline(time.Time{})
+	ch, cancel := j.events.Subscribe(obs.DefaultSubscriberBuffer)
+	defer cancel()
+	writeEvent := func(v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	st := j.status()
+	if !writeEvent(progressEvent{
+		Job: st.ID, Phase: st.Phase,
+		Generation: st.Generation, BestCost: st.BestCost, Detail: st.Detail,
+	}) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // broadcaster closed: terminal phase reached
+			}
+			if !writeEvent(ev) {
+				return
+			}
+		}
+	}
+}

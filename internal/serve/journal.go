@@ -1,0 +1,305 @@
+// The durable job journal: every lifecycle transition of every job —
+// submitted, started, finished, failed — is a record in an append-only
+// sequence, published crash-safely through fsx.WriteAtomicRetry. The
+// journal is the service's source of truth across restarts: opening a
+// data directory replays the record sequence into per-job states, and
+// every job that was submitted but never finished is simply work to
+// re-enqueue (its evolution checkpoint, if one was written, makes the
+// re-run resume instead of restart).
+//
+// The sequence is logically append-only; physically each append
+// republishes the whole journal file through the atomic-write protocol,
+// so a crash at any point leaves the previous journal intact — never a
+// truncated or interleaved one. Job specs and results live in side files
+// (spec-<id>.json, result-<id>.json) written *before* the record that
+// references them: a crash between the two leaves an orphaned side file,
+// which is harmless, rather than a dangling reference, which would not
+// be.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"iddqsyn/internal/fsx"
+)
+
+// ErrCorruptJournal is wrapped by every OpenJournal failure caused by
+// the journal file's content, as opposed to an I/O error reading it.
+var ErrCorruptJournal = errors.New("serve: corrupt job journal")
+
+// JournalFormat and JournalVersion identify the journal file format; a
+// mismatch is a load error, never a silent misreplay.
+const (
+	JournalFormat  = "iddqsyn-serve-journal"
+	JournalVersion = 1
+)
+
+// The journal event kinds.
+const (
+	// EventSubmitted: the job's spec is durably recorded and the job is
+	// queued. Detail carries the tenant.
+	EventSubmitted = "submitted"
+	// EventStarted: a worker picked the job up. Detail carries the
+	// attempt number.
+	EventStarted = "started"
+	// EventFinished: the job's result file is durably recorded. Detail
+	// distinguishes "" (converged) from "degraded" and "timeout".
+	EventFinished = "finished"
+	// EventFailed: every attempt failed; Detail carries the named error.
+	EventFailed = "failed"
+)
+
+// Record is one journal entry.
+type Record struct {
+	Seq    int    `json:"seq"`
+	Job    string `json:"job"`
+	Event  string `json:"event"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// journalFile is the on-disk representation.
+type journalFile struct {
+	Format  string   `json:"format"`
+	Version int      `json:"version"`
+	Records []Record `json:"records"`
+}
+
+// JobPhase is a job's lifecycle phase as replayed from the journal.
+type JobPhase int
+
+// The replayed phases, in lifecycle order.
+const (
+	PhaseQueued JobPhase = iota
+	PhaseRunning
+	PhaseDone
+	PhaseFailed
+)
+
+// String names the phase for status responses.
+func (p JobPhase) String() string {
+	switch p {
+	case PhaseQueued:
+		return "queued"
+	case PhaseRunning:
+		return "running"
+	case PhaseDone:
+		return "done"
+	case PhaseFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("JobPhase(%d)", int(p))
+}
+
+// ReplayedJob is the folded journal state of one job.
+type ReplayedJob struct {
+	ID       string
+	Tenant   string
+	Phase    JobPhase
+	Attempts int
+	Detail   string // EventFinished/EventFailed detail
+}
+
+// Journal is the open journal of one data directory. All methods are
+// safe for concurrent use; appends are serialized.
+type Journal struct {
+	fs  fsx.FS
+	dir string
+	pol *fsx.RetryPolicy
+
+	mu   sync.Mutex
+	recs []Record
+}
+
+// journalPath is the journal file inside a data directory.
+func journalPath(dir string) string { return filepath.Join(dir, "journal.json") }
+
+// specPath is the spec side file of a job.
+func specPath(dir, id string) string { return filepath.Join(dir, "spec-"+id+".json") }
+
+// resultPath is the result side file of a job.
+func resultPath(dir, id string) string { return filepath.Join(dir, "result-"+id+".json") }
+
+// checkpointPath is the evolution checkpoint of a job.
+func checkpointPath(dir, id string) string { return filepath.Join(dir, "ckpt-"+id+".ckpt") }
+
+// OpenJournal opens (or creates) the journal in dir, replay-validating
+// any existing file. Writes go through fs (nil = the real filesystem)
+// with retry policy pol (nil = fsx defaults).
+func OpenJournal(fs fsx.FS, dir string, pol *fsx.RetryPolicy) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: journal dir: %w", err)
+	}
+	j := &Journal{fs: fs, dir: dir, pol: pol}
+	data, err := os.ReadFile(journalPath(dir))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return j, nil
+	case err != nil:
+		return nil, fmt.Errorf("serve: read journal: %w", err)
+	}
+	if len(data) == 0 {
+		// The atomic-write protocol cannot produce this by crashing; an
+		// empty file points at an external cause worth naming.
+		return nil, fmt.Errorf("serve: journal %s: %w: zero-length file", journalPath(dir), ErrCorruptJournal)
+	}
+	var jf journalFile
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return nil, fmt.Errorf("serve: journal %s: %w: %w", journalPath(dir), ErrCorruptJournal, err)
+	}
+	if jf.Format != JournalFormat {
+		return nil, fmt.Errorf("serve: journal %s: %w: format %q (want %q)",
+			journalPath(dir), ErrCorruptJournal, jf.Format, JournalFormat)
+	}
+	if jf.Version != JournalVersion {
+		return nil, fmt.Errorf("serve: journal %s: %w: version %d not supported (want %d)",
+			journalPath(dir), ErrCorruptJournal, jf.Version, JournalVersion)
+	}
+	for i, r := range jf.Records {
+		if r.Seq != i+1 {
+			return nil, fmt.Errorf("serve: journal %s: %w: record %d has seq %d",
+				journalPath(dir), ErrCorruptJournal, i, r.Seq)
+		}
+		if r.Job == "" || r.Event == "" {
+			return nil, fmt.Errorf("serve: journal %s: %w: record %d is incomplete",
+				journalPath(dir), ErrCorruptJournal, r.Seq)
+		}
+	}
+	j.recs = jf.Records
+	return j, nil
+}
+
+// Dir is the journal's data directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Len is the number of records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Records returns a copy of the record sequence.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.recs...)
+}
+
+// Append durably appends one record (Seq is assigned here). The record
+// is visible to Records only after the journal file is published; a
+// failed append leaves both the file and the in-memory sequence at the
+// previous state.
+func (j *Journal) Append(job, event, detail string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := Record{Seq: len(j.recs) + 1, Job: job, Event: event, Detail: detail}
+	jf := journalFile{
+		Format:  JournalFormat,
+		Version: JournalVersion,
+		Records: append(append([]Record(nil), j.recs...), rec),
+	}
+	data, err := json.MarshalIndent(jf, "", " ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal journal: %w", err)
+	}
+	if err := fsx.WriteAtomicRetry(j.fs, journalPath(j.dir), data, j.pol); err != nil {
+		return fmt.Errorf("serve: append journal: %w", err)
+	}
+	j.recs = jf.Records
+	return nil
+}
+
+// WriteSpec durably records a job's spec side file. It must complete
+// before the EventSubmitted record referencing it is appended.
+func (j *Journal) WriteSpec(id string, spec *JobSpec) error {
+	data, err := json.MarshalIndent(spec, "", " ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal spec: %w", err)
+	}
+	if err := fsx.WriteAtomicRetry(j.fs, specPath(j.dir, id), data, j.pol); err != nil {
+		return fmt.Errorf("serve: write spec: %w", err)
+	}
+	return nil
+}
+
+// LoadSpec reads a job's spec side file back (restart replay).
+func (j *Journal) LoadSpec(id string) (*JobSpec, error) {
+	data, err := os.ReadFile(specPath(j.dir, id))
+	if err != nil {
+		return nil, fmt.Errorf("serve: load spec for %s: %w", id, err)
+	}
+	spec := &JobSpec{}
+	if err := json.Unmarshal(data, spec); err != nil {
+		return nil, fmt.Errorf("serve: spec for %s: %w: %w", id, ErrCorruptJournal, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: spec for %s: %w", id, err)
+	}
+	return spec, nil
+}
+
+// WriteResult durably records a job's result side file. It must
+// complete before the EventFinished record referencing it is appended.
+func (j *Journal) WriteResult(res *JobResult) error {
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal result: %w", err)
+	}
+	if err := fsx.WriteAtomicRetry(j.fs, resultPath(j.dir, res.ID), data, j.pol); err != nil {
+		return fmt.Errorf("serve: write result: %w", err)
+	}
+	return nil
+}
+
+// LoadResult reads a job's result side file back.
+func (j *Journal) LoadResult(id string) (*JobResult, error) {
+	data, err := os.ReadFile(resultPath(j.dir, id))
+	if err != nil {
+		return nil, fmt.Errorf("serve: load result for %s: %w", id, err)
+	}
+	res := &JobResult{}
+	if err := json.Unmarshal(data, res); err != nil {
+		return nil, fmt.Errorf("serve: result for %s: %w: %w", id, ErrCorruptJournal, err)
+	}
+	return res, nil
+}
+
+// Replay folds the record sequence into per-job states, in first-seen
+// submission order. A job whose terminal record (finished/failed) is
+// missing replays as queued-or-running — exactly the work a restarted
+// server must pick back up.
+func (j *Journal) Replay() []*ReplayedJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	byID := make(map[string]*ReplayedJob)
+	var order []*ReplayedJob
+	for _, r := range j.recs {
+		job := byID[r.Job]
+		if job == nil {
+			job = &ReplayedJob{ID: r.Job}
+			byID[r.Job] = job
+			order = append(order, job)
+		}
+		switch r.Event {
+		case EventSubmitted:
+			job.Tenant = r.Detail
+			job.Phase = PhaseQueued
+		case EventStarted:
+			job.Phase = PhaseRunning
+			job.Attempts++
+		case EventFinished:
+			job.Phase = PhaseDone
+			job.Detail = r.Detail
+		case EventFailed:
+			job.Phase = PhaseFailed
+			job.Detail = r.Detail
+		}
+	}
+	return order
+}

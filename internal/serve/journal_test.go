@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iddqsyn/internal/chaos"
+	"iddqsyn/internal/fsx"
+)
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct{ job, event, detail string }{
+		{"j1", EventSubmitted, "acme"},
+		{"j2", EventSubmitted, "zenith"},
+		{"j1", EventStarted, "1"},
+		{"j1", EventFinished, ""},
+		{"j2", EventStarted, "1"},
+	}
+	for _, s := range steps {
+		if err := j.Append(s.job, s.event, s.detail); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A fresh open replays the identical state — the durable journal is
+	// the source of truth, not the process that wrote it.
+	j2, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != len(steps) {
+		t.Fatalf("replayed %d records, want %d", j2.Len(), len(steps))
+	}
+	jobs := j2.Replay()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != "j1" || jobs[0].Phase != PhaseDone || jobs[0].Tenant != "acme" {
+		t.Fatalf("j1 replayed as %+v", jobs[0])
+	}
+	// j2 was started but never finished: exactly the state a restarted
+	// server must requeue.
+	if jobs[1].ID != "j2" || jobs[1].Phase != PhaseRunning || jobs[1].Attempts != 1 {
+		t.Fatalf("j2 replayed as %+v", jobs[1])
+	}
+}
+
+func TestJournalCorruptionIsNamed(t *testing.T) {
+	cases := []struct{ name, content string }{
+		{"zero-length", ""},
+		{"not json", "][junk"},
+		{"wrong format", `{"format": "something-else", "version": 1}`},
+		{"wrong version", `{"format": "iddqsyn-serve-journal", "version": 99}`},
+		{"seq gap", `{"format": "iddqsyn-serve-journal", "version": 1,
+			"records": [{"seq": 2, "job": "x", "event": "submitted"}]}`},
+		{"incomplete record", `{"format": "iddqsyn-serve-journal", "version": 1,
+			"records": [{"seq": 1, "job": "", "event": "submitted"}]}`},
+	}
+	for _, tc := range cases {
+		dir := t.TempDir()
+		if err := os.WriteFile(journalPath(dir), []byte(tc.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenJournal(nil, dir, nil)
+		if !errors.Is(err, ErrCorruptJournal) {
+			t.Errorf("%s: err = %v, want ErrCorruptJournal", tc.name, err)
+		}
+	}
+}
+
+// An injected filesystem fault mid-append must leave both the file and
+// the in-memory sequence at their previous state — the append-only
+// contract under fire.
+func TestJournalAppendAtomicUnderFaults(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("j1", EventSubmitted, "acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every fs operation fails, exhausting the retry budget.
+	sched, err := chaos.ParseSchedule("seed=1,rate=1,sites=fs.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(sched, nil)
+	jf, err := OpenJournal(chaos.NewFS(fsx.OS{}, inj), dir,
+		&fsx.RetryPolicy{Attempts: 2, BaseDelay: 1, MaxDelay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jf.Append("j2", EventSubmitted, "acme"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("append under total fs failure: %v, want ErrInjected in the chain", err)
+	}
+	if jf.Len() != 1 {
+		t.Fatalf("failed append mutated the in-memory sequence: %d records", jf.Len())
+	}
+	j3, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatalf("journal damaged by failed append: %v", err)
+	}
+	if j3.Len() != 1 || j3.Records()[0].Job != "j1" {
+		t.Fatalf("journal content changed under failed append: %+v", j3.Records())
+	}
+}
+
+func TestJournalSideFiles(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &JobSpec{Netlist: c17Netlist(t), Generations: 5}
+	id, err := spec.JobID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.WriteSpec(id, spec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := j.LoadSpec(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Netlist != spec.Netlist || back.Generations != 5 {
+		t.Fatalf("spec round trip: %+v", back)
+	}
+	res := &JobResult{ID: id, Circuit: "c17", Modules: 2, Cost: 1.5, Groups: [][]int{{0}, {1}}}
+	if err := j.WriteResult(res); err != nil {
+		t.Fatal(err)
+	}
+	rback, err := j.LoadResult(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rback.Modules != 2 || rback.Cost != 1.5 {
+		t.Fatalf("result round trip: %+v", rback)
+	}
+	// The side files live inside the data dir only.
+	for _, p := range []string{specPath(dir, id), resultPath(dir, id)} {
+		if filepath.Dir(p) != dir {
+			t.Fatalf("side file escapes the data dir: %s", p)
+		}
+	}
+}

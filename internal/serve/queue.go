@@ -1,0 +1,154 @@
+// Admission control: a bounded queue with fair per-tenant round-robin
+// dispatch. Each tenant gets its own FIFO; workers pop tenants in
+// rotation, so one tenant flooding the service delays only its own
+// backlog — the next tenant's first job is at most one rotation away.
+// When the total backlog hits the bound, Push refuses with
+// ErrOverloaded and the submission surface turns that into 429 +
+// Retry-After instead of letting latency grow without bound.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by Push when the queue is at capacity. The
+// HTTP layer maps it to 429 Too Many Requests with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: queue at capacity")
+
+// DefaultQueueCap bounds the total backlog when Config.QueueCap is 0.
+const DefaultQueueCap = 64
+
+// fairQueue is the bounded multi-tenant queue. All methods are safe for
+// concurrent use.
+type fairQueue struct {
+	mu      sync.Mutex
+	cap     int
+	n       int
+	tenants []string            // rotation order, tenants with queued work
+	byT     map[string][]string // tenant -> queued job IDs
+	next    int                 // rotation cursor into tenants
+	wake    chan struct{}       // buffered(1) doorbell for blocked Pops
+	closed  bool
+}
+
+func newFairQueue(capacity int) *fairQueue {
+	if capacity <= 0 {
+		capacity = DefaultQueueCap
+	}
+	return &fairQueue{
+		cap:  capacity,
+		byT:  make(map[string][]string),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// Len is the total queued backlog.
+func (q *fairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Full reports whether the next Push would be refused.
+func (q *fairQueue) Full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n >= q.cap
+}
+
+// Push enqueues a job for a tenant; ErrOverloaded at capacity.
+func (q *fairQueue) Push(tenant, id string) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return errors.New("serve: queue closed")
+	}
+	if q.n >= q.cap {
+		q.mu.Unlock()
+		return ErrOverloaded
+	}
+	if _, ok := q.byT[tenant]; !ok {
+		q.tenants = append(q.tenants, tenant)
+	}
+	q.byT[tenant] = append(q.byT[tenant], id)
+	q.n++
+	q.mu.Unlock()
+	q.ring()
+	return nil
+}
+
+// ring wakes one blocked Pop (non-blocking; the doorbell coalesces).
+func (q *fairQueue) ring() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// tryPop dequeues the next job in tenant rotation, if any.
+func (q *fairQueue) tryPop() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return "", false
+	}
+	if q.next >= len(q.tenants) {
+		q.next = 0
+	}
+	t := q.tenants[q.next]
+	ids := q.byT[t]
+	id := ids[0]
+	if len(ids) == 1 {
+		// Tenant drained: drop it from the rotation (the cursor now points
+		// at its successor, keeping the rotation fair).
+		delete(q.byT, t)
+		q.tenants = append(q.tenants[:q.next], q.tenants[q.next+1:]...)
+	} else {
+		q.byT[t] = ids[1:]
+		q.next++
+	}
+	q.n--
+	return id, true
+}
+
+// Pop blocks until a job is available (rotating fairly across tenants),
+// the context is done, or the queue is closed. ok is false only for the
+// latter two.
+func (q *fairQueue) Pop(ctx context.Context) (string, bool) {
+	for {
+		if id, ok := q.tryPop(); ok {
+			// More work may remain and several Pops may be blocked; pass
+			// the doorbell along.
+			q.mu.Lock()
+			nonempty := q.n > 0
+			q.mu.Unlock()
+			if nonempty {
+				q.ring()
+			}
+			return id, true
+		}
+		q.mu.Lock()
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			q.ring() // cascade the close to the next blocked Pop
+			return "", false
+		}
+		select {
+		case <-ctx.Done():
+			return "", false
+		case <-q.wake:
+		}
+	}
+}
+
+// Close unblocks every Pop; subsequent Pushes fail.
+func (q *fairQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.ring()
+}

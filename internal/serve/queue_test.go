@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQueueFairRoundRobin(t *testing.T) {
+	q := newFairQueue(16)
+	// Tenant A floods before tenant B submits anything.
+	for i := 0; i < 5; i++ {
+		if err := q.Push("a", "a"+string(rune('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push("b", "b0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var order []string
+	for i := 0; i < 6; i++ {
+		id, ok := q.Pop(ctx)
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		order = append(order, id)
+	}
+	// Fairness: b0 must come out second (one rotation after a's head),
+	// not sixth (behind a's whole backlog).
+	if order[1] != "b0" {
+		t.Fatalf("tenant b waited behind tenant a's flood: order %v", order)
+	}
+}
+
+func TestQueueOverload(t *testing.T) {
+	q := newFairQueue(2)
+	if err := q.Push("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Full() {
+		t.Fatal("queue at cap must report Full")
+	}
+	if err := q.Push("c", "3"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("push over cap: %v, want ErrOverloaded", err)
+	}
+	if _, ok := q.Pop(context.Background()); !ok {
+		t.Fatal("pop")
+	}
+	if q.Full() {
+		t.Fatal("queue below cap must accept again")
+	}
+	if err := q.Push("c", "3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newFairQueue(4)
+	got := make(chan string, 1)
+	go func() {
+		id, ok := q.Pop(context.Background())
+		if ok {
+			got <- id
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := q.Push("a", "late"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-got:
+		if id != "late" {
+			t.Fatalf("popped %q", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Pop never woke for the Push")
+	}
+}
+
+func TestQueueCloseUnblocksAllPops(t *testing.T) {
+	q := newFairQueue(4)
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, ok := q.Pop(context.Background())
+			if !ok {
+				done <- struct{}{}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("pop %d still blocked after Close", i)
+		}
+	}
+	if err := q.Push("a", "x"); err == nil {
+		t.Fatal("push after Close must fail")
+	}
+}
+
+func TestQueuePopHonoursContext(t *testing.T) {
+	q := newFairQueue(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := q.Pop(ctx); ok {
+		t.Fatal("Pop under a cancelled context must not claim work")
+	}
+}

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Perf trajectory (`make bench-json`): run the canonical benchmark pair
+# — BenchmarkEvolve (one full c432 evolution per iteration) and
+# BenchmarkServeSubmit/BenchmarkServeSubmitCached (the serving layer's
+# durable admission path and its cache hit) — and render the results as
+# BENCH_<n>.json so every PR leaves a comparable perf point on disk
+# (ROADMAP item: the BENCH_*.json trajectory).
+#
+# BENCH_PR sets <n> (default 6); BENCH_OUT overrides the output path.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH_PR="${BENCH_PR:-6}"
+BENCH_OUT="${BENCH_OUT:-BENCH_${BENCH_PR}.json}"
+raw="$(mktemp /tmp/iddqsyn-bench.XXXXXX)"
+trap 'rm -f "$raw"' EXIT INT TERM
+
+echo "== go test -bench (serving layer + optimizer) -> $BENCH_OUT"
+go test -run '^$' -bench '^BenchmarkServeSubmit$|^BenchmarkServeSubmitCached$' \
+    -benchmem -benchtime 50x ./internal/serve/ | tee "$raw"
+go test -run '^$' -bench '^BenchmarkEvolve$' -benchmem -benchtime 3x . | tee -a "$raw"
+
+awk -v pr="$BENCH_PR" -v goversion="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    row = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bytes != "") row = row sprintf(", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bytes, allocs)
+    row = row "}"
+    rows[n++] = row
+}
+END {
+    if (n == 0) { print "bench: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf " \"format\": \"iddqsyn-bench\",\n"
+    printf " \"version\": 1,\n"
+    printf " \"pr\": %s,\n", pr
+    printf " \"go\": \"%s\",\n", goversion
+    printf " \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+    printf " ]\n}\n"
+}' "$raw" >"$BENCH_OUT"
+
+echo "bench: wrote $BENCH_OUT"

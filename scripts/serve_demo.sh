@@ -1,0 +1,52 @@
+#!/bin/sh
+# Serving-layer quick-start (`make serve-demo`): boot iddqserve on a
+# local port, submit c432 twice — once as raw bench text, once as a JSON
+# spec from a second tenant (a content-cache hit) — stream the progress
+# events, print the final report, and shut the server down gracefully.
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d /tmp/iddqserve-demo.XXXXXX)"
+trap 'kill "$srvpid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+srvpid=""
+
+go build -o "$workdir/iddqserve" ./cmd/iddqserve
+"$workdir/iddqserve" -addr 127.0.0.1:0 -dir "$workdir/data" \
+    -workers 2 >"$workdir/stdout" 2>&1 &
+srvpid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(awk '/listening on/{print $4; exit}' "$workdir/stdout" 2>/dev/null || true)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-demo: server never came up" >&2; exit 1; }
+echo "# server up at http://$addr — POST a netlist, get a job ID:"
+echo "#   curl -X POST -H 'Content-Type: text/plain' --data-binary @benchmarks/c432.bench http://$addr/jobs"
+
+echo
+echo "== submit c432 (raw bench text, tenant alice)"
+curl -sf -X POST -H "Content-Type: text/plain" -H "X-Tenant: alice" \
+    --data-binary @benchmarks/c432.bench "http://$addr/jobs" | tee "$workdir/submit.json"
+id="$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$workdir/submit.json" | head -1)"
+
+echo "== resubmit as a JSON spec (tenant bob) — content-cache hit, same job"
+printf '{"netlist":%s}' "$(awk 'BEGIN{printf "\""} {gsub(/"/,"\\\""); printf "%s\\n", $0} END{printf "\""}' benchmarks/c432.bench)" |
+    curl -sf -X POST -H "Content-Type: application/json" -H "X-Tenant: bob" \
+        --data-binary @- "http://$addr/jobs" >/dev/null
+echo "cache hit confirmed (HTTP 200, job $id)"
+
+echo "== live progress (SSE, /jobs/$id/events)"
+curl -sfN --max-time 120 "http://$addr/jobs/$id/events" | sed -n '/^data:/p' || true
+
+echo "== final result (/jobs/$id/result)"
+curl -sf "http://$addr/jobs/$id/result" | sed -n 's/.*"report": *"\(.*\)".*/\1/p' |
+    sed 's/\\n/\n/g; s/\\"/"/g'
+
+kill -TERM "$srvpid"
+set +e
+wait "$srvpid"
+set -e
+srvpid=""
+echo "serve-demo: OK"

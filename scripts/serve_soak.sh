@@ -1,0 +1,89 @@
+#!/bin/sh
+# Serving-layer soak: first the process-level kill-and-restart test
+# (SIGKILL mid-job under a chaos schedule, restart, journal replay,
+# bit-identical result — cmd/iddqserve/soak_test.go), then a smoke boot
+# of a race-enabled binary under concurrent client load: N parallel
+# text/plain submissions, every job polled to completion, and the
+# /metricz snapshot saved to $SOAK_OUT (CI uploads it as an artifact).
+#
+# SOAK_OUT overrides the snapshot path; SOAK_CLIENTS the client count.
+set -eu
+cd "$(dirname "$0")/.."
+
+SOAK_OUT="${SOAK_OUT:-/tmp/iddqserve-soak-metricz.json}"
+SOAK_CLIENTS="${SOAK_CLIENTS:-6}"
+workdir="$(mktemp -d /tmp/iddqserve-soak.XXXXXX)"
+trap 'kill "$srvpid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+srvpid=""
+
+echo "== kill/restart soak (go test -race ./cmd/iddqserve/)"
+go test -race -run 'TestSoakKillRestartBitIdentical' ./cmd/iddqserve/
+
+echo "== smoke boot: race-enabled server + $SOAK_CLIENTS concurrent clients"
+go build -race -o "$workdir/iddqserve" ./cmd/iddqserve
+"$workdir/iddqserve" -addr 127.0.0.1:0 -dir "$workdir/data" -workers 2 \
+    -log-level error >"$workdir/stdout" 2>"$workdir/stderr" &
+srvpid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(awk '/listening on/{print $4; exit}' "$workdir/stdout" 2>/dev/null || true)"
+    [ -n "$addr" ] && break
+    kill -0 "$srvpid" 2>/dev/null || {
+        echo "serve_soak: server died at startup" >&2
+        cat "$workdir/stderr" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve_soak: no listening line" >&2; exit 1; }
+echo "serve_soak: server up at $addr (pid $srvpid)"
+
+# Concurrent smoke load: distinct tenants submitting the same netlist
+# exercise admission, the content cache, and fair queueing at once.
+clients=""
+i=1
+while [ "$i" -le "$SOAK_CLIENTS" ]; do
+    curl -sf -X POST -H "Content-Type: text/plain" -H "X-Tenant: tenant-$i" \
+        --data-binary @benchmarks/c432.bench \
+        "http://$addr/jobs" >"$workdir/submit-$i.json" &
+    clients="$clients $!"
+    i=$((i + 1))
+done
+for p in $clients; do
+    wait "$p" || { echo "serve_soak: a submission failed" >&2; exit 1; }
+done
+
+id="$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$workdir/submit-1.json" | head -1)"
+[ -n "$id" ] || { echo "serve_soak: no job id in submit response" >&2; exit 1; }
+
+for _ in $(seq 1 600); do
+    phase="$(curl -sf "http://$addr/jobs/$id" | sed -n 's/.*"phase": *"\([^"]*\)".*/\1/p')"
+    [ "$phase" = "done" ] && break
+    [ "$phase" = "failed" ] && { echo "serve_soak: job failed" >&2; exit 1; }
+    sleep 0.2
+done
+[ "$phase" = "done" ] || { echo "serve_soak: job never finished" >&2; exit 1; }
+
+curl -sf "http://$addr/jobs/$id/result" | grep -q '"feasible": *true' || {
+    echo "serve_soak: finished job is not feasible" >&2
+    exit 1
+}
+curl -sf "http://$addr/metricz" >"$SOAK_OUT"
+grep -q '"serve.jobs.finished"' "$SOAK_OUT" || {
+    echo "serve_soak: /metricz snapshot missing serve counters: $SOAK_OUT" >&2
+    exit 1
+}
+
+kill -TERM "$srvpid"
+set +e
+wait "$srvpid"
+code=$?
+set -e
+srvpid=""
+if [ "$code" -ne 4 ]; then
+    echo "serve_soak: SIGTERM exit code $code, want 4 (interrupted)" >&2
+    cat "$workdir/stderr" >&2
+    exit 1
+fi
+echo "serve_soak: OK (metricz snapshot -> $SOAK_OUT)"
