@@ -44,7 +44,7 @@ func (s *Server) SelfTest(ctx context.Context) error {
 		return fmt.Errorf("serve: self-test: %w", context.Cause(ctx))
 	case <-s.ctx.Done():
 		return fmt.Errorf("serve: self-test: %w", context.Cause(s.ctx))
-	case <-j.done:
+	case <-j.doneCh():
 	}
 	st := j.status()
 	if st.Phase != PhaseDone.String() {

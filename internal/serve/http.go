@@ -179,7 +179,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// clear the per-response deadline (the idle/read limits still apply
 	// to the connection).
 	_ = rc.SetWriteDeadline(time.Time{})
-	ch, cancel := j.events.Subscribe(obs.DefaultSubscriberBuffer)
+	ch, cancel := j.stream().Subscribe(obs.DefaultSubscriberBuffer)
 	defer cancel()
 	writeEvent := func(v any) bool {
 		data, err := json.Marshal(v)

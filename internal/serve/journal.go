@@ -10,7 +10,12 @@
 // The sequence is logically append-only; physically each append
 // republishes the whole journal file through the atomic-write protocol,
 // so a crash at any point leaves the previous journal intact — never a
-// truncated or interleaved one. Job specs and results live in side files
+// truncated or interleaved one. To keep that per-append rewrite from
+// growing without bound over a long-lived server, opening a journal
+// compacts it: each terminal job's record run is folded down to its
+// submitted + terminal pair (the per-attempt records only matter while
+// a job is live), so the file size tracks the job count, not the full
+// lifecycle history. Job specs and results live in side files
 // (spec-<id>.json, result-<id>.json) written *before* the record that
 // references them: a crash between the two leaves an orphaned side file,
 // which is harmless, rather than a dangling reference, which would not
@@ -171,7 +176,77 @@ func OpenJournal(fs fsx.FS, dir string, pol *fsx.RetryPolicy) (*Journal, error) 
 		}
 	}
 	j.recs = jf.Records
+	// Compact: terminal jobs fold to their submitted + terminal pair, so
+	// per-append rewrites stay proportional to the job count instead of
+	// the full lifecycle history. Best-effort — if publishing the
+	// compacted file fails, the uncompacted sequence stays authoritative
+	// (compaction is an I/O optimization, never a correctness need).
+	if recs, changed := compactRecords(jf.Records); changed {
+		if err := j.publish(recs); err == nil {
+			j.recs = recs
+		}
+	}
 	return j, nil
+}
+
+// fold applies one record to a job's replayed state.
+func fold(job *ReplayedJob, r Record) {
+	switch r.Event {
+	case EventSubmitted:
+		job.Tenant = r.Detail
+		job.Phase = PhaseQueued
+	case EventStarted:
+		job.Phase = PhaseRunning
+		job.Attempts++
+	case EventFinished:
+		job.Phase = PhaseDone
+		job.Detail = r.Detail
+	case EventFailed:
+		job.Phase = PhaseFailed
+		job.Detail = r.Detail
+	}
+}
+
+// compactRecords rewrites the sequence with each terminal job reduced
+// to a two-record summary that replays to the identical state (tenant,
+// phase, detail; a terminal job's attempt count is only meaningful
+// while it is live). Live jobs keep their records untouched. Reports
+// whether anything shrank; the returned sequence is re-numbered.
+func compactRecords(recs []Record) ([]Record, bool) {
+	byID := make(map[string]*ReplayedJob)
+	perJob := make(map[string][]Record)
+	var order []string
+	for _, r := range recs {
+		if _, ok := byID[r.Job]; !ok {
+			byID[r.Job] = &ReplayedJob{ID: r.Job}
+			order = append(order, r.Job)
+		}
+		fold(byID[r.Job], r)
+		perJob[r.Job] = append(perJob[r.Job], r)
+	}
+	out := make([]Record, 0, len(recs))
+	for _, id := range order {
+		job := byID[id]
+		switch job.Phase {
+		case PhaseDone, PhaseFailed:
+			ev := EventFinished
+			if job.Phase == PhaseFailed {
+				ev = EventFailed
+			}
+			out = append(out,
+				Record{Job: id, Event: EventSubmitted, Detail: job.Tenant},
+				Record{Job: id, Event: ev, Detail: job.Detail})
+		default:
+			out = append(out, perJob[id]...)
+		}
+	}
+	if len(out) == len(recs) {
+		return recs, false
+	}
+	for i := range out {
+		out[i].Seq = i + 1
+	}
+	return out, true
 }
 
 // Dir is the journal's data directory.
@@ -199,11 +274,18 @@ func (j *Journal) Append(job, event, detail string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	rec := Record{Seq: len(j.recs) + 1, Job: job, Event: event, Detail: detail}
-	jf := journalFile{
-		Format:  JournalFormat,
-		Version: JournalVersion,
-		Records: append(append([]Record(nil), j.recs...), rec),
+	recs := append(append([]Record(nil), j.recs...), rec)
+	if err := j.publish(recs); err != nil {
+		return err
 	}
+	j.recs = recs
+	return nil
+}
+
+// publish marshals and atomically republishes the full record sequence.
+// The caller must hold j.mu or have exclusive access (OpenJournal).
+func (j *Journal) publish(recs []Record) error {
+	jf := journalFile{Format: JournalFormat, Version: JournalVersion, Records: recs}
 	data, err := json.MarshalIndent(jf, "", " ")
 	if err != nil {
 		return fmt.Errorf("serve: marshal journal: %w", err)
@@ -211,7 +293,6 @@ func (j *Journal) Append(job, event, detail string) error {
 	if err := fsx.WriteAtomicRetry(j.fs, journalPath(j.dir), data, j.pol); err != nil {
 		return fmt.Errorf("serve: append journal: %w", err)
 	}
-	j.recs = jf.Records
 	return nil
 }
 
@@ -286,20 +367,7 @@ func (j *Journal) Replay() []*ReplayedJob {
 			byID[r.Job] = job
 			order = append(order, job)
 		}
-		switch r.Event {
-		case EventSubmitted:
-			job.Tenant = r.Detail
-			job.Phase = PhaseQueued
-		case EventStarted:
-			job.Phase = PhaseRunning
-			job.Attempts++
-		case EventFinished:
-			job.Phase = PhaseDone
-			job.Detail = r.Detail
-		case EventFailed:
-			job.Phase = PhaseFailed
-			job.Detail = r.Detail
-		}
+		fold(job, r)
 	}
 	return order
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,13 +31,15 @@ func TestJournalAppendReplayRoundTrip(t *testing.T) {
 	}
 
 	// A fresh open replays the identical state — the durable journal is
-	// the source of truth, not the process that wrote it.
+	// the source of truth, not the process that wrote it. Opening also
+	// compacts: terminal j1 folds to its submitted + finished pair (its
+	// started record is history), live j2 keeps both records.
 	j2, err := OpenJournal(nil, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j2.Len() != len(steps) {
-		t.Fatalf("replayed %d records, want %d", j2.Len(), len(steps))
+	if j2.Len() != 4 {
+		t.Fatalf("compacted journal has %d records, want 4", j2.Len())
 	}
 	jobs := j2.Replay()
 	if len(jobs) != 2 {
@@ -49,6 +52,69 @@ func TestJournalAppendReplayRoundTrip(t *testing.T) {
 	// server must requeue.
 	if jobs[1].ID != "j2" || jobs[1].Phase != PhaseRunning || jobs[1].Attempts != 1 {
 		t.Fatalf("j2 replayed as %+v", jobs[1])
+	}
+
+	// Compaction is idempotent: a third open neither shrinks further nor
+	// changes the replayed state.
+	j3, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Len() != 4 {
+		t.Fatalf("second compaction changed the journal: %d records", j3.Len())
+	}
+	jobs3 := j3.Replay()
+	if len(jobs3) != 2 || jobs3[0].Phase != PhaseDone || jobs3[1].Phase != PhaseRunning {
+		t.Fatalf("state drifted across compactions: %+v", jobs3)
+	}
+}
+
+// Compaction bounds the journal: many finished lifecycles fold down to
+// two records per job, and a failed job keeps its terminal detail.
+func TestJournalCompactsTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("j%d", i)
+		for _, s := range []struct{ event, detail string }{
+			{EventSubmitted, "acme"},
+			{EventStarted, "1"},
+			{EventStarted, "2"},
+			{EventFinished, "degraded"},
+		} {
+			if err := j.Append(id, s.event, s.detail); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := j.Append("bad", EventSubmitted, "zenith"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("bad", EventFailed, "optimizer exploded"); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(nil, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 22 { // 10 done jobs × 2 + failed job × 2
+		t.Fatalf("compacted to %d records, want 22", j2.Len())
+	}
+	for _, rj := range j2.Replay() {
+		switch rj.ID {
+		case "bad":
+			if rj.Phase != PhaseFailed || rj.Detail != "optimizer exploded" {
+				t.Fatalf("failed job replayed as %+v", rj)
+			}
+		default:
+			if rj.Phase != PhaseDone || rj.Detail != "degraded" || rj.Tenant != "acme" {
+				t.Fatalf("done job replayed as %+v", rj)
+			}
+		}
 	}
 }
 

@@ -60,13 +60,21 @@ func (q *fairQueue) Full() bool {
 }
 
 // Push enqueues a job for a tenant; ErrOverloaded at capacity.
-func (q *fairQueue) Push(tenant, id string) error {
+func (q *fairQueue) Push(tenant, id string) error { return q.push(tenant, id, false) }
+
+// forcePush enqueues regardless of capacity. Journal replay uses it: at
+// crash time the backlog legitimately holds up to the cap in queued jobs
+// plus every in-flight one, and a restart must never refuse work its own
+// journal admitted — capacity is enforced at admission time only.
+func (q *fairQueue) forcePush(tenant, id string) error { return q.push(tenant, id, true) }
+
+func (q *fairQueue) push(tenant, id string, force bool) error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return errors.New("serve: queue closed")
 	}
-	if q.n >= q.cap {
+	if !force && q.n >= q.cap {
 		q.mu.Unlock()
 		return ErrOverloaded
 	}

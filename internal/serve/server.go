@@ -103,7 +103,10 @@ type Config struct {
 // job is the in-memory state of one job. The server's map owns the
 // identity; the job's own mutex guards the mutable fields.
 type job struct {
-	id     string
+	id string
+	// tenant and spec are written at creation and rewritten only when a
+	// failed (terminal, unqueued) job is resubmitted; the queue's mutex
+	// orders that rewrite before any worker reads them.
 	tenant string
 	spec   *JobSpec
 
@@ -114,8 +117,25 @@ type job struct {
 	gen      int
 	bestCost float64
 
+	// events and done are mu-guarded too: resubmitting a failed job
+	// replaces both for the new lifecycle, so reads go through stream()/
+	// doneCh() and the job's own methods capture them under the lock.
 	events *obs.Broadcaster
 	done   chan struct{} // closed on terminal phase (done/failed)
+}
+
+// stream is the job's current event broadcaster.
+func (j *job) stream() *obs.Broadcaster {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events
+}
+
+// doneCh is the channel closed at the job's next terminal phase.
+func (j *job) doneCh() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
 }
 
 // JobStatus is the JSON view of a job's state.
@@ -261,7 +281,12 @@ func (s *Server) replay() error {
 				break
 			}
 			j.phase = PhaseQueued // a "running" job was interrupted; requeue
-			if err := s.queue.Push(j.tenant, j.id); err != nil {
+			// forcePush, not Push: the journal can hold more unfinished jobs
+			// than QueueCap (a full queue plus the in-flight ones at crash
+			// time), and refusing them here would make the server unable to
+			// restart from its own journal under exactly the overload that
+			// makes crashes likely. Capacity gates admission, not replay.
+			if err := s.queue.forcePush(j.tenant, j.id); err != nil {
 				return fmt.Errorf("serve: requeue %s on replay: %w", j.id, err)
 			}
 			s.o.Log().Info("replayed unfinished job", "job", j.id, "tenant", j.tenant,
@@ -310,7 +335,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.jobs {
-		j.events.Close()
+		j.stream().Close()
 	}
 }
 
@@ -336,10 +361,41 @@ func (s *Server) submit(spec *JobSpec, tenant string) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
-		// The content hash is the ID, so an identical submission — any
-		// tenant, any time — lands on the existing job and its result.
-		s.o.Counter(MetricCacheHits).Inc()
-		return j, true, nil
+		j.mu.Lock()
+		failed := j.phase == PhaseFailed
+		j.mu.Unlock()
+		if !failed {
+			// The content hash is the ID, so an identical submission — any
+			// tenant, any time — lands on the existing job and its result.
+			s.o.Counter(MetricCacheHits).Inc()
+			return j, true, nil
+		}
+		// A failure is not a cacheable outcome: it may have been transient
+		// (fs fault, chaos schedule), so a resubmission re-admits the job
+		// with a fresh attempt window instead of replaying the stale
+		// failure forever. The spec side file already exists; only the
+		// journal record and queue entry are new.
+		if s.queue.Full() {
+			s.o.Counter(MetricOverload).Inc()
+			return nil, false, ErrOverloaded
+		}
+		if err := s.journal.Append(id, EventSubmitted, tenant); err != nil {
+			return nil, false, err
+		}
+		j.mu.Lock()
+		j.phase = PhaseQueued
+		j.detail = ""
+		j.tenant = tenant
+		j.spec = spec
+		j.events = obs.NewBroadcaster() // the failed lifecycle's stream is closed
+		j.done = make(chan struct{})
+		j.mu.Unlock()
+		if err := s.queue.Push(tenant, id); err != nil {
+			return nil, false, err
+		}
+		s.o.Counter(MetricSubmitted).Inc()
+		s.o.Log().Info("failed job resubmitted", "job", id, "tenant", tenant)
+		return j, false, nil
 	}
 	if s.queue.Full() {
 		s.o.Counter(MetricOverload).Inc()
@@ -402,8 +458,9 @@ func (j *job) setRunning(attempt int) {
 	j.mu.Lock()
 	j.phase = PhaseRunning
 	j.attempts = attempt
+	ev := j.events
 	j.mu.Unlock()
-	j.events.Publish(progressEvent{Job: j.id, Phase: PhaseRunning.String()})
+	ev.Publish(progressEvent{Job: j.id, Phase: PhaseRunning.String()})
 }
 
 // progress records optimizer progress and publishes it to the stream.
@@ -411,8 +468,9 @@ func (j *job) progress(gen int, cost float64) {
 	j.mu.Lock()
 	j.gen = gen
 	j.bestCost = cost
+	ev := j.events
 	j.mu.Unlock()
-	j.events.Publish(progressEvent{
+	ev.Publish(progressEvent{
 		Job: j.id, Phase: PhaseRunning.String(),
 		Generation: gen, BestCost: cost,
 	})
@@ -425,13 +483,14 @@ func (j *job) finish(phase JobPhase, detail string) {
 	j.phase = phase
 	j.detail = detail
 	gen, cost := j.gen, j.bestCost
+	ev, done := j.events, j.done
 	j.mu.Unlock()
-	j.events.Publish(progressEvent{
+	ev.Publish(progressEvent{
 		Job: j.id, Phase: phase.String(),
 		Generation: gen, BestCost: cost, Detail: detail,
 	})
-	j.events.Close()
-	close(j.done)
+	ev.Close()
+	close(done)
 }
 
 // runJob executes one job to a durable terminal state, with bounded
@@ -491,7 +550,14 @@ func (s *Server) runJob(id string) {
 // capped at 2s, jittered over [d/2, 3d/2) by the server's seeded source,
 // and cut short by shutdown.
 func (s *Server) backoff(attempt int) {
-	d := 50 * time.Millisecond << (attempt - 1)
+	// Clamp the exponent before shifting: attempts accumulate across
+	// restarts via journal replay, and an unclamped shift overflows into
+	// a negative or zero duration whose jitter draw would panic.
+	e := attempt - 1
+	if e > 6 {
+		e = 6 // 50ms<<6 already exceeds the 2s cap below
+	}
+	d := 50 * time.Millisecond << e
 	if d > 2*time.Second {
 		d = 2 * time.Second
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,10 +10,12 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"iddqsyn/internal/chaos"
+	"iddqsyn/internal/fsx"
 	"iddqsyn/internal/obs"
 	"iddqsyn/internal/partcheck"
 )
@@ -247,6 +250,116 @@ func TestServerEventsStream(t *testing.T) {
 	}
 	if ev.Job != st.ID || ev.Phase != "done" {
 		t.Fatalf("first event %+v", ev)
+	}
+}
+
+// Restart must never be refused by the admission cap: at crash time the
+// journal can hold more unfinished jobs than QueueCap (a full queue
+// plus the in-flight ones), so replay bypasses the capacity check.
+func TestServerReplayExceedsQueueCap(t *testing.T) {
+	dir := t.TempDir()
+	a, err := New(Config{Dir: dir, Workers: 1, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		spec := &JobSpec{Netlist: c17Netlist(t), Generations: 10, Seed: int64(i + 1)}
+		j, _, err := a.submit(spec, "acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.id)
+	}
+	a.Close() // never started: all three are durably queued
+
+	// The restarted server's cap is smaller than its own backlog —
+	// exactly the overload shape under which crashes are most likely.
+	b, err := New(Config{Dir: dir, Workers: 1, QueueCap: 1})
+	if err != nil {
+		t.Fatalf("restart refused its own journal: %v", err)
+	}
+	defer b.Close()
+	b.Start()
+	for _, id := range ids {
+		j := b.lookup(id)
+		if j == nil {
+			t.Fatalf("job %s not replayed", id)
+		}
+		select {
+		case <-j.doneCh():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("replayed job %s never finished", id)
+		}
+		if st := j.status(); st.Phase != "done" {
+			t.Fatalf("replayed job %s ended %s: %s", id, st.Phase, st.Detail)
+		}
+	}
+}
+
+// backoff must tolerate the huge attempt numbers a crash-looping job
+// accumulates across restarts: no shift overflow, no jitter panic.
+func TestServerBackoffLargeAttemptNoPanic(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Obs: obs.New("test", nil, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.cancel(errShutdown) // cancelled context: the sleeps return immediately
+	for _, attempt := range []int{1, 6, 7, 38, 39, 64, 65, 1 << 20} {
+		s.backoff(attempt)
+	}
+}
+
+// failingResultFS fails every rename that would publish a result side
+// file while armed — a transient persistent-storage fault localized to
+// results (journal, spec and checkpoint writes stay healthy).
+type failingResultFS struct {
+	fsx.FS
+	fail atomic.Bool
+}
+
+func (f *failingResultFS) Rename(oldpath, newpath string) error {
+	if f.fail.Load() && strings.Contains(newpath, "result-") {
+		return errors.New("injected: result volume offline")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// A failed job must not poison the cache forever: once the transient
+// cause clears, resubmitting the identical spec re-admits the job with
+// a fresh attempt window instead of replaying the stale failure.
+func TestServerFailedJobResubmission(t *testing.T) {
+	ffs := &failingResultFS{FS: fsx.OS{}}
+	ffs.fail.Store(true)
+	s, hs := newTestServer(t, Config{
+		Workers: 1,
+		FS:      ffs,
+		Retry:   &fsx.RetryPolicy{Attempts: 2, BaseDelay: 1, MaxDelay: 1},
+	})
+	s.Start()
+	spec := &JobSpec{Netlist: c17Netlist(t), Generations: 20, Seed: 9}
+	_, st := postJSON(t, hs.URL, spec)
+	if got := waitDone(t, hs.URL, st.ID); got.Phase != "failed" {
+		t.Fatalf("job under result-write faults ended %s, want failed", got.Phase)
+	}
+
+	// Fault cleared: the identical submission re-runs rather than
+	// cache-hitting the failure — 202, same content-derived ID.
+	ffs.fail.Store(false)
+	resp, st2 := postJSON(t, hs.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit of failed job: status %d, want 202", resp.StatusCode)
+	}
+	if st2.ID != st.ID {
+		t.Fatalf("resubmission changed the job ID: %s vs %s", st2.ID, st.ID)
+	}
+	final := waitDone(t, hs.URL, st2.ID)
+	if final.Phase != "done" {
+		t.Fatalf("resubmitted job ended %s: %s", final.Phase, final.Detail)
+	}
+	if res := getResult(t, hs.URL, st.ID); res.Modules < 1 {
+		t.Fatalf("thin result after resubmission: %+v", res)
 	}
 }
 

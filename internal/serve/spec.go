@@ -194,21 +194,47 @@ func (s *JobSpec) Options() (core.Options, error) {
 
 // Hash is the spec's content hash: sha256 over the circuit fingerprint
 // (structural — whitespace, comments and line order in the netlist do
-// not matter) and every result-determining option. Tenant and Name are
-// excluded, so identical work submitted by different tenants or under
-// different labels dedupes onto one job. Job IDs are derived from this
-// hash, which is what makes the results cache fall out of the ID scheme
-// instead of needing one of its own.
+// not matter) and every result-determining option, canonicalized so a
+// defaulted field hashes identically to its explicit default. Tenant
+// and Name are excluded, so identical work submitted by different
+// tenants or under different labels dedupes onto one job. Job IDs are
+// derived from this hash, which is what makes the results cache fall
+// out of the ID scheme instead of needing one of its own.
 func (s *JobSpec) Hash() (string, error) {
 	c, err := s.Circuit()
 	if err != nil {
 		return "", err
 	}
+	// Canonicalize before hashing: Options()/the runtime treat the zero
+	// value and the explicit default identically, so the hash must too or
+	// semantically identical submissions would split the dedupe cache.
+	method := s.Method
+	if method == "" {
+		method = "evolution"
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	gens := s.Generations
+	if gens == 0 {
+		gens = evolution.DefaultParams().MaxGenerations
+	}
+	d := s.Discriminability
+	if d == 0 {
+		d = partition.DefaultConstraints().MinDiscriminability
+	}
+	// Normalize the duration spelling ("60s" == "1m"). An empty Timeout
+	// stays empty: it means "the server's default budget at run time",
+	// which is config-dependent, not a fixed duration.
+	timeout := s.Timeout
+	if td, perr := time.ParseDuration(timeout); timeout != "" && perr == nil {
+		timeout = td.String()
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "v1\n%s\n", bench.Fingerprint(c))
 	fmt.Fprintf(h, "method=%s size=%d modules=%d gens=%d seed=%d d=%g timeout=%s\n",
-		s.Method, s.ModuleSize, s.Modules, s.Generations, s.Seed,
-		s.Discriminability, s.Timeout)
+		method, s.ModuleSize, s.Modules, gens, seed, d, timeout)
 	// Workers deliberately excluded: the evolution result is bit-identical
 	// for any worker count, so parallelism must not split the cache.
 	return hex.EncodeToString(h.Sum(nil)), nil

@@ -102,6 +102,25 @@ func TestJobSpecHash(t *testing.T) {
 	if hw, _ := w.Hash(); hw != ha {
 		t.Fatal("workers must not split the cache: the result is bit-identical for any worker count")
 	}
+	// Defaulted fields hash identically to their explicit defaults: the
+	// runtime treats them the same, so the cache must too.
+	expl := &JobSpec{Netlist: nl, Generations: 10, Method: "evolution", Seed: 1}
+	if he, _ := expl.Hash(); he != ha {
+		t.Fatal("explicit defaults must not split the content hash")
+	}
+	t60 := &JobSpec{Netlist: nl, Generations: 10, Timeout: "60s"}
+	t1m := &JobSpec{Netlist: nl, Generations: 10, Timeout: "1m"}
+	h60, _ := t60.Hash()
+	if h1m, _ := t1m.Hash(); h60 != h1m {
+		t.Fatal("one timeout spelled two ways must not split the content hash")
+	}
+	if h60 == ha {
+		t.Fatal("an explicit timeout must hash apart from the server-default budget")
+	}
+	s2 := &JobSpec{Netlist: nl, Generations: 10, Seed: 2}
+	if hs2, _ := s2.Hash(); hs2 == ha {
+		t.Fatal("a different seed must produce a different hash")
+	}
 	id, err := a.JobID()
 	if err != nil || len(id) != 17 || id[0] != 'j' {
 		t.Fatalf("JobID = %q, %v", id, err)
