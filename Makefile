@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint lint-baseline race chaos fuzz-isc fuzz-ckpt fuzz-jobspec bench bench-json obs-demo serve-demo serve-soak clean
+.PHONY: check build test vet lint lint-baseline lint-escape race chaos fuzz-isc fuzz-ckpt fuzz-jobspec fuzz-directives bench bench-json obs-demo serve-demo serve-soak clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
@@ -17,6 +17,13 @@ lint:
 # accepting existing findings — the goal state is an empty baseline.
 lint-baseline:
 	$(GO) run ./cmd/iddqlint -baseline-update ./...
+
+# Cross-check the hotalloc analyzer against the compiler's escape
+# analysis (-gcflags=-m=1): every compiler heap diagnostic inside a hot
+# function body must be an allocation site the analyzer saw. Fails on
+# analyzer false negatives.
+lint-escape:
+	$(GO) run ./cmd/iddqlint -escapecheck ./...
 
 build:
 	$(GO) build ./...
@@ -55,6 +62,11 @@ fuzz-ckpt:
 # Fuzz the serving layer's job-spec parser (named errors, never panics).
 fuzz-jobspec:
 	$(GO) test ./internal/serve/ -fuzz FuzzJobSpec -fuzztime 30s
+
+# Fuzz the lint directive parsers (//lint:hotpath, //lint:ignore —
+# malformed input must produce findings, never panics).
+fuzz-directives:
+	$(GO) test ./internal/lint/ -fuzz FuzzDirectives -fuzztime 30s
 
 # Serving-layer quick-start: boot iddqserve, submit c432 as raw bench
 # text and as a JSON spec (content-cache hit), stream SSE progress,

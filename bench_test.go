@@ -40,6 +40,7 @@ func benchEvolution() evolution.Params {
 
 // benchmarkTable1Row regenerates one row of Table 1 per iteration.
 func benchmarkTable1Row(b *testing.B, circuit string) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var last experiments.Table1Row
 	for i := 0; i < b.N; i++ {
@@ -67,6 +68,7 @@ func BenchmarkTable1_C7552(b *testing.B) { benchmarkTable1Row(b, "c7552") }
 // Figure 1: the BIC sensor measurement cycle (vector application, IDDQ
 // sensing, PASS/FAIL decision) on the C17 chip model.
 func BenchmarkFigure1SensorCycle(b *testing.B) {
+	b.ReportAllocs()
 	res, err := experiments.Figure1Demo()
 	if err != nil {
 		b.Fatal(err)
@@ -87,6 +89,7 @@ func BenchmarkFigure1SensorCycle(b *testing.B) {
 // reported metric is the per-sensor area ratio of the column partition
 // over the row partition (paper: partition 1, the row grouping, wins).
 func BenchmarkFigure2GroupShape(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Figure2(3, 6)
@@ -101,6 +104,7 @@ func BenchmarkFigure2GroupShape(b *testing.B) {
 // Figures 3-5: the C17 evolution trace to the published optimum
 // {(1,3,5), (2,4,6)}.
 func BenchmarkC17Evolution(b *testing.B) {
+	b.ReportAllocs()
 	reached := 0
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.C17Trace(context.Background(), int64(i+1))
@@ -116,6 +120,7 @@ func BenchmarkC17Evolution(b *testing.B) {
 
 // §5 convergence claim: generations and evaluations to a stable cost.
 func benchmarkConvergence(b *testing.B, circuit string) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var gens, evals int
 	for i := 0; i < b.N; i++ {
@@ -140,6 +145,7 @@ func BenchmarkEvolutionConvergence_C1908(b *testing.B) { benchmarkConvergence(b,
 
 // §4 ablations: the design choices DESIGN.md calls out.
 func BenchmarkAblationMonteCarlo(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var res *experiments.AblationResult
 	for i := 0; i < b.N; i++ {
@@ -153,6 +159,7 @@ func BenchmarkAblationMonteCarlo(b *testing.B) {
 }
 
 func BenchmarkAblationLifetime(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var res *experiments.AblationResult
 	for i := 0; i < b.N; i++ {
@@ -169,6 +176,7 @@ func BenchmarkAblationLifetime(b *testing.B) {
 // mutation, incremental (only touched modules recomputed) vs from-scratch
 // partition construction.
 func BenchmarkIncrementalCost(b *testing.B) {
+	b.ReportAllocs()
 	p := mutatedPartition(b)
 	rng := rand.New(rand.NewSource(7))
 	b.ResetTimer()
@@ -180,6 +188,7 @@ func BenchmarkIncrementalCost(b *testing.B) {
 }
 
 func BenchmarkFullRecomputeCost(b *testing.B) {
+	b.ReportAllocs()
 	p := mutatedPartition(b)
 	rng := rand.New(rand.NewSource(7))
 	e, w, cons := p.E, p.W, p.Cons
@@ -247,6 +256,7 @@ func estimatorFixture(b *testing.B) (*estimate.Estimator, [][]int) {
 }
 
 func BenchmarkEstimatorsModuleEval(b *testing.B) {
+	b.ReportAllocs()
 	e, groups := estimatorFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -255,6 +265,7 @@ func BenchmarkEstimatorsModuleEval(b *testing.B) {
 }
 
 func BenchmarkEstimatorsMaxCurrent(b *testing.B) {
+	b.ReportAllocs()
 	e, groups := estimatorFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -263,6 +274,7 @@ func BenchmarkEstimatorsMaxCurrent(b *testing.B) {
 }
 
 func BenchmarkEstimatorsSeparation(b *testing.B) {
+	b.ReportAllocs()
 	e, groups := estimatorFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -271,6 +283,7 @@ func BenchmarkEstimatorsSeparation(b *testing.B) {
 }
 
 func BenchmarkEstimatorsBICDelay(b *testing.B) {
+	b.ReportAllocs()
 	e, groups := estimatorFixture(b)
 	mods := make([]*estimate.Module, len(groups))
 	moduleOf := make([]int, e.A.Circuit.NumGates())
@@ -289,6 +302,7 @@ func BenchmarkEstimatorsBICDelay(b *testing.B) {
 // §3.4 substrate: ATPG and fault simulation cost (the test-set generation
 // the test-application-time estimator assumes precomputed).
 func BenchmarkATPGC880(b *testing.B) {
+	b.ReportAllocs()
 	c := circuits.MustISCAS85Like("c880")
 	cfg := faults.DefaultConfig()
 	cfg.MaxBridges = 500
@@ -314,6 +328,7 @@ func Example_fixtures() {
 // Optimizer comparison: evolution vs simulated annealing vs hill climbing
 // at equal evaluation budgets from identical fine-grained starts.
 func BenchmarkOptimizerComparison(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var rows []experiments.OptimizerRow
 	for i := 0; i < b.N; i++ {
@@ -331,6 +346,7 @@ func BenchmarkOptimizerComparison(b *testing.B) {
 // Sensor-technology table: the quantitative version of the paper's
 // argument for the bypass-MOS sensor class.
 func BenchmarkSensorVariants(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var rows []experiments.VariantRow
 	for i := 0; i < b.N; i++ {
@@ -345,6 +361,7 @@ func BenchmarkSensorVariants(b *testing.B) {
 
 // Readout scheduling: the area-vs-test-time trade-off behind cost c5.
 func BenchmarkScheduleStudy(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var rows []experiments.ScheduleRow
 	for i := 0; i < b.N; i++ {
@@ -359,6 +376,7 @@ func BenchmarkScheduleStudy(b *testing.B) {
 
 // Cost-aware technology mapping (the paper's "next step").
 func BenchmarkTechmapStudy(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := experiments.TechmapStudy(context.Background(), "c432", prm); err != nil {
@@ -369,6 +387,7 @@ func BenchmarkTechmapStudy(b *testing.B) {
 
 // Weight sweep: the Speed-Area-Testability design-space exploration of §2.
 func BenchmarkWeightSweep(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var points []experiments.WeightSweepPoint
 	for i := 0; i < b.N; i++ {
@@ -383,6 +402,7 @@ func BenchmarkWeightSweep(b *testing.B) {
 
 // Estimator pessimism: the §3.1 upper-bound guarantee, measured.
 func BenchmarkEstimatorPessimism(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var worst float64
 	for i := 0; i < b.N; i++ {
@@ -404,6 +424,7 @@ func BenchmarkEstimatorPessimism(b *testing.B) {
 // measurement — the fault-location payoff of the BIC architecture
 // (paper reference [4]).
 func BenchmarkDiagnosticResolution(b *testing.B) {
+	b.ReportAllocs()
 	c := circuits.MustISCAS85Like("c432")
 	eprm := benchEvolution()
 	res, err := core.Synthesize(c, core.Options{Evolution: &eprm, ModuleSize: 40})
@@ -437,6 +458,7 @@ func BenchmarkDiagnosticResolution(b *testing.B) {
 // discriminability choice. The metric is the escape rate at the paper's
 // 1 µA operating point (bounded below by the ATPG excitation coverage).
 func BenchmarkYieldThresholdSweep(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var at1uA float64
 	for i := 0; i < b.N; i++ {
@@ -457,6 +479,7 @@ func BenchmarkYieldThresholdSweep(b *testing.B) {
 // Scan-chain ordering across the ISCAS89-like set: wiring saved by the
 // nearest-neighbour order vs declaration order on the largest circuit.
 func BenchmarkScanChainOrdering(b *testing.B) {
+	b.ReportAllocs()
 	var saved float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.ScanStudy()
@@ -473,6 +496,7 @@ func BenchmarkScanChainOrdering(b *testing.B) {
 // comparator under growing die-to-die leakage spread. The metric is the
 // fixed threshold's overkill at σ = 2.0, which signature analysis avoids.
 func BenchmarkDeltaIDDQComparison(b *testing.B) {
+	b.ReportAllocs()
 	prm := benchEvolution()
 	var fixedOvk, deltaOvk float64
 	for i := 0; i < b.N; i++ {
@@ -491,6 +515,7 @@ func BenchmarkDeltaIDDQComparison(b *testing.B) {
 // residue of the full c432 bridge universe. Metrics: new detections and
 // proofs per run.
 func BenchmarkATPGDeterministicTopUp(b *testing.B) {
+	b.ReportAllocs()
 	c := circuits.MustISCAS85Like("c432")
 	cfg := faults.DefaultConfig()
 	cfg.MaxBridges = 0

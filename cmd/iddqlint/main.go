@@ -26,6 +26,9 @@
 //	-baseline file    subtract grandfathered findings recorded in file
 //	-baseline-update  rewrite the baseline file from current findings
 //	-fact-debug       dump exported facts to stderr after the run
+//	-escapecheck      diff hotalloc against the compiler's escape
+//	                  analysis (go build -gcflags=-m=1); exit 1 on an
+//	                  analyzer false negative
 //
 // The exit status is 0 when the tree is clean (or fully absorbed by the
 // baseline), 1 when findings were reported, and 2 on usage, load,
@@ -56,7 +59,7 @@ import (
 )
 
 // toolVersion is reported in SARIF logs.
-const toolVersion = "2.0.0"
+const toolVersion = "3.0.0"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -75,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings")
 	baselineUpdate := fs.Bool("baseline-update", false, "rewrite the baseline file from current findings")
 	factDebug := fs.Bool("fact-debug", false, "dump exported facts to stderr after the run")
+	escapeCheck := fs.Bool("escapecheck", false, "cross-check hotalloc against the compiler's escape analysis (-gcflags=-m=1)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -106,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	if *escapeCheck {
+		return runEscapeCheck(dir, patterns, stdout, stderr)
 	}
 
 	prog, err := analysis.LoadModule(dir, patterns)
@@ -211,6 +218,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runEscapeCheck diffs the hotalloc allocation model against the
+// compiler's escape analysis. Exit 0 when every compiler heap diagnostic
+// inside a hot function body is covered by an analyzer site, 1 when the
+// analyzer missed one (a false negative), 2 on tooling failure.
+func runEscapeCheck(dir string, patterns []string, stdout, stderr io.Writer) int {
+	rep, err := lint.EscapeCheck(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "iddqlint:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "iddqlint -escapecheck: %d hot func(s), %d analyzer site(s), %d compiler heap diag(s) in hot bodies, %d matched\n",
+		rep.HotFuncs, rep.AnalyzerSites, rep.CompilerDiags, rep.Matched)
+	if len(rep.FalseNegatives) == 0 {
+		return 0
+	}
+	fmt.Fprintf(stdout, "iddqlint -escapecheck: %d false negative(s) — heap allocations the analyzer did not model:\n", len(rep.FalseNegatives))
+	for _, d := range rep.FalseNegatives {
+		fmt.Fprintln(stdout, "  "+d.String())
+	}
+	return 1
 }
 
 // jsonFinding is the -json output shape, one object per finding.

@@ -113,6 +113,8 @@ func (r *Result) interrupt(ctxErr error, optimizer string) {
 
 // penalised returns the cost with the same graded infeasibility penalty
 // the evolution strategy uses, so the optimizers chase the same landscape.
+//
+//lint:hotpath anneal move loop cost — evaluated once per candidate move
 func penalised(p *partition.Partition) float64 {
 	c := p.Cost()
 	if worst := p.WorstDiscriminability(); worst < p.Cons.MinDiscriminability {
@@ -121,24 +123,37 @@ func penalised(p *partition.Partition) float64 {
 	return c
 }
 
+// moveBuf holds the reusable buffers of randomMove. One buffer serves a
+// whole optimizer run; the slices never escape a single call.
+type moveBuf struct {
+	gates   []int  // boundary gates of the source module
+	targets []int  // legal target modules of one gate
+	one     [1]int // single-gate argument for MoveGates
+}
+
 // randomMove applies one random boundary-gate move in place and returns
 // false if the partition has no legal move.
-func randomMove(p *partition.Partition, rng *rand.Rand) bool {
+//
+//lint:hotpath anneal/hill-climb move generator — one call per candidate move
+func randomMove(p *partition.Partition, rng *rand.Rand, sc *moveBuf) bool {
 	if p.NumModules() < 2 {
 		return false
 	}
 	for attempt := 0; attempt < 8; attempt++ {
 		src := rng.Intn(p.NumModules())
-		boundary := p.BoundaryGates(src)
+		boundary := p.AppendBoundaryGates(sc.gates[:0], src)
+		sc.gates = boundary[:0]
 		if len(boundary) == 0 {
 			continue
 		}
 		g := boundary[rng.Intn(len(boundary))]
-		targets := p.ConnectedModules(g)
+		targets := p.AppendConnectedModules(sc.targets[:0], g)
+		sc.targets = targets[:0]
 		if len(targets) == 0 {
 			continue
 		}
-		if _, err := p.MoveGates([]int{g}, src, targets[rng.Intn(len(targets))]); err == nil {
+		sc.one[0] = g
+		if _, err := p.MoveGates(sc.one[:], src, targets[rng.Intn(len(targets))]); err == nil {
 			return true
 		}
 	}
@@ -179,10 +194,11 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 	cur := start.Clone()
 	curCost := penalised(cur)
 	res = &Result{Best: cur.Clone(), BestCost: curCost}
+	var mb moveBuf
 
 	temp := prm.InitialTemp
 	if temp == 0 {
-		temp = calibrateTemp(cur, curCost, rng)
+		temp = calibrateTemp(cur, curCost, rng, &mb)
 	}
 	log.Info("anneal run begin",
 		"circuit", start.E.A.Circuit.Name, "initial_temp", temp,
@@ -198,7 +214,7 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 		}
 		for i := 0; i < prm.MovesPerEpoch && res.Moves < prm.MaxMoves; i++ {
 			cand := cur.Clone()
-			if !randomMove(cand, rng) {
+			if !randomMove(cand, rng, &mb) {
 				res.Moves = prm.MaxMoves
 				break
 			}
@@ -237,12 +253,12 @@ func AnnealContext(ctx context.Context, start *partition.Partition, prm Params) 
 // calibrateTemp samples random moves and sets T₀ so an average uphill
 // move is accepted with probability ≈ 0.8 (the classic Kirkpatrick
 // initialisation).
-func calibrateTemp(p *partition.Partition, baseCost float64, rng *rand.Rand) float64 {
+func calibrateTemp(p *partition.Partition, baseCost float64, rng *rand.Rand, mb *moveBuf) float64 {
 	var upSum float64
 	ups := 0
 	for i := 0; i < 24; i++ {
 		cand := p.Clone()
-		if !randomMove(cand, rng) {
+		if !randomMove(cand, rng, mb) {
 			break
 		}
 		if d := penalised(cand) - baseCost; d > 0 {
@@ -294,6 +310,7 @@ func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves,
 		"patience", patience, "seed", seed)
 	bestG.Set(res.BestCost)
 	rejected := 0
+	var mb moveBuf
 	for res.Moves < maxMoves && rejected < patience {
 		if res.Moves%hillClimbCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -304,7 +321,7 @@ func HillClimbContext(ctx context.Context, start *partition.Partition, maxMoves,
 			}
 		}
 		cand := cur.Clone()
-		if !randomMove(cand, rng) {
+		if !randomMove(cand, rng, &mb) {
 			break
 		}
 		res.Moves++

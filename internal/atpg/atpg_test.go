@@ -223,6 +223,7 @@ func TestFaultSimEmpty(t *testing.T) {
 }
 
 func BenchmarkGenerateC880(b *testing.B) {
+	b.ReportAllocs()
 	c := circuits.MustISCAS85Like("c880")
 	cfg := faults.DefaultConfig()
 	cfg.MaxBridges = 500

@@ -169,8 +169,9 @@ type Circuit struct {
 	Outputs []int  // IDs of gates observed as primary outputs
 
 	byName map[string]int
-	levels []int // levelisation cache: longest path from any input
-	order  []int // topological order cache
+	levels []int   // levelisation cache: longest path from any input
+	order  []int   // topological order cache
+	nbrs   [][]int // undirected logic-graph adjacency cache
 }
 
 // NumGates returns the total number of vertices including primary inputs.
@@ -216,16 +217,19 @@ func (c *Circuit) TopoOrder() []int {
 	if c.order != nil {
 		return c.order
 	}
+	//lint:ignore hotalloc lazy cache: built once per circuit, every later hot-path call returns the cached slice
 	indeg := make([]int, len(c.Gates))
 	for i := range c.Gates {
 		indeg[i] = len(c.Gates[i].Fanin)
 	}
+	//lint:ignore hotalloc lazy cache: built once per circuit
 	queue := make([]int, 0, len(c.Gates))
 	for i := range c.Gates {
 		if indeg[i] == 0 {
 			queue = append(queue, i)
 		}
 	}
+	//lint:ignore hotalloc lazy cache: built once per circuit
 	order := make([]int, 0, len(c.Gates))
 	for len(queue) > 0 {
 		g := queue[0]
@@ -261,6 +265,7 @@ func (c *Circuit) Levels() []int {
 	if c.levels != nil {
 		return c.levels
 	}
+	//lint:ignore hotalloc lazy cache: built once per circuit, hot-path calls return the cached slice
 	lv := make([]int, len(c.Gates))
 	for _, g := range c.TopoOrder() {
 		max := -1
@@ -290,9 +295,26 @@ func (c *Circuit) Depth() int {
 // Neighbors returns the undirected neighbourhood of gate id restricted to
 // logic gates (primary inputs are excluded, since the separation parameter
 // of §3.3 is defined on the circuit graph being partitioned). The result
-// is sorted and deduplicated.
+// is sorted and deduplicated; it is a shared cache entry, so callers must
+// not modify it. Like the other lazy caches the whole table is built on
+// first use — before the circuit is shared across optimizer goroutines —
+// so the optimizers' move loops (which query neighbourhoods once per
+// attempted mutation) read it without allocating.
 func (c *Circuit) Neighbors(id int) []int {
+	if c.nbrs == nil {
+		//lint:ignore hotalloc lazy cache: the whole table is built on first use, then every move-loop query is allocation-free
+		nbrs := make([][]int, len(c.Gates))
+		for g := range c.Gates {
+			nbrs[g] = c.neighborsOf(g)
+		}
+		c.nbrs = nbrs
+	}
+	return c.nbrs[id]
+}
+
+func (c *Circuit) neighborsOf(id int) []int {
 	g := &c.Gates[id]
+	//lint:ignore hotalloc runs only while Neighbors builds its one-time cache table
 	out := make([]int, 0, len(g.Fanin)+len(g.Fanout))
 	for _, f := range g.Fanin {
 		if c.Gates[f].Type != Input {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"iddqsyn/internal/celllib"
@@ -81,6 +82,33 @@ type Estimator struct {
 	// estimate.inf) so the numeric guards between here and the optimizers
 	// can be exercised deterministically.
 	chaos *chaos.Injector
+
+	// scratch pools the per-EvalModule transient buffers (current
+	// profile, module membership mask). EvalModule runs millions of times
+	// per optimizer run on concurrent worker pools, so these must not be
+	// allocated per call. Pool contents never affect results: the buffers
+	// are (re)initialized before every use.
+	scratch sync.Pool
+}
+
+// evalScratch is the transient working memory of one EvalModule call.
+type evalScratch struct {
+	prof     []float64 // current profile over the time grid
+	inModule []bool    // gate-ID membership mask; all false between uses
+}
+
+func (e *Estimator) getScratch() *evalScratch {
+	sc, _ := e.scratch.Get().(*evalScratch)
+	if sc == nil {
+		//lint:ignore hotalloc pool miss only: steady-state evaluations reuse pooled scratch
+		sc = &evalScratch{
+			//lint:ignore hotalloc pool miss only
+			prof: make([]float64, e.TS.Depth()+1),
+			//lint:ignore hotalloc pool miss only
+			inModule: make([]bool, e.A.Circuit.NumGates()),
+		}
+	}
+	return sc
 }
 
 // SetObs attaches run telemetry: every EvalModule call increments
@@ -195,12 +223,16 @@ func (e *Estimator) EvalModule(gates []int) *Module {
 		e.evalCalls.Inc()
 		defer e.evalSeconds.ObserveSince(time.Now())
 	}
+	//lint:ignore hotalloc the Module is the call's result, retained in the partition's estimate cache
 	m := &Module{Gates: gates}
 	if len(gates) == 0 {
+		//lint:ignore hotalloc retained in the returned Module; empty modules only
 		m.Activity = make([]int, e.TS.Depth()+1)
 		return m
 	}
-	m.IDDMax = e.TS.MaxCurrent(e.A, gates)
+	sc := e.getScratch()
+	defer e.scratch.Put(sc)
+	m.IDDMax = e.TS.maxCurrentScratch(e.A, gates, sc.prof)
 	if e.chaos.Hit(chaos.SiteEstimateNaN) {
 		m.IDDMax = math.NaN() // poison: SensorROn's guard must catch it
 	}
@@ -217,7 +249,7 @@ func (e *Estimator) EvalModule(gates []int) *Module {
 	}
 	m.LeakND = mustFinite("IDDQ,nd", m.LeakND)
 	m.Settle = must(electrical.SettlingTime(m.Tau, m.IDDMax, e.P.IDDQth))
-	m.Separation = e.SeparationModule(gates)
+	m.Separation = e.separationScratch(gates, sc.inModule)
 	m.Activity = e.TS.ActivityProfile(gates)
 	return m
 }
@@ -230,10 +262,16 @@ func (e *Estimator) EvalModule(gates []int) *Module {
 // S(M) = ρ·(number of pairs) − Σ_{near pairs} (ρ − dist); only the cached
 // ρ-hop neighbourhoods need to be scanned.
 func (e *Estimator) SeparationModule(gates []int) int {
+	return e.separationScratch(gates, make([]bool, e.A.Circuit.NumGates()))
+}
+
+// separationScratch is SeparationModule against a caller-provided
+// membership mask (all false on entry; restored to all false on return so
+// pooled masks need no full clear between uses).
+func (e *Estimator) separationScratch(gates []int, inModule []bool) int {
 	if len(gates) < 2 {
 		return 0
 	}
-	inModule := make([]bool, e.A.Circuit.NumGates())
 	for _, g := range gates {
 		inModule[g] = true
 	}
@@ -247,6 +285,9 @@ func (e *Estimator) SeparationModule(gates []int) int {
 				sum -= rho - int(dists[i])
 			}
 		}
+	}
+	for _, g := range gates {
+		inModule[g] = false
 	}
 	return sum
 }
@@ -266,6 +307,13 @@ func (e *Estimator) BICDelay(moduleOf []int, mods []*Module) float64 {
 	return e.longestPath(moduleOf, mods, nil)
 }
 
+// BICDelayScratch is BICDelay with a caller-provided arrival-time buffer
+// (reused when cap(scratch) covers the circuit), for cost evaluations on
+// the optimizers' hot path.
+func (e *Estimator) BICDelayScratch(moduleOf []int, mods []*Module, scratch []float64) float64 {
+	return e.longestPath(moduleOf, mods, scratch)
+}
+
 // longestPath computes the circuit delay; with mods == nil it is the
 // nominal delay, otherwise per-gate degradation factors are applied.
 // scratch, if non-nil, is reused for arrival times.
@@ -273,6 +321,7 @@ func (e *Estimator) longestPath(moduleOf []int, mods []*Module, scratch []float6
 	c := e.A.Circuit
 	arrival := scratch
 	if cap(arrival) < c.NumGates() {
+		//lint:ignore hotalloc fallback when the caller provides no (or an undersized) pooled buffer
 		arrival = make([]float64, c.NumGates())
 	} else {
 		arrival = arrival[:c.NumGates()]

@@ -106,6 +106,7 @@ func (ts *TimeSets) NumTimes(gate int) int { return ts.sets[gate].count() }
 // §3.2 delay degradation model, and the profile whose current-weighted
 // maximum is îDD,max.
 func (ts *TimeSets) ActivityProfile(gates []int) []int {
+	//lint:ignore hotalloc the profile is retained in the returned Module estimate, which the partition caches per module
 	prof := make([]int, ts.depth+1)
 	for _, g := range gates {
 		b := ts.sets[g]
@@ -127,7 +128,16 @@ func (ts *TimeSets) ActivityProfile(gates []int) []int {
 // instant does and their peak currents add. The estimate is pessimistic
 // (blocked paths are not analysed) but computable in one pass.
 func (ts *TimeSets) MaxCurrent(a *celllib.Annotated, gates []int) float64 {
-	prof := make([]float64, ts.depth+1)
+	return ts.maxCurrentScratch(a, gates, make([]float64, ts.depth+1))
+}
+
+// maxCurrentScratch is MaxCurrent against a caller-provided profile
+// buffer of length depth+1 (any contents; it is zeroed here).
+func (ts *TimeSets) maxCurrentScratch(a *celllib.Annotated, gates []int, prof []float64) float64 {
+	prof = prof[:ts.depth+1]
+	for t := range prof {
+		prof[t] = 0
+	}
 	for _, g := range gates {
 		b := ts.sets[g]
 		peak := a.Peak[g]

@@ -125,6 +125,11 @@ type state struct {
 	nextGen int // first generation the loop will run (1 for fresh runs)
 	obs     *runObs
 
+	// mv is the mutation operators' scratch memory. It carries no run
+	// state (checkpoints ignore it) — it only keeps the sequential
+	// mutation phase allocation-free.
+	mv moveScratch
+
 	// Failure-surface plumbing, resolved once by attachControl. None of
 	// it ever touches the seeded random stream: an inert injector and the
 	// real filesystem leave the run bit-identical to an unplumbed one.
@@ -185,7 +190,7 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			for l := 0; l < s.prm.Lambda; l++ {
 				s.obs.mutAttempts.Inc()
 				child := parent.p.Clone() // recombination = duplication (§4.1)
-				moved := mutate(child, parent.m, s.rng)
+				moved := mutate(child, parent.m, s.rng, &s.mv)
 				if !moved {
 					continue
 				}
@@ -198,7 +203,7 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			for x := 0; x < s.prm.Chi; x++ {
 				s.obs.mcAttempts.Inc()
 				child := parent.p.Clone()
-				moved := monteCarlo(child, s.rng)
+				moved := monteCarlo(child, s.rng, &s.mv)
 				if !moved {
 					continue
 				}
@@ -325,8 +330,12 @@ var testEvalHook func(i int, p *partition.Partition)
 // per-descendant evaluation latency in seconds; a non-nil inj probes the
 // chaos sites evolution.worker.panic / evolution.worker.delay before each
 // evaluation.
+//
+//lint:hotpath descendant evaluation loop — every cost evaluation of a run flows through here
 func evaluate(descendants []*individual, workers int, cost func(*partition.Partition) float64, hist *obs.Histogram, inj *chaos.Injector) error {
+	//lint:ignore hotalloc one closure per evaluate call, amortized over the λ descendants it evaluates
 	eval := func(i int) (err error) {
+		//lint:ignore hotalloc one deferred recover guard per descendant; the panic boundary is the point of the worker
 		defer func() {
 			if r := recover(); r != nil {
 				if perr, ok := r.(error); ok {
@@ -375,6 +384,7 @@ func evaluate(descendants []*individual, workers int, cost func(*partition.Parti
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:ignore hotalloc one worker closure per evaluate call, amortized over the λ evaluations it runs
 		go func() {
 			defer wg.Done()
 			for {

@@ -133,7 +133,11 @@ const infeasiblePenalty = 1e9
 
 // costOf grades a partition for selection: the weighted global cost plus
 // the graded infeasibility penalty. It is pure (no shared state), so
-// descendants can be evaluated on a worker pool.
+// descendants can be evaluated on a worker pool. It is annotated as a hot
+// root directly (not just via evaluate) because evaluate receives it as a
+// function value, an indirect call the static call graph cannot resolve.
+//
+//lint:hotpath cost of every descendant, λ times per generation — the estimate sweep underneath dominates run time
 func costOf(p *partition.Partition) float64 {
 	c := p.Cost()
 	if worst := p.WorstDiscriminability(); worst < p.Cons.MinDiscriminability {
@@ -203,18 +207,31 @@ func OptimizeControlled(ctx context.Context, starts []*partition.Partition, prm 
 	return s.run(ctx, trace, ctl)
 }
 
+// moveScratch holds the reusable buffers of the mutation operators.
+// Mutation is sequential (one rand stream), so one scratch per generation
+// loop serves every descendant; the buffers never escape a single
+// mutate/monteCarlo call.
+type moveScratch struct {
+	gates   []int  // boundary gates / module copy for shuffling
+	targets []int  // legal target modules of one gate
+	one     [1]int // single-gate argument for MoveGates
+}
+
 // mutate applies the §4.2 mutation: a random module M_start is selected,
 // its boundary gates determined, m_move ∈ {1, ..., min(m, m_boundary)}
 // gates chosen uniformly, and each moved into a (random, if several)
 // module it is connected with. Returns false if no move was possible.
-func mutate(p *partition.Partition, m int, rng *rand.Rand) bool {
+//
+//lint:hotpath runs once per descendant per generation; its partition edits must reuse the moveScratch buffers
+func mutate(p *partition.Partition, m int, rng *rand.Rand, sc *moveScratch) bool {
 	if p.NumModules() < 2 {
 		return false
 	}
 	// Try a few modules: some have no boundary gates with legal targets.
 	for attempt := 0; attempt < 8; attempt++ {
 		src := rng.Intn(p.NumModules())
-		boundary := p.BoundaryGates(src)
+		boundary := p.AppendBoundaryGates(sc.gates[:0], src)
+		sc.gates = boundary[:0]
 		if len(boundary) == 0 {
 			continue
 		}
@@ -223,16 +240,19 @@ func mutate(p *partition.Partition, m int, rng *rand.Rand) bool {
 			max = len(boundary)
 		}
 		mMove := 1 + rng.Intn(max)
+		//lint:ignore hotalloc non-escaping swap closure passed to rng.Shuffle, stack-allocated
 		rng.Shuffle(len(boundary), func(i, j int) { boundary[i], boundary[j] = boundary[j], boundary[i] })
 		moved := false
 		for _, g := range boundary[:mMove] {
 			from := p.ModuleOf(g)
-			targets := p.ConnectedModules(g)
+			targets := p.AppendConnectedModules(sc.targets[:0], g)
+			sc.targets = targets[:0]
 			if len(targets) == 0 {
 				continue
 			}
 			to := targets[rng.Intn(len(targets))]
-			if _, err := p.MoveGates([]int{g}, from, to); err == nil {
+			sc.one[0] = g
+			if _, err := p.MoveGates(sc.one[:], from, to); err == nil {
 				moved = true
 			}
 			if p.NumModules() < 2 {
@@ -250,7 +270,9 @@ func mutate(p *partition.Partition, m int, rng *rand.Rand) bool {
 // gates of a random module M_start is moved into a random module
 // M_target (not necessarily connected). If all gates move, M_start is
 // deleted.
-func monteCarlo(p *partition.Partition, rng *rand.Rand) bool {
+//
+//lint:hotpath high-variance mutation operator, runs χλ times per generation
+func monteCarlo(p *partition.Partition, rng *rand.Rand, sc *moveScratch) bool {
 	if p.NumModules() < 2 {
 		return false
 	}
@@ -259,8 +281,10 @@ func monteCarlo(p *partition.Partition, rng *rand.Rand) bool {
 	if dst >= src {
 		dst++
 	}
-	gates := p.ModuleGates(src)
+	gates := p.AppendModuleGates(sc.gates[:0], src)
+	sc.gates = gates[:0]
 	n := 1 + rng.Intn(len(gates))
+	//lint:ignore hotalloc non-escaping swap closure passed to rng.Shuffle, stack-allocated
 	rng.Shuffle(len(gates), func(i, j int) { gates[i], gates[j] = gates[j], gates[i] })
 	_, err := p.MoveGates(gates[:n], src, dst)
 	return err == nil

@@ -211,7 +211,7 @@ func TestMutatePreservesInvariants(t *testing.T) {
 	}
 	for i := 0; i < 200; i++ {
 		q := p.Clone()
-		if mutate(q, 4, rng) {
+		if mutate(q, 4, rng, new(moveScratch)) {
 			if err := q.Verify(); err != nil {
 				t.Fatalf("iteration %d: %v", i, err)
 			}
@@ -233,7 +233,7 @@ func TestMonteCarloPreservesInvariants(t *testing.T) {
 	}
 	for i := 0; i < 100; i++ {
 		q := p.Clone()
-		if monteCarlo(q, rng) {
+		if monteCarlo(q, rng, new(moveScratch)) {
 			if err := q.Verify(); err != nil {
 				t.Fatalf("iteration %d: %v", i, err)
 			}
@@ -253,10 +253,10 @@ func TestMutateSingleModuleNoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
-	if mutate(p.Clone(), 3, rng) {
+	if mutate(p.Clone(), 3, rng, new(moveScratch)) {
 		t.Error("mutation of a single-module partition must be a no-op")
 	}
-	if monteCarlo(p.Clone(), rng) {
+	if monteCarlo(p.Clone(), rng, new(moveScratch)) {
 		t.Error("Monte Carlo on a single-module partition must be a no-op")
 	}
 }
@@ -370,5 +370,32 @@ func TestParallelEvaluationMatchesSequential(t *testing.T) {
 	}
 	if err := par.Best.Verify(); err != nil {
 		t.Errorf("parallel result invariants: %v", err)
+	}
+}
+
+func TestDescendantAllocs(t *testing.T) {
+	// Regression guard for the hot-loop allocation fixes (moveScratch
+	// buffers, partition cost pools, lazy circuit caches): one descendant
+	// step — clone the parent, mutate it, evaluate its cost — must stay
+	// allocation-lean once the caches and pools are warm. The bound has
+	// headroom for pool refills after a GC, but a reintroduced per-move or
+	// per-evaluation allocation blows well past it.
+	e := estimatorFor(t, circuits.C17())
+	p := paperOptimum(t, e, partition.PaperWeights(), partition.DefaultConstraints())
+	rng := rand.New(rand.NewSource(7))
+	var sc moveScratch
+	step := func() {
+		child := p.Clone()
+		mutate(child, 2, rng, &sc)
+		costOf(child)
+	}
+	for i := 0; i < 32; i++ {
+		step() // warm the lazy caches and scratch pools
+	}
+	avg := testing.AllocsPerRun(200, step)
+	t.Logf("descendant step: %.1f allocs/run", avg)
+	const maxAllocs = 30
+	if avg > maxAllocs {
+		t.Errorf("descendant step allocates %.1f times per run, want <= %d — a hot-loop allocation crept back in", avg, maxAllocs)
 	}
 }

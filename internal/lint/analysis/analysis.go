@@ -33,6 +33,23 @@ import (
 	"strings"
 )
 
+// Direction is the fact-flow direction of an analyzer, which decides the
+// package order it runs in (see Program.Run).
+type Direction int
+
+const (
+	// Forward analyzers run dependencies-first: facts they export while
+	// analyzing a package are visible to the packages that import it.
+	// This is the x/tools model and the zero value.
+	Forward Direction = iota
+	// Reverse analyzers run dependents-first: facts they export while
+	// analyzing a package are visible to the packages it imports. This is
+	// the direction of caller→callee properties — a callee inherits
+	// "reachable from a hot root" from its callers, which live in
+	// importing packages.
+	Reverse
+)
+
 // Analyzer describes one static check.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
@@ -44,8 +61,13 @@ type Analyzer struct {
 	// type an analyzer passes to ExportObjectFact/ExportPackageFact must
 	// appear here (the runner validates exports against this list).
 	FactTypes []Fact
+	// Direction selects the wave the analyzer runs in: Forward (the
+	// default, dependencies first) or Reverse (dependents first).
+	Direction Direction
 	// Run applies the analyzer to one package, reporting findings through
-	// pass.Report. The returned value is ignored by this framework.
+	// pass.Report. The returned value is ignored by the framework itself
+	// but handed to Options.OnResult, so drivers can collect structured
+	// per-package results (the escape cross-check harness does).
 	Run func(pass *Pass) (interface{}, error)
 }
 

@@ -47,13 +47,39 @@ type Options struct {
 	// FactDebug, when non-nil, receives one line per exported fact after
 	// the run completes.
 	FactDebug io.Writer
+	// OnResult, when non-nil, receives every analyzer Run return value
+	// (including nil ones) with the package it was produced for. It is
+	// called concurrently from the worker goroutines — one call per
+	// (package, analyzer) — so implementations must synchronize their own
+	// state.
+	OnResult func(pkg *Package, a *Analyzer, result interface{})
 }
 
-// Run type-checks every package of the Program and applies the analyzers,
-// in dependency order and in parallel across packages: a package starts
-// as soon as all its in-module imports have finished, so facts exported
-// while analyzing a dependency are always visible to its dependents, and
-// independent subtrees of the import graph proceed concurrently.
+// pkgState is the per-package bookkeeping that spans both analysis waves:
+// the parsed ignore directives (suppressions from either wave mark them
+// used) and the set of analyzers that actually ran on the package (so the
+// unused-directive report only fires for analyzers that had a chance to
+// report).
+type pkgState struct {
+	directives []*directive
+	ran        map[string]bool
+}
+
+// Run type-checks every package of the Program and applies the analyzers
+// in two waves, each parallel across packages:
+//
+//   - wave 1 (Forward): dependency order. A package starts as soon as all
+//     its in-module imports have finished, so facts exported while
+//     analyzing a dependency are always visible to its dependents. The
+//     type-check itself happens in this wave.
+//   - wave 2 (Reverse): dependent order over the same graph. A package
+//     starts as soon as every package importing it has finished, so facts
+//     exported while analyzing a caller's package (e.g. "this imported
+//     function is reachable from a hot root") are visible when the
+//     defining package is analyzed.
+//
+// Ignore directives are shared across the waves, and directive hygiene
+// (malformed/unknown/unused) is judged only after both waves finished.
 //
 // The returned error reports broken tooling — a type-check failure or a
 // panicking/failing analyzer — as distinct from findings, so drivers can
@@ -78,61 +104,56 @@ func (prog *Program) Run(analyzers []*Analyzer, opts Options) ([]Finding, error)
 	for _, pkg := range prog.Roots {
 		rootSet[pkg] = true
 	}
+	states := map[*Package]*pkgState{}
+	for _, pkg := range prog.Packages {
+		states[pkg] = &pkgState{ran: map[string]bool{}}
+	}
+
+	var forward, reverse []*Analyzer
+	for _, a := range analyzers {
+		if a.Direction == Reverse {
+			reverse = append(reverse, a)
+		} else {
+			forward = append(forward, a)
+		}
+	}
 
 	var (
 		mu       sync.Mutex
 		findings []Finding
 		failures []error
 	)
+	runWave := func(wave []*Analyzer, deps func(*Package) []*Package, typeCheck bool) {
+		prog.schedule(parallel, deps, func(pkg *Package) {
+			fs, errs := prog.runPackage(pkg, wave, opts, facts, states[pkg], typeCheck)
+			mu.Lock()
+			if opts.RootsOnly && !rootSet[pkg] {
+				fs = nil
+			}
+			findings = append(findings, fs...)
+			failures = append(failures, errs...)
+			mu.Unlock()
+		})
+	}
 
-	// Dependency-counting scheduler: a package becomes ready when every
-	// in-module import is done; `parallel` workers drain the ready queue.
-	waiting := map[*Package]int{}
 	dependents := map[*Package][]*Package{}
-	ready := make(chan *Package, len(prog.Packages))
 	for _, pkg := range prog.Packages {
-		waiting[pkg] = len(pkg.Imports)
 		for _, dep := range pkg.Imports {
 			dependents[dep] = append(dependents[dep], pkg)
 		}
-		if len(pkg.Imports) == 0 {
-			ready <- pkg
-		}
 	}
-	done := make(chan *Package, len(prog.Packages))
-
-	var wg sync.WaitGroup
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pkg := range ready {
-				fs, errs := prog.runPackage(pkg, analyzers, opts, known, facts)
-				mu.Lock()
-				if opts.RootsOnly && !rootSet[pkg] {
-					fs = nil
-				}
-				findings = append(findings, fs...)
-				if len(errs) > 0 {
-					failures = append(failures, errs...)
-				}
-				mu.Unlock()
-				done <- pkg
-			}
-		}()
+	runWave(forward, func(pkg *Package) []*Package { return pkg.Imports }, true)
+	if len(reverse) > 0 && len(failures) == 0 {
+		runWave(reverse, func(pkg *Package) []*Package { return dependents[pkg] }, false)
 	}
 
-	for finished := 0; finished < len(prog.Packages); finished++ {
-		pkg := <-done
-		for _, dep := range dependents[pkg] {
-			waiting[dep]--
-			if waiting[dep] == 0 {
-				ready <- dep
-			}
+	for _, pkg := range prog.Packages {
+		if opts.RootsOnly && !rootSet[pkg] {
+			continue
 		}
+		st := states[pkg]
+		findings = append(findings, directiveFindings(st.directives, known, st.ran)...)
 	}
-	close(ready)
-	wg.Wait()
 
 	if opts.FactDebug != nil {
 		for _, line := range facts.dump() {
@@ -151,31 +172,80 @@ func (prog *Program) Run(analyzers []*Analyzer, opts Options) ([]Finding, error)
 	return findings, nil
 }
 
-// runPackage type-checks one package and applies every applicable
-// analyzer, resolving ignore directives. Returned errors are tooling
-// failures, not findings.
-func (prog *Program) runPackage(pkg *Package, analyzers []*Analyzer, opts Options,
-	known map[string]bool, facts *factStore) ([]Finding, []error) {
-
-	// A dependency that failed to type-check poisons this package too;
-	// stay quiet about it (the root cause is already reported).
-	for _, dep := range pkg.Imports {
-		if dep.Types == nil {
-			return nil, nil
+// schedule runs work once per package, in parallel, respecting deps: a
+// package starts only after work finished on every package deps returns
+// for it. With deps = Imports this is dependency order; with deps = the
+// dependents map it is the same graph walked backwards.
+func (prog *Program) schedule(parallel int, deps func(*Package) []*Package, work func(*Package)) {
+	waiting := map[*Package]int{}
+	unlocks := map[*Package][]*Package{}
+	ready := make(chan *Package, len(prog.Packages))
+	for _, pkg := range prog.Packages {
+		d := deps(pkg)
+		waiting[pkg] = len(d)
+		for _, dep := range d {
+			unlocks[dep] = append(unlocks[dep], pkg)
+		}
+		if len(d) == 0 {
+			ready <- pkg
 		}
 	}
-	if err := prog.typeCheck(pkg); err != nil {
-		return nil, []error{err}
+	done := make(chan *Package, len(prog.Packages))
+
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pkg := range ready {
+				work(pkg)
+				done <- pkg
+			}
+		}()
+	}
+	for finished := 0; finished < len(prog.Packages); finished++ {
+		pkg := <-done
+		for _, dep := range unlocks[pkg] {
+			waiting[dep]--
+			if waiting[dep] == 0 {
+				ready <- dep
+			}
+		}
+	}
+	close(ready)
+	wg.Wait()
+}
+
+// runPackage applies one wave's analyzers to one package, resolving
+// ignore directives against the cross-wave state. In the first wave
+// (typeCheck true) the package is type-checked first. Returned errors are
+// tooling failures, not findings.
+func (prog *Program) runPackage(pkg *Package, analyzers []*Analyzer, opts Options,
+	facts *factStore, st *pkgState, typeCheck bool) ([]Finding, []error) {
+
+	if typeCheck {
+		// A dependency that failed to type-check poisons this package too;
+		// stay quiet about it (the root cause is already reported).
+		for _, dep := range pkg.Imports {
+			if dep.Types == nil {
+				return nil, nil
+			}
+		}
+		if err := prog.typeCheck(pkg); err != nil {
+			return nil, []error{err}
+		}
+		st.directives = collectDirectives(pkg)
+	}
+	if pkg.Types == nil {
+		return nil, nil // poisoned in wave 1
 	}
 
-	directives := collectDirectives(pkg)
-	ran := map[string]bool{}
 	var findings []Finding
 	for _, a := range analyzers {
 		if opts.Applies != nil && !opts.Applies(a, pkg.Path) {
 			continue
 		}
-		ran[a.Name] = true
+		st.ran[a.Name] = true
 		var diags []Diagnostic
 		pass := &Pass{
 			Analyzer:  a,
@@ -187,19 +257,40 @@ func (prog *Program) runPackage(pkg *Package, analyzers []*Analyzer, opts Option
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
 			facts:     facts,
 		}
-		if _, err := a.Run(pass); err != nil {
+		res, err := a.Run(pass)
+		if err != nil {
 			return nil, []error{fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)}
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(pkg, a, res)
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			if suppressed(directives, a.Name, pos) {
+			if suppressed(st.directives, a.Name, pos) {
 				continue
 			}
 			findings = append(findings, Finding{Position: pos, Analyzer: a.Name, Message: d.Message})
 		}
 	}
-	findings = append(findings, directiveFindings(directives, known, ran)...)
 	return findings, nil
+}
+
+// ParseIgnore parses one comment's text (with or without the leading //)
+// as an ignore directive. It returns ok=false when the comment is not an
+// ignore directive at all, and malformed=true when it is one but lacks an
+// analyzer name or a reason.
+func ParseIgnore(text string) (name, reason string, ok, malformed bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, isDir := strings.CutPrefix(text, IgnoreDirective)
+	if !isDir {
+		return "", "", false, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", true, true
+	}
+	return fields[0], strings.Join(fields[1:], " "), true, false
 }
 
 // directive is one parsed //lint:ignore comment.
@@ -220,21 +311,14 @@ func collectDirectives(pkg *Package) []*directive {
 		inTest := strings.HasSuffix(fileName, "_test.go")
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, IgnoreDirective)
+				name, reason, ok, malformed := ParseIgnore(c.Text)
 				if !ok {
 					continue
 				}
-				d := &directive{pos: pkg.Fset.Position(c.Pos()), inTest: inTest}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					d.malform = true
-				} else {
-					d.name = fields[0]
-					d.reason = strings.Join(fields[1:], " ")
-				}
-				out = append(out, d)
+				out = append(out, &directive{
+					pos: pkg.Fset.Position(c.Pos()), inTest: inTest,
+					name: name, reason: reason, malform: malformed,
+				})
 			}
 		}
 	}

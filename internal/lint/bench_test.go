@@ -13,6 +13,7 @@ import (
 // under 30s (scripts/check.sh); this benchmark is how a regression in
 // the loader or an analyzer shows up locally before tripping that gate.
 func BenchmarkLintRepo(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		prog, err := analysis.LoadModule("../..", []string{"./..."})
 		if err != nil {

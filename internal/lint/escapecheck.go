@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// The escape cross-check validates the hotalloc analyzer against the
+// compiler's own escape analysis: every heap allocation the compiler
+// diagnoses (`-gcflags=-m=1`) inside a hot function body must correspond
+// to an allocation site the analyzer recorded — reported, justified with
+// //lint:ignore, or discounted as cold, but *seen*. A compiler diagnostic
+// with no analyzer site is a false negative: the analyzer's allocation
+// model has a hole, and a real hot-path allocation could ship unreviewed.
+//
+// The reverse direction (analyzer site with no compiler diagnostic) is
+// not an error: the analyzer is deliberately pessimistic about sites the
+// compiler can stack-allocate (non-escaping closures, small composite
+// literals), because whether they escape depends on inlining decisions
+// that change across compiler versions.
+
+// EscapeDiag is one compiler heap diagnostic inside a hot function body
+// that the hotalloc analyzer has no allocation site for.
+type EscapeDiag struct {
+	File    string // slash path relative to the module root
+	Line    int
+	Message string // the compiler's text, e.g. `&pair{...} escapes to heap`
+	Func    string // enclosing hot function
+	Root    string // the //lint:hotpath root the function is reachable from
+}
+
+func (d EscapeDiag) String() string {
+	return fmt.Sprintf("%s:%d: compiler: %s (in hot func %s, root %s) — not in the hotalloc model",
+		d.File, d.Line, d.Message, d.Func, d.Root)
+}
+
+// EscapeReport summarises one cross-check run.
+type EscapeReport struct {
+	HotFuncs       int          // hot function bodies scanned
+	AnalyzerSites  int          // alloc sites the analyzer recorded (incl. cold/ignored)
+	CompilerDiags  int          // compiler heap diagnostics inside hot bodies
+	Matched        int          // diagnostics covered by an analyzer site
+	FalseNegatives []EscapeDiag // diagnostics the analyzer missed
+}
+
+// EscapeCheck runs hotalloc over the module at root, then `go build
+// -gcflags=-m=1` over the same patterns, and diffs the compiler's
+// `escapes to heap` / `moved to heap` diagnostics against the analyzer's
+// recorded allocation sites inside hot function bodies.
+//
+// Matching is per-line for `escapes to heap` (the diagnostic points at
+// the allocating expression). `moved to heap: x` names a variable whose
+// declaration position rarely coincides with the allocation the analyzer
+// models (the closure or &x that caused the move), so it is matched
+// leniently: any analyzer site inside the same hot function body covers
+// it.
+func EscapeCheck(root string, patterns []string) (*EscapeReport, error) {
+	prog, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Roots) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %s", strings.Join(patterns, " "))
+	}
+
+	var (
+		mu      sync.Mutex
+		results []*HotAllocResult
+	)
+	opts := analysis.Options{
+		Applies:        Applies,
+		KnownAnalyzers: Names(),
+		RootsOnly:      true,
+		OnResult: func(pkg *analysis.Package, a *analysis.Analyzer, result interface{}) {
+			if r, ok := result.(*HotAllocResult); ok && r != nil {
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		},
+	}
+	if _, err := prog.Run([]*analysis.Analyzer{HotAlloc}, opts); err != nil {
+		return nil, err
+	}
+
+	rep := &EscapeReport{}
+	// Index hot function ranges and alloc-site lines by root-relative path.
+	// All ranges are indexed before any site, because a site can fall in a
+	// hot body reported by a different package's result.
+	type hotRange struct {
+		start, end int
+		name, root string
+		hasSite    bool
+	}
+	ranges := map[string][]*hotRange{} // body ranges by file
+	byDecl := map[string]*hotRange{}   // "file:declline" → hot func
+	callsAt := map[string][]string{}   // "file:callline" → callee decl keys
+	siteAt := map[string]bool{}        // "file:line" of every analyzer site
+	for _, r := range results {
+		for _, hf := range r.HotFuncs {
+			rel := relSlash(root, hf.File)
+			hr := &hotRange{start: hf.StartLine, end: hf.EndLine, name: hf.Name, root: hf.Root}
+			ranges[rel] = append(ranges[rel], hr)
+			byDecl[rel+":"+strconv.Itoa(hf.DeclLine)] = hr
+			rep.HotFuncs++
+		}
+		for _, cs := range r.CallSites {
+			key := relSlash(root, cs.File) + ":" + strconv.Itoa(cs.Line)
+			callsAt[key] = append(callsAt[key],
+				relSlash(root, cs.CalleeFile)+":"+strconv.Itoa(cs.CalleeLine))
+		}
+	}
+	for _, r := range results {
+		for _, s := range r.Allocs {
+			rel := relSlash(root, s.File)
+			siteAt[rel+":"+strconv.Itoa(s.Line)] = true
+			rep.AnalyzerSites++
+			for _, hr := range ranges[rel] {
+				if s.Line >= hr.start && s.Line <= hr.end {
+					hr.hasSite = true
+				}
+			}
+		}
+	}
+
+	diags, err := compilerHeapDiags(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		var enclosing *hotRange
+		for _, hr := range ranges[d.file] {
+			if d.line >= hr.start && d.line <= hr.end {
+				enclosing = hr
+				break
+			}
+		}
+		if enclosing == nil {
+			continue // cold code: the analyzer has no obligations there
+		}
+		rep.CompilerDiags++
+		matched := siteAt[d.file+":"+strconv.Itoa(d.line)]
+		if !matched {
+			// Inlining re-attributes a callee's allocations to the call
+			// line in the caller: credit the diag to the callee's own
+			// sites when the line calls a hot function that has some.
+			for _, calleeKey := range callsAt[d.file+":"+strconv.Itoa(d.line)] {
+				if hr := byDecl[calleeKey]; hr != nil && hr.hasSite {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched && d.moved {
+			matched = enclosing.hasSite
+		}
+		if matched {
+			rep.Matched++
+			continue
+		}
+		rep.FalseNegatives = append(rep.FalseNegatives, EscapeDiag{
+			File: d.file, Line: d.line, Message: d.msg,
+			Func: enclosing.name, Root: enclosing.root,
+		})
+	}
+	sort.Slice(rep.FalseNegatives, func(i, j int) bool {
+		a, b := rep.FalseNegatives[i], rep.FalseNegatives[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return rep, nil
+}
+
+// heapDiag is one parsed compiler escape diagnostic.
+type heapDiag struct {
+	file  string // slash path relative to the module root
+	line  int
+	msg   string
+	moved bool // `moved to heap: x` (vs `... escapes to heap`)
+}
+
+// compilerHeapDiags builds the patterns with -gcflags=-m=1 and parses the
+// escape diagnostics from stderr. Cached packages replay their
+// diagnostics from the build cache, so a warm cache is fine; a run that
+// produces no diagnostics at all is reported as an error, since an empty
+// diff would vacuously "pass" the cross-check.
+func compilerHeapDiags(root string, patterns []string) ([]heapDiag, error) {
+	args := append([]string{"build", "-gcflags=-m=1"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %w\n%s", strings.Join(args, " "), err, out)
+	}
+	var diags []heapDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		moved := strings.Contains(line, "moved to heap:")
+		if !moved && !strings.HasSuffix(line, "escapes to heap") {
+			continue
+		}
+		// internal/foo/foo.go:12:6: x escapes to heap
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		ln, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		diags = append(diags, heapDiag{
+			file:  filepath.ToSlash(parts[0]),
+			line:  ln,
+			msg:   strings.TrimSpace(parts[3]),
+			moved: moved,
+		})
+	}
+	if len(diags) == 0 {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m=1 produced no escape diagnostics; the build cache may be stale — run `go clean -cache` and retry")
+	}
+	return diags, nil
+}
+
+func relSlash(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}

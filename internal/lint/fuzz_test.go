@@ -1,0 +1,83 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/lint"
+	"iddqsyn/internal/lint/analysis"
+)
+
+// FuzzDirectives fuzzes the two comment-directive parsers the analyzer
+// suite depends on: //lint:hotpath (hot-root declaration) and
+// //lint:ignore (finding suppression). Malformed input of any shape must
+// come back as a clean (ok, malformed) classification — never a panic —
+// and the parsed fields must respect the parsers' documented invariants.
+func FuzzDirectives(f *testing.F) {
+	seeds := []string{
+		"",
+		"//",
+		"/**/",
+		"// ordinary comment",
+		"//lint:hotpath",
+		"//lint:hotpath ",
+		"//lint:hotpath descendant evaluation loop",
+		"/*lint:hotpath*/",
+		"/*lint:hotpath anneal move loop*/",
+		"//lint:hotpathological not a directive",
+		"//lint:hotpath\treason after tab",
+		"//lint:ignore",
+		"//lint:ignore hotalloc",
+		"//lint:ignore hotalloc pool miss only",
+		"//lint:ignore  hotalloc   spaced   reason",
+		"//lint:ignoreX smuggled name",
+		"// lint:ignore hotalloc leading space form",
+		"//lint:ignore hotalloc //lint:ignore hotalloc nested",
+		"//lint:hotpath //lint:ignore hotalloc both",
+		"//lint:ignore " + strings.Repeat("a", 1<<12) + " long name",
+		"//lint:hotpath " + strings.Repeat("λ", 256),
+		"//lint:ignore hotalloc \x00\xff not utf-8",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		reason, ok, malformed := lint.ParseHotpath(text)
+		if !ok && (reason != "" || malformed) {
+			t.Fatalf("ParseHotpath(%q): not a directive but reason=%q malformed=%v", text, reason, malformed)
+		}
+		if malformed && reason != "" {
+			t.Fatalf("ParseHotpath(%q): malformed with non-empty reason %q", text, reason)
+		}
+		if ok && !malformed {
+			if reason == "" {
+				t.Fatalf("ParseHotpath(%q): well-formed directive with empty reason", text)
+			}
+			if reason != strings.TrimSpace(reason) {
+				t.Fatalf("ParseHotpath(%q): reason %q not trimmed", text, reason)
+			}
+		}
+
+		name, ireason, iok, imal := analysis.ParseIgnore(text)
+		if !iok && (name != "" || ireason != "" || imal) {
+			t.Fatalf("ParseIgnore(%q): not a directive but name=%q reason=%q malformed=%v", text, name, ireason, imal)
+		}
+		if imal && (name != "" || ireason != "") {
+			t.Fatalf("ParseIgnore(%q): malformed with fields name=%q reason=%q", text, name, ireason)
+		}
+		if iok && !imal {
+			if name == "" || ireason == "" {
+				t.Fatalf("ParseIgnore(%q): well-formed directive with empty field: name=%q reason=%q", text, name, ireason)
+			}
+			if strings.ContainsAny(name, " \t\n") {
+				t.Fatalf("ParseIgnore(%q): analyzer name %q contains whitespace", text, name)
+			}
+		}
+
+		// Parsing is deterministic: a second pass must agree exactly.
+		r2, ok2, mal2 := lint.ParseHotpath(text)
+		if r2 != reason || ok2 != ok || mal2 != malformed {
+			t.Fatalf("ParseHotpath(%q): not deterministic", text)
+		}
+	})
+}

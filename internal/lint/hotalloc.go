@@ -1,0 +1,542 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// HotAlloc reports allocation sites reachable from //lint:hotpath roots.
+//
+// The PART-IDDQ descendant-evaluation loop is the hot path that bounds
+// every scale target: a single fmt.Sprintf or escaping closure slipped
+// into it costs 2-10x and no tier-1 test notices. hotalloc makes that
+// property statically checkable. A function annotated
+//
+//	//lint:hotpath <reason>
+//
+// is a hot root; hotness propagates caller→callee over a conservative
+// static call graph (direct calls, interface dispatch resolved against
+// every implementation visible from the caller's package, and function
+// values that escape into arguments). The analyzer runs in the
+// framework's reverse wave — dependents before dependencies — so a Hot
+// fact exported while analyzing evolution (the caller) is visible when
+// partition and estimate (the callees) are analyzed.
+//
+// Inside hot functions the analyzer flags, pre-escape-analysis, every
+// construct that *can* allocate: composite literals of reference types
+// and &T{} literals, make and new, append whose backing growth is not
+// provably amortized (the first argument is neither a caller-provided
+// buffer parameter nor a local made with explicit capacity), interface
+// boxing at call sites (a concrete value passed to an interface
+// parameter — the fmt functions are the canonical case), closures, and
+// string concatenation. The compiler's real escape analysis is the
+// ground truth; `iddqlint -escapecheck` (make lint-escape) diffs these
+// verdicts against -gcflags=-m output and fails on analyzer false
+// negatives, so the approximation can only err on the loud side.
+//
+// Cold paths inside hot functions (error returns, once-per-batch setup)
+// are justified with //lint:ignore hotalloc <reason> — the reasons are
+// the documentation of why each allocation is acceptable.
+//
+// Calls into the observation packages (obs, chaos) neither propagate
+// hotness nor have their boxing flagged: observation on the hot path is
+// exempt by design (the chaos soak proves it does not perturb results),
+// and its cost is budgeted separately.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "report allocation sites (composite literals, make/new, unamortized append, " +
+		"interface boxing, closures, string concatenation) in functions reachable from " +
+		"//lint:hotpath roots; the statically checked form of the allocation-free hot-loop invariant",
+	FactTypes: []analysis.Fact{(*HotFact)(nil)},
+	Direction: analysis.Reverse,
+	Run:       runHotAlloc,
+}
+
+// HotFact marks a function as reachable from a hotpath root. It is
+// exported for the function objects a hot function calls, so hotness
+// crosses package boundaries against the import direction.
+type HotFact struct {
+	Root   string // qualified name of the annotated root, e.g. "evolution.costOf"
+	Reason string // the root's annotation reason
+}
+
+// AFact marks HotFact as a framework fact.
+func (*HotFact) AFact() {}
+
+func (f *HotFact) String() string { return fmt.Sprintf("hot (root %s: %s)", f.Root, f.Reason) }
+
+// hotExemptPackages are package base names whose functions never become
+// hot and whose call sites are not boxing-checked: observation and fault
+// injection are exempt from the allocation budget by design.
+var hotExemptPackages = map[string]bool{"obs": true, "chaos": true}
+
+// HotFunc is one function the analyzer concluded is hot, with its body's
+// line range — the escape cross-check scans compiler diagnostics inside
+// these ranges.
+type HotFunc struct {
+	Name      string
+	File      string
+	DeclLine  int // line of the func name in the declaration
+	StartLine int
+	EndLine   int
+	Root      string
+}
+
+// CallSite is one call inside a hot function body to a statically
+// resolvable function, keyed by the callee's declaration position. The
+// compiler attributes an inlined callee's escape diagnostics to the call
+// line in the *caller*, so the escape cross-check uses these records to
+// credit such re-attributed diagnostics to the callee's own sites.
+type CallSite struct {
+	File       string // call position
+	Line       int
+	CalleeFile string // callee's declaration position
+	CalleeLine int
+}
+
+// AllocSite is one pre-suppression hotalloc site. The escape cross-check
+// matches compiler heap diagnostics against these, so a site justified
+// with //lint:ignore — or discounted as cold — still counts as "the
+// analyzer saw it".
+type AllocSite struct {
+	File string
+	Line int
+	Kind string
+	// Cold marks a site on a failure path (panic argument, return of a
+	// non-nil error, recover-guarded block): recorded for the escape
+	// cross-check, but not reported as a finding — error construction on a
+	// terminal path runs once per failure, not once per iteration.
+	Cold bool
+}
+
+// HotAllocResult is runHotAlloc's return value, collected by the escape
+// cross-check harness through analysis.Options.OnResult.
+type HotAllocResult struct {
+	Pkg       string
+	HotFuncs  []HotFunc
+	Allocs    []AllocSite
+	CallSites []CallSite
+}
+
+func runHotAlloc(pass *analysis.Pass) (interface{}, error) {
+	if hotExemptPackages[pkgBase(pass.Pkg.Path)] {
+		return nil, nil
+	}
+	funcs := packageFuncs(pass)
+	roots := collectHotRoots(pass, funcs)
+
+	byObj := map[*types.Func]fnInfo{}
+	for _, fn := range funcs {
+		byObj[fn.obj] = fn
+	}
+
+	// Seed the hot set: this package's annotated roots, plus every
+	// function a dependent package's pass already marked hot.
+	hot := map[*types.Func]*HotFact{}
+	var work []*types.Func
+	markHot := func(fn *types.Func, fact *HotFact) {
+		if hot[fn] == nil {
+			hot[fn] = fact
+			work = append(work, fn)
+		}
+	}
+	for _, r := range roots {
+		markHot(r.fn.obj, &HotFact{Root: pkgBase(pass.Pkg.Path) + "." + r.fn.obj.Name(), Reason: r.reason})
+	}
+	for _, fn := range funcs {
+		fact := new(HotFact)
+		if pass.ImportObjectFact(fn.obj, fact) {
+			markHot(fn.obj, fact)
+		}
+	}
+	if len(hot) == 0 {
+		return &HotAllocResult{Pkg: pass.Pkg.Path}, nil
+	}
+
+	// Propagate caller→callee to a fixpoint. Callees in this package join
+	// the local worklist; callees elsewhere get the fact exported (their
+	// packages run later in the reverse wave). The observation exemption
+	// stops propagation into obs/chaos.
+	impl := newImplIndex(pass.TypesPkg)
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		decl, ok := byObj[fn]
+		if !ok {
+			continue // defined elsewhere; its own package's pass reports it
+		}
+		fact := hot[fn]
+		for _, callee := range callees(pass, decl.decl.Body, impl) {
+			if callee.Pkg() == nil || hotExemptPackages[pkgBase(callee.Pkg().Path())] {
+				continue
+			}
+			if callee.Pkg() == pass.TypesPkg {
+				markHot(callee, fact)
+				continue
+			}
+			already := new(HotFact)
+			if !pass.ImportObjectFact(callee, already) {
+				pass.ExportObjectFact(callee, fact)
+			}
+		}
+	}
+
+	// Export facts for this package's own hot functions too (visible to
+	// -fact-debug and to later passes over depending packages' tests).
+	for fn, fact := range hot {
+		already := new(HotFact)
+		if !pass.ImportObjectFact(fn, already) {
+			pass.ExportObjectFact(fn, fact)
+		}
+	}
+
+	// Report allocation sites in this package's hot function bodies.
+	res := &HotAllocResult{Pkg: pass.Pkg.Path}
+	for _, fn := range funcs {
+		if hot[fn.obj] == nil {
+			continue
+		}
+		start := pass.Fset.Position(fn.decl.Body.Pos())
+		end := pass.Fset.Position(fn.decl.Body.End())
+		res.HotFuncs = append(res.HotFuncs, HotFunc{
+			Name: fn.obj.Name(), File: start.Filename,
+			DeclLine:  pass.Fset.Position(fn.decl.Name.Pos()).Line,
+			StartLine: start.Line, EndLine: end.Line,
+			Root: hot[fn.obj].Root,
+		})
+		reportHotAllocs(pass, fn, hot[fn.obj], res)
+	}
+	return res, nil
+}
+
+// reportHotAllocs walks one hot function body and reports every
+// can-allocate construct, recording each (pre-suppression) in res.
+func reportHotAllocs(pass *analysis.Pass, fn fnInfo, fact *HotFact, res *HotAllocResult) {
+	seen := map[token.Pos]bool{}
+	cold := coldRanges(pass, fn.decl.Body)
+	report := func(pos token.Pos, kind, detail string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		p := pass.Fset.Position(pos)
+		for _, r := range cold {
+			if pos >= r.from && pos < r.to {
+				res.Allocs = append(res.Allocs, AllocSite{File: p.Filename, Line: p.Line, Kind: kind, Cold: true})
+				return
+			}
+		}
+		res.Allocs = append(res.Allocs, AllocSite{File: p.Filename, Line: p.Line, Kind: kind})
+		pass.Reportf(pos, "%s on the hot path%s: %q is reachable from //lint:hotpath root %s (%s); "+
+			"hoist it out of the loop, reuse a scratch buffer, or justify with //lint:ignore hotalloc <reason>",
+			kind, detail, fn.obj.Name(), fact.Root, fact.Reason)
+	}
+	body := fn.decl.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[nn]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				report(nn.Pos(), "composite literal", "")
+			}
+		case *ast.UnaryExpr:
+			if nn.Op == token.AND {
+				if lit, ok := ast.Unparen(nn.X).(*ast.CompositeLit); ok {
+					report(lit.Pos(), "composite literal", " (address taken)")
+				}
+			}
+		case *ast.FuncLit:
+			report(nn.Pos(), "closure", "")
+		case *ast.BinaryExpr:
+			if nn.Op == token.ADD && isStringType(pass, nn) {
+				report(nn.Pos(), "string concatenation", "")
+			}
+		case *ast.CallExpr:
+			reportHotCall(pass, fn, nn, report)
+			if callee := calleeFuncOf(pass, nn); callee != nil && callee.Pkg() != nil && callee.Pos().IsValid() {
+				cp := pass.Fset.Position(nn.Pos())
+				dp := pass.Fset.Position(callee.Pos())
+				res.CallSites = append(res.CallSites, CallSite{
+					File: cp.Filename, Line: cp.Line,
+					CalleeFile: dp.Filename, CalleeLine: dp.Line,
+				})
+			}
+		}
+		return true
+	})
+}
+
+// posRange is a half-open [from, to) position interval.
+type posRange struct{ from, to token.Pos }
+
+// coldRanges collects the failure-path intervals of one function body:
+// panic arguments, return statements yielding a non-nil error, and
+// recover-guarded blocks. Allocation inside them runs once per failure —
+// it is recorded for the escape cross-check but not worth a finding.
+func coldRanges(pass *analysis.Pass, body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					out = append(out, posRange{nn.Pos(), nn.End()})
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range nn.Results {
+				if isNonNilError(pass, res) {
+					out = append(out, posRange{nn.Pos(), nn.End()})
+					break
+				}
+			}
+		case *ast.IfStmt:
+			if usesRecover(pass, nn.Init) || usesRecover(pass, nn.Cond) {
+				out = append(out, posRange{nn.Body.Pos(), nn.Body.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isNonNilError reports whether a return result is an error-typed
+// expression other than the literal nil.
+func isNonNilError(pass *analysis.Pass, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+// usesRecover reports whether the node contains a call of the recover
+// builtin.
+func usesRecover(pass *analysis.Pass, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportHotCall classifies one call inside a hot function: builtin
+// allocators (make, new, unamortized append) and interface boxing of
+// concrete arguments.
+func reportHotCall(pass *analysis.Pass, fn fnInfo, call *ast.CallExpr,
+	report func(pos token.Pos, kind, detail string)) {
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make", "")
+			case "new":
+				report(call.Pos(), "new", "")
+			case "append":
+				if len(call.Args) > 0 && !amortizedAppend(pass, fn, call.Args[0]) {
+					report(call.Pos(), "append (growth not provably amortized)", "")
+				}
+			case "panic":
+				// panic's argument is boxed into an interface{}. The site
+				// is always inside a cold range, so it is recorded for the
+				// escape cross-check but never reported as a finding.
+				for _, arg := range call.Args {
+					at, ok := pass.TypesInfo.Types[arg]
+					if !ok || at.Type == nil || at.IsNil() {
+						continue
+					}
+					switch at.Type.Underlying().(type) {
+					case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+					default:
+						report(arg.Pos(), "interface boxing", "")
+					}
+				}
+			}
+			return
+		}
+	}
+	callee := calleeFuncOf(pass, call)
+	if callee != nil && callee.Pkg() != nil && hotExemptPackages[pkgBase(callee.Pkg().Path())] {
+		return // observation exemption
+	}
+	var sig *types.Signature
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok {
+		if tv.IsType() {
+			return // conversion, not a call
+		}
+		sig, _ = tv.Type.Underlying().(*types.Signature)
+	}
+	if sig == nil && callee != nil {
+		sig, _ = callee.Type().(*types.Signature)
+	}
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			break
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if at.IsNil() {
+			continue
+		}
+		switch at.Type.Underlying().(type) {
+		case *types.Interface:
+			continue // interface→interface: no boxing
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			// Pointer-shaped: the value is stored directly in the
+			// interface's data word, no allocation.
+			continue
+		}
+		report(arg.Pos(), "interface boxing", "")
+	}
+}
+
+// paramTypeAt returns the effective parameter type for argument i,
+// unrolling the variadic tail (f(xs...) spread calls return the slice
+// type itself and are filtered out by the interface check).
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// amortizedAppend reports whether the append target's growth is provably
+// amortized: the slice is a caller-provided parameter (the Append*
+// scratch-buffer idiom — amortization is the caller's choice), or a
+// local assigned from a make with an explicit capacity in this function.
+func amortizedAppend(pass *analysis.Pass, fn fnInfo, target ast.Expr) bool {
+	id, ok := ast.Unparen(target).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if isParamOf(fn, v) {
+		return true
+	}
+	madeWithCap := false
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		if madeWithCap {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			lobj := pass.TypesInfo.Defs[lid]
+			if lobj == nil {
+				lobj = pass.TypesInfo.Uses[lid]
+			}
+			if lobj != v {
+				continue
+			}
+			if mk, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if mid, ok := ast.Unparen(mk.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[mid].(*types.Builtin); ok &&
+						b.Name() == "make" && len(mk.Args) >= 3 {
+						madeWithCap = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return madeWithCap
+}
+
+// isParamOf reports whether v is a parameter (or receiver) of fn.
+func isParamOf(fn fnInfo, v *types.Var) bool {
+	sig, ok := fn.obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	return sig.Recv() == v
+}
+
+// isStringType reports whether the expression has string type.
+func isStringType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// packageFuncs lists every function declaration with a body in the
+// package's type-checked files.
+func packageFuncs(pass *analysis.Pass) []fnInfo {
+	var out []fnInfo
+	for _, f := range pass.Pkg.CheckedFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			out = append(out, fnInfo{fd, obj})
+		}
+	}
+	return out
+}

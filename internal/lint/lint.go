@@ -24,6 +24,17 @@
 //     so sentinel errors survive wrapping for errors.Is/As.
 //   - mutexguard: fields annotated `// guarded by mu` are only accessed
 //     by functions that lock mu (or are named *Locked).
+//   - hotalloc: call-graph hot-path allocation analysis; functions
+//     reachable from //lint:hotpath roots must not allocate (composite
+//     literals, make/new, unamortized append, interface boxing, closures,
+//     string concatenation) unless each site carries a reasoned ignore.
+//     Hot facts propagate caller→callee, against the import direction.
+//   - lockorder: lock-acquisition-order cycles (A held while acquiring B,
+//     elsewhere B held while acquiring A) — static deadlock risks,
+//     expanded through per-function acquisition summaries across packages.
+//   - goleak: `go` statements with no visible stop path (no context,
+//     channel operation, or WaitGroup) — goroutines that cannot be shut
+//     down or awaited.
 //
 // The suite runs on a whole-program type-checked view (see the analysis
 // package): packages are loaded and type-checked once, analyzers run in
@@ -50,6 +61,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck, RenameAtomic,
 		DetermTaint, ErrWrapCheck, MutexGuard,
+		HotAlloc, LockOrder, GoLeak,
 	}
 }
 

@@ -42,6 +42,22 @@ func TestMutexGuard(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.MutexGuard, "mutexguard")
 }
 
+// TestHotAlloc covers the reverse-wave call-graph analysis: the driver
+// package declares the hotpath roots and dispatches through an interface;
+// the kernel package becomes hot purely through facts exported by the
+// driver, which is analyzed first because it is the dependent.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotAlloc, "hotalloc/driver", "hotalloc/kernel")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockOrder, "lockorder")
+}
+
+func TestGoLeak(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.GoLeak, "goleak")
+}
+
 func TestApplies(t *testing.T) {
 	cases := []struct {
 		analyzer string
@@ -74,11 +90,11 @@ func TestByNameUnknown(t *testing.T) {
 	if _, ok := lint.ByName("nosuch"); ok {
 		t.Fatal("ByName(nosuch) succeeded")
 	}
-	if len(lint.Analyzers()) != 8 {
-		t.Fatalf("expected 8 analyzers, got %d", len(lint.Analyzers()))
+	if len(lint.Analyzers()) != 11 {
+		t.Fatalf("expected 11 analyzers, got %d", len(lint.Analyzers()))
 	}
 	names := lint.Names()
-	if len(names) != 9 || names[len(names)-1] != "lintdirective" {
-		t.Fatalf("Names() = %v, want 8 analyzers plus lintdirective", names)
+	if len(names) != 12 || names[len(names)-1] != "lintdirective" {
+		t.Fatalf("Names() = %v, want 11 analyzers plus lintdirective", names)
 	}
 }

@@ -1,0 +1,100 @@
+// Package goleak pins the goroutine-leak analyzer: every conventional
+// lifecycle mechanism (context, channel operations, WaitGroup, a
+// lifecycle-bearing receiver) stays silent, and only the genuinely
+// unaccounted spawns are flagged.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	done chan struct{}
+}
+
+// watch is accounted: the goroutine references a context.
+func watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// run is accounted: the goroutine selects on a channel.
+func (s *server) run() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			}
+		}
+	}()
+}
+
+// fanOut is accounted: WaitGroup.Done in the body.
+func fanOut(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// spawnNamed is accounted: a channel flows into the named function.
+func spawnNamed(c chan int) {
+	go pump(c)
+}
+
+func pump(c chan int) {
+	for range c {
+	}
+}
+
+// spawnMethod is accounted: the receiver type visibly carries a done
+// channel.
+func (s *server) spawnMethod() {
+	go s.loop()
+}
+
+func (s *server) loop() {
+	<-s.done
+}
+
+// sendResult is accounted: the goroutine sends its result on a channel.
+func sendResult(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}
+
+// closer is accounted: closing a channel is a lifecycle handshake.
+func closer(ch chan int) {
+	go func() {
+		close(ch)
+	}()
+}
+
+// leak has no stop path at all.
+func leak() {
+	go func() { // want `goroutine has no visible stop path`
+		for {
+		}
+	}()
+}
+
+// leakNamed spawns a named function with no lifecycle in its arguments.
+func leakNamed(n int) {
+	go count(n) // want `goroutine has no visible stop path`
+}
+
+func count(n int) {
+	for i := 0; i < n; i++ {
+	}
+}
+
+// justified spawns are suppressed with a reasoned directive.
+func justified() {
+	//lint:ignore goleak golden: fire-and-forget by design
+	go func() {
+		_ = 1
+	}()
+}

@@ -1,0 +1,87 @@
+// Package lockorder pins the lock-order-cycle analyzer: a direct two-lock
+// inversion, a cycle formed through a call (one function's acquisition
+// summary extending another's held set), a consistent nesting that must
+// stay silent, and structural self-edges that are exempt.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+	c C
+	d D
+	e E
+)
+
+// lockAB nests b.mu under a.mu; lockBA nests them the other way around.
+// Both acquisition sites lie on the cycle and both are reported.
+func lockAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock order cycle`
+	b.mu.Unlock()
+}
+
+func lockBA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock order cycle`
+	a.mu.Unlock()
+}
+
+// lockAC nests c.mu under a.mu through a call; nobody nests a.mu under
+// c.mu, so the edge is acyclic and silent.
+func lockAC() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	lockC()
+}
+
+func lockC() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+// lockDThenE forms its half of a cycle through grabE's acquisition
+// summary; the report lands on the call that extends the held set.
+func lockDThenE() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	grabE() // want `lock order cycle`
+}
+
+func grabE() {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+func lockEThenD() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d.mu.Lock() // want `lock order cycle`
+	d.mu.Unlock()
+}
+
+// handOverHand re-acquires the same structural mutex (two instances of
+// one type): a self-edge, exempt by design.
+func handOverHand(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// sequential acquires in strict sequence, never nested: no edges at all.
+func sequential() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -284,6 +284,7 @@ func TestParallelErrors(t *testing.T) {
 }
 
 func BenchmarkSimulatorRandomVectors(b *testing.B) {
+	b.ReportAllocs()
 	c := circuits.MustISCAS85Like("c880")
 	s := New(c)
 	rng := rand.New(rand.NewSource(1))
@@ -300,6 +301,7 @@ func BenchmarkSimulatorRandomVectors(b *testing.B) {
 }
 
 func BenchmarkParallel64Patterns(b *testing.B) {
+	b.ReportAllocs()
 	c := circuits.MustISCAS85Like("c880")
 	p := NewParallel(c)
 	rng := rand.New(rand.NewSource(1))

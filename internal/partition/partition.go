@@ -12,7 +12,12 @@
 // The representation is mutable and incremental: moving gates between
 // modules invalidates only the touched modules' estimates, so the
 // evolution algorithm of §4 can evaluate descendants cheaply ("costs are
-// recomputed just for the modified modules").
+// recomputed just for the modified modules"). The descendant loop clones
+// and discards thousands of partitions per generation, so the module
+// representation is allocation-lean: each module's gate set is a sorted
+// int slice that is immutable once built (MoveGates replaces the touched
+// modules' slices instead of editing them), which lets Clone share every
+// unmodified slice and every cached estimate copy-on-write style.
 package partition
 
 import (
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"iddqsyn/internal/circuit"
 	"iddqsyn/internal/estimate"
@@ -84,29 +90,17 @@ func (cv CostVector) Weighted(w Weights) float64 {
 		w.Modules*cv.Modules
 }
 
+// moduleState is one module of the partition. gates is the module's gate
+// set as ascending IDs; together with Partition.moduleOf it is the source
+// of truth for membership. The slice is immutable once assigned:
+// MoveGates builds replacement slices for the touched modules, so clones
+// and cached estimates (whose Gates field aliases it) can share it
+// safely.
 type moduleState struct {
-	gates map[int]struct{}
-	// caches, valid while !dirty
-	sorted []int
-	est    *estimate.Module
-	dirty  bool
-}
-
-func (m *moduleState) gateSlice() []int {
-	if m.sorted == nil {
-		m.sorted = make([]int, 0, len(m.gates))
-		for g := range m.gates {
-			m.sorted = append(m.sorted, g)
-		}
-		sort.Ints(m.sorted)
-	}
-	return m.sorted
-}
-
-func (m *moduleState) invalidate() {
-	m.sorted = nil
-	m.est = nil
-	m.dirty = true
+	gates []int
+	// est caches the estimator output; nil after a move touched this
+	// module. Immutable once computed, so clones share it.
+	est *estimate.Module
 }
 
 // Partition is a mutable partition of the circuit's logic gates with
@@ -139,7 +133,7 @@ func New(e *estimate.Estimator, groups [][]int, w Weights, cons Constraints) (*P
 		if len(gates) == 0 {
 			return nil, fmt.Errorf("partition: module %d is empty", mi)
 		}
-		ms := &moduleState{gates: make(map[int]struct{}, len(gates)), dirty: true}
+		ms := &moduleState{gates: make([]int, 0, len(gates))}
 		for _, g := range gates {
 			if g < 0 || g >= c.NumGates() {
 				return nil, fmt.Errorf("partition: gate %d out of range", g)
@@ -150,10 +144,11 @@ func New(e *estimate.Estimator, groups [][]int, w Weights, cons Constraints) (*P
 			if p.moduleOf[g] != -1 {
 				return nil, fmt.Errorf("partition: gate %q assigned twice", c.Gates[g].Name)
 			}
-			ms.gates[g] = struct{}{}
+			ms.gates = append(ms.gates, g)
 			p.moduleOf[g] = mi
 			covered++
 		}
+		sort.Ints(ms.gates)
 		p.modules = append(p.modules, ms)
 	}
 	if covered != c.NumLogicGates() {
@@ -165,10 +160,21 @@ func New(e *estimate.Estimator, groups [][]int, w Weights, cons Constraints) (*P
 // NumModules returns K.
 func (p *Partition) NumModules() int { return len(p.modules) }
 
-// ModuleGates returns the sorted gate IDs of module mi.
+// ModuleGates returns the sorted gate IDs of module mi. The result is a
+// fresh copy the caller may modify.
 func (p *Partition) ModuleGates(mi int) []int {
-	return append([]int(nil), p.modules[mi].gateSlice()...)
+	return append([]int(nil), p.modules[mi].gates...)
 }
+
+// AppendModuleGates appends the sorted gate IDs of module mi to dst and
+// returns the extended slice — the allocation-free variant of ModuleGates
+// for callers that reuse a scratch buffer across moves.
+func (p *Partition) AppendModuleGates(dst []int, mi int) []int {
+	return append(dst, p.modules[mi].gates...)
+}
+
+// ModuleSize returns the number of gates in module mi.
+func (p *Partition) ModuleSize(mi int) int { return len(p.modules[mi].gates) }
 
 // ModuleOf returns the module index of a gate (-1 for primary inputs).
 func (p *Partition) ModuleOf(gate int) int { return p.moduleOf[gate] }
@@ -186,15 +192,18 @@ func (p *Partition) Groups() [][]int {
 func (p *Partition) ModuleEstimate(mi int) *estimate.Module {
 	ms := p.modules[mi]
 	if ms.est == nil {
-		ms.est = p.E.EvalModule(ms.gateSlice())
-		ms.dirty = false
+		ms.est = p.E.EvalModule(ms.gates)
 	}
 	return ms.est
 }
 
-// Clone returns a deep copy sharing the immutable estimator. Cached
-// module estimates are shared copy-on-write style: a clone's move only
-// invalidates its own module states.
+// Clone returns a deep copy sharing the immutable estimator. Module gate
+// slices and cached estimates are shared copy-on-write style: a move
+// replaces the touched modules' slices instead of editing them, so a
+// clone's mutation never reaches its siblings. The descendant loop of the
+// evolution strategy clones every parent λ+χ times per generation, which
+// makes this the optimizer's hottest allocation site — it allocates only
+// the module headers and the gate→module index.
 func (p *Partition) Clone() *Partition {
 	q := &Partition{
 		E: p.E, W: p.W, Cons: p.Cons,
@@ -204,18 +213,7 @@ func (p *Partition) Clone() *Partition {
 		cost:      p.cost,
 	}
 	for i, ms := range p.modules {
-		nm := &moduleState{
-			gates: make(map[int]struct{}, len(ms.gates)),
-			est:   ms.est, // immutable once computed
-			dirty: ms.dirty,
-		}
-		for g := range ms.gates {
-			nm.gates[g] = struct{}{}
-		}
-		if ms.sorted != nil {
-			nm.sorted = append([]int(nil), ms.sorted...)
-		}
-		q.modules[i] = nm
+		q.modules[i] = &moduleState{gates: ms.gates, est: ms.est}
 	}
 	return q
 }
@@ -234,17 +232,35 @@ func (p *Partition) MoveGates(gates []int, from, to int) (int, error) {
 	}
 	src, dst := p.modules[from], p.modules[to]
 	for _, g := range gates {
-		if _, ok := src.gates[g]; !ok {
+		if p.moduleOf[g] != from {
 			return to, fmt.Errorf("partition: gate %d not in module %d", g, from)
 		}
 	}
+	// Build replacement slices rather than editing in place: the old
+	// slices may be shared with clones and with cached estimate.Module
+	// values, both of which rely on them never changing.
+	//lint:ignore hotalloc copy-on-write by design: a fresh, exactly-sized slice keeps clones and cached estimates valid
+	newDst := make([]int, len(dst.gates), len(dst.gates)+len(gates))
+	copy(newDst, dst.gates)
+	moved := 0
 	for _, g := range gates {
-		delete(src.gates, g)
-		dst.gates[g] = struct{}{}
+		if p.moduleOf[g] == to {
+			continue // duplicate in the argument list
+		}
 		p.moduleOf[g] = to
+		newDst = append(newDst, g)
+		moved++
 	}
-	src.invalidate()
-	dst.invalidate()
+	//lint:ignore hotalloc copy-on-write by design (see newDst above)
+	newSrc := make([]int, 0, len(src.gates)-moved)
+	for _, g := range src.gates {
+		if p.moduleOf[g] == from {
+			newSrc = append(newSrc, g)
+		}
+	}
+	sort.Ints(newDst)
+	src.gates, src.est = newSrc, nil
+	dst.gates, dst.est = newDst, nil
 	p.costValid = false
 	if len(src.gates) == 0 {
 		p.deleteModule(from)
@@ -256,6 +272,7 @@ func (p *Partition) MoveGates(gates []int, from, to int) (int, error) {
 }
 
 func (p *Partition) deleteModule(mi int) {
+	//lint:ignore hotalloc in-place removal: the result is shorter than the backing array, append never grows it
 	p.modules = append(p.modules[:mi], p.modules[mi+1:]...)
 	for g, m := range p.moduleOf {
 		if m > mi {
@@ -268,35 +285,58 @@ func (p *Partition) deleteModule(mi int) {
 // undirected logic graph) to a gate outside mi — the mutation candidates
 // of §4.2.
 func (p *Partition) BoundaryGates(mi int) []int {
+	return p.AppendBoundaryGates(nil, mi)
+}
+
+// AppendBoundaryGates appends module mi's boundary gates to dst and
+// returns the extended slice — the allocation-free variant of
+// BoundaryGates for the optimizers' move loops, which call it once per
+// attempted mutation.
+func (p *Partition) AppendBoundaryGates(dst []int, mi int) []int {
 	c := p.E.A.Circuit
-	var out []int
-	for _, g := range p.modules[mi].gateSlice() {
+	for _, g := range p.modules[mi].gates {
 		for _, nb := range c.Neighbors(g) {
 			if p.moduleOf[nb] != mi {
-				out = append(out, g)
+				dst = append(dst, g)
 				break
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // ConnectedModules returns the distinct modules (≠ the gate's own) that a
 // gate is directly connected to — the legal mutation targets of §4.2.
 func (p *Partition) ConnectedModules(gate int) []int {
+	return p.AppendConnectedModules(nil, gate)
+}
+
+// AppendConnectedModules appends the gate's connected modules to dst and
+// returns the extended slice (ascending, deduplicated). The candidate set
+// is a handful of modules, so deduplication is a linear scan of the
+// appended tail rather than a map.
+func (p *Partition) AppendConnectedModules(dst []int, gate int) []int {
 	c := p.E.A.Circuit
 	own := p.moduleOf[gate]
-	seen := map[int]bool{}
-	var out []int
+	start := len(dst)
 	for _, nb := range c.Neighbors(gate) {
 		m := p.moduleOf[nb]
-		if m >= 0 && m != own && !seen[m] {
-			seen[m] = true
-			out = append(out, m)
+		if m < 0 || m == own {
+			continue
+		}
+		dup := false
+		for _, seen := range dst[start:] {
+			if seen == m {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, m)
 		}
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(dst[start:])
+	return dst
 }
 
 // Feasible evaluates Γ(Π): every module's discriminability must reach
@@ -316,6 +356,18 @@ func (p *Partition) WorstDiscriminability() float64 {
 	return worst
 }
 
+// costScratch holds the transient buffers of one Costs evaluation. The
+// descendant loop evaluates thousands of partitions per generation on a
+// worker pool, so the buffers are pooled instead of allocated per call;
+// nothing in them survives the call (the module pointers are cleared
+// before the scratch is returned).
+type costScratch struct {
+	mods    []*estimate.Module
+	arrival []float64
+}
+
+var costScratchPool = sync.Pool{New: func() interface{} { return new(costScratch) }}
+
 // Costs evaluates the full cost vector, recomputing only invalidated
 // modules. The logarithmic terms use log(1+x) so that degenerate
 // partitions (all singleton modules have S = 0) stay finite; the paper's
@@ -325,7 +377,16 @@ func (p *Partition) Costs() CostVector {
 	if p.costValid {
 		return p.cost
 	}
-	mods := make([]*estimate.Module, len(p.modules))
+	sc := costScratchPool.Get().(*costScratch)
+	if cap(sc.mods) < len(p.modules) {
+		//lint:ignore hotalloc pool miss or module-count growth only; steady-state cost evaluations reuse the pooled buffers
+		sc.mods = make([]*estimate.Module, len(p.modules))
+	}
+	if cap(sc.arrival) < p.E.A.Circuit.NumGates() {
+		//lint:ignore hotalloc pool miss only (see mods above)
+		sc.arrival = make([]float64, p.E.A.Circuit.NumGates())
+	}
+	mods := sc.mods[:len(p.modules)]
 	var areaSum float64
 	sepSum := 0
 	for mi := range p.modules {
@@ -334,7 +395,7 @@ func (p *Partition) Costs() CostVector {
 		areaSum += m.SensorArea
 		sepSum += m.Separation
 	}
-	dBIC := p.E.BICDelay(p.moduleOf, mods)
+	dBIC := p.E.BICDelayScratch(p.moduleOf, mods, sc.arrival[:cap(sc.arrival)])
 	cv := CostVector{
 		LogArea:       math.Log1p(areaSum),
 		DelayOverhead: p.E.DelayOverhead(dBIC),
@@ -346,6 +407,10 @@ func (p *Partition) Costs() CostVector {
 		DNominal:      p.E.NominalDelay(),
 		Separation:    sepSum,
 	}
+	for i := range mods {
+		mods[i] = nil
+	}
+	costScratchPool.Put(sc)
 	p.cost = cv
 	p.costValid = true
 	return cv
@@ -357,8 +422,9 @@ func (p *Partition) Cost() float64 {
 }
 
 // Verify checks the structural invariants (disjoint cover of all logic
-// gates, consistent moduleOf, no empty modules) and returns the first
-// violation. Used by tests and as a debugging aid.
+// gates, consistent moduleOf, ascending module gate lists, no empty
+// modules) and returns the first violation. Used by tests and as a
+// debugging aid.
 func (p *Partition) Verify() error {
 	c := p.E.A.Circuit
 	seen := make(map[int]int)
@@ -366,9 +432,14 @@ func (p *Partition) Verify() error {
 		if len(ms.gates) == 0 {
 			return fmt.Errorf("module %d empty", mi)
 		}
-		for g := range ms.gates {
-			if prev, dup := seen[g]; dup {
-				return fmt.Errorf("gate %d in modules %d and %d", g, prev, mi)
+		prev := -1
+		for _, g := range ms.gates {
+			if g <= prev {
+				return fmt.Errorf("module %d gate list not ascending at gate %d", mi, g)
+			}
+			prev = g
+			if p, dup := seen[g]; dup {
+				return fmt.Errorf("gate %d in modules %d and %d", g, p, mi)
 			}
 			seen[g] = mi
 			if p.moduleOf[g] != mi {

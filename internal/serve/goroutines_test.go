@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"iddqsyn/internal/obs"
+)
+
+// TestStartCloseGoroutineGrowth is the runtime complement of the static
+// goleak analyzer: repeated Start/Close cycles — including cycles with a
+// job submitted and left in flight, so the shutdown path has real work
+// to interrupt — must return the process to its baseline goroutine
+// count. A worker, queue waiter or event-stream goroutine that survives
+// Close shows up here as monotone growth.
+func TestStartCloseGoroutineGrowth(t *testing.T) {
+	dir := t.TempDir()
+	cycle := func(submit bool) {
+		s, err := New(Config{Dir: dir, Workers: 4, QueueCap: 8, Obs: obs.New("test", nil, nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		if submit {
+			spec := &JobSpec{Netlist: c17Netlist(t), Generations: 50, Seed: 1}
+			if _, _, err := s.submit(spec, "growth"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+	}
+
+	cycle(true) // warm pools, lazy runtime state, and the journal
+	baseline := runtime.NumGoroutine()
+
+	const cycles = 8
+	for i := 0; i < cycles; i++ {
+		cycle(i%2 == 0)
+	}
+
+	// Goroutines unwind asynchronously after Close returns; give them a
+	// bounded grace period before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine count grew from %d to %d over %d Start/Close cycles\n%s",
+				baseline, n, cycles, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -6,11 +6,11 @@
 # BENCH_<n>.json so every PR leaves a comparable perf point on disk
 # (ROADMAP item: the BENCH_*.json trajectory).
 #
-# BENCH_PR sets <n> (default 6); BENCH_OUT overrides the output path.
+# BENCH_PR sets <n> (default 7); BENCH_OUT overrides the output path.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCH_PR="${BENCH_PR:-6}"
+BENCH_PR="${BENCH_PR:-7}"
 BENCH_OUT="${BENCH_OUT:-BENCH_${BENCH_PR}.json}"
 raw="$(mktemp /tmp/iddqsyn-bench.XXXXXX)"
 trap 'rm -f "$raw"' EXIT INT TERM
