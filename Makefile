@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint lint-baseline lint-escape race chaos fuzz-isc fuzz-ckpt fuzz-jobspec fuzz-directives bench bench-json obs-demo serve-demo serve-soak clean
+.PHONY: check build test vet lint lint-baseline lint-escape race chaos fuzz-isc fuzz-ckpt fuzz-jobspec fuzz-directives bench bench-json obs-demo serve-demo serve-soak load-demo clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
@@ -79,6 +79,13 @@ serve-demo:
 # with the /metricz snapshot saved (SOAK_OUT overrides; CI uploads it).
 serve-soak:
 	sh scripts/serve_soak.sh
+
+# Saturation quick-start: iddqload -sweep against an in-process
+# iddqserve — steps the offered rate until the p99 SLO breaks, writes
+# LOAD_<n>.json (quantiles, queue-depth timeline, slowest traces) and a
+# Chrome trace export (LOAD_PR/LOAD_OUT/TRACE_OUT override).
+load-demo:
+	sh scripts/load_demo.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

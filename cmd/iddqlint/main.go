@@ -59,7 +59,7 @@ import (
 )
 
 // toolVersion is reported in SARIF logs.
-const toolVersion = "3.0.0"
+const toolVersion = "3.1.0"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

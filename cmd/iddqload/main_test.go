@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/circuits"
+	"iddqsyn/internal/obs"
+)
+
+// TestLoadSmoke drives the real harness path end to end against an
+// in-process iddqserve: open-loop submissions over real loopback HTTP,
+// SSE-terminated latency measurement, /metricz queue-depth sampling,
+// and /tracez collection — then checks the report invariants the CI
+// smoke relies on: completions happened, quantiles are non-zero and
+// ordered, and at least one retained slowest trace explains >=90% of
+// its request's end-to-end latency through its spans.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke needs a couple seconds of wall time")
+	}
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "c17.bench")
+	if err := os.WriteFile(benchPath, []byte(bench.Format(circuits.C17())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &config{
+		rate:            25,
+		duration:        1500 * time.Millisecond,
+		tenants:         2,
+		seed:            1,
+		benchPath:       benchPath,
+		gens:            6,
+		sloP99:          30 * time.Second,
+		pr:              8,
+		out:             filepath.Join(dir, "LOAD_test.json"),
+		inprocWorkers:   2,
+		inprocQueueCap:  256,
+		inprocCkptEvery: 50,
+	}
+	base, shutdown, err := bootInprocess(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	netlist, err := os.ReadFile(cfg.benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := runStep(cfg, base, string(netlist), cfg.rate, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Completed == 0 {
+		t.Fatalf("no completions: %+v", sr)
+	}
+	ls := sr.LatencySeconds
+	if ls.P50 <= 0 || ls.P99 <= 0 {
+		t.Fatalf("quantiles must be non-zero with completions: %+v", ls)
+	}
+	if ls.P50 > ls.P90 || ls.P90 > ls.P99 || ls.P99 > ls.P999 {
+		t.Fatalf("quantiles out of order: %+v", ls)
+	}
+	if sr.AchievedRate <= 0 {
+		t.Fatalf("achieved rate must be positive: %+v", sr)
+	}
+	if !sr.SLOMet {
+		t.Fatalf("a 30s SLO must hold for ms-scale jobs: %+v", sr)
+	}
+
+	rep := &loadReport{Steps: []stepReport{*sr}}
+	if err := collectTraces(cfg, base, rep); err != nil {
+		t.Fatalf("collectTraces: %v", err)
+	}
+	if len(rep.SlowestTraces) == 0 {
+		t.Fatal("no slowest traces retained; tracing should be armed in-process")
+	}
+	bestCov := 0.0
+	for _, tv := range rep.SlowestTraces {
+		if tv.Root != "serve.job" {
+			t.Fatalf("unexpected root span %q", tv.Root)
+		}
+		if tv.DurationMS <= 0 {
+			t.Fatalf("trace %d has non-positive duration", tv.Trace)
+		}
+		if tv.CoveragePct > bestCov {
+			bestCov = tv.CoveragePct
+		}
+	}
+	if bestCov < 90 {
+		t.Fatalf("no retained trace explains >=90%% of its e2e latency (best %.1f%%)", bestCov)
+	}
+
+	if err := writeJSON(cfg.out, rep); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(cfg.out); err != nil || st.Size() == 0 {
+		t.Fatalf("report not written: %v", err)
+	}
+}
+
+func traceFixture() obs.TraceRecord {
+	ms := int64(time.Millisecond)
+	return obs.TraceRecord{
+		Trace: 1, Root: "serve.job", Dur: 100 * ms,
+		Spans: []obs.SpanRecord{
+			{Trace: 1, Span: 1, Parent: 0, Name: "serve.job", Dur: 100 * ms},
+			{Trace: 1, Span: 2, Parent: 1, Name: "serve.admit", Dur: 5 * ms},
+			{Trace: 1, Span: 3, Parent: 1, Name: "queue.wait", Dur: 5 * ms},
+			{Trace: 1, Span: 4, Parent: 1, Name: "serve.attempt", Dur: 80 * ms},
+			{Trace: 1, Span: 5, Parent: 4, Name: "evolution.evaluate", Dur: 20 * ms},
+			{Trace: 1, Span: 6, Parent: 4, Name: "evolution.evaluate", Dur: 20 * ms},
+		},
+	}
+}
+
+// TestSummarizeTrace checks the coverage computation on a synthetic
+// trace: the root's direct children explain 90% of the root duration,
+// grandchildren are aggregated but excluded from coverage.
+func TestSummarizeTrace(t *testing.T) {
+	tr := traceFixture()
+	tv := summarizeTrace(tr)
+	if tv.Root != "serve.job" || tv.DurationMS != 100 {
+		t.Fatalf("root mis-summarized: %+v", tv)
+	}
+	if tv.CoveragePct != 90 {
+		t.Fatalf("coverage: got %.1f, want 90 (direct children only)", tv.CoveragePct)
+	}
+	byName := map[string]spanView{}
+	for _, sv := range tv.Spans {
+		byName[sv.Name] = sv
+	}
+	if byName["serve.attempt"].Count != 1 || byName["serve.attempt"].DurationMS != 80 {
+		t.Fatalf("attempt aggregation wrong: %+v", byName["serve.attempt"])
+	}
+	if byName["evolution.evaluate"].Count != 2 || byName["evolution.evaluate"].DurationMS != 40 {
+		t.Fatalf("grandchild aggregation wrong: %+v", byName["evolution.evaluate"])
+	}
+	if len(tv.Spans) > 1 && tv.Spans[0].DurationMS < tv.Spans[1].DurationMS {
+		t.Fatalf("spans must be sorted slowest-first: %+v", tv.Spans)
+	}
+}

@@ -88,6 +88,11 @@ func run() (code int, retErr error) {
 	timeout := flag.Duration("timeout", 0, "serving wall-clock budget; on expiry the service shuts down gracefully (0 = none)")
 	chaosSpec := flag.String("chaos", "", "inject deterministic faults per this schedule and gate admission on a self-test job surviving them")
 	var oc obscli.Config
+	// Tracing is on by default for the service (K = obs default): a
+	// long-lived server should always be able to answer "where did the
+	// slow request's milliseconds go" at /tracez. -trace-slowest 0 turns
+	// it off.
+	oc.TraceSlowest = obs.DefaultSlowestTraces
 	oc.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() > 0 {

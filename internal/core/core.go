@@ -223,20 +223,33 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (re
 		eprm = *opt.Evolution
 	}
 
+	// Causal-trace phases ride alongside the log spans: each core phase is
+	// a child of the span the context carries (the serving layer's
+	// serve.attempt), so a retained slow trace decomposes the attempt into
+	// annotate / estimator / optimize / audit / chip. All nil-cheap when
+	// the context carries no span.
+	psp := obs.SpanFromContext(ctx)
+
 	sp := o.StartSpan("core.annotate", "circuit", c.Name)
+	tsp := psp.StartChild("core.annotate")
 	a, err := celllib.Annotate(c, lib)
+	tsp.End()
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	sp = o.StartSpan("core.estimator")
+	tsp = psp.StartChild("core.estimator")
 	e := estimate.New(a, prm)
 	e.SetObs(o)
 	e.SetChaos(inj)
+	tsp.End()
 	sp.End()
 
 	res = &Result{Method: opt.Method, Circuit: c, Annotated: a, Estimator: e}
 	optSpan := o.StartSpan("core.optimize", "method", opt.Method.String())
+	optTsp := psp.StartChild("core.optimize")
+	ctx = obs.ContextWithSpan(ctx, optTsp) // evolution generations attach here
 	switch opt.Method {
 	case MethodEvolution:
 		attempts := 1 + opt.OptimizerRetries
@@ -285,6 +298,7 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (re
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", opt.Method)
 	}
+	optTsp.End()
 	optSpan.End("modules", res.Partition.NumModules())
 
 	// Every synthesis result passes the static partition audit before it
@@ -294,14 +308,18 @@ func SynthesizeContext(ctx context.Context, c *circuit.Circuit, opt Options) (re
 	// partcheck.Feasibility); a violated structural invariant here is a
 	// bug, and the named constraint says which one.
 	sp = o.StartSpan("core.audit")
+	tsp = psp.StartChild("core.audit")
 	r := partcheck.VerifyPartition(res.Partition, partcheck.StructureOnly())
+	tsp.End()
 	sp.End()
 	if !r.OK() {
 		return nil, fmt.Errorf("core: final partition fails the static audit: %w", r.Err())
 	}
 	res.Costs = res.Partition.Costs()
 	sp = o.StartSpan("core.chip")
+	tsp = psp.StartChild("core.chip")
 	chip, err := bic.NewChip(a, res.Partition.Groups(), e)
+	tsp.End()
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

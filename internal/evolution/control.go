@@ -125,6 +125,13 @@ type state struct {
 	nextGen int // first generation the loop will run (1 for fresh runs)
 	obs     *runObs
 
+	// tsp is the causal-trace span the run's context carried in (the
+	// serving layer's core.optimize phase); per-generation evaluate /
+	// select / checkpoint child spans hang off it. Nil when untraced —
+	// every use then costs one pointer comparison and zero allocations,
+	// which the TestDescendantAllocs bound holds the hot path to.
+	tsp *obs.TraceSpan
+
 	// mv is the mutation operators' scratch memory. It carries no run
 	// state (checkpoints ignore it) — it only keeps the sequential
 	// mutation phase allocation-free.
@@ -144,6 +151,7 @@ type state struct {
 // layered onto its OnRetry callback.
 func (s *state) attachControl(ctx context.Context, ctl *Control) {
 	s.chaos = resolveChaos(ctx, ctl)
+	s.tsp = obs.SpanFromContext(ctx)
 	s.fs = fsx.OS{}
 	if ctl != nil && ctl.FS != nil {
 		s.fs = ctl.FS
@@ -184,7 +192,10 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			genStart = time.Now()
 		}
 		// Mutation is sequential (single deterministic rand stream);
-		// the cost evaluations below may run on a worker pool.
+		// the cost evaluations below may run on a worker pool. The
+		// evaluate trace span covers both — descendant construction and
+		// the parallel cost evaluations are one causal phase.
+		evalTsp := s.tsp.StartChild("evolution.evaluate")
 		descendants := make([]*individual, 0, len(s.pop)*(s.prm.Lambda+s.prm.Chi))
 		for _, parent := range s.pop {
 			for l := 0; l < s.prm.Lambda; l++ {
@@ -215,8 +226,10 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			}
 			parent.age++
 		}
-		if err := evaluate(descendants, s.prm.Workers, costOf, s.obs.evalSeconds, s.chaos); err != nil {
-			return nil, err
+		evalErr := evaluate(descendants, s.prm.Workers, costOf, s.obs.evalSeconds, s.chaos)
+		evalTsp.End()
+		if evalErr != nil {
+			return nil, evalErr
 		}
 		s.res.Evaluations += len(descendants)
 		s.obs.evaluations.Add(uint64(len(descendants)))
@@ -224,6 +237,7 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 
 		// Selection: parents older than ω are deleted; the μ cheapest of
 		// the remaining parents and all descendants survive.
+		selTsp := s.tsp.StartChild("evolution.select")
 		pool := descendants
 		for _, ind := range s.pop {
 			if ind.age < s.prm.Omega {
@@ -231,9 +245,11 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			}
 		}
 		if len(pool) == 0 {
+			selTsp.End()
 			break // nothing mutable remains (e.g. single-module partitions)
 		}
 		s.pop = selectBest(pool, s.prm.Mu)
+		selTsp.End()
 
 		if b := cheapest(s.pop); b.cost < s.res.BestCost {
 			s.res.BestCost = b.cost
@@ -257,7 +273,10 @@ func (s *state) run(ctx context.Context, trace Trace, ctl *Control) (*Result, er
 			break
 		}
 		if every > 0 && gen%every == 0 && gen < s.prm.MaxGenerations {
-			if err := s.writeCheckpoint(ctl.CheckpointPath); err != nil {
+			ckptTsp := s.tsp.StartChild("evolution.checkpoint")
+			err := s.writeCheckpoint(ctl.CheckpointPath)
+			ckptTsp.End()
+			if err != nil {
 				// The run state is intact; surface the result alongside
 				// the error so hours of work are not discarded because a
 				// disk filled up.

@@ -35,6 +35,10 @@
 //   - goleak: `go` statements with no visible stop path (no context,
 //     channel operation, or WaitGroup) — goroutines that cannot be shut
 //     down or awaited.
+//   - spanend: trace spans (obs.TraceSpan from Start* producers) that are
+//     started but provably never ended — dropped, bound to blank, or
+//     assigned and forgotten. An unended span is a silent hole in the
+//     causal trace and leaks against the per-trace span cap.
 //
 // The suite runs on a whole-program type-checked view (see the analysis
 // package): packages are loaded and type-checked once, analyzers run in
@@ -61,7 +65,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck, RenameAtomic,
 		DetermTaint, ErrWrapCheck, MutexGuard,
-		HotAlloc, LockOrder, GoLeak,
+		HotAlloc, LockOrder, GoLeak, SpanEnd,
 	}
 }
 

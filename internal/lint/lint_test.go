@@ -58,6 +58,10 @@ func TestGoLeak(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.GoLeak, "goleak")
 }
 
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SpanEnd, "spanend")
+}
+
 func TestApplies(t *testing.T) {
 	cases := []struct {
 		analyzer string
@@ -90,11 +94,11 @@ func TestByNameUnknown(t *testing.T) {
 	if _, ok := lint.ByName("nosuch"); ok {
 		t.Fatal("ByName(nosuch) succeeded")
 	}
-	if len(lint.Analyzers()) != 11 {
-		t.Fatalf("expected 11 analyzers, got %d", len(lint.Analyzers()))
+	if len(lint.Analyzers()) != 12 {
+		t.Fatalf("expected 12 analyzers, got %d", len(lint.Analyzers()))
 	}
 	names := lint.Names()
-	if len(names) != 12 || names[len(names)-1] != "lintdirective" {
-		t.Fatalf("Names() = %v, want 11 analyzers plus lintdirective", names)
+	if len(names) != 13 || names[len(names)-1] != "lintdirective" {
+		t.Fatalf("Names() = %v, want 12 analyzers plus lintdirective", names)
 	}
 }

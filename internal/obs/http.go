@@ -141,7 +141,8 @@ func NewMux(o *Obs) *http.ServeMux {
 		fmt.Fprintf(w, "iddqsyn introspection — run %s\n\n", o.Run())
 		fmt.Fprintln(w, "/healthz      liveness")
 		fmt.Fprintln(w, "/runz         live run status (JSON)")
-		fmt.Fprintln(w, "/metricz      metrics snapshot (JSON)")
+		fmt.Fprintln(w, "/metricz      metrics snapshot with latency quantiles (JSON)")
+		fmt.Fprintln(w, "/tracez       slowest retained traces (Chrome trace_event; ?format=json for raw)")
 		fmt.Fprintln(w, "/debug/vars   expvar")
 		fmt.Fprintln(w, "/debug/pprof  profiles")
 	})
@@ -156,7 +157,12 @@ func NewMux(o *Obs) *http.ServeMux {
 		}{Run: o.Run(), Status: o.Status()})
 	})
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, _ *http.Request) {
-		WriteJSON(w, o.Registry().Snapshot())
+		snap := o.Registry().Snapshot()
+		snap.ComputeQuantiles()
+		WriteJSON(w, snap)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		ServeTracez(w, r, o.Tracer())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -195,6 +201,22 @@ func (s *Server) Close(ctx context.Context) error {
 		return fmt.Errorf("obs: debug server shutdown: %w", err)
 	}
 	return nil
+}
+
+// ServeTracez renders a tracer snapshot: Chrome trace_event JSON by
+// default (load it in chrome://tracing or Perfetto), the raw
+// TraceSnapshot with ?format=json. A nil tracer serves an empty
+// snapshot, so the endpoint is safe to mount unconditionally.
+func ServeTracez(w http.ResponseWriter, r *http.Request, t *Tracer) {
+	snap := t.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		WriteJSON(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := snap.WriteChrome(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // WriteJSON serves v as an indented JSON response — the one encoding

@@ -47,7 +47,10 @@ func get(t *testing.T, s *Server, path string) (int, string) {
 func TestServerEndpoints(t *testing.T) {
 	o, s := startTestServer(t)
 	o.Counter("evolution.evaluations").Add(12)
+	o.Histogram("span.core.optimize.seconds", nil).Observe(0.25)
 	o.SetStatus(map[string]any{"generation": 3, "best_cost": 42.5})
+	o.SetTracer(NewTracer(TracerConfig{}))
+	o.Tracer().StartRoot("serve.job").End()
 
 	t.Run("index", func(t *testing.T) {
 		code, body := get(t, s, "/")
@@ -88,6 +91,27 @@ func TestServerEndpoints(t *testing.T) {
 		}
 		if snap.Counters["evolution.evaluations"] != 12 {
 			t.Errorf("metricz counters = %v", snap.Counters)
+		}
+		qs, ok := snap.Quantiles["span.core.optimize.seconds"]
+		if !ok || qs.P50 <= 0 {
+			t.Errorf("metricz must render latency quantiles, got %v", snap.Quantiles)
+		}
+	})
+	t.Run("tracez", func(t *testing.T) {
+		code, body := get(t, s, "/tracez")
+		if code != http.StatusOK || !strings.Contains(body, "traceEvents") {
+			t.Fatalf("tracez: code=%d body=%.200q", code, body)
+		}
+		code, body = get(t, s, "/tracez?format=json")
+		if code != http.StatusOK {
+			t.Fatalf("tracez json: code=%d", code)
+		}
+		var snap TraceSnapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("tracez?format=json not a TraceSnapshot: %v", err)
+		}
+		if len(snap.Slowest) != 1 || snap.Slowest[0].Root != "serve.job" {
+			t.Errorf("tracez snapshot = %+v, want the serve.job trace", snap.Slowest)
 		}
 	})
 	t.Run("expvar", func(t *testing.T) {

@@ -233,12 +233,81 @@ type HistogramSnapshot struct {
 	Sum    float64  `json:"sum"`
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation within the bucket holding the target
+// rank: the first bucket interpolates from 0, the overflow bucket clamps
+// to the last bound (the histogram carries no upper edge for it). An
+// empty histogram reports 0. Out-of-range q is clamped.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 || len(hs.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(hs.Count)
+	var seen float64
+	for i, c := range hs.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = hs.Bounds[i-1]
+		}
+		if i >= len(hs.Bounds) {
+			// Overflow bucket: no upper edge, clamp to the last bound.
+			return lo
+		}
+		hi := hs.Bounds[i]
+		if seen+float64(c) >= rank {
+			frac := (rank - seen) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(c)
+	}
+	return hs.Bounds[len(hs.Bounds)-1]
+}
+
+// QuantileSummary is the latency triple /metricz renders per histogram.
+type QuantileSummary struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
 // MetricsSnapshot is a registry's frozen state, JSON-marshalable with
-// deterministic (sorted) key order.
+// deterministic (sorted) key order. Quantiles is a derived view filled
+// only by the HTTP handlers (ComputeQuantiles) — never by Snapshot — so
+// checkpoint-embedded snapshots stay byte-stable across releases.
 type MetricsSnapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Quantiles  map[string]QuantileSummary   `json:"quantiles,omitempty"`
+}
+
+// ComputeQuantiles derives the p50/p95/p99 summary for every non-empty
+// histogram in the snapshot. Nil-safe.
+func (s *MetricsSnapshot) ComputeQuantiles() {
+	if s == nil || len(s.Histograms) == 0 {
+		return
+	}
+	s.Quantiles = make(map[string]QuantileSummary, len(s.Histograms))
+	for name, hs := range s.Histograms {
+		if hs.Count == 0 {
+			continue
+		}
+		s.Quantiles[name] = QuantileSummary{
+			P50: hs.Quantile(0.50), P95: hs.Quantile(0.95), P99: hs.Quantile(0.99),
+		}
+	}
 }
 
 // Snapshot freezes the registry. Each metric is read atomically; the

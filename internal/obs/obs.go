@@ -34,6 +34,7 @@ type Obs struct {
 	log      *Logger
 	status   atomic.Value           // latest run status, any JSON-marshalable value
 	degraded atomic.Pointer[string] // non-nil once the run entered degraded mode; value = reason
+	tracer   atomic.Pointer[Tracer] // nil until SetTracer arms causal tracing
 }
 
 // New assembles an Obs for one run. A nil registry gets a fresh one; a
@@ -124,6 +125,25 @@ func (o *Obs) Degraded() (bool, string) {
 		return true, *r
 	}
 	return false, ""
+}
+
+// SetTracer arms causal tracing for the run. Tracing is off by default —
+// without a tracer every StartRoot/StartChild returns nil and the
+// instrumented path costs a pointer comparison. Nil-safe.
+func (o *Obs) SetTracer(t *Tracer) {
+	if o == nil {
+		return
+	}
+	o.tracer.Store(t)
+}
+
+// Tracer returns the run's tracer, or nil when tracing is off. The nil
+// result is safe to use directly — every Tracer method tolerates it.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Load()
 }
 
 // runSeq disambiguates run IDs minted within the same nanosecond.

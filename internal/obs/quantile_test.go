@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	// A hand-built 3-bucket snapshot: (0,1]=10, (1,2]=10, (2,4]=0,
+	// overflow=0 — 20 observations, uniform within each bucket under the
+	// linear-interpolation model.
+	uniform := HistogramSnapshot{
+		Bounds: []float64{1, 2, 4},
+		Counts: []uint64{10, 10, 0, 0},
+		Count:  20,
+	}
+	overflowy := HistogramSnapshot{
+		Bounds: []float64{1, 2},
+		Counts: []uint64{0, 0, 5}, // everything above the last bound
+		Count:  5,
+	}
+	skewed := HistogramSnapshot{
+		Bounds: []float64{0.001, 0.01, 0.1, 1},
+		Counts: []uint64{90, 0, 0, 10, 0},
+		Count:  100,
+	}
+	cases := []struct {
+		name string
+		hs   HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"empty", HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}, 0.5, 0},
+		{"median splits the two buckets", uniform, 0.5, 1.0},
+		{"q=0 clamps to the first bucket edge", uniform, 0, 0},
+		{"q=1 is the top of the last occupied bucket", uniform, 1, 2.0},
+		{"p25 interpolates inside bucket 1", uniform, 0.25, 0.5},
+		{"p75 interpolates inside bucket 2", uniform, 0.75, 1.5},
+		{"negative q clamps", uniform, -3, 0},
+		{"q above 1 clamps", uniform, 7, 2.0},
+		{"overflow bucket clamps to last bound", overflowy, 0.99, 2},
+		{"skewed p50 inside the first bucket", skewed, 0.5, 0.001 * 50 / 90},
+		{"skewed p95 lands in the tail bucket", skewed, 0.95, 0.1 + 0.9*0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.hs.Quantile(tc.q)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestQuantileAgainstObservations(t *testing.T) {
+	// End to end through a real histogram: 1000 observations 1ms..1000ms,
+	// the estimate must land within one bucket of the true quantile.
+	r := NewRegistry()
+	h := r.Histogram("lat", ExpBuckets(1e-3, 1.5, 24))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := hs.Quantile(q)
+		truth := q // observations are uniform on (0,1]
+		if got < truth/1.6 || got > truth*1.6 {
+			t.Errorf("Quantile(%v) = %v, want within a 1.5x bucket of %v", q, got, truth)
+		}
+	}
+}
+
+func TestComputeQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("busy", []float64{1, 2}).Observe(1.5)
+	r.Histogram("idle", []float64{1, 2}) // no observations
+	s := r.Snapshot()
+	if s.Quantiles != nil {
+		t.Fatalf("Snapshot must not derive quantiles (checkpoint byte-stability): %v", s.Quantiles)
+	}
+	s.ComputeQuantiles()
+	if _, ok := s.Quantiles["busy"]; !ok {
+		t.Fatalf("ComputeQuantiles skipped a non-empty histogram: %v", s.Quantiles)
+	}
+	if _, ok := s.Quantiles["idle"]; ok {
+		t.Errorf("ComputeQuantiles summarized an empty histogram")
+	}
+	qs := s.Quantiles["busy"]
+	if qs.P50 <= 1 || qs.P50 > 2 || qs.P99 <= 1 || qs.P99 > 2 {
+		t.Errorf("quantiles of a single 1.5 observation = %+v, want within (1,2]", qs)
+	}
+	var nilSnap *MetricsSnapshot
+	nilSnap.ComputeQuantiles() // must not panic
+}

@@ -41,6 +41,11 @@ type RunSnapshot struct {
 	DegradedReason string `json:"degraded_reason,omitempty"`
 
 	Metrics *MetricsSnapshot `json:"metrics"`
+
+	// Traces embeds the tracer's retained slowest traces when causal
+	// tracing was armed for the run (absent otherwise, keeping untraced
+	// snapshots byte-identical to earlier versions).
+	Traces *TraceSnapshot `json:"traces,omitempty"`
 }
 
 // NewRunSnapshot assembles a snapshot of o's current state.
@@ -55,7 +60,17 @@ func NewRunSnapshot(o *Obs, circuit string) *RunSnapshot {
 		Degraded:       degraded,
 		DegradedReason: reason,
 		Metrics:        o.Registry().Snapshot(),
+		Traces:         traceSnapshotOrNil(o.Tracer()),
 	}
+}
+
+// traceSnapshotOrNil keeps untraced runs' snapshots free of an empty
+// "traces" stanza.
+func traceSnapshotOrNil(t *Tracer) *TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	return t.Snapshot()
 }
 
 // WriteFile persists the snapshot through the crash-safe fsx protocol

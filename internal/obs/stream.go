@@ -18,16 +18,30 @@ const DefaultSubscriberBuffer = 16
 // event is dropped to make room, so consumers always converge on the
 // latest state while a stuck consumer costs nothing.
 type Broadcaster struct {
-	mu     sync.Mutex
-	subs   map[int]chan any
-	nextID int
-	last   any
-	closed bool
+	mu      sync.Mutex
+	subs    map[int]chan any
+	nextID  int
+	last    any
+	closed  bool
+	dropped *Counter // guarded by mu; incremented per event lost to a slow subscriber
 }
 
 // NewBroadcaster returns an empty broadcaster.
 func NewBroadcaster() *Broadcaster {
 	return &Broadcaster{subs: make(map[int]chan any)}
+}
+
+// SetDropCounter wires a counter (typically obs.sse.dropped) that ticks
+// once per event evicted from a slow subscriber's buffer, making
+// slow-consumer loss visible in /metricz rather than silent. Nil-safe in
+// both directions.
+func (b *Broadcaster) SetDropCounter(c *Counter) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.dropped = c
+	b.mu.Unlock()
 }
 
 // Publish delivers v to every subscriber and records it as the latest
@@ -53,6 +67,7 @@ func (b *Broadcaster) Publish(v any) {
 				// blocking the publisher.
 				select {
 				case <-ch:
+					b.dropped.Inc()
 				default:
 				}
 				continue

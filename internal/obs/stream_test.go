@@ -3,6 +3,7 @@ package obs
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestBroadcasterDeliversInOrder(t *testing.T) {
@@ -48,6 +49,48 @@ func TestBroadcasterDropsOldestWhenFull(t *testing.T) {
 	if got := <-ch; got != 9 {
 		t.Fatalf("second buffered event = %v, want 9", got)
 	}
+}
+
+func TestBroadcasterSlowConsumerCounted(t *testing.T) {
+	// A subscriber that never reads must neither block the publisher nor
+	// lose events silently: the drop counter accounts for every eviction
+	// and the subscriber still converges on the freshest events.
+	b := NewBroadcaster()
+	r := NewRegistry()
+	dropped := r.Counter("obs.sse.dropped")
+	b.SetDropCounter(dropped)
+
+	ch, cancel := b.Subscribe(2)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			b.Publish(i)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+	// 100 events into a 2-slot buffer the consumer never drained: 98 lost.
+	if got := dropped.Value(); got != 98 {
+		t.Fatalf("obs.sse.dropped = %d, want 98", got)
+	}
+	if got := <-ch; got != 98 {
+		t.Fatalf("first buffered event = %v, want 98 (freshest two retained)", got)
+	}
+	if got := <-ch; got != 99 {
+		t.Fatalf("second buffered event = %v, want 99", got)
+	}
+	// Nil wiring stays a no-op on both sides.
+	var nilB *Broadcaster
+	nilB.SetDropCounter(dropped)
+	b.SetDropCounter(nil)
+	b.Publish("x")
+	b.Publish("y")
+	b.Publish("z") // evicts with no counter attached: must not panic
 }
 
 func TestBroadcasterCloseEndsSubscribers(t *testing.T) {

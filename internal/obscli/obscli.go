@@ -25,6 +25,12 @@ type Config struct {
 	LogFormat string
 	LogLevel  string
 
+	// TraceSlowest arms causal tracing retaining the K slowest completed
+	// traces (0 = tracing off). Binaries that want tracing on by default
+	// (iddqserve) pre-set the field before Register so the flag's default
+	// reflects it.
+	TraceSlowest int
+
 	// Verbose forces debug-level logging (the iddqpart -v shorthand).
 	Verbose bool
 }
@@ -39,6 +45,8 @@ func (c *Config) Register(fs *flag.FlagSet) {
 		"structured log encoding: text or json")
 	fs.StringVar(&c.LogLevel, "log-level", "warn",
 		"structured log threshold: debug, info, warn or error")
+	fs.IntVar(&c.TraceSlowest, "trace-slowest", c.TraceSlowest,
+		"retain causal traces for the K slowest requests (0 disables tracing; see /tracez)")
 }
 
 // Run is one observed CLI invocation: the Obs to thread into the flow
@@ -66,6 +74,9 @@ func (c *Config) Start(w io.Writer) (*Run, error) {
 		return nil, err
 	}
 	o := obs.New(obs.NewRunID(), nil, obs.NewLogger(w, format, lvl))
+	if c.TraceSlowest > 0 {
+		o.SetTracer(obs.NewTracer(obs.TracerConfig{Slowest: c.TraceSlowest}))
+	}
 	r := &Run{Obs: o, metricsPath: c.Metrics}
 	if c.DebugAddr != "" {
 		srv, err := obs.Serve(c.DebugAddr, o)

@@ -6,7 +6,8 @@
 //	GET  /jobs/{id}/events  SSE progress stream
 //	GET  /jobz              every job's status
 //	GET  /healthz           readiness (503 until admission passes)
-//	GET  /metricz           metrics snapshot
+//	GET  /metricz           metrics snapshot with latency quantiles
+//	GET  /tracez            slowest retained causal traces (Chrome trace_event)
 //	GET  /debug/...         the obs introspection tree (expvar, pprof)
 //
 // The handler is mounted behind obs.HardenedServerMax (body cap, read/
@@ -50,7 +51,12 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, _ *http.Request) {
-		obs.WriteJSON(w, s.o.Registry().Snapshot())
+		snap := s.o.Registry().Snapshot()
+		snap.ComputeQuantiles()
+		obs.WriteJSON(w, snap)
+	})
+	mux.HandleFunc("GET /tracez", func(w http.ResponseWriter, r *http.Request) {
+		obs.ServeTracez(w, r, s.o.Tracer())
 	})
 	mux.Handle("GET /debug/", obs.NewMux(s.o))
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
@@ -61,7 +67,7 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "GET  /jobs/{id}         job status")
 		fmt.Fprintln(w, "GET  /jobs/{id}/result  result (once done)")
 		fmt.Fprintln(w, "GET  /jobs/{id}/events  SSE progress stream")
-		fmt.Fprintln(w, "GET  /jobz /healthz /metricz /debug/")
+		fmt.Fprintln(w, "GET  /jobz /healthz /metricz /tracez /debug/")
 	})
 	return mux
 }

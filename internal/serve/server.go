@@ -45,7 +45,41 @@ const (
 	MetricDegraded  = "serve.jobs.degraded"
 	MetricResumed   = "serve.jobs.resumed" // attempts that resumed a checkpoint
 	MetricRetries   = "serve.jobs.retries" // serve-level attempt retries
+
+	// MetricQueueWait is the histogram of seconds each admitted job spent
+	// between enqueue and worker claim — the queue's contribution to
+	// end-to-end latency, invisible before this metric existed.
+	MetricQueueWait = "serve.queue.wait_seconds"
+	// MetricQueueDepth gauges the admission-queue backlog.
+	MetricQueueDepth = "serve.queue.depth"
+	// MetricSSEDropped counts events evicted from slow SSE subscribers'
+	// buffers across all job streams.
+	MetricSSEDropped = "obs.sse.dropped"
+
+	// Per-tenant admission telemetry: serve.tenant.<label>.admitted /
+	// .rejected, with the tenant name sanitized by tenantLabel to keep
+	// metric-name cardinality bounded.
+	tenantMetricPrefix = "serve.tenant."
 )
+
+// tenantLabel maps a client-supplied tenant name onto a bounded metric
+// label: alphanumerics, '-' and '_' pass through (max 32 bytes),
+// anything else collapses to "other" so a hostile tenant header cannot
+// mint unbounded metric names.
+func tenantLabel(tenant string) string {
+	if tenant == "" || len(tenant) > 32 {
+		return "other"
+	}
+	for i := 0; i < len(tenant); i++ {
+		c := tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return "other"
+		}
+	}
+	return tenant
+}
 
 // Defaults for the zero Config.
 const (
@@ -122,6 +156,40 @@ type job struct {
 	// doneCh() and the job's own methods capture them under the lock.
 	events *obs.Broadcaster
 	done   chan struct{} // closed on terminal phase (done/failed)
+
+	// Causal-trace state, mu-guarded: the root span covers the job's whole
+	// admitted lifetime, qwait the enqueue→claim stretch (started on the
+	// submitting goroutine, ended by the claiming worker). All nil when
+	// tracing is off or the job was replayed from the journal.
+	root     *obs.TraceSpan
+	qwait    *obs.TraceSpan
+	enqueued time.Time // when the job entered the queue (zero for cache hits)
+}
+
+// claimTrace hands the worker the queue-wait span and enqueue time at
+// claim; the span is cleared so a later resubmission starts clean.
+func (j *job) claimTrace() (*obs.TraceSpan, time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	qw := j.qwait
+	j.qwait = nil
+	return qw, j.enqueued
+}
+
+// rootSpan is the job's current trace root (nil when untraced).
+func (j *job) rootSpan() *obs.TraceSpan {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.root
+}
+
+// setTrace installs the trace state for one admitted lifecycle.
+func (j *job) setTrace(root, qwait *obs.TraceSpan, enqueued time.Time) {
+	j.mu.Lock()
+	j.root = root
+	j.qwait = qwait
+	j.enqueued = enqueued
+	j.mu.Unlock()
 }
 
 // stream is the job's current event broadcaster.
@@ -254,7 +322,7 @@ func (s *Server) replay() error {
 			phase:    rj.Phase,
 			attempts: rj.Attempts,
 			detail:   rj.Detail,
-			events:   obs.NewBroadcaster(),
+			events:   s.newStream(),
 			done:     make(chan struct{}),
 		}
 		spec, err := s.journal.LoadSpec(rj.ID)
@@ -289,6 +357,7 @@ func (s *Server) replay() error {
 			if err := s.queue.forcePush(j.tenant, j.id); err != nil {
 				return fmt.Errorf("serve: requeue %s on replay: %w", j.id, err)
 			}
+			j.enqueued = time.Now() // queue wait restarts at replay; no trace root
 			s.o.Log().Info("replayed unfinished job", "job", j.id, "tenant", j.tenant,
 				"attempts", j.attempts)
 		}
@@ -346,6 +415,24 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
+// newStream builds a job event broadcaster with slow-consumer loss
+// accounted in obs.sse.dropped.
+func (s *Server) newStream() *obs.Broadcaster {
+	b := obs.NewBroadcaster()
+	b.SetDropCounter(s.o.Counter(MetricSSEDropped))
+	return b
+}
+
+// tenantAdmitted / tenantRejected tick the per-tenant admission
+// counters (label cardinality bounded by tenantLabel).
+func (s *Server) tenantAdmitted(tenant string) {
+	s.o.Counter(tenantMetricPrefix + tenantLabel(tenant) + ".admitted").Inc()
+}
+
+func (s *Server) tenantRejected(tenant string) {
+	s.o.Counter(tenantMetricPrefix + tenantLabel(tenant) + ".rejected").Inc()
+}
+
 // submit admits a spec: cache lookup by content-derived job ID, queue
 // capacity check, durable spec + journal records, then enqueue — all
 // under the server mutex so the capacity check cannot race another
@@ -377,51 +464,78 @@ func (s *Server) submit(spec *JobSpec, tenant string) (*job, bool, error) {
 		// journal record and queue entry are new.
 		if s.queue.Full() {
 			s.o.Counter(MetricOverload).Inc()
+			s.tenantRejected(tenant)
 			return nil, false, ErrOverloaded
 		}
+		root := s.o.Tracer().StartRoot("serve.job")
+		admit := root.StartChild("serve.admit")
 		if err := s.journal.Append(id, EventSubmitted, tenant); err != nil {
+			admit.End()
+			root.End()
 			return nil, false, err
 		}
+		admit.End()
 		j.mu.Lock()
 		j.phase = PhaseQueued
 		j.detail = ""
 		j.tenant = tenant
 		j.spec = spec
-		j.events = obs.NewBroadcaster() // the failed lifecycle's stream is closed
+		j.events = s.newStream() // the failed lifecycle's stream is closed
 		j.done = make(chan struct{})
+		j.root = root
+		j.qwait = root.StartChild("queue.wait")
+		j.enqueued = time.Now()
 		j.mu.Unlock()
 		if err := s.queue.Push(tenant, id); err != nil {
 			return nil, false, err
 		}
+		s.o.Gauge(MetricQueueDepth).Set(float64(s.queue.Len()))
 		s.o.Counter(MetricSubmitted).Inc()
+		s.tenantAdmitted(tenant)
 		s.o.Log().Info("failed job resubmitted", "job", id, "tenant", tenant)
 		return j, false, nil
 	}
 	if s.queue.Full() {
 		s.o.Counter(MetricOverload).Inc()
+		s.tenantRejected(tenant)
 		return nil, false, ErrOverloaded
 	}
+	// The trace root opens once the job is past the capacity gate: it
+	// covers admission (spec + journal writes), queue wait, every attempt
+	// and the result publish, and ends at the job's terminal phase.
+	root := s.o.Tracer().StartRoot("serve.job")
+	admit := root.StartChild("serve.admit")
 	// Side file first, then the journal record referencing it: a crash
 	// between the two leaves an orphaned spec file, never a journal
 	// record whose spec is missing.
 	if err := s.journal.WriteSpec(id, spec); err != nil {
+		admit.End()
+		root.End()
 		return nil, false, err
 	}
 	if err := s.journal.Append(id, EventSubmitted, tenant); err != nil {
+		admit.End()
+		root.End()
 		return nil, false, err
 	}
+	admit.End()
 	j := &job{
 		id: id, tenant: tenant, spec: spec,
-		events: obs.NewBroadcaster(),
+		events: s.newStream(),
 		done:   make(chan struct{}),
 	}
+	j.root = root
+	j.qwait = root.StartChild("queue.wait")
+	j.enqueued = time.Now()
 	s.jobs[id] = j
 	// Cannot fail: capacity was checked above and only dequeues shrink
 	// the queue while we hold s.mu.
 	if err := s.queue.Push(tenant, id); err != nil {
 		return nil, false, err
 	}
+	s.o.Gauge(MetricQueueDepth).Set(float64(s.queue.Len()))
 	s.o.Counter(MetricSubmitted).Inc()
+	s.tenantAdmitted(tenant)
 	s.o.Log().Info("job submitted", "job", id, "tenant", tenant)
 	return j, false, nil
 }
@@ -505,30 +619,53 @@ func (s *Server) runJob(id string) {
 		s.o.Log().Error("queued job has no state", "job", id)
 		return
 	}
+	// Worker claim: the queue-wait stretch ends here, both as a span in
+	// the job's trace and as an observation in the wait histogram.
+	qwait, enqueued := j.claimTrace()
+	qwait.End()
+	if !enqueued.IsZero() {
+		s.o.Histogram(MetricQueueWait, nil).ObserveSince(enqueued)
+	}
+	s.o.Gauge(MetricQueueDepth).Set(float64(s.queue.Len()))
+	root := j.rootSpan()
 	maxAttempts := j.attempts + s.cfg.JobAttempts // replayed attempts don't count against this run
 	for attempt := j.attempts + 1; attempt <= maxAttempts; attempt++ {
 		if s.ctx.Err() != nil {
 			return // shutdown before the attempt started: stays queued in the journal
 		}
-		if err := s.journal.Append(id, EventStarted, strconv.Itoa(attempt)); err != nil {
+		// The durable start record is an fsync on the hot path — span it,
+		// or several ms per attempt go missing from the trace.
+		jsp := root.StartChild("serve.journal.start")
+		jerr := s.journal.Append(id, EventStarted, strconv.Itoa(attempt))
+		jsp.End()
+		if jerr != nil {
 			// Without a durable start record the journal is the wrong
 			// shape to trust; fail the attempt as if the job had.
-			s.o.Log().Error("journal append failed", "job", id, "err", err.Error())
-			j.finish(PhaseFailed, fmt.Sprintf("journal append: %v", err))
+			s.o.Log().Error("journal append failed", "job", id, "err", jerr.Error())
+			j.finish(PhaseFailed, fmt.Sprintf("journal append: %v", jerr))
 			s.o.Counter(MetricFailed).Inc()
+			root.End()
 			return
 		}
 		j.setRunning(attempt)
-		res, err := s.attempt(j)
+		asp := root.StartChild("serve.attempt")
+		res, err := s.attempt(j, asp)
+		asp.End()
 		switch {
 		case err == nil && res == nil:
-			return // shutdown mid-attempt: checkpoint written, job resumable
+			// Shutdown mid-attempt: checkpoint written, job resumable. The
+			// trace root stays open (the job did not finish); the tracer's
+			// active-trace cap reclaims it.
+			return
 		case err == nil:
-			if ferr := s.finishJob(j, res); ferr == nil {
+			psp := root.StartChild("serve.publish")
+			ferr := s.finishJob(j, res)
+			psp.End()
+			if ferr == nil {
+				root.End()
 				return
-			} else {
-				err = ferr
 			}
+			err = ferr
 		}
 		s.o.Log().Warn("job attempt failed",
 			"job", id, "attempt", attempt, "of", maxAttempts, "err", err.Error())
@@ -539,10 +676,13 @@ func (s *Server) runJob(id string) {
 			}
 			j.finish(PhaseFailed, detail)
 			s.o.Counter(MetricFailed).Inc()
+			root.End()
 			return
 		}
 		s.o.Counter(MetricRetries).Inc()
+		bsp := root.StartChild("serve.backoff")
 		s.backoff(attempt)
+		bsp.End()
 	}
 }
 
@@ -570,9 +710,11 @@ func (s *Server) backoff(attempt int) {
 	}
 }
 
-// attempt runs one synthesis attempt. Returns (nil, nil) when the
-// attempt was interrupted by server shutdown — resumable, not failed.
-func (s *Server) attempt(j *job) (*JobResult, error) {
+// attempt runs one synthesis attempt. sp is the attempt's trace span
+// (nil when untraced); it rides the context so core and evolution
+// phases attach their own children. Returns (nil, nil) when the attempt
+// was interrupted by server shutdown — resumable, not failed.
+func (s *Server) attempt(j *job, sp *obs.TraceSpan) (*JobResult, error) {
 	spec := j.spec
 	c, err := spec.Circuit()
 	if err != nil {
@@ -628,6 +770,7 @@ func (s *Server) attempt(j *job) (*JobResult, error) {
 	}
 	ctx, cancel := context.WithTimeout(s.ctx, timeout)
 	defer cancel()
+	ctx = obs.ContextWithSpan(ctx, sp)
 	res, err := core.SynthesizeContext(ctx, c, opt)
 	if err != nil {
 		if errors.Is(context.Cause(s.ctx), errShutdown) {

@@ -641,6 +641,120 @@ func TestServerIntrospectionEndpoints(t *testing.T) {
 	}
 }
 
+// A traced job must leave behind a complete causal trace — queue wait,
+// attempt, the core phases and per-generation evolution spans all under
+// one root — plus the queue-wait histogram and per-tenant admission
+// counters, all visible over the HTTP surface.
+func TestServerTracingAndQueueMetrics(t *testing.T) {
+	o := obs.New("test", nil, nil)
+	o.SetTracer(obs.NewTracer(obs.TracerConfig{}))
+	s, hs := newTestServer(t, Config{Workers: 1, Obs: o})
+	s.Start()
+	spec := &JobSpec{Netlist: c17Netlist(t), Generations: 20, Tenant: "acme"}
+	_, st := postJSON(t, hs.URL, spec)
+	if final := waitDone(t, hs.URL, st.ID); final.Phase != "done" {
+		t.Fatalf("job phase %q: %s", final.Phase, final.Detail)
+	}
+
+	// Queue-wait histogram observed the claim; per-tenant admit counted.
+	if n := s.o.Histogram(MetricQueueWait, nil).Count(); n != 1 {
+		t.Errorf("%s count = %d, want 1", MetricQueueWait, n)
+	}
+	if n := s.o.Counter("serve.tenant.acme.admitted").Value(); n != 1 {
+		t.Errorf("serve.tenant.acme.admitted = %d, want 1", n)
+	}
+
+	// /metricz renders quantiles for the wait histogram.
+	resp, err := http.Get(hs.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Quantiles[MetricQueueWait]; !ok {
+		t.Errorf("/metricz quantiles missing %s: %v", MetricQueueWait, snap.Quantiles)
+	}
+
+	// /tracez retains the job's trace with the full span decomposition.
+	resp, err = http.Get(hs.URL + "/tracez?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts obs.TraceSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&ts)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Slowest) != 1 {
+		t.Fatalf("retained traces = %d, want 1", len(ts.Slowest))
+	}
+	tr := ts.Slowest[0]
+	if tr.Root != "serve.job" {
+		t.Fatalf("trace root = %q, want serve.job", tr.Root)
+	}
+	names := map[string]bool{}
+	var rootID uint64
+	var childSum int64
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+		if sp.Name == "serve.job" {
+			rootID = sp.Span
+		}
+	}
+	for _, want := range []string{"serve.admit", "queue.wait", "serve.attempt",
+		"serve.publish", "core.annotate", "core.optimize", "core.audit", "core.chip",
+		"evolution.evaluate", "evolution.select"} {
+		if !names[want] {
+			t.Errorf("trace is missing span %q (have %v)", want, names)
+		}
+	}
+	for _, sp := range tr.Spans {
+		if sp.Parent == rootID {
+			childSum += sp.Dur
+		}
+	}
+	// The root's direct children (admit, queue wait, attempts, publish)
+	// must account for essentially all of the end-to-end latency — the
+	// "where did the millisecond go" property.
+	if childSum < tr.Dur*8/10 {
+		t.Errorf("direct children cover %d of %d ns (%.0f%%), want >= 80%%",
+			childSum, tr.Dur, 100*float64(childSum)/float64(tr.Dur))
+	}
+
+	// A rejected submission ticks the tenant's rejected counter.
+	full, fhs := newTestServer(t, Config{Workers: 1, QueueCap: 1}) // Start never called: nothing drains
+	_, _ = postJSON(t, fhs.URL, &JobSpec{Netlist: c17Netlist(t), Generations: 20, Tenant: "acme"})
+	rr, _ := postJSON(t, fhs.URL, &JobSpec{Netlist: c17Netlist(t), Generations: 21, Tenant: "acme"})
+	if rr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit status %d, want 429", rr.StatusCode)
+	}
+	if n := full.o.Counter("serve.tenant.acme.rejected").Value(); n != 1 {
+		t.Errorf("serve.tenant.acme.rejected = %d, want 1", n)
+	}
+}
+
+func TestTenantLabel(t *testing.T) {
+	cases := map[string]string{
+		"acme":                  "acme",
+		"tenant-1_b":            "tenant-1_b",
+		"":                      "other",
+		"has space":             "other",
+		"dots.are.bad":          "other",
+		"unicode-é":             "other",
+		strings.Repeat("a", 33): "other",
+	}
+	for in, want := range cases {
+		if got := tenantLabel(in); got != want {
+			t.Errorf("tenantLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 // Chaos survival: a one-shot worker panic and a one-shot estimator NaN
 // must be absorbed by the retry machinery — the job still converges to
 // a valid, durable result.

@@ -6,21 +6,32 @@
 # BENCH_<n>.json so every PR leaves a comparable perf point on disk
 # (ROADMAP item: the BENCH_*.json trajectory).
 #
-# BENCH_PR sets <n> (default 7); BENCH_OUT overrides the output path.
+# The serving layer's client-observed latency rides along: a short
+# in-process iddqload run contributes a "serve_latency" block
+# (p50/p90/p99 end-to-end seconds at a fixed offered rate), so the
+# trajectory tracks what a client feels, not only what the optimizer
+# costs per op.
+#
+# BENCH_PR sets <n> (default 8); BENCH_OUT overrides the output path.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCH_PR="${BENCH_PR:-7}"
+BENCH_PR="${BENCH_PR:-8}"
 BENCH_OUT="${BENCH_OUT:-BENCH_${BENCH_PR}.json}"
 raw="$(mktemp /tmp/iddqsyn-bench.XXXXXX)"
-trap 'rm -f "$raw"' EXIT INT TERM
+sum="$(mktemp /tmp/iddqsyn-bench-lat.XXXXXX)"
+trap 'rm -f "$raw" "$sum"' EXIT INT TERM
 
 echo "== go test -bench (serving layer + optimizer) -> $BENCH_OUT"
 go test -run '^$' -bench '^BenchmarkServeSubmit$|^BenchmarkServeSubmitCached$' \
     -benchmem -benchtime 50x ./internal/serve/ | tee "$raw"
 go test -run '^$' -bench '^BenchmarkEvolve$' -benchmem -benchtime 3x . | tee -a "$raw"
 
-awk -v pr="$BENCH_PR" -v goversion="$(go env GOVERSION)" '
+echo "== iddqload smoke (serve e2e latency percentiles)"
+go run ./cmd/iddqload -inprocess -rate 10 -duration 3s -gens 6 -seed 1 \
+    -pr "$BENCH_PR" -out /tmp/iddqsyn-bench-load.json -summary "$sum"
+
+awk -v pr="$BENCH_PR" -v goversion="$(go env GOVERSION)" -v summaryfile="$sum" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -46,7 +57,14 @@ END {
     printf " \"go\": \"%s\",\n", goversion
     printf " \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
-    printf " ]\n}\n"
+    printf " ],\n"
+    printf " \"serve_latency\": "
+    first = 1
+    while ((getline line < summaryfile) > 0) {
+        if (first) { printf "%s\n", line; first = 0 } else printf " %s\n", line
+    }
+    if (first) { print "bench: latency summary missing" > "/dev/stderr"; exit 1 }
+    printf "}\n"
 }' "$raw" >"$BENCH_OUT"
 
 echo "bench: wrote $BENCH_OUT"

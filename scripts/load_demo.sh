@@ -1,0 +1,33 @@
+#!/bin/sh
+# Load-harness quick-start (`make load-demo`): boot an in-process
+# iddqserve (tracing armed) and step the offered arrival rate with
+# iddqload -sweep until the p99 SLO breaks, then show where the latency
+# went: the LOAD_<n>.json report (quantiles, achieved vs offered rate,
+# 429 counts, queue-depth timeline, slowest retained traces with span
+# decomposition and coverage) and a Chrome trace_event export to open
+# at chrome://tracing or https://ui.perfetto.dev.
+#
+# LOAD_PR sets <n> (default 8); LOAD_OUT / TRACE_OUT override paths.
+set -eu
+cd "$(dirname "$0")/.."
+
+LOAD_PR="${LOAD_PR:-8}"
+LOAD_OUT="${LOAD_OUT:-LOAD_${LOAD_PR}.json}"
+TRACE_OUT="${TRACE_OUT:-load-demo-trace.json}"
+
+echo "== iddqload -sweep (in-process iddqserve, p99 SLO 2s)"
+go run ./cmd/iddqload -inprocess -sweep \
+    -rate 4 -rate-factor 2 -rate-max 128 -duration 4s \
+    -gens 6 -tenants 3 -seed 1 -slo-p99 2s \
+    -pr "$LOAD_PR" -out "$LOAD_OUT" -tracez-out "$TRACE_OUT"
+
+echo
+echo "== report: $LOAD_OUT"
+if command -v jq >/dev/null 2>&1; then
+    jq '{max_sustainable_rate, steps: [.steps[] | {offered_rate, achieved_rate, p99: .latency_seconds.p99, rejected_429, slo_met}], slowest: [.slowest_traces[] | {duration_ms, coverage_pct}]}' "$LOAD_OUT"
+else
+    grep -E '"(offered_rate|achieved_rate|p99|rejected_429|slo_met|max_sustainable_rate|coverage_pct)"' "$LOAD_OUT" | head -40
+fi
+echo
+echo "load-demo: open $TRACE_OUT at chrome://tracing (or ui.perfetto.dev)"
+echo "load-demo: a live server exposes the same view at /tracez"
