@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint lint-baseline lint-escape race chaos fuzz-isc fuzz-ckpt fuzz-jobspec fuzz-directives bench bench-json obs-demo serve-demo serve-soak load-demo clean
+.PHONY: check build test vet lint lint-baseline lint-escape race chaos fuzz-isc fuzz-ckpt fuzz-jobspec fuzz-journal fuzz-directives bench bench-json obs-demo serve-demo serve-soak load-demo torture clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
@@ -63,6 +63,12 @@ fuzz-ckpt:
 fuzz-jobspec:
 	$(GO) test ./internal/serve/ -fuzz FuzzJobSpec -fuzztime 30s
 
+# Fuzz the segmented-journal replay path (arbitrary bytes on disk must
+# open, salvage what validates, and keep accepting appends — no panics,
+# no refusal short of base corruption).
+fuzz-journal:
+	$(GO) test ./internal/serve/ -fuzz FuzzJournalReplay -fuzztime 30s
+
 # Fuzz the lint directive parsers (//lint:hotpath, //lint:ignore —
 # malformed input must produce findings, never panics).
 fuzz-directives:
@@ -86,6 +92,13 @@ serve-soak:
 # Chrome trace export (LOAD_PR/LOAD_OUT/TRACE_OUT override).
 load-demo:
 	sh scripts/load_demo.sh
+
+# Crash-torture quick-start: seeded random-kill cycles of a real
+# iddqserve under chaos fs schedules, invariants checked every cycle
+# (TORTURE_CYCLES/TORTURE_SEED/TORTURE_OUT override; CI uploads the
+# report and final /metricz as artifacts).
+torture:
+	sh scripts/torture.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

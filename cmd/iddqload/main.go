@@ -5,8 +5,9 @@
 // queueing delay shows up as latency instead of hiding in the load
 // generator), measures end-to-end latency from POST to terminal SSE
 // event, and writes a LOAD_<n>.json report: p50/p90/p99/p99.9, achieved
-// vs offered rate, 429/Retry-After counts, the queue-depth timeline,
-// and the slowest retained causal traces with their span decomposition.
+// vs offered rate, 429/Retry-After and storage-shed 503 counts, the
+// queue-depth timeline, and the slowest retained causal traces with
+// their span decomposition.
 //
 // Usage:
 //
@@ -129,12 +130,18 @@ type depthSample struct {
 
 // stepReport is one offered-rate step.
 type stepReport struct {
-	OfferedRate    float64        `json:"offered_rate"`
-	AchievedRate   float64        `json:"achieved_rate"` // completions per second of wall time
-	Submitted      int64          `json:"submitted"`
-	Completed      int64          `json:"completed"`
-	Failed         int64          `json:"failed"`
-	Rejected429    int64          `json:"rejected_429"`
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"` // completions per second of wall time
+	Submitted    int64   `json:"submitted"`
+	Completed    int64   `json:"completed"`
+	Failed       int64   `json:"failed"`
+	Rejected429  int64   `json:"rejected_429"`
+	// Shed503 counts storage-pressure sheds (503 + Retry-After): the
+	// server refusing to take on more durable state, as opposed to the
+	// queue being momentarily full (429). The two ask for different
+	// operator responses — wait versus add disk — so they are never
+	// summed into one rejection figure.
+	Shed503        int64          `json:"shed_503"`
 	RetryAfterMax  int            `json:"retry_after_max_seconds,omitempty"`
 	LatencySeconds latencySummary `json:"latency_seconds"`
 	QueueDepth     []depthSample  `json:"queue_depth_timeline,omitempty"`
@@ -217,9 +224,9 @@ func run() error {
 			return err
 		}
 		rep.Steps = append(rep.Steps, *sr)
-		fmt.Fprintf(os.Stderr, "iddqload:   completed %d/%d  p50 %.1fms  p99 %.1fms  429s %d  slo_met %v\n",
+		fmt.Fprintf(os.Stderr, "iddqload:   completed %d/%d  p50 %.1fms  p99 %.1fms  429s %d  shed503s %d  slo_met %v\n",
 			sr.Completed, sr.Submitted, 1e3*sr.LatencySeconds.P50, 1e3*sr.LatencySeconds.P99,
-			sr.Rejected429, sr.SLOMet)
+			sr.Rejected429, sr.Shed503, sr.SLOMet)
 		if sr.SLOMet {
 			rep.MaxSustainableRate = rate
 		}
@@ -228,8 +235,8 @@ func run() error {
 		}
 		// The sweep stops at the first step that breaks the SLO or whose
 		// offered load is mostly bounced at the door — beyond either, a
-		// higher rate only measures the 429 path.
-		if !sr.SLOMet || (sr.Submitted > 0 && sr.Rejected429*2 > sr.Submitted) {
+		// higher rate only measures the rejection path (429 or shed 503).
+		if !sr.SLOMet || (sr.Submitted > 0 && (sr.Rejected429+sr.Shed503)*2 > sr.Submitted) {
 			break
 		}
 		rate *= cfg.rateFactor
@@ -323,6 +330,7 @@ func runStep(cfg *config, base, netlist string, rate float64, step int) (*stepRe
 
 	var (
 		submitted, completed, failed, rejected atomic.Int64
+		shed                                   atomic.Int64
 		retryAfterMax                          atomic.Int64
 		maxLatNanos                            atomic.Int64
 		wg                                     sync.WaitGroup
@@ -380,8 +388,12 @@ func runStep(cfg *config, base, netlist string, rate float64, step int) (*stepRe
 			defer wg.Done()
 			d, status, retryAfter, err := oneRequest(client, base, spec)
 			switch {
-			case err == nil && status == http.StatusTooManyRequests:
-				rejected.Add(1)
+			case err == nil && (status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable):
+				if status == http.StatusServiceUnavailable {
+					shed.Add(1)
+				} else {
+					rejected.Add(1)
+				}
 				for {
 					old := retryAfterMax.Load()
 					if int64(retryAfter) <= old || retryAfterMax.CompareAndSwap(old, int64(retryAfter)) {
@@ -426,6 +438,7 @@ func runStep(cfg *config, base, netlist string, rate float64, step int) (*stepRe
 		Completed:      completed.Load(),
 		Failed:         failed.Load(),
 		Rejected429:    rejected.Load(),
+		Shed503:        shed.Load(),
 		RetryAfterMax:  int(retryAfterMax.Load()),
 		LatencySeconds: sum,
 		QueueDepth:     depthsOut,
@@ -457,7 +470,10 @@ func oneRequest(client *http.Client, base string, spec *serve.JobSpec) (time.Dur
 	decErr := json.NewDecoder(resp.Body).Decode(&st)
 	_ = resp.Body.Close()
 	switch resp.StatusCode {
-	case http.StatusTooManyRequests:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// 429: the queue is full. 503: the server is shedding under
+		// storage pressure (disk budget / ENOSPC). Both carry Retry-After
+		// and neither is a client error; the caller counts them apart.
 		ra := 0
 		_, _ = fmt.Sscanf(resp.Header.Get("Retry-After"), "%d", &ra)
 		return 0, resp.StatusCode, ra, nil

@@ -12,6 +12,8 @@
 //	iddqserve [-addr :8080] [-dir data] [-workers 2] [-queue-cap 64]
 //	          [-job-timeout 5m] [-job-attempts 2] [-checkpoint-every 5]
 //	          [-seed 1] [-timeout 0] [-chaos seed=1,rate=0.1,sites=...]
+//	          [-retain-jobs 0] [-retain-age 0] [-disk-budget 0]
+//	          [-maintenance-every 2s]
 //	          [-debug-addr :6060] [-metrics run.json]
 //	          [-log-format text|json] [-log-level warn]
 //
@@ -27,6 +29,14 @@
 // keeps one flooding tenant from starving the rest. Identical
 // submissions (same netlist structure and options, any tenant) dedupe
 // onto one job via the content hash.
+//
+// The storage lifecycle is bounded: -retain-jobs / -retain-age evict
+// the oldest terminal jobs (queued and running jobs are never evicted),
+// and -disk-budget caps the data directory — above it maintenance
+// evicts terminal jobs oldest-first and, if the directory still
+// overflows (or the disk reports ENOSPC), sheds new submissions with
+// 503 + Retry-After while in-flight jobs finish, recovering
+// automatically once space returns. /healthz names the degradation.
 //
 // -chaos arms chaos admission: the deterministic fault schedule is
 // injected into every job's failure surfaces (worker pool, estimator,
@@ -85,6 +95,10 @@ func run() (code int, retErr error) {
 	jobAttempts := flag.Int("job-attempts", serve.DefaultJobAttempts, "serve-level attempts per job before it is failed")
 	ckptEvery := flag.Int("checkpoint-every", serve.DefaultCheckpointEvery, "per-job checkpoint cadence in generations")
 	seed := flag.Int64("seed", 1, "seed for the service's retry-backoff jitter")
+	retainJobs := flag.Int("retain-jobs", 0, "terminal jobs kept on disk; the oldest beyond this are evicted (0 = unbounded)")
+	retainAge := flag.Duration("retain-age", 0, "terminal jobs older than this are evicted (0 = unbounded)")
+	diskBudget := flag.Int64("disk-budget", 0, "data-directory size bound in bytes; above it terminal jobs are evicted and, failing that, new submissions are shed with 503 (0 = unbounded)")
+	maintEvery := flag.Duration("maintenance-every", serve.DefaultMaintenanceEvery, "journal-compaction and retention/GC cadence")
 	timeout := flag.Duration("timeout", 0, "serving wall-clock budget; on expiry the service shuts down gracefully (0 = none)")
 	chaosSpec := flag.String("chaos", "", "inject deterministic faults per this schedule and gate admission on a self-test job surviving them")
 	var oc obscli.Config
@@ -118,6 +132,10 @@ func run() (code int, retErr error) {
 		JobAttempts:       *jobAttempts,
 		CheckpointEvery:   *ckptEvery,
 		Seed:              *seed,
+		RetainJobs:        *retainJobs,
+		RetainAge:         *retainAge,
+		DiskBudget:        *diskBudget,
+		MaintenanceEvery:  *maintEvery,
 		SelfTestAdmission: *chaosSpec != "",
 		Obs:               orun.Obs,
 	}

@@ -1,0 +1,663 @@
+// Command iddqtorture is the randomized crash-torture harness for
+// iddqserve's durable-storage lifecycle. It runs a real iddqserve
+// process over one data directory, arms rotating chaos filesystem
+// schedules (fs.enospc, fs.write.short, torn renames, failing fsyncs),
+// SIGKILLs the process at a seeded random point, restarts it, and
+// checks the durability invariants after every cycle:
+//
+//   - no acknowledged job is lost: every submission the server answered
+//     202/200 for is either still visible after restart or was observed
+//     terminal (done/failed) before retention evicted it;
+//   - no job executes twice to different results: the first result
+//     observed for a content-addressed job ID is pinned, and every later
+//     retrieval — resumed across a kill, or re-run after eviction —
+//     must match it bit-identically;
+//   - the store honors its budget: after the final settle pass the data
+//     directory (journal segments, base, side files) fits -disk-budget.
+//
+// The whole run is seeded and replayable: -seed fixes the kill points,
+// the chaos schedule rotation and the submission mix, so a failing run
+// reproduces with the same flags. Exit status: 0 all invariants held,
+// 1 violations (see the -report JSON), 2 usage error.
+//
+// Usage:
+//
+//	iddqtorture [-cycles 200] [-seed 1] [-dir DIR] [-bin PATH]
+//	            [-disk-budget 33554432] [-retain-jobs 12]
+//	            [-benchdir benchmarks] [-report TORTURE.json]
+//	            [-metricz-out TORTURE_metricz.json]
+//
+// With -bin empty the harness builds iddqserve itself (go build), so
+// `go run ./cmd/iddqtorture` works from the repository root. Short CI
+// mode is just fewer cycles: `iddqtorture -cycles 25 -seed 9`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"iddqsyn/internal/bench"
+	"iddqsyn/internal/circuits"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iddqtorture:", err)
+	}
+	os.Exit(code)
+}
+
+// pinnedResult is the bit-identity surface of a job result: every field
+// that the deterministic synthesis contract promises to reproduce.
+type pinnedResult struct {
+	Cost        float64 `json:"cost"`
+	Modules     int     `json:"modules"`
+	Gates       int     `json:"gates"`
+	Feasible    bool    `json:"feasible"`
+	Generations int     `json:"generations"`
+	Evaluations int     `json:"evaluations"`
+	Degraded    bool    `json:"degraded"`
+	TimedOut    bool    `json:"timed_out"`
+	Report      string  `json:"report"`
+}
+
+// tracked is the harness's view of one acknowledged job.
+type tracked struct {
+	spec         []byte
+	seenTerminal string        // "", "done" or "failed": the last terminal phase observed
+	result       *pinnedResult // first done result, pinned forever
+	evicted      bool          // 404 after a terminal observation: retention took it
+}
+
+// report is the invariant report written to -report.
+type report struct {
+	Seed          int64    `json:"seed"`
+	Cycles        int      `json:"cycles"`
+	KillCycles    int      `json:"kill_cycles"`
+	ChaosCycles   int      `json:"chaos_cycles"`
+	Acked         int      `json:"acked_jobs"`
+	DoneVerified  int      `json:"done_verified"`
+	ResultChecks  int      `json:"result_checks"`
+	FailedSeen    int      `json:"failed_seen"`
+	Evicted       int      `json:"evicted"`
+	Resubmits     int      `json:"resubmits"`
+	Shed503       int      `json:"shed_503"`
+	MaxDirBytes   int64    `json:"max_dir_bytes"`
+	FinalDirBytes int64    `json:"final_dir_bytes"`
+	DiskBudget    int64    `json:"disk_budget"`
+	Salvaged      uint64   `json:"journal_salvaged"`
+	Violations    []string `json:"violations"`
+}
+
+// harness bundles the run state shared by the cycle loop and the
+// invariant checks.
+type harness struct {
+	bin     string
+	dir     string
+	budget  int64
+	retain  int
+	workers int
+	rng     *rand.Rand
+	jobs    map[string]*tracked
+	order   []string // job IDs in first-ack order, for deterministic walks
+	rep     *report
+}
+
+func run() (int, error) {
+	cycles := flag.Int("cycles", 200, "kill/restart cycles to run")
+	seed := flag.Int64("seed", 1, "seed for kill points, chaos rotation and the submission mix (replayable)")
+	dirFlag := flag.String("dir", "", "data directory reused across cycles (empty = a fresh temp dir, removed on success)")
+	bin := flag.String("bin", "", "iddqserve binary (empty = build it with go build)")
+	budget := flag.Int64("disk-budget", 32<<20, "disk budget handed to iddqserve and asserted at the end")
+	retain := flag.Int("retain-jobs", 12, "terminal-job retention cap handed to iddqserve")
+	workers := flag.Int("workers", 2, "iddqserve worker pool size")
+	benchdir := flag.String("benchdir", "benchmarks", "directory holding the .bench netlists the torture jobs use")
+	reportPath := flag.String("report", "TORTURE.json", "invariant report output path")
+	metriczOut := flag.String("metricz-out", "TORTURE_metricz.json", "final /metricz snapshot output path")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return 2, fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+	if *cycles < 1 {
+		return 2, errors.New("-cycles must be >= 1")
+	}
+
+	dir := *dirFlag
+	ownDir := false
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "iddqtorture-")
+		if err != nil {
+			return 1, err
+		}
+		dir, ownDir = tmp, true
+	}
+	binPath := *bin
+	if binPath == "" {
+		built, err := buildServe()
+		if err != nil {
+			return 1, err
+		}
+		binPath = built
+	}
+
+	h := &harness{
+		bin: binPath, dir: dir, budget: *budget, retain: *retain, workers: *workers,
+		rng:  rand.New(rand.NewSource(*seed)),
+		jobs: make(map[string]*tracked),
+		rep:  &report{Seed: *seed, Cycles: *cycles, DiskBudget: *budget, Violations: []string{}},
+	}
+
+	specs, err := loadSpecs(*benchdir)
+	if err != nil {
+		return 1, err
+	}
+
+	for cycle := 0; cycle < *cycles; cycle++ {
+		if err := h.runCycle(cycle, specs); err != nil {
+			h.violate("cycle %d: %v", cycle, err)
+			break
+		}
+		if len(h.rep.Violations) > 0 {
+			break // stop at the first violated invariant: the dir holds the evidence
+		}
+	}
+	if len(h.rep.Violations) == 0 {
+		h.finalSettle(*metriczOut)
+	}
+
+	h.rep.FinalDirBytes = dirBytes(dir)
+	if data, err := json.MarshalIndent(h.rep, "", "  "); err == nil {
+		if werr := os.WriteFile(*reportPath, append(data, '\n'), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "iddqtorture: report write:", werr)
+		}
+	}
+	if n := len(h.rep.Violations); n > 0 {
+		// The directory is the evidence: keep it even when we created it.
+		return 1, fmt.Errorf("%d invariant violation(s); data dir kept at %s; report at %s\nfirst: %s",
+			n, dir, *reportPath, h.rep.Violations[0])
+	}
+	if ownDir {
+		_ = os.RemoveAll(dir) // clean run: nothing left to inspect
+	}
+	fmt.Printf("iddqtorture: %d cycles (%d kills, %d under chaos), %d jobs acked, %d done verified, %d result checks, %d evicted, 0 violations\n",
+		h.rep.Cycles, h.rep.KillCycles, h.rep.ChaosCycles, h.rep.Acked, h.rep.DoneVerified, h.rep.ResultChecks, h.rep.Evicted)
+	return 0, nil
+}
+
+func (h *harness) violate(format string, args ...any) {
+	v := fmt.Sprintf(format, args...)
+	fmt.Fprintln(os.Stderr, "iddqtorture: VIOLATION:", v)
+	h.rep.Violations = append(h.rep.Violations, v)
+}
+
+// chaosSchedules is the rotation pool. Only fs.* sites: estimator or
+// worker faults would change job outcomes legitimately and muddy the
+// bit-identity invariant, while filesystem faults must never change a
+// result — that is the property under test. Rates stay low so the
+// admission self-test that -chaos arms can pass and cycles make
+// progress; empty entries run chaos-free (and admission-ungated), which
+// keeps the submission volume up.
+func (h *harness) chaosSchedule(cycle int) string {
+	pool := []string{
+		"", "", "", // chaos-free majority: fast, ungated cycles
+		"seed=%d,rate=0.05,sites=fs.enospc",
+		"seed=%d,rate=0.05,sites=fs.write.short",
+		"seed=%d,rate=0.08,sites=fs.sync|fs.rename",
+		"seed=%d,rate=0.08,sites=fs.create|fs.write",
+		"seed=%d,rate=0.04,sites=fs.enospc|fs.write.short|fs.rename",
+	}
+	pick := pool[h.rng.Intn(len(pool))]
+	if pick == "" {
+		return ""
+	}
+	h.rep.ChaosCycles++
+	// A fresh derived seed per cycle: the same site list fails at
+	// different operations each time.
+	return fmt.Sprintf(pick, h.rng.Int63n(1<<31)+1)
+}
+
+// runCycle starts the server, checks every tracked job against the
+// replayed state, feeds it new work, and SIGKILLs it at the cycle's
+// seeded random kill point.
+func (h *harness) runCycle(cycle int, specs *specPool) error {
+	sched := h.chaosSchedule(cycle)
+	p, err := h.start(sched)
+	if err != nil {
+		return err
+	}
+	// The kill timer arms immediately: checks and submissions race it,
+	// so kills land at arbitrary points of the admission and run paths.
+	killDelay := 50*time.Millisecond + time.Duration(h.rng.Int63n(int64(700*time.Millisecond)))
+	timer := time.AfterFunc(killDelay, func() { _ = p.cmd.Process.Kill() })
+	defer timer.Stop()
+
+	h.checkInvariants(p)
+	h.submitWork(p, specs)
+	h.noteDirSize()
+
+	<-p.done // the kill fired (or the server died on its own — either way the cycle ends)
+	h.rep.KillCycles++
+	return nil
+}
+
+// checkInvariants walks every acknowledged job against the freshly
+// restarted server. Connection errors end the walk silently — the kill
+// timer fired mid-check, and the next cycle re-checks everything.
+func (h *harness) checkInvariants(p *proc) {
+	for _, id := range h.order {
+		tr := h.jobs[id]
+		st, code, err := getStatus(p, id)
+		if err != nil {
+			return // killed mid-walk
+		}
+		switch code {
+		case http.StatusOK:
+			switch st.Phase {
+			case "done":
+				tr.seenTerminal = "done"
+				h.verifyResult(p, id, tr)
+			case "failed":
+				// A failure under filesystem chaos is a legitimate outcome
+				// (the fault was injected on purpose); losing the record of
+				// it would not be.
+				if tr.seenTerminal != "failed" {
+					h.rep.FailedSeen++
+				}
+				tr.seenTerminal = "failed"
+			}
+		case http.StatusNotFound:
+			if tr.seenTerminal == "" {
+				h.violate("acked job %s vanished without reaching a terminal phase", id)
+				return
+			}
+			if !tr.evicted {
+				tr.evicted = true
+				h.rep.Evicted++
+			}
+		}
+	}
+}
+
+// verifyResult pins the first observed result and compares every later
+// one against it — across resumes and across eviction + re-run.
+func (h *harness) verifyResult(p *proc, id string, tr *tracked) {
+	var res pinnedResult
+	code, err := getJSON(p.url("/jobs/"+id+"/result"), &res)
+	if err != nil {
+		return // killed mid-read
+	}
+	if code == http.StatusNotFound {
+		// Evicted between the status poll and the result read.
+		return
+	}
+	if code != http.StatusOK {
+		return // transient (e.g. chaos-faulted read); re-checked next cycle
+	}
+	if tr.result == nil {
+		tr.result = &res
+		h.rep.DoneVerified++
+		return
+	}
+	h.rep.ResultChecks++
+	if res != *tr.result {
+		h.violate("job %s produced two different results:\n first: %+v\n now:   %+v", id, *tr.result, res)
+	}
+}
+
+// submitWork feeds the cycle: a couple of fresh seeded specs, plus —
+// when an evicted job with a pinned result exists — a resubmission of
+// its exact spec, which the server must re-run to the identical result.
+func (h *harness) submitWork(p *proc, specs *specPool) {
+	if !h.waitReady(p, 5*time.Second) {
+		return // gated (self-test under chaos) or killed: a quiet cycle is fine
+	}
+	bodies := [][]byte{specs.next(), specs.next()}
+	if h.rng.Intn(4) == 0 {
+		bodies = append(bodies, specs.long())
+	}
+	for _, id := range h.order {
+		tr := h.jobs[id]
+		if tr.evicted && tr.result != nil && h.rng.Intn(3) == 0 {
+			bodies = append(bodies, tr.spec)
+			tr.evicted = false // it is being revived; expect it visible again
+			h.rep.Resubmits++
+			break
+		}
+	}
+	for _, body := range bodies {
+		id, code, err := postJob(p, body)
+		if err != nil {
+			return // killed mid-submission: nothing was acknowledged
+		}
+		switch code {
+		case http.StatusAccepted, http.StatusOK:
+			if _, known := h.jobs[id]; !known {
+				h.jobs[id] = &tracked{spec: body}
+				h.order = append(h.order, id)
+				h.rep.Acked++
+			}
+		case http.StatusServiceUnavailable:
+			h.rep.Shed503++ // storage pressure shed: not acknowledged, not tracked
+		}
+	}
+}
+
+// noteDirSize records the high-water mark of the data directory.
+func (h *harness) noteDirSize() {
+	if n := dirBytes(h.dir); n > h.rep.MaxDirBytes {
+		h.rep.MaxDirBytes = n
+	}
+}
+
+// finalSettle runs one clean, chaos-free server: every tracked
+// unfinished job gets a bounded chance to finish, maintenance settles
+// the store under its budget, the final /metricz is saved, and the
+// budget invariant is asserted.
+func (h *harness) finalSettle(metriczOut string) {
+	p, err := h.start("")
+	if err != nil {
+		h.violate("final settle: %v", err)
+		return
+	}
+	defer func() {
+		_ = p.cmd.Process.Kill()
+		<-p.done
+	}()
+	if !h.waitReady(p, 30*time.Second) {
+		h.violate("final settle: server never became ready")
+		return
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		unfinished := 0
+		for _, id := range h.order {
+			tr := h.jobs[id]
+			st, code, err := getStatus(p, id)
+			if err != nil {
+				h.violate("final settle: status read: %v", err)
+				return
+			}
+			switch {
+			case code == http.StatusNotFound:
+				if tr.seenTerminal == "" {
+					h.violate("acked job %s vanished without reaching a terminal phase", id)
+					return
+				}
+			case st.Phase == "done":
+				tr.seenTerminal = "done"
+				h.verifyResult(p, id, tr)
+			case st.Phase == "failed":
+				tr.seenTerminal = "failed"
+			default:
+				unfinished++
+			}
+		}
+		if unfinished == 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// Let maintenance compact and evict down to the budget, then hold it
+	// to the acceptance bound.
+	time.Sleep(1500 * time.Millisecond)
+	if n := dirBytes(h.dir); n > h.budget {
+		h.violate("data directory %d bytes exceeds -disk-budget %d after settle", n, h.budget)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if raw, err := getRaw(p.url("/metricz")); err == nil {
+		_ = json.Unmarshal(raw, &snap)
+		h.rep.Salvaged = snap.Counters["serve.journal.salvaged"]
+		if metriczOut != "" {
+			if werr := os.WriteFile(metriczOut, raw, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "iddqtorture: metricz write:", werr)
+			}
+		}
+	}
+}
+
+// ---- process driving ----
+
+type proc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+	done   chan struct{}
+}
+
+func (p *proc) url(path string) string { return "http://" + p.addr + path }
+
+// start launches iddqserve over the shared data directory.
+func (h *harness) start(chaosSched string) (*proc, error) {
+	args := []string{
+		"-addr", "127.0.0.1:0", "-dir", h.dir,
+		"-workers", fmt.Sprint(h.workers),
+		"-checkpoint-every", "1",
+		"-retain-jobs", fmt.Sprint(h.retain),
+		"-disk-budget", fmt.Sprint(h.budget),
+		"-maintenance-every", "200ms",
+	}
+	if chaosSched != "" {
+		args = append(args, "-chaos", chaosSched)
+	}
+	cmd := exec.Command(h.bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{cmd: cmd, stderr: &stderr, done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		_ = cmd.Wait() // a kill-induced exit error is the expected outcome
+	}()
+	sc := bufio.NewScanner(stdout)
+	got := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on ") {
+				// "iddqserve: listening on 127.0.0.1:NNN (data dir ...)"
+				got <- strings.Fields(line)[3]
+				break
+			}
+		}
+		for sc.Scan() { // keep draining so the child never blocks on a full pipe
+		}
+		close(got)
+	}()
+	select {
+	case addr, ok := <-got:
+		if !ok {
+			_ = cmd.Process.Kill()
+			<-p.done
+			return nil, fmt.Errorf("server exited before announcing its address; stderr:\n%s", stderr.String())
+		}
+		p.addr = addr
+	case <-time.After(time.Minute):
+		_ = cmd.Process.Kill()
+		<-p.done
+		return nil, fmt.Errorf("no listening line within a minute; stderr:\n%s", stderr.String())
+	}
+	return p, nil
+}
+
+// waitReady polls /healthz until 200. A false return means the gate
+// never opened (chaos-armed self-test pending, storage shed, or the
+// kill landed first) — callers just skip this cycle's submissions.
+func (h *harness) waitReady(p *proc, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		select {
+		case <-p.done:
+			return false
+		default:
+		}
+		resp, err := http.Get(p.url("/healthz"))
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return true
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return false
+}
+
+type jobStatus struct {
+	Phase  string `json:"phase"`
+	Detail string `json:"detail"`
+}
+
+func getStatus(p *proc, id string) (jobStatus, int, error) {
+	var st jobStatus
+	code, err := getJSON(p.url("/jobs/"+id), &st)
+	return st, code, err
+}
+
+func getJSON(url string, out any) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }() // the decode error is the one worth reporting
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+			return resp.StatusCode, derr
+		}
+		return resp.StatusCode, nil
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func getRaw(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // the read error is the one worth reporting
+	return io.ReadAll(resp.Body)
+}
+
+func postJob(p *proc, body []byte) (string, int, error) {
+	resp, err := http.Post(p.url("/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer func() { _ = resp.Body.Close() }() // the decode error is the one worth reporting
+	var st struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if derr := json.NewDecoder(resp.Body).Decode(&st); derr != nil {
+			return "", resp.StatusCode, derr
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return st.ID, resp.StatusCode, nil
+}
+
+// ---- specs ----
+
+// specPool mints the torture workload: seeded c17 specs (fast, high
+// churn — these are what retention evicts) and one long c432 spec that
+// spans several kill cycles, exercising checkpoint resume repeatedly.
+type specPool struct {
+	c17, c432 string
+	seq       int64
+	longBody  []byte
+}
+
+func loadSpecs(benchdir string) (*specPool, error) {
+	c432, err := os.ReadFile(filepath.Join(benchdir, "c432.bench"))
+	if err != nil {
+		return nil, fmt.Errorf("torture needs the bench netlists: %w", err)
+	}
+	// The churn netlist is generated, not loaded: C17 ships in the
+	// circuits package, so the harness only depends on disk for c432.
+	return &specPool{c17: bench.Format(circuits.C17()), c432: string(c432)}, nil
+}
+
+func (sp *specPool) next() []byte {
+	sp.seq++
+	body, _ := json.Marshal(map[string]any{
+		"netlist":     sp.c17,
+		"name":        fmt.Sprintf("torture-c17-%d", sp.seq),
+		"generations": 30,
+		"seed":        sp.seq,
+		"timeout":     "2m",
+	})
+	return body
+}
+
+// long returns the one long-running spec, byte-identical every time so
+// all submissions land on the same content-addressed job.
+func (sp *specPool) long() []byte {
+	if sp.longBody == nil {
+		sp.longBody, _ = json.Marshal(map[string]any{
+			"netlist":     sp.c432,
+			"name":        "torture-c432",
+			"module_size": 40,
+			"generations": 40,
+			"seed":        3,
+			"timeout":     "5m",
+		})
+	}
+	return sp.longBody
+}
+
+// ---- misc ----
+
+// buildServe compiles iddqserve into a temp dir (the caller's working
+// directory must be the repository root, as in CI and make torture).
+func buildServe() (string, error) {
+	dir, err := os.MkdirTemp("", "iddqtorture-bin-")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "iddqserve")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/iddqserve").CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build ./cmd/iddqserve: %w\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// dirBytes sums the regular files directly inside dir.
+func dirBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if info, ierr := e.Info(); ierr == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}

@@ -47,6 +47,14 @@ const (
 	SiteFSRename  = "fs.rename"  // rename fails (destination untouched)
 	SiteFSSyncDir = "fs.syncdir" // directory fsync fails
 
+	// Disk-lifecycle sites (the storage faults the serving layer's
+	// retention/shedding machinery must survive). Unlike fs.write, whose
+	// error is purely chaos-typed, fs.enospc wraps the real
+	// syscall.ENOSPC so errors.Is-based disk-full detection fires exactly
+	// as it would on a genuinely full disk.
+	SiteFSENOSPC     = "fs.enospc"      // Write/Sync fail with syscall.ENOSPC, nothing lands
+	SiteFSWriteShort = "fs.write.short" // a prefix lands, then io.ErrShortWrite — a torn write
+
 	// Optimizer worker pools.
 	SiteEvalPanic = "evolution.worker.panic" // cost-evaluation worker panics
 	SiteEvalDelay = "evolution.worker.delay" // cost evaluation stalls
@@ -64,6 +72,7 @@ const (
 func Sites() []string {
 	return []string{
 		SiteFSCreate, SiteFSWrite, SiteFSSync, SiteFSClose, SiteFSRename, SiteFSSyncDir,
+		SiteFSENOSPC, SiteFSWriteShort,
 		SiteEvalPanic, SiteEvalDelay,
 		SiteAnnealPanic, SiteAnnealDelay,
 		SiteEstimateNaN, SiteEstimateInf,

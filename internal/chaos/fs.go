@@ -8,7 +8,10 @@
 package chaos
 
 import (
+	"fmt"
+	"io"
 	"sync"
+	"syscall"
 
 	"iddqsyn/internal/fsx"
 )
@@ -24,6 +27,12 @@ import (
 //	            crash-before-rename case the protocol must leave the
 //	            previous file visible for
 //	fs.syncdir  directory fsync fails (the rename may not be durable)
+//	fs.enospc   Write/Sync fail with a genuine syscall.ENOSPC and write
+//	            nothing — the full-disk case the admission shedder must
+//	            detect with errors.Is(err, syscall.ENOSPC)
+//	fs.write.short  a deterministic prefix (one third) lands, then
+//	            io.ErrShortWrite — the torn append the journal's replay
+//	            must truncate or salvage around
 //
 // Every injected error wraps ErrInjected.
 type FS struct {
@@ -70,6 +79,23 @@ func (f *FS) CreateTemp(dir, pattern string) (fsx.File, error) {
 	return &chaosFile{inner: file, fs: f}, nil
 }
 
+// OpenAppend implements fsx.AppendFS, so the segmented journal's
+// append-and-fsync path sees the same injected write/sync/close faults
+// (and the disk-lifecycle sites fs.enospc / fs.write.short) as the
+// atomic-write protocol. Opening itself shares the fs.create site: a
+// full disk or exhausted descriptor table fails opens and creates alike.
+func (f *FS) OpenAppend(name string) (fsx.File, error) {
+	f.record("openappend")
+	if f.inj.Hit(SiteFSCreate) {
+		return nil, Errf(SiteFSCreate)
+	}
+	file, err := fsx.OpenAppend(f.inner, name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{inner: file, fs: f}, nil
+}
+
 // Rename implements fsx.FS. An injected failure models a crash before
 // the rename: the destination is untouched.
 func (f *FS) Rename(oldpath, newpath string) error {
@@ -104,11 +130,31 @@ type chaosFile struct {
 
 func (cf *chaosFile) Name() string { return cf.inner.Name() }
 
-// Write injects a short write: half the buffer reaches the file, then an
-// ENOSPC-style error — the torn-write case the temp-file protocol turns
-// into a clean retry instead of a truncated visible file.
+// errENOSPC wraps the real syscall.ENOSPC inside the chaos error chain:
+// errors.Is finds both ErrInjected (tests tell provoked from organic)
+// and syscall.ENOSPC (the shedder reacts as it would to a full disk).
+func errENOSPC() error {
+	return fmt.Errorf("%w at %s: %w", ErrInjected, SiteFSENOSPC, syscall.ENOSPC)
+}
+
+// Write injects, in site order: a disk-full failure (fs.enospc — nothing
+// lands, genuine ENOSPC), a torn write (fs.write.short — a one-third
+// prefix lands, then io.ErrShortWrite), or the legacy half-write
+// ENOSPC-style error (fs.write). The temp-file protocol must turn each
+// into a clean retry; the journal's append path must leave a tail its
+// own replay truncates or salvages around.
 func (cf *chaosFile) Write(p []byte) (int, error) {
 	cf.fs.record("write")
+	if cf.fs.inj.Hit(SiteFSENOSPC) {
+		return 0, errENOSPC()
+	}
+	if cf.fs.inj.Hit(SiteFSWriteShort) {
+		n := 0
+		if third := len(p) / 3; third > 0 {
+			n, _ = cf.inner.Write(p[:third]) // the injected error below is the one worth reporting
+		}
+		return n, fmt.Errorf("%w at %s: %w", ErrInjected, SiteFSWriteShort, io.ErrShortWrite)
+	}
 	if cf.fs.inj.Hit(SiteFSWrite) {
 		n := 0
 		if half := len(p) / 2; half > 0 {
@@ -121,6 +167,9 @@ func (cf *chaosFile) Write(p []byte) (int, error) {
 
 func (cf *chaosFile) Sync() error {
 	cf.fs.record("sync")
+	if cf.fs.inj.Hit(SiteFSENOSPC) {
+		return errENOSPC()
+	}
 	if cf.fs.inj.Hit(SiteFSSync) {
 		return Errf(SiteFSSync)
 	}

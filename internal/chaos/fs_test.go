@@ -2,9 +2,11 @@ package chaos
 
 import (
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -112,5 +114,87 @@ func TestShortWriteNeverTearsDestination(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	if len(entries) != 0 {
 		t.Errorf("torn temp file not cleaned up: %v", entries)
+	}
+}
+
+// fs.enospc must surface a genuine syscall.ENOSPC (errors.Is) inside the
+// ErrInjected chain, on both Write and Sync, with nothing written.
+func TestENOSPCSiteIsRealENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	in := New(mustSchedule(t, "seed=3,rate=1,sites=fs.enospc"), nil)
+	f, err := NewFS(nil, in).OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("payload"))
+	if n != 0 || werr == nil {
+		t.Fatalf("Write under fs.enospc: n=%d err=%v, want 0 and an error", n, werr)
+	}
+	if !errors.Is(werr, ErrInjected) || !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("fs.enospc error %v must wrap both ErrInjected and syscall.ENOSPC", werr)
+	}
+	if serr := f.Sync(); !errors.Is(serr, syscall.ENOSPC) {
+		t.Fatalf("Sync under fs.enospc: %v, want syscall.ENOSPC in the chain", serr)
+	}
+	if cerr := f.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Fatalf("fs.enospc let %d bytes land", len(data))
+	}
+}
+
+// fs.write.short must land a deterministic prefix and report a short
+// write — the injectable torn-append path.
+func TestWriteShortSiteTearsDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	in := New(mustSchedule(t, "seed=5,after=1,sites=fs.write.short"), nil)
+	f, err := NewFS(nil, in).OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("012345678")
+	n, werr := f.Write(payload)
+	if werr == nil || !errors.Is(werr, ErrInjected) || !errors.Is(werr, io.ErrShortWrite) {
+		t.Fatalf("short-write error %v must wrap ErrInjected and io.ErrShortWrite", werr)
+	}
+	if n != len(payload)/3 {
+		t.Fatalf("short write landed %d bytes, want %d", n, len(payload)/3)
+	}
+	// The one-shot has fired; the next write goes through whole.
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "012"+string(payload) {
+		t.Fatalf("on-disk tail %q, want torn prefix then full payload", data)
+	}
+}
+
+// The new sites must be registered and matched by the fs.* glob, so soak
+// schedules cover them without naming them.
+func TestDiskLifecycleSitesRegistered(t *testing.T) {
+	sched := mustSchedule(t, "seed=1,rate=0.5,sites=fs.*")
+	for _, site := range []string{SiteFSENOSPC, SiteFSWriteShort} {
+		found := false
+		for _, s := range Sites() {
+			if s == site {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("site %s not registered in Sites()", site)
+		}
+		if !sched.Matches(site) {
+			t.Errorf("fs.* does not match %s", site)
+		}
 	}
 }

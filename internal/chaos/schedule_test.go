@@ -75,8 +75,8 @@ func TestScheduleMatches(t *testing.T) {
 		}
 	}
 	matched := s.MatchedSites()
-	if len(matched) != 7 { // six fs.* sites + estimate.nan
-		t.Errorf("MatchedSites() = %v, want the 6 fs sites and estimate.nan", matched)
+	if len(matched) != 9 { // eight fs.* sites + estimate.nan
+		t.Errorf("MatchedSites() = %v, want the 8 fs sites and estimate.nan", matched)
 	}
 }
 

@@ -134,6 +134,12 @@ func TestChaosSoak(t *testing.T) {
 		"seed=5,rate=1,sites=fs.write",
 		"seed=6,rate=0.2,delay=200us,sites=evolution.worker.delay",
 		"seed=7,rate=0.4,sites=evolution.worker.panic|estimate.nan",
+		// Disk-lifecycle faults: a filling disk (genuine ENOSPC) and torn
+		// appends; the checkpoint path must retry or fail with the cause
+		// named, never corrupt what is already on disk.
+		"seed=8,rate=0.3,sites=fs.enospc",
+		"seed=9,rate=0.3,sites=fs.write.short|fs.sync",
+		"seed=10,rate=0.2,sites=fs.enospc|fs.write.short|fs.rename",
 	}
 	for _, spec := range schedules {
 		spec := spec

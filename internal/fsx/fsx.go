@@ -60,6 +60,26 @@ type FS interface {
 	SyncDir(dir string) error
 }
 
+// AppendFS is the optional append surface of an FS. The segmented job
+// journal (internal/serve) appends records to an active segment file
+// with an fsync per record — a different durability shape than the
+// whole-file atomic-write protocol, but with the same need for fault
+// injection, so chaos filesystems implement this too. An FS that does
+// not implement AppendFS falls back to the real filesystem.
+type AppendFS interface {
+	// OpenAppend opens name for appending, creating it (0o644) if needed.
+	OpenAppend(name string) (File, error)
+}
+
+// OpenAppend opens path for appending through fs when it implements
+// AppendFS, and through the real filesystem otherwise.
+func OpenAppend(fs FS, path string) (File, error) {
+	if a, ok := orOS(fs).(AppendFS); ok {
+		return a.OpenAppend(path)
+	}
+	return OS{}.OpenAppend(path)
+}
+
 // OS is the real filesystem.
 type OS struct{}
 
@@ -70,6 +90,11 @@ func (OS) CreateTemp(dir, pattern string) (File, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+// OpenAppend opens with os.OpenFile in append mode.
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 }
 
 // Rename renames with os.Rename.
@@ -212,6 +237,74 @@ func (p *RetryPolicy) sleep(d time.Duration) {
 		return
 	}
 	time.Sleep(d)
+}
+
+// SweepTemp removes stranded atomic-write temp files from dir: files
+// whose name matches the WriteAtomic temp pattern (*.tmp*) and whose
+// modification time is at least olderThan in the past. WriteAtomic
+// removes its own temp on failure, but a crash between create and
+// rename — or a Remove that itself fails — strands the temp forever;
+// startup paths call this with olderThan zero (no concurrent writer can
+// exist yet), periodic sweeps pass a conservative age so a temp another
+// goroutine is actively writing is never removed. Returns the number of
+// temps removed; the error, if any, is the first removal failure (the
+// sweep keeps going — one stuck temp must not shield the rest).
+func SweepTemp(fs FS, dir string, olderThan time.Duration) (int, error) {
+	fs = orOS(fs)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("fsx: sweep %s: %w", dir, err)
+	}
+	cutoff := time.Now().Add(-olderThan)
+	removed := 0
+	var first error
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ok, _ := filepath.Match("*.tmp*", e.Name()); !ok {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue // raced with its own removal
+		}
+		if olderThan > 0 && info.ModTime().After(cutoff) {
+			continue // young enough to be live — leave it
+		}
+		if rerr := fs.Remove(filepath.Join(dir, e.Name())); rerr != nil {
+			if first == nil && !errors.Is(rerr, os.ErrNotExist) {
+				first = fmt.Errorf("fsx: sweep %s: %w", dir, rerr)
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, first
+}
+
+// Do runs op under the policy's bounded retry (nil receiver = the
+// defaults): every error is treated as transient until the attempt
+// budget is spent. op must be idempotent-on-failure — each retry re-runs
+// it whole. The returned error wraps the last failure and names the
+// attempt count. WriteAtomicRetry is Do over WriteAtomic; the segmented
+// journal uses Do around its append+fsync sequence, whose failure
+// handler truncates the segment back so a retry starts clean.
+func (p *RetryPolicy) Do(op func() error) error {
+	n := p.attempts()
+	var last error
+	for attempt := 1; attempt <= n; attempt++ {
+		if attempt > 1 {
+			if p != nil && p.OnRetry != nil {
+				p.OnRetry(attempt, last)
+			}
+			p.sleep(p.backoff(attempt))
+		}
+		if last = op(); last == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("fsx: failed after %d attempts: %w", n, last)
 }
 
 // WriteAtomicRetry is WriteAtomic with bounded retry: every error is

@@ -179,3 +179,92 @@ func TestBackoffGrowsAndCaps(t *testing.T) {
 		t.Errorf("backoff(4) = %v, want the 5ms cap", d)
 	}
 }
+
+// SweepTemp must remove stranded atomic-write temps (old mtime, or any
+// age when olderThan is zero) and must never touch a live temp — one
+// young enough that a concurrent WriteAtomic could still be writing it.
+func TestSweepTempRemovesStrandedKeepsLive(t *testing.T) {
+	dir := t.TempDir()
+	stale := time.Now().Add(-time.Hour)
+	stranded := []string{"journal.json.tmp123", "result-ab.json.tmp9"}
+	for _, name := range stranded {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := filepath.Join(dir, "spec-cd.json.tmp42")
+	if err := os.WriteFile(live, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "journal-00000001.seg")
+	if err := os.WriteFile(keep, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(keep, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := SweepTemp(nil, dir, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(stranded) {
+		t.Fatalf("removed %d temps, want %d", removed, len(stranded))
+	}
+	for _, name := range stranded {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("stranded temp %s survived the sweep", name)
+		}
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Errorf("live temp removed: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("non-temp file removed: %v", err)
+	}
+
+	// olderThan zero is the startup sweep: no writer can be live, so
+	// every temp goes, however young.
+	removed, err = SweepTemp(nil, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("startup sweep removed %d, want 1", removed)
+	}
+	if _, err := os.Stat(live); !errors.Is(err, os.ErrNotExist) {
+		t.Error("startup sweep left the remaining temp behind")
+	}
+}
+
+// OpenAppend must append across separate opens — the journal's active
+// segment reopens after every restart.
+func TestOpenAppendAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	for _, chunk := range []string{"one", "two"} {
+		f, err := OpenAppend(nil, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "onetwo" {
+		t.Fatalf("appended content %q, want %q", got, "onetwo")
+	}
+}

@@ -42,6 +42,26 @@ func BenchmarkServeSubmit(b *testing.B) {
 	}
 }
 
+// BenchmarkJournalAppend measures one durable journal record: frame
+// encode, CRC, append to the active segment, fsync. The cost must stay
+// O(1) in journal size — the segmented log appends a record, where the
+// v1 journal republished the whole file — so the figure holding flat as
+// records accumulate across iterations is the point of the benchmark.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, err := OpenJournal(b.TempDir(), JournalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = j.Close() }() // bench teardown; append errors already failed the run
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append("jbench", EventStarted, "attempt"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeSubmitCached measures the cache-hit path: the identical
 // spec resubmitted, answered from the content-hash cache without
 // touching the journal.

@@ -1,0 +1,280 @@
+// Storage-lifecycle maintenance: retention, garbage collection and
+// disk-budget shedding. A long-lived server accretes terminal jobs —
+// each a spec, a result, often a checkpoint, plus journal records — and
+// without a lifecycle the data directory grows until the disk fills and
+// every durability guarantee dies with an ENOSPC mid-append. The
+// maintenance loop (one goroutine, started with the workers, stopped by
+// Close) periodically:
+//
+//  1. compacts the journal (terminal jobs fold to two records, evicted
+//     jobs to none) and sweeps stranded atomic-write temps;
+//  2. applies the retention policy: terminal jobs beyond Config.RetainAge
+//     or in excess of Config.RetainJobs are evicted, oldest terminal
+//     first. Queued and running jobs are never evicted, and a done job
+//     inside the retention window keeps serving cached results;
+//  3. enforces Config.DiskBudget: while the data directory exceeds it,
+//     remaining terminal jobs are evicted oldest-first regardless of the
+//     retention window; if the directory still exceeds the budget, new
+//     admissions are shed;
+//  4. recovers from shedding: once the budget holds and a probe write
+//     succeeds (the genuine full-disk test), admissions reopen.
+//
+// Eviction removes the job's side files *first* and appends the
+// EventEvicted record *second*: a crash between the two replays as a
+// done job whose result file is missing, which replay finishes evicting
+// (server.go) — the reverse order could leak files that no record will
+// ever account for. Shedding is load-shedding, not failure: submissions
+// get 503 + Retry-After while in-flight jobs run to completion, and
+// /healthz reports the named degradation so operators and load
+// balancers see the state without reading logs.
+
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"time"
+
+	"iddqsyn/internal/fsx"
+)
+
+// DefaultMaintenanceEvery is the maintenance-loop cadence.
+const DefaultMaintenanceEvery = 2 * time.Second
+
+// Storage-lifecycle telemetry.
+const (
+	// MetricStoreBytes gauges the data directory's total size — journal,
+	// side files, quarantine sidecars — as of the last maintenance pass.
+	MetricStoreBytes = "serve.store.bytes"
+	// MetricStoreEvicted counts jobs evicted by retention or budget.
+	MetricStoreEvicted = "serve.store.evicted"
+	// MetricShed counts submissions refused with 503 while shedding.
+	MetricShed = "serve.admission.shed"
+)
+
+// tempSweepAge is how old a temp file must be before the periodic sweep
+// removes it: long enough that no live WriteAtomic attempt can still own
+// it (the open-time sweep, with no concurrent writers, uses zero).
+const tempSweepAge = time.Hour
+
+// Shedding reports whether admissions are currently shed, and why.
+func (s *Server) Shedding() (reason string, active bool) {
+	if !s.shedding.Load() {
+		return "", false
+	}
+	r, _ := s.shedReason.Load().(string)
+	return r, true
+}
+
+// shed closes admissions with a named reason. Idempotent; the first
+// reason wins until recovery so the logs tell one coherent story.
+func (s *Server) shed(reason string) {
+	s.shedReason.Store(reason)
+	if !s.shedding.Swap(true) {
+		s.o.Log().Warn("shedding admissions", "reason", reason)
+	}
+}
+
+// unshed reopens admissions after the disk recovered.
+func (s *Server) unshed() {
+	if s.shedding.Swap(false) {
+		r, _ := s.shedReason.Load().(string)
+		s.o.Log().Info("admissions recovered", "was", r)
+	}
+}
+
+// noteWriteError inspects a durable-write failure for evidence of a
+// full disk. errors.Is sees through both the retry wrapping and the
+// chaos injection chain (an injected fs.enospc carries the real
+// syscall.ENOSPC), so the shedder reacts to a genuinely full disk and a
+// rehearsed one identically.
+func (s *Server) noteWriteError(err error) {
+	if errors.Is(err, syscall.ENOSPC) {
+		s.shed("disk full (ENOSPC)")
+	}
+}
+
+// StoreBytes measures the data directory: every regular file's size,
+// best-effort (entries racing their own removal count as zero).
+func (s *Server) StoreBytes() int64 {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if info, ierr := e.Info(); ierr == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// terminalOldestFirst snapshots the terminal (done/failed) jobs in
+// eviction order: oldest terminal transition first.
+func (s *Server) terminalOldestFirst() []*job {
+	s.mu.Lock()
+	all := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	var out []*job
+	ages := make(map[*job]int64)
+	for _, j := range all {
+		j.mu.Lock()
+		if j.phase == PhaseDone || j.phase == PhaseFailed {
+			out = append(out, j)
+			ages[j] = j.terminalAt
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if ages[out[a]] != ages[out[b]] {
+			return ages[out[a]] < ages[out[b]]
+		}
+		return out[a].id < out[b].id // deterministic tie-break
+	})
+	return out
+}
+
+// evictJob removes one terminal job: unhooked from the cache map (so a
+// resubmission of the same content becomes a fresh job), side files
+// removed, EventEvicted appended. Returns the side-file bytes freed, or
+// 0 if the job was no longer evictable (resubmitted between snapshot
+// and eviction).
+func (s *Server) evictJob(j *job, reason string) int64 {
+	s.mu.Lock()
+	j.mu.Lock()
+	terminal := j.phase == PhaseDone || j.phase == PhaseFailed
+	if terminal {
+		delete(s.jobs, j.id)
+	}
+	j.mu.Unlock()
+	s.mu.Unlock()
+	if !terminal {
+		return 0
+	}
+	var freed int64
+	for _, p := range []string{
+		specPath(s.cfg.Dir, j.id), resultPath(s.cfg.Dir, j.id), checkpointPath(s.cfg.Dir, j.id),
+	} {
+		if st, err := os.Stat(p); err == nil {
+			freed += st.Size()
+		}
+	}
+	if err := s.journal.RemoveJobFiles(j.id); err != nil {
+		s.o.Log().Warn("eviction could not remove side files", "job", j.id, "err", err.Error())
+	}
+	// Files first, record second: if this append fails (or we crash
+	// here), a done job replays with its result missing and the replay
+	// path finishes the eviction — nothing leaks, nothing resurrects.
+	if err := s.journal.Append(j.id, EventEvicted, reason); err != nil {
+		s.o.Log().Warn("eviction record not journaled", "job", j.id, "err", err.Error())
+		s.noteWriteError(err)
+	}
+	s.o.Counter(MetricStoreEvicted).Inc()
+	s.o.Log().Info("job evicted", "job", j.id, "reason", reason, "freed_bytes", freed)
+	return freed
+}
+
+// Maintain runs one maintenance pass. The background loop calls it on
+// the configured cadence; tests and the torture harness call it
+// directly to make lifecycle transitions deterministic.
+func (s *Server) Maintain() {
+	if _, err := s.journal.Compact(); err != nil {
+		s.o.Log().Warn("journal compaction failed", "err", err.Error())
+		s.noteWriteError(err)
+	}
+	if _, err := fsx.SweepTemp(s.cfg.FS, s.cfg.Dir, tempSweepAge); err != nil {
+		s.o.Log().Warn("temp sweep incomplete", "err", err.Error())
+	}
+
+	// Retention: walk terminal jobs oldest-first; a job falls to age when
+	// its terminal transition left the retention window, and to count
+	// when keeping it would exceed the cap (the oldest go first).
+	now := time.Now().UnixNano()
+	terminal := s.terminalOldestFirst()
+	remaining := make([]*job, 0, len(terminal))
+	n := len(terminal)
+	for i, j := range terminal {
+		j.mu.Lock()
+		at := j.terminalAt
+		j.mu.Unlock()
+		switch {
+		case s.cfg.RetainAge > 0 && at > 0 && now-at > int64(s.cfg.RetainAge):
+			s.evictJob(j, "retention: age")
+		case s.cfg.RetainJobs > 0 && n-i > s.cfg.RetainJobs:
+			s.evictJob(j, "retention: count")
+		default:
+			remaining = append(remaining, j)
+		}
+	}
+
+	// Disk budget: evict the survivors oldest-first while the directory
+	// overflows — budget pressure overrides the retention window, because
+	// a full disk takes the whole service down and a cache entry does not.
+	size := s.StoreBytes()
+	if b := s.cfg.DiskBudget; b > 0 && size > b {
+		for _, j := range remaining {
+			size -= s.evictJob(j, "disk budget")
+			if size <= b {
+				break
+			}
+		}
+		if _, err := s.journal.Compact(); err == nil {
+			size = s.StoreBytes() // compaction may have freed journal bytes too
+		}
+	}
+	s.o.Gauge(MetricStoreBytes).Set(float64(size))
+
+	// Shedding transitions. Over budget with nothing left to evict means
+	// the live jobs themselves exceed the budget: shed until they drain.
+	// An ENOSPC shed additionally demands a successful probe write — the
+	// disk itself must answer, not our bookkeeping.
+	if b := s.cfg.DiskBudget; b > 0 && size > b {
+		s.shed(fmt.Sprintf("disk budget exceeded: %d > %d bytes", size, b))
+		return
+	}
+	if _, active := s.Shedding(); active {
+		if err := s.probeWrite(); err != nil {
+			s.o.Log().Warn("disk probe still failing", "err", err.Error())
+			return
+		}
+		s.unshed()
+	}
+}
+
+// probeWrite exercises the full durable-write path with a throwaway
+// file — the recovery test an ENOSPC shed must pass before admissions
+// reopen.
+func (s *Server) probeWrite() error {
+	p := filepath.Join(s.cfg.Dir, "probe.json")
+	if err := fsx.WriteAtomic(s.cfg.FS, p, []byte(`{"probe":true}`)); err != nil {
+		return err
+	}
+	return os.Remove(p)
+}
+
+// maintainLoop is the background maintenance goroutine (started by
+// Start, stopped by Close via the server context).
+func (s *Server) maintainLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.MaintenanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.Maintain()
+		}
+	}
+}

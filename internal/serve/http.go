@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"time"
 
 	"iddqsyn/internal/obs"
@@ -46,6 +47,13 @@ func (s *Server) Handler() http.Handler {
 		if !s.Ready() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "admission self-test pending or failed")
+			return
+		}
+		if reason, active := s.Shedding(); active {
+			// Degraded, with the reason named: load balancers see the 503,
+			// operators see why without reading logs.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded: shedding admissions: "+reason)
 			return
 		}
 		fmt.Fprintln(w, "ok")
@@ -86,6 +94,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable,
 			errors.New("serve: admission self-test pending or failed"))
+		return
+	}
+	if reason, active := s.Shedding(); active {
+		// Storage-pressure shedding: distinct from queue overload (429) —
+		// more work cannot be made durable right now, so retrying another
+		// replica is right and retrying here soon may not be. Retry-After
+		// spans at least one maintenance pass, the earliest recovery point.
+		s.o.Counter(MetricShed).Inc()
+		s.tenantRejected(r.Header.Get("X-Tenant"))
+		retry := int(s.cfg.MaintenanceEvery/time.Second) + 1
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: shedding admissions: %s", reason))
 		return
 	}
 	body, err := io.ReadAll(r.Body)
@@ -154,6 +175,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case PhaseDone.String():
 		res, err := s.journal.LoadResult(j.id)
 		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// The maintenance loop evicted this job between lookup and
+				// load; the job is gone, not broken.
+				writeError(w, http.StatusNotFound, errors.New("serve: result evicted"))
+				return
+			}
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}

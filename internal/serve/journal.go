@@ -1,25 +1,38 @@
 // The durable job journal: every lifecycle transition of every job —
-// submitted, started, finished, failed — is a record in an append-only
-// sequence, published crash-safely through fsx.WriteAtomicRetry. The
-// journal is the service's source of truth across restarts: opening a
-// data directory replays the record sequence into per-job states, and
-// every job that was submitted but never finished is simply work to
-// re-enqueue (its evolution checkpoint, if one was written, makes the
-// re-run resume instead of restart).
+// submitted, started, finished, failed, evicted — is a record in an
+// append-only sequence that survives any crash. The journal is the
+// service's source of truth across restarts: opening a data directory
+// replays the record sequence into per-job states, and every job that
+// was submitted but never finished is simply work to re-enqueue (its
+// evolution checkpoint, if one was written, makes the re-run resume
+// instead of restart).
 //
-// The sequence is logically append-only; physically each append
-// republishes the whole journal file through the atomic-write protocol,
-// so a crash at any point leaves the previous journal intact — never a
-// truncated or interleaved one. To keep that per-append rewrite from
-// growing without bound over a long-lived server, opening a journal
-// compacts it: each terminal job's record run is folded down to its
-// submitted + terminal pair (the per-attempt records only matter while
-// a job is live), so the file size tracks the job count, not the full
-// lifecycle history. Job specs and results live in side files
-// (spec-<id>.json, result-<id>.json) written *before* the record that
-// references them: a crash between the two leaves an orphaned side file,
-// which is harmless, rather than a dangling reference, which would not
-// be.
+// Physically the sequence is segmented. Appends go to an active segment
+// file (journal-<n>.seg) as CRC32C-framed records (segment.go), one
+// write + fsync per record — O(1) per append, where the v1 journal
+// republished the whole file every time. When the active segment
+// reaches its size threshold it is sealed and a new one started.
+// Compaction folds the whole sequence down — each terminal job to its
+// submitted + terminal pair, evicted jobs to nothing — and publishes it
+// as a base file (journal-<n>.base) through the atomic-write protocol;
+// the base's index records which segments it covers, so a crash between
+// publishing the base and deleting the folded segments is repaired on
+// the next open (stale segments are simply removed). Replay cost is
+// O(live jobs), not O(history).
+//
+// Damage tolerance is asymmetric by construction. Append segments are
+// written in place, so a crash can tear their tail and a disk can flip
+// their bits: replay salvages them — a torn tail is truncated, a
+// CRC-failing run is skipped to the next valid frame, quarantined to a
+// .corrupt sidecar and counted in serve.journal.salvaged — and the next
+// compaction folds the survivors into a clean base. The base itself is
+// only ever published atomically, so damage there has no innocent
+// explanation: it fails the open with ErrCorruptJournal.
+//
+// Job specs and results live in side files (spec-<id>.json,
+// result-<id>.json) written *before* the record that references them: a
+// crash between the two leaves an orphaned side file, which is
+// harmless, rather than a dangling reference, which would not be.
 
 package serve
 
@@ -29,21 +42,39 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"iddqsyn/internal/fsx"
+	"iddqsyn/internal/obs"
 )
 
 // ErrCorruptJournal is wrapped by every OpenJournal failure caused by
-// the journal file's content, as opposed to an I/O error reading it.
+// journal content that salvage cannot repair — a damaged base file or
+// an invalid legacy journal — as opposed to an I/O error reading it.
 var ErrCorruptJournal = errors.New("serve: corrupt job journal")
 
-// JournalFormat and JournalVersion identify the journal file format; a
-// mismatch is a load error, never a silent misreplay.
+// JournalFormat and JournalVersion identify the legacy (v1) whole-file
+// journal format, still parsed for migration; a mismatch is a load
+// error, never a silent misreplay.
 const (
 	JournalFormat  = "iddqsyn-serve-journal"
 	JournalVersion = 1
 )
+
+// Journal telemetry.
+const (
+	// MetricJournalBytes gauges the journal's on-disk footprint (base +
+	// segments, excluding side files and quarantine sidecars).
+	MetricJournalBytes = "serve.journal.bytes"
+	// MetricJournalSalvaged counts damaged runs skipped during replay —
+	// every increment means bytes were quarantined to a .corrupt sidecar.
+	MetricJournalSalvaged = "serve.journal.salvaged"
+)
+
+// DefaultSegmentMaxBytes is the roll threshold of the active segment.
+const DefaultSegmentMaxBytes = 256 << 10
 
 // The journal event kinds.
 const (
@@ -58,17 +89,25 @@ const (
 	EventFinished = "finished"
 	// EventFailed: every attempt failed; Detail carries the named error.
 	EventFailed = "failed"
+	// EventEvicted: retention/GC removed the terminal job's side files;
+	// the job no longer replays (compaction drops its records entirely).
+	// Appended *after* the side files are gone, so a crash between the
+	// two leaves a done job with a missing result — which replay finishes
+	// evicting — never an evicted record whose files linger uncounted.
+	EventEvicted = "evicted"
 )
 
-// Record is one journal entry.
+// Record is one journal entry. At is the wall-clock append time in Unix
+// nanoseconds — retention age is measured from it.
 type Record struct {
 	Seq    int    `json:"seq"`
 	Job    string `json:"job"`
 	Event  string `json:"event"`
 	Detail string `json:"detail,omitempty"`
+	At     int64  `json:"at,omitempty"`
 }
 
-// journalFile is the on-disk representation.
+// journalFile is the legacy v1 on-disk representation.
 type journalFile struct {
 	Format  string   `json:"format"`
 	Version int      `json:"version"`
@@ -108,21 +147,68 @@ type ReplayedJob struct {
 	Phase    JobPhase
 	Attempts int
 	Detail   string // EventFinished/EventFailed detail
+	// SubmittedAt / TerminalAt are the record timestamps (Unix nanos) of
+	// the job's latest admission and terminal transition — what retention
+	// age is measured from. Zero for pre-timestamp records.
+	SubmittedAt int64
+	TerminalAt  int64
+	// Evicted marks a job whose side files retention/GC removed; it is
+	// excluded from Replay and dropped at the next compaction.
+	Evicted bool
+}
+
+// JournalOptions configures OpenJournal. The zero value is usable: real
+// filesystem, default retry policy, unobserved, default segment size.
+type JournalOptions struct {
+	// FS routes segment appends and base publishes (nil = the real
+	// filesystem; chaos tests pass a chaos.FS).
+	FS fsx.FS
+	// Retry is the atomic-publish retry policy (nil = fsx defaults).
+	Retry *fsx.RetryPolicy
+	// Obs receives the journal metrics and salvage warnings (nil = none).
+	Obs *obs.Obs
+	// SegmentMaxBytes is the active-segment roll threshold
+	// (0 = DefaultSegmentMaxBytes).
+	SegmentMaxBytes int64
+	// Now supplies record timestamps (nil = time.Now; tests inject a
+	// deterministic clock).
+	Now func() time.Time
 }
 
 // Journal is the open journal of one data directory. All methods are
 // safe for concurrent use; appends are serialized.
 type Journal struct {
-	fs  fsx.FS
-	dir string
-	pol *fsx.RetryPolicy
+	fs     fsx.FS
+	dir    string
+	pol    *fsx.RetryPolicy
+	o      *obs.Obs
+	segMax int64
+	now    func() time.Time
 
-	mu   sync.Mutex
-	recs []Record
+	mu          sync.Mutex
+	recs        []Record
+	maxSeq      int
+	active      fsx.File // open handle to the active segment (lazy; nil until first append)
+	activeIndex int
+	activeSize  int64
+	sealedBytes int64 // base + sealed segments
+	salvaged    uint64
 }
 
-// journalPath is the journal file inside a data directory.
+// File layout inside a data directory.
+
+// journalPath is the legacy v1 journal file (migrated on open).
 func journalPath(dir string) string { return filepath.Join(dir, "journal.json") }
+
+// segPath is append segment n.
+func segPath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%08d.seg", n))
+}
+
+// basePath is the compacted base covering segments <= n.
+func basePath(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%08d.base", n))
+}
 
 // specPath is the spec side file of a job.
 func specPath(dir, id string) string { return filepath.Join(dir, "spec-"+id+".json") }
@@ -133,21 +219,229 @@ func resultPath(dir, id string) string { return filepath.Join(dir, "result-"+id+
 // checkpointPath is the evolution checkpoint of a job.
 func checkpointPath(dir, id string) string { return filepath.Join(dir, "ckpt-"+id+".ckpt") }
 
-// OpenJournal opens (or creates) the journal in dir, replay-validating
-// any existing file. Writes go through fs (nil = the real filesystem)
-// with retry policy pol (nil = fsx defaults).
-func OpenJournal(fs fsx.FS, dir string, pol *fsx.RetryPolicy) (*Journal, error) {
+// journalIndex parses the numeric index out of a segment or base file
+// name with the given extension, or -1.
+func journalIndex(name, ext string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, "journal-%08d"+ext, &n); err != nil || n < 0 {
+		return -1
+	}
+	if name != fmt.Sprintf("journal-%08d"+ext, n) {
+		return -1
+	}
+	return n
+}
+
+// OpenJournal opens (or creates) the journal in dir: stranded temp
+// files are swept, a legacy v1 journal is migrated, the newest base is
+// loaded strictly, the append segments above it are replayed with
+// salvage, and the folded sequence is compacted back into a fresh base
+// when that shrinks it (or when salvage left damaged segments behind).
+func OpenJournal(dir string, opt JournalOptions) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: journal dir: %w", err)
 	}
-	j := &Journal{fs: fs, dir: dir, pol: pol}
-	data, err := os.ReadFile(journalPath(dir))
-	switch {
-	case errors.Is(err, os.ErrNotExist):
-		return j, nil
-	case err != nil:
-		return nil, fmt.Errorf("serve: read journal: %w", err)
+	j := &Journal{
+		fs: opt.FS, dir: dir, pol: opt.Retry, o: opt.Obs,
+		segMax: opt.SegmentMaxBytes, now: opt.Now,
 	}
+	if j.segMax <= 0 {
+		j.segMax = DefaultSegmentMaxBytes
+	}
+	if j.now == nil {
+		j.now = time.Now
+	}
+	// A crash mid-WriteAtomic strands its temp file; no concurrent writer
+	// can exist while the directory is being opened, so sweep them all.
+	if n, err := fsx.SweepTemp(j.fs, dir, 0); err != nil {
+		j.o.Log().Warn("journal temp sweep incomplete", "dir", dir, "err", err.Error())
+	} else if n > 0 {
+		j.o.Log().Info("removed stranded temp files", "dir", dir, "count", n)
+	}
+
+	baseIdx, segIdxs, err := j.scanDir()
+	if err != nil {
+		return nil, err
+	}
+
+	// Legacy migration: a v1 journal.json with no segmented state becomes
+	// the first base. With segmented state present, the json is a leftover
+	// of a migration that crashed after publishing the base — remove it
+	// and load the segmented state as usual.
+	legacy, rerr := os.ReadFile(journalPath(dir))
+	switch {
+	case rerr == nil && baseIdx < 0 && len(segIdxs) == 0:
+		recs, lerr := loadLegacy(dir, legacy)
+		if lerr != nil {
+			return nil, lerr
+		}
+		j.recs = recs
+		j.maxSeq = maxSeq(recs)
+		j.activeIndex = 0
+		compacted, _ := compactRecords(recs)
+		if err := j.publishBaseLocked(compacted); err != nil {
+			return nil, fmt.Errorf("serve: migrate legacy journal: %w", err)
+		}
+		_ = os.Remove(journalPath(dir)) // migrated; a leftover is re-removed next open
+		return j, nil
+	case rerr == nil:
+		_ = os.Remove(journalPath(dir)) // superseded by the published base; best-effort
+	case !errors.Is(rerr, os.ErrNotExist):
+		return nil, fmt.Errorf("serve: read journal: %w", rerr)
+	}
+
+	if baseIdx >= 0 {
+		data, rerr := os.ReadFile(basePath(dir, baseIdx))
+		if rerr != nil {
+			return nil, fmt.Errorf("serve: read journal base: %w", rerr)
+		}
+		sc := scanSegment(data)
+		if !sc.clean() {
+			// The base is only ever published whole through the atomic-write
+			// protocol; damage here is external and unrecoverable.
+			return nil, fmt.Errorf("serve: journal base %s: %w: %d damaged runs, torn tail %d bytes",
+				basePath(dir, baseIdx), ErrCorruptJournal, len(sc.damaged), sc.torn.end-sc.torn.start)
+		}
+		j.recs = sc.records
+		j.sealedBytes += int64(len(data))
+	}
+
+	// Replay the append segments above the base, salvaging damage; the
+	// highest one stays open for appends unless it already rolled over.
+	for i, idx := range segIdxs {
+		if idx <= baseIdx {
+			// Folded into the base already; a crash between base publish and
+			// segment removal leaves these behind.
+			_ = os.Remove(segPath(dir, idx)) // stale by construction; best-effort
+			continue
+		}
+		last := i == len(segIdxs)-1
+		size, serr := j.replaySegment(idx, last)
+		if serr != nil {
+			return nil, serr
+		}
+		j.activeIndex = idx
+		if last && size < j.segMax {
+			j.activeSize = size
+		} else {
+			j.sealedBytes += size
+			j.activeIndex = idx + 1
+		}
+	}
+	if j.activeIndex <= baseIdx {
+		j.activeIndex = baseIdx + 1
+	}
+	j.maxSeq = maxSeq(j.recs)
+	j.updateBytesGaugeLocked()
+
+	// Open-time compaction: fold terminal jobs down (and drop evicted
+	// ones) when that shrinks the sequence, and always rebuild the base
+	// after salvage so damaged segments do not survive to be re-salvaged
+	// on every subsequent open.
+	compacted, changed := compactRecords(j.recs)
+	if changed || j.salvaged > 0 {
+		if err := j.publishBaseLocked(compacted); err != nil {
+			// Compaction is an I/O optimization; the replayed sequence stays
+			// authoritative when publishing the folded one fails.
+			j.o.Log().Warn("journal compaction failed; continuing uncompacted", "err", err.Error())
+		}
+	}
+	return j, nil
+}
+
+// scanDir inventories the journal files: the newest base index (-1 if
+// none; older bases are removed) and the segment indices ascending.
+func (j *Journal) scanDir() (baseIdx int, segIdxs []int, err error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return -1, nil, fmt.Errorf("serve: scan journal dir: %w", err)
+	}
+	baseIdx = -1
+	var bases []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n := journalIndex(e.Name(), ".base"); n >= 0 {
+			bases = append(bases, n)
+			if n > baseIdx {
+				baseIdx = n
+			}
+		}
+		if n := journalIndex(e.Name(), ".seg"); n >= 0 {
+			segIdxs = append(segIdxs, n)
+		}
+	}
+	for _, n := range bases {
+		if n != baseIdx {
+			_ = os.Remove(basePath(j.dir, n)) // superseded base; best-effort
+		}
+	}
+	sort.Ints(segIdxs)
+	return baseIdx, segIdxs, nil
+}
+
+// replaySegment reads one append segment with salvage, appending its
+// surviving records to j.recs. active marks the highest segment, whose
+// torn tail is truncated in place (the crash-mid-append case) rather
+// than quarantined. Returns the segment's on-disk size after repair.
+func (j *Journal) replaySegment(idx int, active bool) (int64, error) {
+	path := segPath(j.dir, idx)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("serve: read journal segment: %w", err)
+	}
+	if len(data) == 0 {
+		return 0, nil // created but never written; reusable as-is
+	}
+	sc := scanSegment(data)
+	j.recs = append(j.recs, sc.records...)
+	for _, r := range sc.damaged {
+		j.quarantine(path, data[r.start:r.end])
+	}
+	size := int64(len(data))
+	if sc.torn.end > sc.torn.start {
+		if active {
+			// A torn tail on the active segment is the expected shape of a
+			// crash mid-append: cut it so the next append starts on a frame
+			// boundary. Not counted as salvage — nothing acknowledged is lost.
+			if terr := os.Truncate(path, int64(sc.goodLen)); terr != nil {
+				return 0, fmt.Errorf("serve: truncate torn journal tail: %w", terr)
+			}
+			size = int64(sc.goodLen)
+		} else {
+			j.quarantine(path, data[sc.torn.start:sc.torn.end])
+			sc.damaged = append(sc.damaged, sc.torn) // count it below
+		}
+	}
+	if n := len(sc.damaged); n > 0 {
+		j.salvaged += uint64(n)
+		j.o.Counter(MetricJournalSalvaged).Add(uint64(n))
+		j.o.Log().Warn("journal segment salvaged",
+			"segment", path, "damaged_runs", n, "records_kept", len(sc.records))
+	}
+	return size, nil
+}
+
+// quarantine preserves damaged segment bytes in a .corrupt sidecar for
+// postmortems. Best-effort: quarantine failing must not fail the open.
+func (j *Journal) quarantine(segfile string, damaged []byte) {
+	f, err := os.OpenFile(segfile+".corrupt", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		j.o.Log().Warn("quarantine failed", "segment", segfile, "err", err.Error())
+		return
+	}
+	_, werr := f.Write(damaged)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		j.o.Log().Warn("quarantine failed", "segment", segfile, "err", werr.Error())
+	}
+}
+
+// loadLegacy parses and validates a v1 whole-file journal.
+func loadLegacy(dir string, data []byte) ([]Record, error) {
 	if len(data) == 0 {
 		// The atomic-write protocol cannot produce this by crashing; an
 		// empty file points at an external cause worth naming.
@@ -175,18 +469,19 @@ func OpenJournal(fs fsx.FS, dir string, pol *fsx.RetryPolicy) (*Journal, error) 
 				journalPath(dir), ErrCorruptJournal, r.Seq)
 		}
 	}
-	j.recs = jf.Records
-	// Compact: terminal jobs fold to their submitted + terminal pair, so
-	// per-append rewrites stay proportional to the job count instead of
-	// the full lifecycle history. Best-effort — if publishing the
-	// compacted file fails, the uncompacted sequence stays authoritative
-	// (compaction is an I/O optimization, never a correctness need).
-	if recs, changed := compactRecords(jf.Records); changed {
-		if err := j.publish(recs); err == nil {
-			j.recs = recs
+	return jf.Records, nil
+}
+
+// maxSeq is the highest sequence number in recs (salvage can leave
+// gaps; appends continue above the survivors).
+func maxSeq(recs []Record) int {
+	n := 0
+	for _, r := range recs {
+		if r.Seq > n {
+			n = r.Seq
 		}
 	}
-	return j, nil
+	return n
 }
 
 // fold applies one record to a job's replayed state.
@@ -195,23 +490,30 @@ func fold(job *ReplayedJob, r Record) {
 	case EventSubmitted:
 		job.Tenant = r.Detail
 		job.Phase = PhaseQueued
+		job.SubmittedAt = r.At
+		job.Evicted = false // a resubmission revives an evicted ID
 	case EventStarted:
 		job.Phase = PhaseRunning
 		job.Attempts++
 	case EventFinished:
 		job.Phase = PhaseDone
 		job.Detail = r.Detail
+		job.TerminalAt = r.At
 	case EventFailed:
 		job.Phase = PhaseFailed
 		job.Detail = r.Detail
+		job.TerminalAt = r.At
+	case EventEvicted:
+		job.Evicted = true
 	}
 }
 
 // compactRecords rewrites the sequence with each terminal job reduced
 // to a two-record summary that replays to the identical state (tenant,
-// phase, detail; a terminal job's attempt count is only meaningful
-// while it is live). Live jobs keep their records untouched. Reports
-// whether anything shrank; the returned sequence is re-numbered.
+// phase, detail, timestamps; a terminal job's attempt count is only
+// meaningful while it is live) and each evicted job dropped entirely.
+// Live jobs keep their records untouched. Reports whether anything
+// shrank; the returned sequence is re-numbered.
 func compactRecords(recs []Record) ([]Record, bool) {
 	byID := make(map[string]*ReplayedJob)
 	perJob := make(map[string][]Record)
@@ -227,15 +529,18 @@ func compactRecords(recs []Record) ([]Record, bool) {
 	out := make([]Record, 0, len(recs))
 	for _, id := range order {
 		job := byID[id]
-		switch job.Phase {
-		case PhaseDone, PhaseFailed:
+		switch {
+		case job.Evicted:
+			// Evicted jobs leave no trace: their side files are gone, and
+			// carrying their records forever would defeat retention.
+		case job.Phase == PhaseDone || job.Phase == PhaseFailed:
 			ev := EventFinished
 			if job.Phase == PhaseFailed {
 				ev = EventFailed
 			}
 			out = append(out,
-				Record{Job: id, Event: EventSubmitted, Detail: job.Tenant},
-				Record{Job: id, Event: ev, Detail: job.Detail})
+				Record{Job: id, Event: EventSubmitted, Detail: job.Tenant, At: job.SubmittedAt},
+				Record{Job: id, Event: ev, Detail: job.Detail, At: job.TerminalAt})
 		default:
 			out = append(out, perJob[id]...)
 		}
@@ -266,34 +571,216 @@ func (j *Journal) Records() []Record {
 	return append([]Record(nil), j.recs...)
 }
 
-// Append durably appends one record (Seq is assigned here). The record
-// is visible to Records only after the journal file is published; a
-// failed append leaves both the file and the in-memory sequence at the
-// previous state.
+// Bytes is the journal's on-disk footprint: base plus segments,
+// excluding side files and quarantine sidecars.
+func (j *Journal) Bytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sealedBytes + j.activeSize
+}
+
+// Salvaged is the number of damaged runs skipped during replay.
+func (j *Journal) Salvaged() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.salvaged
+}
+
+// updateBytesGaugeLocked publishes the footprint gauge; j.mu held.
+func (j *Journal) updateBytesGaugeLocked() {
+	j.o.Gauge(MetricJournalBytes).Set(float64(j.sealedBytes + j.activeSize))
+}
+
+// Append durably appends one record (Seq and At are assigned here): one
+// framed write plus one fsync to the active segment — O(1) in the
+// journal's size. The record is visible to Records only after the fsync
+// returns; a failed append repairs the segment tail (or abandons the
+// segment for the next one) so the on-disk sequence never holds a frame
+// that was not acknowledged.
 func (j *Journal) Append(job, event, detail string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	rec := Record{Seq: len(j.recs) + 1, Job: job, Event: event, Detail: detail}
-	recs := append(append([]Record(nil), j.recs...), rec)
-	if err := j.publish(recs); err != nil {
+	rec := Record{Seq: j.maxSeq + 1, Job: job, Event: event, Detail: detail, At: j.now().UnixNano()}
+	frame, err := encodeFrame(rec)
+	if err != nil {
 		return err
 	}
-	j.recs = recs
+	// The attempt is idempotent under retry: any failure repairs the
+	// segment tail back to the last acknowledged length (or abandons the
+	// segment), so a re-run starts clean — the same shape as the retried
+	// atomic-write protocol, for the same transient faults.
+	if err := j.pol.Do(func() error {
+		if err := j.ensureActiveLocked(); err != nil {
+			return err
+		}
+		if _, werr := j.active.Write(frame); werr != nil {
+			j.repairActiveLocked()
+			return werr
+		}
+		if serr := j.active.Sync(); serr != nil {
+			// The bytes may sit in the page cache, but an fsync failure means
+			// their durability is unknowable; take the record back.
+			j.repairActiveLocked()
+			return serr
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("serve: append journal: %w", err)
+	}
+	j.activeSize += int64(len(frame))
+	j.maxSeq = rec.Seq
+	j.recs = append(j.recs, rec)
+	j.updateBytesGaugeLocked()
+	if j.activeSize >= j.segMax {
+		j.rollLocked()
+	}
 	return nil
 }
 
-// publish marshals and atomically republishes the full record sequence.
-// The caller must hold j.mu or have exclusive access (OpenJournal).
-func (j *Journal) publish(recs []Record) error {
-	jf := journalFile{Format: JournalFormat, Version: JournalVersion, Records: recs}
-	data, err := json.MarshalIndent(jf, "", " ")
-	if err != nil {
-		return fmt.Errorf("serve: marshal journal: %w", err)
+// ensureActiveLocked opens (lazily creating) the active segment; j.mu
+// held. A brand-new segment gets its header written, synced, and its
+// directory entry made durable before any record lands in it.
+func (j *Journal) ensureActiveLocked() error {
+	if j.active != nil {
+		return nil
 	}
-	if err := fsx.WriteAtomicRetry(j.fs, journalPath(j.dir), data, j.pol); err != nil {
-		return fmt.Errorf("serve: append journal: %w", err)
+	path := segPath(j.dir, j.activeIndex)
+	f, err := fsx.OpenAppend(j.fs, path)
+	if err != nil {
+		return err
+	}
+	st, serr := os.Stat(path)
+	if serr != nil {
+		_ = f.Close() // the stat error is the one worth reporting
+		return serr
+	}
+	j.active = f
+	j.activeSize = st.Size()
+	if j.activeSize == 0 {
+		if _, werr := j.active.Write(segMagic[:]); werr != nil {
+			j.repairActiveLocked()
+			return werr
+		}
+		if serr := j.active.Sync(); serr != nil {
+			j.repairActiveLocked()
+			return serr
+		}
+		if derr := (fsx.OS{}).SyncDir(j.dir); derr != nil {
+			j.repairActiveLocked()
+			return derr
+		}
+		j.activeSize = segMagicLen
 	}
 	return nil
+}
+
+// repairActiveLocked recovers from a failed append: the active segment
+// is truncated back to its last acknowledged length, or — when even the
+// truncate fails — abandoned (sealed torn; replay salvages it) and the
+// index advanced so the next append starts a fresh segment. j.mu held.
+func (j *Journal) repairActiveLocked() {
+	path := segPath(j.dir, j.activeIndex)
+	if j.active != nil {
+		_ = j.active.Close() // the append error is the one worth reporting
+		j.active = nil
+	}
+	if err := os.Truncate(path, j.activeSize); err == nil {
+		return // tail repaired; the segment is reusable in place
+	} else if errors.Is(err, os.ErrNotExist) {
+		j.activeSize = 0
+		return // nothing ever landed; the same index is reusable
+	}
+	if st, serr := os.Stat(path); serr == nil {
+		j.sealedBytes += st.Size()
+	}
+	j.o.Log().Warn("abandoning torn journal segment", "segment", path)
+	j.activeIndex++
+	j.activeSize = 0
+}
+
+// rollLocked seals the active segment and points appends at the next
+// index (created lazily). j.mu held.
+func (j *Journal) rollLocked() {
+	if j.active != nil {
+		_ = j.active.Close() // records were each fsynced; close has nothing left to flush
+		j.active = nil
+	}
+	j.sealedBytes += j.activeSize
+	j.activeIndex++
+	j.activeSize = 0
+}
+
+// Compact folds the record sequence (terminal jobs to two records,
+// evicted jobs to nothing) and, when that shrinks it, publishes the
+// result as a new base atomically and removes the folded segments.
+// Reports whether a compaction was published. Safe to call any time;
+// the maintenance loop calls it periodically and a failed publish
+// leaves the uncompacted sequence authoritative.
+func (j *Journal) Compact() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	compacted, changed := compactRecords(j.recs)
+	if !changed {
+		return false, nil
+	}
+	if err := j.publishBaseLocked(compacted); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// publishBaseLocked writes compacted as the new base covering every
+// current segment, then removes the folded segments and the previous
+// base. The base lands via the atomic-write protocol, so a crash at any
+// point leaves either the old state (possibly with stale segments the
+// next open removes) or the new one — never a half-folded journal.
+// j.mu held.
+func (j *Journal) publishBaseLocked(compacted []Record) error {
+	covers := j.activeIndex
+	data, err := encodeSegment(compacted)
+	if err != nil {
+		return err
+	}
+	if j.active != nil {
+		_ = j.active.Close() // every acknowledged record is already fsynced
+		j.active = nil
+	}
+	if err := fsx.WriteAtomicRetry(j.fs, basePath(j.dir, covers), data, j.pol); err != nil {
+		return fmt.Errorf("serve: publish journal base: %w", err)
+	}
+	// Best-effort cleanup of everything the new base supersedes; leftovers
+	// are removed on the next open (segments <= base index are stale).
+	if entries, rerr := os.ReadDir(j.dir); rerr == nil {
+		for _, e := range entries {
+			if n := journalIndex(e.Name(), ".seg"); n >= 0 && n <= covers {
+				_ = os.Remove(filepath.Join(j.dir, e.Name()))
+			}
+			if n := journalIndex(e.Name(), ".base"); n >= 0 && n < covers {
+				_ = os.Remove(filepath.Join(j.dir, e.Name()))
+			}
+		}
+	}
+	j.recs = compacted
+	j.maxSeq = maxSeq(compacted)
+	j.activeIndex = covers + 1
+	j.activeSize = 0
+	j.sealedBytes = int64(len(data))
+	j.updateBytesGaugeLocked()
+	return nil
+}
+
+// Close releases the active segment handle. Every acknowledged append
+// was already fsynced, so Close never loses data; the journal can be
+// reopened (by this process or the next) at any time.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.active == nil {
+		return nil
+	}
+	err := j.active.Close()
+	j.active = nil
+	return err
 }
 
 // WriteSpec durably records a job's spec side file. It must complete
@@ -351,10 +838,24 @@ func (j *Journal) LoadResult(id string) (*JobResult, error) {
 	return res, nil
 }
 
+// RemoveJobFiles deletes a job's side files (spec, result, checkpoint)
+// — the space-reclaiming half of eviction, performed *before* the
+// EventEvicted record is appended. Missing files are fine (a retried
+// eviction, or a job that never checkpointed).
+func (j *Journal) RemoveJobFiles(id string) error {
+	var first error
+	for _, p := range []string{resultPath(j.dir, id), checkpointPath(j.dir, id), specPath(j.dir, id)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && first == nil {
+			first = fmt.Errorf("serve: evict %s: %w", id, err)
+		}
+	}
+	return first
+}
+
 // Replay folds the record sequence into per-job states, in first-seen
-// submission order. A job whose terminal record (finished/failed) is
-// missing replays as queued-or-running — exactly the work a restarted
-// server must pick back up.
+// submission order, excluding evicted jobs. A job whose terminal record
+// (finished/failed) is missing replays as queued-or-running — exactly
+// the work a restarted server must pick back up.
 func (j *Journal) Replay() []*ReplayedJob {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -369,5 +870,11 @@ func (j *Journal) Replay() []*ReplayedJob {
 		}
 		fold(job, r)
 	}
-	return order
+	out := order[:0]
+	for _, job := range order {
+		if !job.Evicted {
+			out = append(out, job)
+		}
+	}
+	return out
 }

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"iddqsyn/internal/chaos"
 	"iddqsyn/internal/fsx"
@@ -13,7 +15,7 @@ import (
 
 func TestJournalAppendReplayRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	j, err := OpenJournal(nil, dir, nil)
+	j, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,12 +31,15 @@ func TestJournalAppendReplayRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// A fresh open replays the identical state — the durable journal is
 	// the source of truth, not the process that wrote it. Opening also
 	// compacts: terminal j1 folds to its submitted + finished pair (its
 	// started record is history), live j2 keeps both records.
-	j2, err := OpenJournal(nil, dir, nil)
+	j2, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,6 +53,9 @@ func TestJournalAppendReplayRoundTrip(t *testing.T) {
 	if jobs[0].ID != "j1" || jobs[0].Phase != PhaseDone || jobs[0].Tenant != "acme" {
 		t.Fatalf("j1 replayed as %+v", jobs[0])
 	}
+	if jobs[0].SubmittedAt == 0 || jobs[0].TerminalAt == 0 {
+		t.Fatalf("j1 lost its timestamps across compaction: %+v", jobs[0])
+	}
 	// j2 was started but never finished: exactly the state a restarted
 	// server must requeue.
 	if jobs[1].ID != "j2" || jobs[1].Phase != PhaseRunning || jobs[1].Attempts != 1 {
@@ -56,7 +64,7 @@ func TestJournalAppendReplayRoundTrip(t *testing.T) {
 
 	// Compaction is idempotent: a third open neither shrinks further nor
 	// changes the replayed state.
-	j3, err := OpenJournal(nil, dir, nil)
+	j3, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +81,7 @@ func TestJournalAppendReplayRoundTrip(t *testing.T) {
 // two records per job, and a failed job keeps its terminal detail.
 func TestJournalCompactsTerminalJobs(t *testing.T) {
 	dir := t.TempDir()
-	j, err := OpenJournal(nil, dir, nil)
+	j, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,8 +104,9 @@ func TestJournalCompactsTerminalJobs(t *testing.T) {
 	if err := j.Append("bad", EventFailed, "optimizer exploded"); err != nil {
 		t.Fatal(err)
 	}
+	_ = j.Close()
 
-	j2, err := OpenJournal(nil, dir, nil)
+	j2, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +127,154 @@ func TestJournalCompactsTerminalJobs(t *testing.T) {
 	}
 }
 
-func TestJournalCorruptionIsNamed(t *testing.T) {
+// Appends roll across segment files at the size threshold and a single
+// open replays the whole chain; compaction folds the chain into one
+// base and deletes the folded segments.
+func TestJournalSegmentsRollAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("j%d", i)
+		for _, s := range []struct{ event, detail string }{
+			{EventSubmitted, "acme"}, {EventStarted, "1"}, {EventFinished, ""},
+		} {
+			if err := j.Append(id, s.event, s.detail); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n := countJournalFiles(t, dir, ".seg"); n < 2 {
+		t.Fatalf("40 appends under a 256-byte threshold left %d segments, want several", n)
+	}
+	if compacted, err := j.Compact(); err != nil || !compacted {
+		t.Fatalf("Compact() = %v, %v; want a published compaction", compacted, err)
+	}
+	if n := countJournalFiles(t, dir, ".seg"); n != 0 {
+		t.Fatalf("compaction left %d folded segments behind", n)
+	}
+	if n := countJournalFiles(t, dir, ".base"); n != 1 {
+		t.Fatalf("compaction left %d base files, want exactly 1", n)
+	}
+	if j.Len() != 40 { // 20 terminal jobs × 2 summary records
+		t.Fatalf("compacted to %d records, want 40", j.Len())
+	}
+	_ = j.Close()
+
+	j2, err := OpenJournal(dir, JournalOptions{SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.Replay()); got != 20 {
+		t.Fatalf("replayed %d jobs after compaction, want 20", got)
+	}
+}
+
+func countJournalFiles(t *testing.T, dir, ext string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "journal-") && strings.HasSuffix(e.Name(), ext) {
+			n++
+		}
+	}
+	return n
+}
+
+// An evicted job vanishes from replay, and compaction erases its
+// records; resubmitting the same ID afterwards revives it cleanly.
+func TestJournalEvictionDropsJob(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []struct{ job, event, detail string }{
+		{"old", EventSubmitted, "acme"},
+		{"old", EventFinished, ""},
+		{"live", EventSubmitted, "acme"},
+	} {
+		if err := j.Append(s.job, s.event, s.detail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append("old", EventEvicted, "retention"); err != nil {
+		t.Fatal(err)
+	}
+	for _, rj := range j.Replay() {
+		if rj.ID == "old" {
+			t.Fatalf("evicted job still replays: %+v", rj)
+		}
+	}
+	if compacted, err := j.Compact(); err != nil || !compacted {
+		t.Fatalf("Compact() = %v, %v; eviction must shrink the sequence", compacted, err)
+	}
+	for _, r := range j.Records() {
+		if r.Job == "old" {
+			t.Fatalf("compaction kept a record of the evicted job: %+v", r)
+		}
+	}
+	// Resubmission revives the ID.
+	if err := j.Append("old", EventSubmitted, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rj := range j.Replay() {
+		if rj.ID == "old" && rj.Phase == PhaseQueued && !rj.Evicted {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("resubmitted ID did not revive after eviction")
+	}
+}
+
+// A legacy v1 journal.json migrates on open: same replayed state, the
+// json gone, the records now in a segmented base.
+func TestJournalLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{"format": "iddqsyn-serve-journal", "version": 1, "records": [
+		{"seq": 1, "job": "j1", "event": "submitted", "detail": "acme"},
+		{"seq": 2, "job": "j1", "event": "started", "detail": "1"},
+		{"seq": 3, "job": "j1", "event": "finished"},
+		{"seq": 4, "job": "j2", "event": "submitted", "detail": "zenith"}]}`
+	if err := os.WriteFile(journalPath(dir), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := j.Replay()
+	if len(jobs) != 2 || jobs[0].Phase != PhaseDone || jobs[1].Phase != PhaseQueued {
+		t.Fatalf("migrated journal replays as %+v", jobs)
+	}
+	if _, serr := os.Stat(journalPath(dir)); !os.IsNotExist(serr) {
+		t.Fatal("migration left journal.json behind")
+	}
+	if n := countJournalFiles(t, dir, ".base"); n != 1 {
+		t.Fatalf("migration published %d base files, want 1", n)
+	}
+	// And the migrated state survives another open.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.Replay()); got != 2 {
+		t.Fatalf("replayed %d jobs after migration, want 2", got)
+	}
+}
+
+func TestJournalLegacyCorruptionIsNamed(t *testing.T) {
 	cases := []struct{ name, content string }{
 		{"zero-length", ""},
 		{"not json", "][junk"},
@@ -134,10 +290,44 @@ func TestJournalCorruptionIsNamed(t *testing.T) {
 		if err := os.WriteFile(journalPath(dir), []byte(tc.content), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err := OpenJournal(nil, dir, nil)
+		_, err := OpenJournal(dir, JournalOptions{})
 		if !errors.Is(err, ErrCorruptJournal) {
 			t.Errorf("%s: err = %v, want ErrCorruptJournal", tc.name, err)
 		}
+	}
+}
+
+// The base is published atomically, so damage there has no innocent
+// explanation: the open must refuse with ErrCorruptJournal instead of
+// salvaging around it.
+func TestJournalCorruptBaseRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []struct{ event, detail string }{
+		{EventSubmitted, "acme"}, {EventStarted, "1"}, {EventFinished, ""},
+	} {
+		if err := j.Append("j1", s.event, s.detail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if compacted, err := j.Compact(); err != nil || !compacted {
+		t.Fatalf("Compact() = %v, %v; want a published base", compacted, err)
+	}
+	_ = j.Close()
+	base := basePath(dir, 0) // first compaction covers segment 0
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(base, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(dir, JournalOptions{}); !errors.Is(err, ErrCorruptJournal) {
+		t.Fatalf("corrupt base opened with err = %v, want ErrCorruptJournal", err)
 	}
 }
 
@@ -146,13 +336,14 @@ func TestJournalCorruptionIsNamed(t *testing.T) {
 // contract under fire.
 func TestJournalAppendAtomicUnderFaults(t *testing.T) {
 	dir := t.TempDir()
-	j, err := OpenJournal(nil, dir, nil)
+	j, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Append("j1", EventSubmitted, "acme"); err != nil {
 		t.Fatal(err)
 	}
+	_ = j.Close()
 
 	// Every fs operation fails, exhausting the retry budget.
 	sched, err := chaos.ParseSchedule("seed=1,rate=1,sites=fs.*")
@@ -160,8 +351,10 @@ func TestJournalAppendAtomicUnderFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	inj := chaos.New(sched, nil)
-	jf, err := OpenJournal(chaos.NewFS(fsx.OS{}, inj), dir,
-		&fsx.RetryPolicy{Attempts: 2, BaseDelay: 1, MaxDelay: 1})
+	jf, err := OpenJournal(dir, JournalOptions{
+		FS:    chaos.NewFS(fsx.OS{}, inj),
+		Retry: &fsx.RetryPolicy{Attempts: 2, BaseDelay: 1, MaxDelay: 1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +364,8 @@ func TestJournalAppendAtomicUnderFaults(t *testing.T) {
 	if jf.Len() != 1 {
 		t.Fatalf("failed append mutated the in-memory sequence: %d records", jf.Len())
 	}
-	j3, err := OpenJournal(nil, dir, nil)
+	_ = jf.Close()
+	j3, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatalf("journal damaged by failed append: %v", err)
 	}
@@ -180,9 +374,252 @@ func TestJournalAppendAtomicUnderFaults(t *testing.T) {
 	}
 }
 
+// A crash mid-append leaves a torn final frame on the active segment;
+// the next open truncates it cleanly — no salvage counted, every
+// acknowledged record intact, and the journal appendable again.
+func TestJournalTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("j1", EventSubmitted, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("j1", EventStarted, "1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Close()
+	seg := segPath(dir, 0)
+	clean, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := encodeFrame(Record{Seq: 3, Job: "j1", Event: EventFinished})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte(nil), clean...), frame[:len(frame)-5]...)
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("torn tail replayed %d records, want the 2 acknowledged ones", j2.Len())
+	}
+	if j2.Salvaged() != 0 {
+		t.Fatalf("a torn tail counted as salvage (%d runs) — nothing acknowledged was lost", j2.Salvaged())
+	}
+	if got, _ := os.ReadFile(seg); len(got) != len(clean) {
+		t.Fatalf("torn segment is %d bytes after open, want truncated to %d", len(got), len(clean))
+	}
+	// The repaired segment accepts appends again.
+	if err := j2.Append("j1", EventFinished, ""); err != nil {
+		t.Fatal(err)
+	}
+	_ = j2.Close()
+	j3, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs := j3.Replay(); len(jobs) != 1 || jobs[0].Phase != PhaseDone {
+		t.Fatalf("post-repair append lost: %+v", jobs)
+	}
+}
+
+// journalSegmentImage builds a raw segment file with n sequential
+// records — the shared fixture of the corruption table tests.
+func journalSegmentImage(t *testing.T, n int) ([]byte, []Record) {
+	t.Helper()
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Seq: i + 1, Job: fmt.Sprintf("job-%d", i), Event: EventSubmitted, Detail: "acme", At: int64(i + 1)}
+	}
+	data, err := encodeSegment(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, recs
+}
+
+// openSegmentImage plants data as the only segment of a fresh dir and
+// opens the journal over it.
+func openSegmentImage(t *testing.T, data []byte) (*Journal, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(segPath(dir, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatalf("salvage open must not fail: %v", err)
+	}
+	return j, dir
+}
+
+// The corruption table: flipping one byte at every offset of a segment
+// loses at most the record whose frame contains the byte — never an
+// earlier or later one — and damage ahead of the tail is counted and
+// quarantined.
+func TestJournalByteFlipLosesAtMostOneRecord(t *testing.T) {
+	data, recs := journalSegmentImage(t, 3)
+	// Frame boundaries: [segMagicLen, b1), [b1, b2), [b2, len).
+	bounds := []int{segMagicLen}
+	for pos := segMagicLen; pos < len(data); {
+		_, size, ok := frameAt(data, pos)
+		if !ok {
+			t.Fatalf("clean image has an invalid frame at %d", pos)
+		}
+		pos += size
+		bounds = append(bounds, pos)
+	}
+	frameOf := func(off int) int { // -1 = segment header
+		for i := 1; i < len(bounds); i++ {
+			if off < bounds[i] {
+				return i - 1
+			}
+		}
+		return len(bounds) - 2
+	}
+	for off := 0; off < len(data); off++ {
+		flipped := append([]byte(nil), data...)
+		flipped[off] ^= 0x01
+		j, dir := openSegmentImage(t, flipped)
+		got := map[string]bool{}
+		for _, rj := range j.Replay() {
+			got[rj.ID] = true
+		}
+		lost := frameOf(off)
+		if off < segMagicLen {
+			lost = -1
+		}
+		for i, r := range recs {
+			switch {
+			case i == lost && got[r.Job]:
+				// The damaged record may still validate if the flip landed in
+				// a byte the CRC does not cover and the frame still parses —
+				// impossible here (every frame byte is load-bearing), so:
+				t.Errorf("offset %d: record %d survived a flip inside its own frame", off, i)
+			case i != lost && !got[r.Job]:
+				t.Errorf("offset %d: record %d lost to a flip in frame %d", off, i, lost)
+			}
+		}
+		// Damage ahead of the tail is salvage (counted + quarantined); a
+		// flip in the final frame is indistinguishable from a torn tail and
+		// truncates silently instead.
+		if lost >= 0 && lost < len(recs)-1 || lost == -1 {
+			if j.Salvaged() == 0 {
+				t.Errorf("offset %d: damage before the tail not counted as salvage", off)
+			}
+			if _, serr := os.Stat(segPath(dir, 1) + ".corrupt"); serr != nil {
+				t.Errorf("offset %d: no quarantine sidecar: %v", off, serr)
+			}
+		}
+		_ = j.Close()
+	}
+}
+
+// The truncation table: cutting the segment at every length replays
+// exactly the records whose frames fit — a prefix, never a gap.
+func TestJournalTruncationKeepsCleanPrefix(t *testing.T) {
+	data, recs := journalSegmentImage(t, 3)
+	fits := func(length int) int {
+		n, pos := 0, segMagicLen
+		for {
+			_, size, ok := frameAt(data[:min(length, len(data))], pos)
+			if !ok {
+				return n
+			}
+			n++
+			pos += size
+		}
+	}
+	for length := 0; length <= len(data); length++ {
+		j, _ := openSegmentImage(t, data[:length])
+		jobs := j.Replay()
+		want := fits(length)
+		if len(jobs) != want {
+			t.Fatalf("truncated to %d bytes: replayed %d records, want %d", length, len(jobs), want)
+		}
+		for i := 0; i < want; i++ {
+			if jobs[i].ID != recs[i].Job {
+				t.Fatalf("truncated to %d bytes: record %d is %s, want %s (prefix broken)",
+					length, i, jobs[i].ID, recs[i].Job)
+			}
+		}
+		_ = j.Close()
+	}
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the segment reader via a
+// real journal open: whatever is on disk, the open must either succeed
+// (salvaging) or fail with a named error — never panic — and a second
+// open of the salvaged state must succeed cleanly.
+func FuzzJournalReplay(f *testing.F) {
+	clean, err := encodeSegment([]Record{
+		{Seq: 1, Job: "a", Event: EventSubmitted, Detail: "acme", At: 1},
+		{Seq: 2, Job: "a", Event: EventFinished, At: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean)
+	f.Add([]byte{})
+	f.Add(segMagic[:])
+	f.Add(append(append([]byte(nil), segMagic[:]...), recMagic[:]...))
+	f.Add(clean[:len(clean)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(segPath(dir, 1), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(dir, JournalOptions{})
+		if err != nil {
+			t.Fatalf("open of arbitrary segment bytes failed: %v", err)
+		}
+		if err := j.Append("fuzz", EventSubmitted, "t"); err != nil {
+			t.Fatalf("append after salvage: %v", err)
+		}
+		_ = j.Close()
+		j2, err := OpenJournal(dir, JournalOptions{})
+		if err != nil {
+			t.Fatalf("reopen after salvage failed: %v", err)
+		}
+		found := false
+		for _, rj := range j2.Replay() {
+			if rj.ID == "fuzz" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("record appended after salvage did not survive reopen")
+		}
+		_ = j2.Close()
+	})
+}
+
+// Stranded atomic-write temps are swept on open.
+func TestJournalOpenSweepsStrandedTemps(t *testing.T) {
+	dir := t.TempDir()
+	stranded := filepath.Join(dir, "journal-00000001.base.tmp123")
+	if err := os.WriteFile(stranded, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(dir, JournalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := os.Stat(stranded); !os.IsNotExist(serr) {
+		t.Fatal("open did not sweep the stranded temp file")
+	}
+}
+
 func TestJournalSideFiles(t *testing.T) {
 	dir := t.TempDir()
-	j, err := OpenJournal(nil, dir, nil)
+	j, err := OpenJournal(dir, JournalOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,5 +654,37 @@ func TestJournalSideFiles(t *testing.T) {
 		if filepath.Dir(p) != dir {
 			t.Fatalf("side file escapes the data dir: %s", p)
 		}
+	}
+	// RemoveJobFiles clears all three side files and tolerates retries.
+	if err := j.RemoveJobFiles(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := os.Stat(specPath(dir, id)); !os.IsNotExist(serr) {
+		t.Fatal("RemoveJobFiles left the spec behind")
+	}
+	if err := j.RemoveJobFiles(id); err != nil {
+		t.Fatalf("second RemoveJobFiles must be a no-op: %v", err)
+	}
+}
+
+// Record timestamps come from the injected clock and measure retention
+// age across compaction.
+func TestJournalTimestampsUseInjectedClock(t *testing.T) {
+	dir := t.TempDir()
+	tick := int64(0)
+	now := func() time.Time { tick += 1000; return time.Unix(0, tick) }
+	j, err := OpenJournal(dir, JournalOptions{Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("j1", EventSubmitted, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("j1", EventFinished, ""); err != nil {
+		t.Fatal(err)
+	}
+	jobs := j.Replay()
+	if len(jobs) != 1 || jobs[0].SubmittedAt != 1000 || jobs[0].TerminalAt != 2000 {
+		t.Fatalf("injected clock not reflected: %+v", jobs)
 	}
 }

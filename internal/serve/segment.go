@@ -1,0 +1,198 @@
+// The on-disk record framing of the segmented job journal. A segment
+// file is an 8-byte format magic followed by framed records:
+//
+//	+----------------+----------------+----------------+---------...---+
+//	| record magic 4 | payload len 4  | CRC32C 4       | JSON payload  |
+//	+----------------+----------------+----------------+---------...---+
+//
+// Length and CRC are little-endian; the CRC (Castagnoli) covers the
+// payload only. The record magic starts with bytes that are invalid
+// anywhere in UTF-8 (0xF5) so a JSON payload can never contain it —
+// which makes the magic a resynchronization point: when a frame fails
+// its bounds or CRC check, the reader scans forward for the next offset
+// at which a complete frame validates, losing exactly the damaged bytes
+// and nothing after them. A single flipped bit therefore costs at most
+// one record; a torn final frame (the crash-mid-append case) costs only
+// the tail that was being written.
+//
+// scanSegment is deliberately pure ([]byte in, records out): the same
+// function serves the journal open path, the corruption table tests and
+// the replay fuzzer.
+
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	segMagicLen    = 8
+	frameHeaderLen = 12 // record magic (4) + payload length (4) + CRC32C (4)
+
+	// maxRecordLen bounds a frame's declared payload length. Journal
+	// records are small JSON objects; a length beyond this is framing
+	// damage, not a record, and rejecting it keeps the salvage scanner
+	// from chasing absurd offsets fabricated by corrupted length bytes.
+	maxRecordLen = 1 << 20
+)
+
+// segMagic identifies a journal segment file and its format version; a
+// format change bumps the trailing byte.
+var segMagic = [segMagicLen]byte{'i', 'd', 'd', 'q', 's', 'e', 'g', '1'}
+
+// recMagic opens every record frame. 0xF5 and the 0xC2-without-
+// continuation suffix cannot occur in well-formed UTF-8, so no JSON
+// payload byte sequence can alias a frame boundary.
+var recMagic = [4]byte{0xF5, 'i', 'r', 0xC2}
+
+// castagnoli is the CRC32C table (the polynomial with hardware support
+// on both amd64 and arm64 — the checksum stays cheap on the append path).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame marshals one record into a complete frame.
+func encodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal journal record: %w", err)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	copy(frame, recMagic[:])
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
+
+// frameAt validates the frame starting at off and returns its record and
+// total length. ok is false on any defect: bad magic, implausible or
+// out-of-bounds length, CRC mismatch, payload that is not a journal
+// record. The CRC is checked before the JSON parse, so the parse only
+// ever sees bytes the writer actually framed.
+func frameAt(data []byte, off int) (rec Record, size int, ok bool) {
+	if off+frameHeaderLen > len(data) {
+		return Record{}, 0, false
+	}
+	if string(data[off:off+4]) != string(recMagic[:]) {
+		return Record{}, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+	if n > maxRecordLen || off+frameHeaderLen+n > len(data) {
+		return Record{}, 0, false
+	}
+	payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[off+8:off+12]) {
+		return Record{}, 0, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, 0, false
+	}
+	if rec.Job == "" || rec.Event == "" {
+		return Record{}, 0, false
+	}
+	return rec, frameHeaderLen + n, true
+}
+
+// byteRange is a damaged run of a segment, for quarantine.
+type byteRange struct{ start, end int }
+
+// segScan is the result of reading one segment with salvage.
+type segScan struct {
+	records []Record
+	// goodLen is the offset just past the last valid frame — the length
+	// a torn active segment is truncated to.
+	goodLen int
+	// damaged holds the byte runs that failed validation but were
+	// resynchronized past (each run loses the records it overlapped,
+	// never a later one).
+	damaged []byteRange
+	// torn is the trailing run after the last valid frame that never
+	// resynchronizes — the signature of a crash mid-append. Empty ranges
+	// mean a clean tail.
+	torn byteRange
+	// headerOK reports whether the segment magic was intact.
+	headerOK bool
+}
+
+// salvaged is the number of damaged runs (resynchronized plus torn).
+func (s segScan) salvaged() int {
+	n := len(s.damaged)
+	if s.torn.end > s.torn.start {
+		n++
+	}
+	return n
+}
+
+// clean reports a scan with no damage of any kind.
+func (s segScan) clean() bool {
+	return s.headerOK && len(s.damaged) == 0 && s.torn.end == s.torn.start
+}
+
+// resync finds the smallest offset >= from at which a complete frame
+// validates, or -1. Candidates are located by the record magic's first
+// byte, then fully validated — a magic-alias inside CRC or length bytes
+// (possible: those fields are arbitrary binary) fails validation and the
+// scan moves on.
+func resync(data []byte, from int) int {
+	for off := from; off+frameHeaderLen <= len(data); off++ {
+		if data[off] != recMagic[0] {
+			continue
+		}
+		if _, _, ok := frameAt(data, off); ok {
+			return off
+		}
+	}
+	return -1
+}
+
+// scanSegment reads a segment image with salvage: every frame that
+// validates is kept, every damaged run is skipped to the next offset
+// where a frame validates again, and an unresynchronizable tail is
+// reported as torn. The scan never fails — deciding whether damage is
+// tolerable (append segment) or fatal (compacted base) is the caller's
+// policy, not the reader's.
+func scanSegment(data []byte) segScan {
+	sc := segScan{}
+	pos := 0
+	if len(data) >= segMagicLen && string(data[:segMagicLen]) == string(segMagic[:]) {
+		sc.headerOK = true
+		pos = segMagicLen
+	} else {
+		// Header damaged or torn: resynchronize from the start; the
+		// skipped prefix is accounted below like any other damage.
+	}
+	sc.goodLen = pos
+	for pos < len(data) {
+		rec, size, ok := frameAt(data, pos)
+		if ok {
+			sc.records = append(sc.records, rec)
+			pos += size
+			sc.goodLen = pos
+			continue
+		}
+		next := resync(data, pos+1)
+		if next < 0 {
+			sc.torn = byteRange{start: pos, end: len(data)}
+			return sc
+		}
+		sc.damaged = append(sc.damaged, byteRange{start: pos, end: next})
+		pos = next
+	}
+	return sc
+}
+
+// encodeSegment builds a complete segment image (magic + frames) — the
+// writer for compacted bases and the generator for corruption tests.
+func encodeSegment(recs []Record) ([]byte, error) {
+	out := append([]byte(nil), segMagic[:]...)
+	for _, rec := range recs {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame...)
+	}
+	return out, nil
+}

@@ -132,6 +132,27 @@ type Config struct {
 	FS fsx.FS
 	// Retry overrides the write retry policy (nil = fsx defaults).
 	Retry *fsx.RetryPolicy
+
+	// Storage lifecycle (gc.go). Zero values mean: default segment size,
+	// unbounded retention, no disk budget, default maintenance cadence.
+
+	// SegmentMaxBytes is the journal's active-segment roll threshold
+	// (0 = DefaultSegmentMaxBytes).
+	SegmentMaxBytes int64
+	// RetainJobs caps the terminal (done/failed) jobs kept on disk;
+	// beyond it the oldest are evicted (0 = unbounded).
+	RetainJobs int
+	// RetainAge evicts terminal jobs older than this (0 = unbounded).
+	// Queued and running jobs are never evicted.
+	RetainAge time.Duration
+	// DiskBudget bounds the data directory's total size in bytes. Above
+	// it, maintenance evicts terminal jobs oldest-first, and if the
+	// directory still exceeds the budget, new submissions are shed with
+	// 503 until it recovers (0 = unbounded).
+	DiskBudget int64
+	// MaintenanceEvery is the GC/compaction cadence
+	// (0 = DefaultMaintenanceEvery).
+	MaintenanceEvery time.Duration
 }
 
 // job is the in-memory state of one job. The server's map owns the
@@ -150,6 +171,10 @@ type job struct {
 	detail   string
 	gen      int
 	bestCost float64
+	// terminalAt is the Unix-nano time the job last reached a terminal
+	// phase (journal record time on replay) — what retention age and
+	// oldest-first eviction order are measured from.
+	terminalAt int64
 
 	// events and done are mu-guarded too: resubmitting a failed job
 	// replaces both for the new lifecycle, so reads go through stream()/
@@ -261,6 +286,11 @@ type Server struct {
 	ready   atomic.Bool
 	started atomic.Bool
 
+	// Shedding state (gc.go): when shedding is set, new submissions get
+	// 503 and /healthz names shedReason; in-flight jobs keep running.
+	shedding   atomic.Bool
+	shedReason atomic.Value // string
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	jitter *rand.Rand // retry-backoff jitter; guarded by mu
@@ -288,7 +318,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	journal, err := OpenJournal(cfg.FS, cfg.Dir, cfg.Retry)
+	if cfg.MaintenanceEvery <= 0 {
+		cfg.MaintenanceEvery = DefaultMaintenanceEvery
+	}
+	journal, err := OpenJournal(cfg.Dir, JournalOptions{
+		FS: cfg.FS, Retry: cfg.Retry, Obs: cfg.Obs,
+		SegmentMaxBytes: cfg.SegmentMaxBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -316,14 +352,27 @@ func New(cfg Config) (*Server, error) {
 // durably — it can never run again, and the journal should say so.
 func (s *Server) replay() error {
 	for _, rj := range s.journal.Replay() {
+		if rj.Phase == PhaseDone {
+			if _, serr := os.Stat(resultPath(s.cfg.Dir, rj.ID)); errors.Is(serr, os.ErrNotExist) {
+				// Eviction removes side files before appending its record; a
+				// crash between the two replays as a done job whose result is
+				// gone. Finish the eviction rather than resurrect a job that
+				// can no longer serve its result.
+				if jerr := s.journal.Append(rj.ID, EventEvicted, "replay: result missing"); jerr != nil {
+					return jerr
+				}
+				continue
+			}
+		}
 		j := &job{
-			id:       rj.ID,
-			tenant:   rj.Tenant,
-			phase:    rj.Phase,
-			attempts: rj.Attempts,
-			detail:   rj.Detail,
-			events:   s.newStream(),
-			done:     make(chan struct{}),
+			id:         rj.ID,
+			tenant:     rj.Tenant,
+			phase:      rj.Phase,
+			attempts:   rj.Attempts,
+			detail:     rj.Detail,
+			terminalAt: rj.TerminalAt,
+			events:     s.newStream(),
+			done:       make(chan struct{}),
 		}
 		spec, err := s.journal.LoadSpec(rj.ID)
 		if err == nil {
@@ -384,6 +433,8 @@ func (s *Server) Start() {
 			}
 		}()
 	}
+	s.wg.Add(1)
+	go s.maintainLoop()
 }
 
 // Ready reports whether the service admits submissions (false while a
@@ -401,6 +452,10 @@ func (s *Server) Close() {
 	s.cancel(errShutdown)
 	s.queue.Close()
 	s.wg.Wait()
+	if err := s.journal.Close(); err != nil {
+		// Every acknowledged append was fsynced; a close error loses nothing.
+		s.o.Log().Warn("journal close", "err", err.Error())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range s.jobs {
@@ -472,6 +527,7 @@ func (s *Server) submit(spec *JobSpec, tenant string) (*job, bool, error) {
 		if err := s.journal.Append(id, EventSubmitted, tenant); err != nil {
 			admit.End()
 			root.End()
+			s.noteWriteError(err)
 			return nil, false, err
 		}
 		admit.End()
@@ -511,11 +567,13 @@ func (s *Server) submit(spec *JobSpec, tenant string) (*job, bool, error) {
 	if err := s.journal.WriteSpec(id, spec); err != nil {
 		admit.End()
 		root.End()
+		s.noteWriteError(err)
 		return nil, false, err
 	}
 	if err := s.journal.Append(id, EventSubmitted, tenant); err != nil {
 		admit.End()
 		root.End()
+		s.noteWriteError(err)
 		return nil, false, err
 	}
 	admit.End()
@@ -596,6 +654,7 @@ func (j *job) finish(phase JobPhase, detail string) {
 	j.mu.Lock()
 	j.phase = phase
 	j.detail = detail
+	j.terminalAt = time.Now().UnixNano()
 	gen, cost := j.gen, j.bestCost
 	ev, done := j.events, j.done
 	j.mu.Unlock()
@@ -641,6 +700,7 @@ func (s *Server) runJob(id string) {
 		if jerr != nil {
 			// Without a durable start record the journal is the wrong
 			// shape to trust; fail the attempt as if the job had.
+			s.noteWriteError(jerr)
 			s.o.Log().Error("journal append failed", "job", id, "err", jerr.Error())
 			j.finish(PhaseFailed, fmt.Sprintf("journal append: %v", jerr))
 			s.o.Counter(MetricFailed).Inc()
@@ -672,6 +732,7 @@ func (s *Server) runJob(id string) {
 		if attempt == maxAttempts {
 			detail := err.Error()
 			if jerr := s.journal.Append(id, EventFailed, detail); jerr != nil {
+				s.noteWriteError(jerr)
 				s.o.Log().Error("journal append failed", "job", id, "err", jerr.Error())
 			}
 			j.finish(PhaseFailed, detail)
@@ -816,6 +877,7 @@ func (s *Server) attempt(j *job, sp *obs.TraceSpan) (*JobResult, error) {
 // journal record) and transitions the job.
 func (s *Server) finishJob(j *job, res *JobResult) error {
 	if err := s.journal.WriteResult(res); err != nil {
+		s.noteWriteError(err)
 		return err
 	}
 	detail := ""
@@ -827,6 +889,7 @@ func (s *Server) finishJob(j *job, res *JobResult) error {
 		detail = "timeout"
 	}
 	if err := s.journal.Append(j.id, EventFinished, detail); err != nil {
+		s.noteWriteError(err)
 		return err
 	}
 	j.finish(PhaseDone, detail)

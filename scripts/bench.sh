@@ -1,10 +1,12 @@
 #!/bin/sh
-# Perf trajectory (`make bench-json`): run the canonical benchmark pair
-# — BenchmarkEvolve (one full c432 evolution per iteration) and
+# Perf trajectory (`make bench-json`): run the canonical benchmarks —
+# BenchmarkEvolve (one full c432 evolution per iteration),
 # BenchmarkServeSubmit/BenchmarkServeSubmitCached (the serving layer's
-# durable admission path and its cache hit) — and render the results as
-# BENCH_<n>.json so every PR leaves a comparable perf point on disk
-# (ROADMAP item: the BENCH_*.json trajectory).
+# durable admission path and its cache hit) and BenchmarkJournalAppend
+# (one fsynced record on the segmented journal's O(1) append path) —
+# and render the results as BENCH_<n>.json so every PR leaves a
+# comparable perf point on disk (ROADMAP item: the BENCH_*.json
+# trajectory).
 #
 # The serving layer's client-observed latency rides along: a short
 # in-process iddqload run contributes a "serve_latency" block
@@ -12,18 +14,18 @@
 # trajectory tracks what a client feels, not only what the optimizer
 # costs per op.
 #
-# BENCH_PR sets <n> (default 8); BENCH_OUT overrides the output path.
+# BENCH_PR sets <n> (default 9); BENCH_OUT overrides the output path.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCH_PR="${BENCH_PR:-8}"
+BENCH_PR="${BENCH_PR:-9}"
 BENCH_OUT="${BENCH_OUT:-BENCH_${BENCH_PR}.json}"
 raw="$(mktemp /tmp/iddqsyn-bench.XXXXXX)"
 sum="$(mktemp /tmp/iddqsyn-bench-lat.XXXXXX)"
 trap 'rm -f "$raw" "$sum"' EXIT INT TERM
 
 echo "== go test -bench (serving layer + optimizer) -> $BENCH_OUT"
-go test -run '^$' -bench '^BenchmarkServeSubmit$|^BenchmarkServeSubmitCached$' \
+go test -run '^$' -bench '^BenchmarkServeSubmit$|^BenchmarkServeSubmitCached$|^BenchmarkJournalAppend$' \
     -benchmem -benchtime 50x ./internal/serve/ | tee "$raw"
 go test -run '^$' -bench '^BenchmarkEvolve$' -benchmem -benchtime 3x . | tee -a "$raw"
 

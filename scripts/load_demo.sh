@@ -7,11 +7,11 @@
 # decomposition and coverage) and a Chrome trace_event export to open
 # at chrome://tracing or https://ui.perfetto.dev.
 #
-# LOAD_PR sets <n> (default 8); LOAD_OUT / TRACE_OUT override paths.
+# LOAD_PR sets <n> (default 9); LOAD_OUT / TRACE_OUT override paths.
 set -eu
 cd "$(dirname "$0")/.."
 
-LOAD_PR="${LOAD_PR:-8}"
+LOAD_PR="${LOAD_PR:-9}"
 LOAD_OUT="${LOAD_OUT:-LOAD_${LOAD_PR}.json}"
 TRACE_OUT="${TRACE_OUT:-load-demo-trace.json}"
 

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Crash-torture quick-start (`make torture`): run cmd/iddqtorture — a
+# real iddqserve process under rotating chaos filesystem schedules
+# (fs.enospc, fs.write.short, torn renames, failing fsyncs), SIGKILLed
+# at seeded random points and restarted in a loop, with the durability
+# invariants (no acked job lost, bit-identical results across resume
+# and re-run, on-disk state within the disk budget) checked after every
+# cycle. The run is fully seeded: a failure replays with the same flags.
+#
+# TORTURE_CYCLES / TORTURE_SEED override the defaults (25 cycles,
+# seed 9 — the short CI mode; the full acceptance run uses 200+).
+# TORTURE_OUT / TORTURE_METRICZ override the report and /metricz paths.
+set -eu
+cd "$(dirname "$0")/.."
+
+TORTURE_CYCLES="${TORTURE_CYCLES:-25}"
+TORTURE_SEED="${TORTURE_SEED:-9}"
+TORTURE_OUT="${TORTURE_OUT:-TORTURE.json}"
+TORTURE_METRICZ="${TORTURE_METRICZ:-TORTURE_metricz.json}"
+
+echo "== iddqtorture: $TORTURE_CYCLES kill cycles, seed $TORTURE_SEED"
+go run ./cmd/iddqtorture \
+    -cycles "$TORTURE_CYCLES" -seed "$TORTURE_SEED" \
+    -report "$TORTURE_OUT" -metricz-out "$TORTURE_METRICZ"
+echo "torture: report -> $TORTURE_OUT, final metricz -> $TORTURE_METRICZ"
