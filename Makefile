@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet lint lint-baseline lint-escape race chaos fuzz-isc fuzz-ckpt fuzz-jobspec fuzz-journal fuzz-directives bench bench-json obs-demo serve-demo serve-soak load-demo torture clean
+.PHONY: check build test vet lint lint-baseline lint-escape lint-timing race race-soak chaos fuzz-isc fuzz-ckpt fuzz-jobspec fuzz-journal fuzz-directives bench bench-json obs-demo serve-demo serve-soak load-demo torture clean
 
 # Tier-1 verification: vet + build + lint + race-enabled short tests.
 check:
@@ -25,6 +25,11 @@ lint-baseline:
 lint-escape:
 	$(GO) run ./cmd/iddqlint -escapecheck ./...
 
+# Per-analyzer wall-clock breakdown of a full lint run, to keep the 30s
+# lint CI budget honest when adding analyzers.
+lint-timing:
+	$(GO) run ./cmd/iddqlint -timing -baseline lint.baseline ./...
+
 build:
 	$(GO) build ./...
 
@@ -36,6 +41,15 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# The static-vs-dynamic race cross-check (iddqlint -racecheck): the
+# seeded intentional-race corpus must fail under -race with every seed
+# attributed to its sharedstate finding, and the chaos/serve/torture-lite
+# soaks must produce zero unexplained GORACE reports. Raw detector
+# output lands in racecheck-logs/ (RACECHECK_LOG overrides; CI uploads).
+RACECHECK_LOG ?= racecheck-logs
+race-soak:
+	$(GO) run ./cmd/iddqlint -racecheck -racecheck-log $(RACECHECK_LOG) ./...
 
 # A short instrumented partitioning: live introspection on :6060
 # (/runz, /metricz, expvar, pprof), JSON logs, and a run snapshot in

@@ -29,6 +29,15 @@
 //	-escapecheck      diff hotalloc against the compiler's escape
 //	                  analysis (go build -gcflags=-m=1); exit 1 on an
 //	                  analyzer false negative
+//	-racecheck        run the race-soak cross-check: the seeded race
+//	                  corpus plus chaos/serve/torture-lite workloads
+//	                  under `go test -race`, re-attributing every GORACE
+//	                  report to a sharedstate candidate; exit 1 on an
+//	                  unobserved seed or an unexplained dynamic race
+//	-racecheck-log d  write each scope's raw -race output to d/gorace-<scope>.log
+//	-racecheck-scopes comma-separated scope names to run (default: all)
+//	-timing           print a per-analyzer wall-clock breakdown after
+//	                  the run, to keep the lint CI budget honest
 //
 // The exit status is 0 when the tree is clean (or fully absorbed by the
 // baseline), 1 when findings were reported, and 2 on usage, load,
@@ -52,14 +61,17 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"iddqsyn/internal/lint"
 	"iddqsyn/internal/lint/analysis"
 )
 
 // toolVersion is reported in SARIF logs.
-const toolVersion = "3.1.0"
+const toolVersion = "4.0.0"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -79,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baselineUpdate := fs.Bool("baseline-update", false, "rewrite the baseline file from current findings")
 	factDebug := fs.Bool("fact-debug", false, "dump exported facts to stderr after the run")
 	escapeCheck := fs.Bool("escapecheck", false, "cross-check hotalloc against the compiler's escape analysis (-gcflags=-m=1)")
+	raceCheck := fs.Bool("racecheck", false, "cross-check sharedstate against the race detector (seeded corpus + race soaks)")
+	raceLog := fs.String("racecheck-log", "", "directory for raw GORACE output artifacts (gorace-<scope>.log)")
+	raceScopes := fs.String("racecheck-scopes", "", "comma-separated racecheck scope names to run (default: all)")
+	timing := fs.Bool("timing", false, "print a per-analyzer wall-clock breakdown after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -114,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *escapeCheck {
 		return runEscapeCheck(dir, patterns, stdout, stderr)
 	}
+	if *raceCheck {
+		return runRaceCheck(dir, *raceScopes, *raceLog, stdout, stderr)
+	}
 
 	prog, err := analysis.LoadModule(dir, patterns)
 	if err != nil {
@@ -133,10 +152,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *factDebug {
 		opts.FactDebug = stderr
 	}
+	var timings *timingTable
+	if *timing {
+		timings = newTimingTable()
+		opts.OnTiming = timings.add
+	}
 	findings, err := prog.Run(analyzers, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "iddqlint:", err)
 		return 2
+	}
+	if timings != nil {
+		timings.write(stderr)
 	}
 
 	bpath := *baselinePath
@@ -240,6 +267,103 @@ func runEscapeCheck(dir string, patterns []string, stdout, stderr io.Writer) int
 		fmt.Fprintln(stdout, "  "+d.String())
 	}
 	return 1
+}
+
+// runRaceCheck drives the static-vs-dynamic race cross-check. Exit 0
+// when every scope meets its contract (seeds all observed and
+// attributed, zero unexplained soak races), 1 on a violated contract,
+// 2 on tooling failure.
+func runRaceCheck(dir, scopeNames, logDir string, stdout, stderr io.Writer) int {
+	scopes := lint.DefaultRaceScopes()
+	if scopeNames != "" {
+		byName := map[string]lint.RaceScope{}
+		for _, sc := range scopes {
+			byName[sc.Name] = sc
+		}
+		var picked []lint.RaceScope
+		for _, name := range strings.Split(scopeNames, ",") {
+			sc, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "iddqlint: unknown racecheck scope %q\n", name)
+				return 2
+			}
+			picked = append(picked, sc)
+		}
+		scopes = picked
+	}
+	rep, err := lint.RaceCheck(dir, scopes, logDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "iddqlint:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "iddqlint -racecheck: %d static candidate field(s) module-wide, %d in the seeded corpus\n",
+		rep.StaticFields, rep.SeedFields)
+	for _, id := range rep.SeedsMissingStatic {
+		fmt.Fprintf(stdout, "  STATIC MISS: seed %s not flagged by sharedstate\n", id)
+	}
+	failed := len(rep.SeedsMissingStatic) > 0
+	for i := range rep.Scopes {
+		sc := &rep.Scopes[i]
+		fmt.Fprintf(stdout, "  scope %-12s %d race report(s), %d attributed, %d unexplained\n",
+			sc.Name+":", sc.Reports, len(sc.Attributed), len(sc.Unexplained))
+		if sc.Err != "" {
+			fmt.Fprintf(stdout, "    BROKEN: %s\n", strings.ReplaceAll(sc.Err, "\n", "\n    "))
+			failed = true
+		}
+		for _, a := range sc.Attributed {
+			fmt.Fprintf(stdout, "    attributed: %s [%s] at %s\n", a.Field, strings.Join(a.Kinds, ","), a.Frame)
+		}
+		for _, a := range sc.Unexplained {
+			fmt.Fprintf(stdout, "    UNEXPLAINED: %s at %s — no sharedstate candidate covers this race\n",
+				a.Summary, a.Frame)
+			failed = true
+		}
+		for _, id := range sc.MissingSeeds {
+			fmt.Fprintf(stdout, "    UNOBSERVED SEED: %s never raced under the detector\n", id)
+			failed = true
+		}
+	}
+	if failed || !rep.Passed() {
+		return 1
+	}
+	fmt.Fprintln(stdout, "iddqlint -racecheck: every dynamic race attributes to a static finding; all seeds observed")
+	return 0
+}
+
+// timingTable accumulates per-analyzer wall-clock totals across the
+// concurrent per-package runs.
+type timingTable struct {
+	mu    sync.Mutex
+	total map[string]time.Duration
+	pkgs  map[string]int
+}
+
+func newTimingTable() *timingTable {
+	return &timingTable{total: map[string]time.Duration{}, pkgs: map[string]int{}}
+}
+
+func (t *timingTable) add(pkg *analysis.Package, a *analysis.Analyzer, elapsed time.Duration) {
+	t.mu.Lock()
+	t.total[a.Name] += elapsed
+	t.pkgs[a.Name]++
+	t.mu.Unlock()
+}
+
+func (t *timingTable) write(w io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.total))
+	var sum time.Duration
+	for name, d := range t.total {
+		names = append(names, name)
+		sum += d
+	}
+	sort.Slice(names, func(i, j int) bool { return t.total[names[i]] > t.total[names[j]] })
+	fmt.Fprintf(w, "iddqlint -timing: analyzer CPU (sum across %s of parallel per-package runs)\n", sum.Round(time.Millisecond))
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-14s %8s  over %d package(s)\n",
+			name, t.total[name].Round(time.Millisecond), t.pkgs[name])
+	}
 }
 
 // jsonFinding is the -json output shape, one object per finding.

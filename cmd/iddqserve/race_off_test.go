@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceBuilt is false in normal test builds: the soak child is built
+// without the detector's ~10x slowdown. See race_on_test.go.
+const raceBuilt = false

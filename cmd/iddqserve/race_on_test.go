@@ -1,0 +1,10 @@
+//go:build race
+
+package main
+
+// raceBuilt mirrors the test binary's own -race setting into buildServe,
+// so the race-soak cross-check (iddqlint -racecheck, CI race-soak job)
+// exercises the child server under the detector too: a soak that
+// SIGKILLs and restarts a non-instrumented binary would only ever race
+// the test harness, not the server.
+const raceBuilt = true

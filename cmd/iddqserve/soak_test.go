@@ -39,7 +39,10 @@ var (
 	buildErr  error
 )
 
-// buildServe compiles the iddqserve binary once per test run.
+// buildServe compiles the iddqserve binary once per test run. When the
+// test binary itself is race-built (the racecheck serve-soak scope), the
+// child is too, so journal replay and worker-pool races in the real
+// server surface as GORACE reports in its stderr.
 func buildServe(t *testing.T) string {
 	t.Helper()
 	buildOnce.Do(func() {
@@ -49,7 +52,12 @@ func buildServe(t *testing.T) string {
 			return
 		}
 		serveBin = filepath.Join(dir, "iddqserve")
-		out, err := exec.Command("go", "build", "-o", serveBin, ".").CombinedOutput()
+		args := []string{"build"}
+		if raceBuilt {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", serveBin, ".")
+		out, err := exec.Command("go", args...).CombinedOutput()
 		if err != nil {
 			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
 		}
@@ -313,6 +321,16 @@ func TestSoakKillRestartBitIdentical(t *testing.T) {
 		t.Fatalf("SIGTERM exit: %v (stderr:\n%s)", err, p2.stderr.String())
 	}
 	_ = ref.cmd.Process.Kill()
+	_ = ref.cmd.Wait() // joins the stderr copier before the read below
+
+	// Under a race-built child (the racecheck serve-soak scope), any
+	// GORACE report in a server's stderr is a finding: echo it so the
+	// cross-check can parse and attribute it, and fail the soak.
+	for _, p := range []*proc{ref, p1, p2} {
+		if s := p.stderr.String(); strings.Contains(s, "WARNING: DATA RACE") {
+			t.Errorf("race detected in the iddqserve child:\n%s", s)
+		}
+	}
 }
 
 // TestServeUsageExit pins the usage exit code for stray arguments.

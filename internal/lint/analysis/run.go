@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // IgnoreDirective is the comment prefix that suppresses a finding:
@@ -53,6 +54,12 @@ type Options struct {
 	// (package, analyzer) — so implementations must synchronize their own
 	// state.
 	OnResult func(pkg *Package, a *Analyzer, result interface{})
+	// OnTiming, when non-nil, receives the wall-clock cost of every
+	// analyzer run — one call per (package, analyzer), concurrently from
+	// the worker goroutines like OnResult. The per-package type-check is
+	// not included: timing exists to apportion the lint budget across
+	// analyzers, and the type-check is a fixed cost they all share.
+	OnTiming func(pkg *Package, a *Analyzer, elapsed time.Duration)
 }
 
 // pkgState is the per-package bookkeeping that spans both analysis waves:
@@ -257,7 +264,11 @@ func (prog *Program) runPackage(pkg *Package, analyzers []*Analyzer, opts Option
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
 			facts:     facts,
 		}
+		start := time.Now()
 		res, err := a.Run(pass)
+		if opts.OnTiming != nil {
+			opts.OnTiming(pkg, a, time.Since(start))
+		}
 		if err != nil {
 			return nil, []error{fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)}
 		}

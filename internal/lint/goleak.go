@@ -1,10 +1,6 @@
 package lint
 
 import (
-	"go/ast"
-	"go/token"
-	"go/types"
-
 	"iddqsyn/internal/lint/analysis"
 )
 
@@ -29,6 +25,11 @@ import (
 // not visible near the `go` statement is invisible to the next
 // maintainer too. False positives are justified with
 // //lint:ignore goleak <reason> — which documents the actual lifecycle.
+//
+// The `go`-statement discovery itself lives in the shared goroutine
+// inventory (GoroutineInventory): goleak judges each spawn's stop path,
+// sharedstate judges what the spawned goroutines touch, and both see the
+// identical site list.
 var GoLeak = &analysis.Analyzer{
 	Name: "goleak",
 	Doc: "flag goroutines with no visible stop path (no context, channel operation, " +
@@ -37,148 +38,14 @@ var GoLeak = &analysis.Analyzer{
 }
 
 func runGoLeak(pass *analysis.Pass) (interface{}, error) {
-	for _, f := range pass.Pkg.CheckedFiles {
-		if pass.IsTestFile(f) {
+	for _, site := range GoroutineInventory(pass) {
+		if site.Accounted {
 			continue
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			if goStmtAccounted(pass, g) {
-				return true
-			}
-			pass.Reportf(g.Pos(),
-				"goroutine has no visible stop path (no context, channel operation, or WaitGroup); "+
-					"it cannot be shut down or awaited — thread a context or channel through it, "+
-					"or justify with //lint:ignore goleak <reason>")
-			return true
-		})
+		pass.Reportf(site.Go.Pos(),
+			"goroutine has no visible stop path (no context, channel operation, or WaitGroup); "+
+				"it cannot be shut down or awaited — thread a context or channel through it, "+
+				"or justify with //lint:ignore goleak <reason>")
 	}
 	return nil, nil
-}
-
-// goStmtAccounted reports whether the spawned goroutine has a visible
-// lifecycle mechanism: in the function literal's body, in the call's
-// arguments, or in the receiver/arguments of a named callee.
-func goStmtAccounted(pass *analysis.Pass, g *ast.GoStmt) bool {
-	// Arguments (and a method call's receiver) carrying a context, channel
-	// or WaitGroup account for both literal and named spawns.
-	for _, arg := range g.Call.Args {
-		if exprCarriesStopPath(pass, arg) {
-			return true
-		}
-	}
-	switch fun := ast.Unparen(g.Call.Fun).(type) {
-	case *ast.FuncLit:
-		return bodyHasStopPath(pass, fun.Body)
-	case *ast.SelectorExpr:
-		// go s.run() — the receiver may hold the lifecycle (a struct with
-		// a done channel or context). Conservative: a named receiver is
-		// trusted only when its type visibly contains a stop mechanism.
-		if tv, ok := pass.TypesInfo.Types[fun.X]; ok && typeCarriesStopPath(tv.Type, 0) {
-			return true
-		}
-	}
-	return false
-}
-
-// bodyHasStopPath scans a goroutine body for any lifecycle mechanism.
-func bodyHasStopPath(pass *analysis.Pass, body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch nn := n.(type) {
-		case *ast.SendStmt, *ast.SelectStmt:
-			found = true
-		case *ast.UnaryExpr:
-			if nn.Op == token.ARROW {
-				found = true
-			}
-		case *ast.RangeStmt:
-			if tv, ok := pass.TypesInfo.Types[nn.X]; ok {
-				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-					found = true
-				}
-			}
-		case *ast.CallExpr:
-			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
-				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
-					found = true
-				}
-			}
-			if sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr); ok {
-				switch sel.Sel.Name {
-				case "Done", "Wait":
-					// wg.Done()/wg.Wait(), or ctx.Done() in a select.
-					found = true
-				}
-			}
-		case *ast.Ident:
-			if obj := pass.TypesInfo.Uses[nn]; obj != nil && typeCarriesStopPath(obj.Type(), 0) {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// exprCarriesStopPath reports whether an argument expression's type is a
-// lifecycle carrier.
-func exprCarriesStopPath(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	return typeCarriesStopPath(tv.Type, 0)
-}
-
-// typeCarriesStopPath reports whether t is a context.Context, a channel,
-// a sync.WaitGroup, or a struct containing one of those (one level deep —
-// the lifecycle must be near the surface to count as visible).
-func typeCarriesStopPath(t types.Type, depth int) bool {
-	if t == nil || depth > 1 {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if named, ok := t.(*types.Named); ok {
-		obj := named.Obj()
-		if obj.Pkg() != nil {
-			if obj.Pkg().Path() == "context" && obj.Name() == "Context" {
-				return true
-			}
-			if obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
-				return true
-			}
-		}
-	}
-	switch u := t.Underlying().(type) {
-	case *types.Chan:
-		return true
-	case *types.Interface:
-		// context.Context resolved through an interface alias.
-		return u.NumMethods() > 0 && hasMethod(u, "Deadline") && hasMethod(u, "Done")
-	case *types.Struct:
-		for i := 0; i < u.NumFields(); i++ {
-			if typeCarriesStopPath(u.Field(i).Type(), depth+1) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func hasMethod(iface *types.Interface, name string) bool {
-	for i := 0; i < iface.NumMethods(); i++ {
-		if iface.Method(i).Name() == name {
-			return true
-		}
-	}
-	return false
 }

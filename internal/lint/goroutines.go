@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// The goroutine inventory is the shared `go`-statement walk behind the
+// concurrency analyzers: goleak consumes the Accounted classification
+// (does the spawn have a visible stop path?), and sharedstate consumes
+// the spawn topology (which functions run on which spawned goroutines,
+// and whether a spawn site can produce more than one instance). Both
+// analyzers seeing the identical site list is the point — a goroutine
+// goleak can prove stoppable but sharedstate never saw (or vice versa)
+// would be a hole between two checks that claim to cover the same code.
+
+// SpawnSite is one `go` statement in a package's type-checked files.
+type SpawnSite struct {
+	// Go is the statement itself; Go.Pos() is the reporting position.
+	Go *ast.GoStmt
+	// Lit is the spawned function literal (`go func(){...}()`), nil for
+	// named spawns.
+	Lit *ast.FuncLit
+	// Callee is the statically resolved spawned function (`go f(x)`,
+	// `go s.run()`), nil for literals and unresolvable calls.
+	Callee *types.Func
+	// Enclosing is the function declaration containing the statement.
+	Enclosing *types.Func
+	// InLoop reports that the statement sits inside a for/range statement
+	// of its enclosing function: the site can mint many goroutine
+	// instances, which may race each other even with no other goroutine
+	// in sight.
+	InLoop bool
+	// Accounted reports a visible stop path: a context, channel
+	// operation, or WaitGroup in the spawned body, the call's arguments,
+	// or the receiver (goleak's predicate).
+	Accounted bool
+}
+
+// ID names the spawn site for diagnostics and facts: "file.go:line"
+// using the position's base filename. Stable across machines because it
+// carries no directory components.
+func (s SpawnSite) ID(fset *token.FileSet) string {
+	pos := fset.Position(s.Go.Pos())
+	return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+}
+
+// GoroutineInventory walks every non-test file of the package and
+// returns its `go` statements in source order, classified.
+func GoroutineInventory(pass *analysis.Pass) []SpawnSite {
+	var sites []SpawnSite
+	for _, f := range pass.Pkg.CheckedFiles {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			enclosing, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			collectSpawns(pass, fd.Body, enclosing, false, &sites)
+		}
+	}
+	return sites
+}
+
+// collectSpawns records every GoStmt under n. loops tracks whether the
+// walk is currently inside a for/range statement.
+func collectSpawns(pass *analysis.Pass, n ast.Node, enclosing *types.Func, inLoop bool, out *[]SpawnSite) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.ForStmt:
+			collectSpawns(pass, nn.Body, enclosing, true, out)
+			if nn.Init != nil {
+				collectSpawns(pass, nn.Init, enclosing, inLoop, out)
+			}
+			return false
+		case *ast.RangeStmt:
+			collectSpawns(pass, nn.Body, enclosing, true, out)
+			return false
+		case *ast.GoStmt:
+			site := SpawnSite{
+				Go:        nn,
+				Enclosing: enclosing,
+				InLoop:    inLoop,
+				Accounted: goStmtAccounted(pass, nn),
+			}
+			switch fun := ast.Unparen(nn.Call.Fun).(type) {
+			case *ast.FuncLit:
+				site.Lit = fun
+			default:
+				site.Callee = calleeFuncOf(pass, nn.Call)
+			}
+			*out = append(*out, site)
+			// Keep walking: the spawned literal body may itself spawn.
+			return true
+		}
+		return true
+	})
+}
+
+// goStmtAccounted reports whether the spawned goroutine has a visible
+// lifecycle mechanism: in the function literal's body, in the call's
+// arguments, or in the receiver/arguments of a named callee.
+func goStmtAccounted(pass *analysis.Pass, g *ast.GoStmt) bool {
+	// Arguments (and a method call's receiver) carrying a context, channel
+	// or WaitGroup account for both literal and named spawns.
+	for _, arg := range g.Call.Args {
+		if exprCarriesStopPath(pass, arg) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasStopPath(pass, fun.Body)
+	case *ast.SelectorExpr:
+		// go s.run() — the receiver may hold the lifecycle (a struct with
+		// a done channel or context). Conservative: a named receiver is
+		// trusted only when its type visibly contains a stop mechanism.
+		if tv, ok := pass.TypesInfo.Types[fun.X]; ok && typeCarriesStopPath(tv.Type, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyHasStopPath scans a goroutine body for any lifecycle mechanism.
+func bodyHasStopPath(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[nn.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			}
+			if sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Wait":
+					// wg.Done()/wg.Wait(), or ctx.Done() in a select.
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[nn]; obj != nil && typeCarriesStopPath(obj.Type(), 0) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprCarriesStopPath reports whether an argument expression's type is a
+// lifecycle carrier.
+func exprCarriesStopPath(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return typeCarriesStopPath(tv.Type, 0)
+}
+
+// typeCarriesStopPath reports whether t is a context.Context, a channel,
+// a sync.WaitGroup, or a struct containing one of those (one level deep —
+// the lifecycle must be near the surface to count as visible).
+func typeCarriesStopPath(t types.Type, depth int) bool {
+	if t == nil || depth > 1 {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			if obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				return true
+			}
+			if obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Interface:
+		// context.Context resolved through an interface alias.
+		return u.NumMethods() > 0 && hasMethod(u, "Deadline") && hasMethod(u, "Done")
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeCarriesStopPath(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasMethod(iface *types.Interface, name string) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

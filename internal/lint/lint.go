@@ -39,6 +39,13 @@
 //     started but provably never ended — dropped, bound to blank, or
 //     assigned and forgotten. An unended span is a silent hole in the
 //     causal trace and leaks against the per-trace span cap.
+//   - sharedstate: whole-program lockset analysis; struct fields reachable
+//     from more than one goroutine (via the shared goroutine inventory and
+//     cross-package spawn facts) must be accessed under a *consistent*
+//     discipline — flagged when accessed both under and outside a guard,
+//     under disjoint locks on different paths, or mixing sync/atomic with
+//     plain loads/stores. The dynamic race-soak cross-check (-racecheck)
+//     re-attributes GORACE reports to these findings.
 //
 // The suite runs on a whole-program type-checked view (see the analysis
 // package): packages are loaded and type-checked once, analyzers run in
@@ -65,7 +72,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		NoRandGlobal, PanicPolicy, CtxLoop, CloseCheck, RenameAtomic,
 		DetermTaint, ErrWrapCheck, MutexGuard,
-		HotAlloc, LockOrder, GoLeak, SpanEnd,
+		HotAlloc, LockOrder, GoLeak, SpanEnd, SharedState,
 	}
 }
 

@@ -62,6 +62,31 @@ func TestSpanEnd(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.SpanEnd, "spanend")
 }
 
+// TestSharedState covers the lockset analyzer's four finding shapes
+// (guarded+bare, disjoint locks, atomic+plain, loop-spawned pool) and
+// its silences (consistent guarding, single-owner fields, pre-spawn
+// initialization, constructor locals, *Locked helpers).
+func TestSharedState(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SharedState, "sharedstate")
+}
+
+// TestSharedStateCrossPackage pins the reverse-wave fact flow: app (the
+// dependent, analyzed first) spawns a goroutine writing lib.Store.Val
+// bare; lib sees only consistent guarded access locally and can flag
+// the field only because app's access sites arrived as facts.
+func TestSharedStateCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SharedState, "sharedstate/lib", "sharedstate/app")
+}
+
+// TestSharedStateRaceSeeds pins the analyzer to the seeded-race corpus
+// at golden precision: every planted field carries a line-anchored want
+// comment (the loader parses the corpus despite its raceseeds build
+// tag). The coarser manifest-level assertion is
+// TestRaceSeedCorpusFullyFlagged in racecheck_test.go.
+func TestSharedStateRaceSeeds(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SharedState, "raceseeds")
+}
+
 func TestApplies(t *testing.T) {
 	cases := []struct {
 		analyzer string
@@ -94,11 +119,11 @@ func TestByNameUnknown(t *testing.T) {
 	if _, ok := lint.ByName("nosuch"); ok {
 		t.Fatal("ByName(nosuch) succeeded")
 	}
-	if len(lint.Analyzers()) != 12 {
-		t.Fatalf("expected 12 analyzers, got %d", len(lint.Analyzers()))
+	if len(lint.Analyzers()) != 13 {
+		t.Fatalf("expected 13 analyzers, got %d", len(lint.Analyzers()))
 	}
 	names := lint.Names()
-	if len(names) != 13 || names[len(names)-1] != "lintdirective" {
-		t.Fatalf("Names() = %v, want 12 analyzers plus lintdirective", names)
+	if len(names) != 14 || names[len(names)-1] != "lintdirective" {
+		t.Fatalf("Names() = %v, want 13 analyzers plus lintdirective", names)
 	}
 }

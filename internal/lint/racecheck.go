@@ -1,0 +1,409 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// The race cross-check is the dynamic half of the sharedstate analyzer,
+// in the escapecheck mold: where escapecheck diffs the static allocation
+// model against the compiler's escape analysis, racecheck diffs the
+// static lockset model against the race detector. It runs a set of
+// scopes — the seeded intentional-race corpus plus the repo's heaviest
+// concurrent workloads (chaos soak, serve soak, torture-lite) — under
+// `go test -race`, parses every GORACE "WARNING: DATA RACE" report, and
+// re-attributes each report to a static sharedstate candidate by
+// matching the report's stack frames against the analyzer's recorded
+// access sites (exact line first, then enclosing-function line range).
+//
+// The contract, per scope kind:
+//
+//   - seeds: the corpus test MUST fail, every report must attribute to a
+//     seeded field, and every seed in RaceSeedFields must be observed.
+//     A seed the detector cannot observe, or a report the analyzer has
+//     no candidate for, is a hole in one half of the cross-check.
+//   - soaks: zero unexplained reports. A report that attributes to a
+//     static finding means the analyzer already flagged it (`make lint`
+//     is dirty until it is fixed or justified); a report with no static
+//     candidate is the bad case — a real race the lockset model missed.
+
+// RaceSeedDir is the seeded-race corpus location, relative to the module
+// root. The corpus is build-tagged (raceseeds) so the deliberate races
+// never reach a normal build.
+const RaceSeedDir = "internal/lint/testdata/src/raceseeds"
+
+// RaceSeedFields is the canonical manifest of the seeded corpus: every
+// planted field and the finding kind it seeds. The static half
+// (TestRaceSeedCorpusFullyFlagged, and RaceCheck's own preflight) must
+// flag exactly these fields; the dynamic half (the seeds scope) must
+// observe a race on each. Extending the corpus means adding the seed
+// here, in races.go, and in races_test.go together.
+var RaceSeedFields = map[string]string{
+	"raceseeds.UnguardedCounter.N": KindGuardGap,
+	"raceseeds.DisjointPair.V":     KindDisjoint,
+	"raceseeds.MixedFlag.Flag":     KindAtomicMix,
+}
+
+// RaceScope is one `go test -race` workload of the cross-check.
+type RaceScope struct {
+	Name  string
+	Args  []string // go arguments, run from the module root
+	Seeds bool     // seeds scope: must fail, with every seed observed
+}
+
+// DefaultRaceScopes returns the standard cross-check workloads: the
+// seeded corpus, the chaos soak, the process-level serve soak (whose
+// child binary is also race-built — see buildServe in cmd/iddqserve),
+// and a torture-lite cycle (the in-process kill/replay and journal
+// fault-injection tests, the same invariants cmd/iddqtorture drives
+// through a real binary).
+func DefaultRaceScopes() []RaceScope {
+	return []RaceScope{
+		{
+			Name:  "seeds",
+			Seeds: true,
+			Args: []string{"test", "-race", "-count=1", "-tags", "raceseeds",
+				"./" + RaceSeedDir + "/"},
+		},
+		{
+			Name: "chaos-soak",
+			Args: []string{"test", "-race", "-count=1", "-run", "TestChaosSoak",
+				"./internal/chaos/"},
+		},
+		{
+			Name: "serve-soak",
+			Args: []string{"test", "-race", "-count=1", "-run",
+				"TestSoakKillRestartBitIdentical", "./cmd/iddqserve/"},
+		},
+		{
+			Name: "torture-lite",
+			Args: []string{"test", "-race", "-count=1", "-run",
+				"TestServerShutdownResumeBitIdentical|TestServerSurvivesInjectedFaults|TestJournalAppendAtomicUnderFaults",
+				"./internal/serve/"},
+		},
+	}
+}
+
+// GoraceFrame is one stack frame of a race report.
+type GoraceFrame struct {
+	Func string
+	File string // as printed by the detector (absolute)
+	Line int
+}
+
+// GoraceReport is one parsed "WARNING: DATA RACE" block.
+type GoraceReport struct {
+	Summary string // first operation line, e.g. "Read at 0x… by goroutine 8:"
+	Frames  []GoraceFrame
+}
+
+// ParseGorace extracts every DATA RACE report from `go test -race`
+// output. Frames from all stacks of a report (both operations and the
+// creation stacks) are collected in order; attribution tries them
+// first-to-last, so the faulting operation frames win.
+func ParseGorace(out string) []GoraceReport {
+	var (
+		reports []GoraceReport
+		cur     *GoraceReport
+		prev    string // last seen function line inside a report
+	)
+	for _, raw := range strings.Split(out, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "WARNING: DATA RACE":
+			cur = &GoraceReport{}
+			prev = ""
+		case cur == nil:
+			// outside a report
+		case strings.HasPrefix(line, "=========="):
+			reports = append(reports, *cur)
+			cur = nil
+		default:
+			if cur.Summary == "" && line != "" {
+				cur.Summary = line
+			}
+			if file, ln, ok := parseFrameLoc(line); ok {
+				cur.Frames = append(cur.Frames, GoraceFrame{Func: prev, File: file, Line: ln})
+			} else {
+				prev = strings.TrimSuffix(line, "()")
+			}
+		}
+	}
+	if cur != nil { // truncated output: keep what we saw
+		reports = append(reports, *cur)
+	}
+	return reports
+}
+
+// parseFrameLoc parses a frame location line, `/path/file.go:123 +0x4c`.
+func parseFrameLoc(line string) (string, int, bool) {
+	loc, _, _ := strings.Cut(line, " ")
+	file, lineStr, ok := strings.Cut(loc, ".go:")
+	if !ok {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(lineStr)
+	if err != nil || n <= 0 {
+		return "", 0, false
+	}
+	return file + ".go", n, true
+}
+
+// AttributeRace maps one dynamic race report to a static sharedstate
+// candidate. Matching is two-pass over the report's frames: a frame
+// whose file:line is exactly a recorded access site wins; failing that,
+// a frame inside the line range of a function that contains a recorded
+// access site for the field. Returns ok=false when no frame touches any
+// candidate's sites.
+func AttributeRace(rep GoraceReport, fields []SharedField) (field SharedField, frame GoraceFrame, ok bool) {
+	for _, f := range rep.Frames {
+		for _, cand := range fields {
+			for _, s := range cand.Sites {
+				if f.Line == s.Line && sameFile(f.File, s.File) {
+					return cand, f, true
+				}
+			}
+		}
+	}
+	for _, f := range rep.Frames {
+		for _, cand := range fields {
+			for _, s := range cand.Sites {
+				if f.Line >= s.FuncStart && f.Line <= s.FuncEnd && sameFile(f.File, s.File) {
+					return cand, f, true
+				}
+			}
+		}
+	}
+	return SharedField{}, GoraceFrame{}, false
+}
+
+// sameFile compares a race-report path against an analyzer site path.
+// Both are normally absolute; tolerate one being a suffix of the other
+// (trimmed build roots, test fixtures).
+func sameFile(a, b string) bool {
+	a, b = filepath.ToSlash(a), filepath.ToSlash(b)
+	return a == b || strings.HasSuffix(a, "/"+b) || strings.HasSuffix(b, "/"+a)
+}
+
+// RaceAttribution is one dynamic report after attribution.
+type RaceAttribution struct {
+	Summary string // the report's operation line
+	Field   string // attributed field id ("" when unexplained)
+	Kinds   []string
+	Frame   string // "file:line (func)" of the matching frame
+}
+
+// RaceScopeResult is one scope's outcome.
+type RaceScopeResult struct {
+	Name         string
+	Reports      int
+	Attributed   []RaceAttribution
+	Unexplained  []RaceAttribution
+	MissingSeeds []string // seeds scope: manifest entries no report covered
+	TestFailed   bool     // the `go test` run exited non-zero
+	Err          string   // tooling failure (non-race test failure, …)
+	LogPath      string   // raw output artifact, when a log dir was given
+}
+
+// Passed reports whether the scope met its contract.
+func (r *RaceScopeResult) Passed(seeds bool) bool {
+	if r.Err != "" || len(r.Unexplained) > 0 {
+		return false
+	}
+	if seeds {
+		return r.TestFailed && r.Reports > 0 && len(r.MissingSeeds) == 0
+	}
+	return true
+}
+
+// RaceCheckReport is the full cross-check outcome.
+type RaceCheckReport struct {
+	StaticFields       int      // module-wide sharedstate candidates
+	SeedFields         int      // candidates in the seeded corpus
+	SeedsMissingStatic []string // manifest seeds sharedstate failed to flag
+	Scopes             []RaceScopeResult
+	scopeSeeds         map[string]bool
+}
+
+// Passed reports whether every scope met its contract and the static
+// half flagged the whole seed manifest.
+func (r *RaceCheckReport) Passed() bool {
+	if len(r.SeedsMissingStatic) > 0 {
+		return false
+	}
+	for i := range r.Scopes {
+		if !r.Scopes[i].Passed(r.scopeSeeds[r.Scopes[i].Name]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SeedCorpusFindings runs sharedstate over the seeded corpus alone (the
+// analysis loader parses it regardless of build tags) and returns every
+// flagged field with its finding kinds. Both RaceCheck's preflight and
+// the zero-false-negative corpus test consume this.
+func SeedCorpusFindings(root string) ([]SharedField, error) {
+	prog, err := analysis.Load(analysis.Config{
+		Root:     filepath.Join(root, "internal", "lint", "testdata"),
+		Patterns: []string{"raceseeds"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return collectSharedFields(prog)
+}
+
+// moduleSharedFields runs sharedstate module-wide and returns every
+// candidate field — including ones silenced by //lint:ignore, because a
+// justified ignore is still a valid attribution target for a dynamic
+// report (the justification is what the report then indicts).
+func moduleSharedFields(root string, patterns []string) ([]SharedField, error) {
+	prog, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return collectSharedFields(prog)
+}
+
+func collectSharedFields(prog *analysis.Program) ([]SharedField, error) {
+	var (
+		mu     sync.Mutex
+		fields []SharedField
+	)
+	opts := analysis.Options{
+		Applies:        Applies,
+		KnownAnalyzers: Names(),
+		RootsOnly:      true,
+		OnResult: func(pkg *analysis.Package, a *analysis.Analyzer, result interface{}) {
+			if r, ok := result.(*SharedStateResult); ok && r != nil {
+				mu.Lock()
+				fields = append(fields, r.Fields...)
+				mu.Unlock()
+			}
+		},
+	}
+	if _, err := prog.Run([]*analysis.Analyzer{SharedState}, opts); err != nil {
+		return nil, err
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Field < fields[j].Field })
+	return fields, nil
+}
+
+// RaceCheck runs the static-vs-dynamic race cross-check: sharedstate
+// module-wide and over the seeded corpus, then every scope under the
+// race detector, attributing each GORACE report back to a static
+// candidate. When logDir is non-empty, each scope's raw output is
+// written there as gorace-<scope>.log (the CI artifact).
+func RaceCheck(root string, scopes []RaceScope, logDir string) (*RaceCheckReport, error) {
+	if len(scopes) == 0 {
+		scopes = DefaultRaceScopes()
+	}
+	moduleFields, err := moduleSharedFields(root, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	seedFields, err := SeedCorpusFindings(root)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &RaceCheckReport{
+		StaticFields: len(moduleFields),
+		SeedFields:   len(seedFields),
+		scopeSeeds:   map[string]bool{},
+	}
+	flagged := map[string]bool{}
+	for _, f := range seedFields {
+		flagged[f.Field] = true
+	}
+	for id := range RaceSeedFields {
+		if !flagged[id] {
+			rep.SeedsMissingStatic = append(rep.SeedsMissingStatic, id)
+		}
+	}
+	sort.Strings(rep.SeedsMissingStatic)
+
+	if logDir != "" {
+		if err := os.MkdirAll(logDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	for _, sc := range scopes {
+		rep.scopeSeeds[sc.Name] = sc.Seeds
+		candidates := moduleFields
+		if sc.Seeds {
+			candidates = seedFields
+		}
+		rep.Scopes = append(rep.Scopes, runRaceScope(root, sc, candidates, logDir))
+	}
+	return rep, nil
+}
+
+func runRaceScope(root string, sc RaceScope, candidates []SharedField, logDir string) RaceScopeResult {
+	res := RaceScopeResult{Name: sc.Name}
+	cmd := exec.Command("go", sc.Args...)
+	cmd.Dir = root
+	// Never halt on the first report: the seeds scope needs all of them.
+	cmd.Env = append(os.Environ(), "GORACE=halt_on_error=0")
+	out, err := cmd.CombinedOutput()
+	if logDir != "" {
+		res.LogPath = filepath.Join(logDir, "gorace-"+sc.Name+".log")
+		if werr := os.WriteFile(res.LogPath, out, 0o644); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	reports := ParseGorace(string(out))
+	res.Reports = len(reports)
+	res.TestFailed = err != nil
+	if err != nil && len(reports) == 0 {
+		// Failure with no race report is a broken scope, not a finding.
+		res.Err = fmt.Sprintf("go %s: %v\n%s", strings.Join(sc.Args, " "), err, tail(string(out), 20))
+		return res
+	}
+
+	seen := map[string]bool{}
+	for _, r := range reports {
+		field, frame, ok := AttributeRace(r, candidates)
+		att := RaceAttribution{Summary: r.Summary}
+		if ok {
+			att.Field = field.Field
+			att.Kinds = field.Kinds
+			att.Frame = fmt.Sprintf("%s:%d (%s)", filepath.Base(frame.File), frame.Line, frame.Func)
+			seen[field.Field] = true
+			res.Attributed = append(res.Attributed, att)
+		} else {
+			if len(r.Frames) > 0 {
+				f := r.Frames[0]
+				att.Frame = fmt.Sprintf("%s:%d (%s)", filepath.Base(f.File), f.Line, f.Func)
+			}
+			res.Unexplained = append(res.Unexplained, att)
+		}
+	}
+	if sc.Seeds {
+		for id := range RaceSeedFields {
+			if !seen[id] {
+				res.MissingSeeds = append(res.MissingSeeds, id)
+			}
+		}
+		sort.Strings(res.MissingSeeds)
+	}
+	return res
+}
+
+// tail returns the last n lines of s, for compact error context.
+func tail(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}

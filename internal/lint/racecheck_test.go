@@ -1,0 +1,190 @@
+package lint_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"iddqsyn/internal/lint"
+)
+
+// sampleGorace is a realistic two-report `go test -race` transcript:
+// the first report races a bare read in Peek against a guarded write in
+// the Spin goroutine; the second is a write/write pair with a creation
+// stack. Paths and offsets mirror the detector's real output shape.
+const sampleGorace = `=== RUN   TestSeededRaces
+==================
+WARNING: DATA RACE
+Read at 0x00c000132080 by goroutine 9:
+  iddqsyn/internal/lint/testdata/src/raceseeds.(*UnguardedCounter).Peek()
+      /root/repo/internal/lint/testdata/src/raceseeds/races.go:57 +0x3c
+  raceseeds.TestSeededRaces.func1()
+      /root/repo/internal/lint/testdata/src/raceseeds/races_test.go:32 +0x9c
+
+Previous write at 0x00c000132080 by goroutine 8:
+  iddqsyn/internal/lint/testdata/src/raceseeds.(*UnguardedCounter).Spin.func1()
+      /root/repo/internal/lint/testdata/src/raceseeds/races.go:48 +0x64
+==================
+--- FAIL: TestSeededRaces (0.06s)
+==================
+WARNING: DATA RACE
+Write at 0x00c000132090 by goroutine 11:
+  example.com/widget.(*Ring).push()
+      /root/repo/internal/widget/ring.go:40 +0x11
+  example.com/widget.Run.func2()
+      /root/repo/internal/widget/run.go:90 +0x22
+
+Previous write at 0x00c000132090 by goroutine 12:
+  example.com/widget.(*Ring).push()
+      /root/repo/internal/widget/ring.go:41 +0x33
+
+Goroutine 11 (running) created at:
+  example.com/widget.Run()
+      /root/repo/internal/widget/run.go:80 +0x44
+==================
+FAIL
+`
+
+func TestParseGorace(t *testing.T) {
+	reports := lint.ParseGorace(sampleGorace)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	r := reports[0]
+	if !strings.HasPrefix(r.Summary, "Read at ") {
+		t.Errorf("summary = %q, want a Read operation line", r.Summary)
+	}
+	if len(r.Frames) != 3 {
+		t.Fatalf("report 0: got %d frames, want 3: %+v", len(r.Frames), r.Frames)
+	}
+	first := r.Frames[0]
+	if first.Line != 57 || !strings.HasSuffix(first.File, "raceseeds/races.go") {
+		t.Errorf("frame 0 = %+v, want races.go:57", first)
+	}
+	if !strings.Contains(first.Func, "Peek") {
+		t.Errorf("frame 0 func = %q, want the Peek frame", first.Func)
+	}
+	// The creation stack's frames are kept too (last report: two write
+	// stacks of 2+1 frames plus the creation frame).
+	if n := len(reports[1].Frames); n != 4 {
+		t.Errorf("report 1: got %d frames, want 4 (incl. creation stack)", n)
+	}
+}
+
+func TestParseGoraceTruncated(t *testing.T) {
+	cut := sampleGorace[:strings.LastIndex(sampleGorace, "==========")]
+	reports := lint.ParseGorace(cut)
+	if len(reports) != 2 {
+		t.Fatalf("truncated transcript: got %d reports, want 2", len(reports))
+	}
+}
+
+func TestParseGoraceCleanRun(t *testing.T) {
+	if got := lint.ParseGorace("ok  \tiddqsyn/internal/chaos\t2.1s\n"); len(got) != 0 {
+		t.Fatalf("clean run parsed as %d reports", len(got))
+	}
+}
+
+// attributionCandidates mirrors what sharedstate records for the corpus'
+// UnguardedCounter.N seed: the bare Peek read at races.go:57 and the
+// guarded write inside Spin's goroutine literal.
+func attributionCandidates() []lint.SharedField {
+	return []lint.SharedField{{
+		Field: "raceseeds.UnguardedCounter.N",
+		File:  "/root/repo/internal/lint/testdata/src/raceseeds/races.go",
+		Line:  32,
+		Kinds: []string{"guarded+bare"},
+		Sites: []lint.AccessSite{
+			{
+				File: "/root/repo/internal/lint/testdata/src/raceseeds/races.go",
+				Line: 57, Func: "Peek", FuncStart: 56, FuncEnd: 58,
+				Contexts: []string{"main"},
+			},
+			{
+				File: "/root/repo/internal/lint/testdata/src/raceseeds/races.go",
+				Line: 48, Func: "Spin", FuncStart: 36, FuncEnd: 53,
+				Contexts: []string{"races.go:39"}, Locks: []string{"raceseeds.UnguardedCounter.Mu"},
+				Write: true,
+			},
+		},
+	}}
+}
+
+func TestAttributeRaceExactLine(t *testing.T) {
+	reports := lint.ParseGorace(sampleGorace)
+	field, frame, ok := lint.AttributeRace(reports[0], attributionCandidates())
+	if !ok {
+		t.Fatal("report 0 did not attribute")
+	}
+	if field.Field != "raceseeds.UnguardedCounter.N" {
+		t.Errorf("attributed to %q", field.Field)
+	}
+	if frame.Line != 57 {
+		t.Errorf("matched frame line %d, want the exact access site 57", frame.Line)
+	}
+}
+
+// A frame inside the enclosing function body but not on a recorded
+// access line still attributes — inlining and statement rewriting move
+// report lines off the analyzer's exact site.
+func TestAttributeRaceFunctionRange(t *testing.T) {
+	rep := lint.GoraceReport{
+		Summary: "Write at 0x0 by goroutine 7:",
+		Frames: []lint.GoraceFrame{{
+			Func: "raceseeds.(*UnguardedCounter).Spin.func1",
+			File: "/root/repo/internal/lint/testdata/src/raceseeds/races.go",
+			Line: 50, // inside Spin's body, not an access line
+		}},
+	}
+	field, _, ok := lint.AttributeRace(rep, attributionCandidates())
+	if !ok || field.Field != "raceseeds.UnguardedCounter.N" {
+		t.Fatalf("range attribution failed: ok=%v field=%+v", ok, field)
+	}
+}
+
+func TestAttributeRaceUnexplained(t *testing.T) {
+	reports := lint.ParseGorace(sampleGorace)
+	if _, _, ok := lint.AttributeRace(reports[1], attributionCandidates()); ok {
+		t.Fatal("widget report attributed to the raceseeds candidate")
+	}
+}
+
+// TestRaceSeedCorpusFullyFlagged is the zero-false-negative assertion:
+// sharedstate over the seeded corpus must flag exactly the manifest —
+// every planted race (no seed escapes the static net) and nothing else
+// (the corpus stays minimal and intentional).
+func TestRaceSeedCorpusFullyFlagged(t *testing.T) {
+	fields, err := lint.SeedCorpusFindings("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]string{}
+	for _, f := range fields {
+		got[f.Field] = f.Kinds
+	}
+	var missing []string
+	for id, kind := range lint.RaceSeedFields {
+		kinds, ok := got[id]
+		if !ok {
+			missing = append(missing, id)
+			continue
+		}
+		found := false
+		for _, k := range kinds {
+			if k == kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seed %s flagged as %v, want kind %q", id, kinds, kind)
+		}
+		delete(got, id)
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("false negatives — seeds the analyzer missed: %v", missing)
+	}
+	for id := range got {
+		t.Errorf("unplanned corpus finding %s (extend RaceSeedFields or fix the corpus)", id)
+	}
+}

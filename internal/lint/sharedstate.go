@@ -1,0 +1,1232 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"iddqsyn/internal/lint/analysis"
+)
+
+// SharedState is the whole-program lockset analysis: it computes which
+// struct fields are reachable from more than one goroutine and, for
+// every access to such a field, the set of structural mutexes held at
+// the access — reporting fields whose locksets are *inconsistent*:
+//
+//   - accessed both under a guard and bare (a lock that only sometimes
+//     protects a field protects nothing);
+//   - guarded by disjoint locksets on different paths (two locks that
+//     never coincide order nothing);
+//   - accessed both through sync/atomic and as a plain load/store (the
+//     atomic half promises lock-free readers the plain half breaks).
+//
+// Goroutine reachability comes from the shared goroutine inventory
+// (GoroutineInventory, also behind goleak): `go` statements seed
+// goroutine contexts — one per spawn site, loop-spawned sites marked
+// multi-instance because their goroutines race each other — and the
+// contexts propagate through the package call graph, across package
+// boundaries via SpawnedFact in the reverse (dependents-first) wave, so
+// a serve-layer `go` statement marks the obs helper it ultimately calls.
+// Locksets reuse lockorder's structural mutex identity ("pkg.Type.mu"),
+// so the two analyzers name the same lock the same way.
+//
+// Consistently-unguarded shared fields are deliberately not reported:
+// channel handoffs, WaitGroup joins and start-before-spawn ordering are
+// real synchronization the analyzer cannot see, and flagging every such
+// field would bury the findings that matter. The analyzer's finding is
+// *inconsistency* — the cases where the code itself disagrees about
+// what protects the field. Accesses before the first `go` statement of
+// the spawning function are exempt (ordered by the spawn), as are
+// constructor-local values and *Locked functions (guard held by the
+// caller, mutexguard's convention).
+//
+// Findings are reported at the field declaration, one per field, so one
+// reasoned //lint:ignore sharedstate <reason> documents the field's
+// actual synchronization story. The dynamic cross-check (RaceCheck)
+// re-attributes every GORACE report from the race soaks to these
+// fields' access sites: a dynamic race with no static candidate means
+// this model has a hole.
+var SharedState = &analysis.Analyzer{
+	Name: "sharedstate",
+	Doc: "lockset analysis over goroutine-shared struct fields: flag fields accessed " +
+		"both under and outside a guard, under disjoint locks, or mixing sync/atomic " +
+		"with plain access — the data-race shapes the race detector needs luck to catch",
+	FactTypes: []analysis.Fact{(*SpawnedFact)(nil), (*FieldAccessesFact)(nil)},
+	Direction: analysis.Reverse,
+	Run:       runSharedState,
+}
+
+// MainContext is the context id of the original (non-spawned) goroutine.
+const MainContext = "main"
+
+// SpawnedFact marks a function of an imported package as running on a
+// spawned goroutine: a dependent package `go`-spawns it directly, calls
+// it from a spawned goroutine, or calls it from inside a spawned
+// function literal. Exported during the reverse wave, so the defining
+// package (analyzed after all its dependents) sees every spawn.
+type SpawnedFact struct {
+	Sites []string // sorted spawn-site ids ("file.go:line")
+	Multi bool     // some spawn site can mint multiple instances
+}
+
+// AFact marks SpawnedFact as a framework fact.
+func (*SpawnedFact) AFact() {}
+
+func (f *SpawnedFact) String() string {
+	s := "spawned at " + strings.Join(f.Sites, ", ")
+	if f.Multi {
+		s += " (multi)"
+	}
+	return s
+}
+
+// AccessSite is one field access with its computed lockset and
+// goroutine contexts. Sites cross package boundaries inside
+// FieldAccessesFact and feed the dynamic race cross-check, so they
+// carry positions as data rather than token.Pos.
+type AccessSite struct {
+	File      string // absolute path of the accessing file
+	Line      int
+	Func      string   // enclosing function name ("" for package init exprs)
+	FuncStart int      // enclosing function body line range, for
+	FuncEnd   int      // re-attributing dynamic race frames
+	Contexts  []string // sorted goroutine contexts ("main" and/or spawn ids)
+	Multi     bool     // some context is multi-instance
+	Locks     []string // sorted structural mutex ids held at the access
+	Atomic    bool     // access through a sync/atomic call
+	Write     bool
+}
+
+// FieldAccessesFact accumulates the access sites a field collects in
+// packages other than its own: dependents run first in the reverse
+// wave and merge their sites in; the defining package folds the fact
+// into its local sites before judging consistency.
+type FieldAccessesFact struct {
+	Sites []AccessSite
+}
+
+// AFact marks FieldAccessesFact as a framework fact.
+func (*FieldAccessesFact) AFact() {}
+
+func (f *FieldAccessesFact) String() string {
+	return fmt.Sprintf("%d external access site(s)", len(f.Sites))
+}
+
+// SharedField is one field the analyzer flagged, with every access site
+// it saw — the static candidate set the dynamic race cross-check
+// attributes GORACE reports against. Fields suppressed by an ignore
+// directive still appear here: an *explicitly ignored* finding is a
+// legal attribution target, an unmodeled race is not.
+type SharedField struct {
+	Field string // structural id, e.g. "serve.job.phase"
+	File  string // declaring file (absolute)
+	Line  int    // declaration line
+	Kinds []string
+	Sites []AccessSite
+}
+
+// SharedStateResult is runSharedState's per-package return value,
+// collected by RaceCheck through analysis.Options.OnResult.
+type SharedStateResult struct {
+	Pkg    string
+	Fields []SharedField
+}
+
+// sharedFactMu serializes the read-merge-write fact updates: sibling
+// dependents of one package analyze concurrently, and both may fold
+// sites into the same field's fact.
+var sharedFactMu sync.Mutex
+
+// Finding kinds.
+const (
+	KindGuardGap  = "guarded+bare"
+	KindDisjoint  = "disjoint-locks"
+	KindAtomicMix = "atomic+plain"
+)
+
+func runSharedState(pass *analysis.Pass) (interface{}, error) {
+	funcs := packageFuncs(pass)
+	if len(funcs) == 0 {
+		return &SharedStateResult{Pkg: pass.Pkg.Path}, nil
+	}
+	byObj := make(map[*types.Func]fnInfo, len(funcs))
+	for _, fn := range funcs {
+		byObj[fn.obj] = fn
+	}
+	impl := newImplIndex(pass.TypesPkg)
+
+	// Scan every function body once: accesses, lock events, call edges,
+	// go-literal subscopes.
+	scans := make(map[*types.Func]*fnScan, len(funcs))
+	for _, fn := range funcs {
+		scans[fn.obj] = scanFunc(pass, fn, impl)
+	}
+
+	ctxs, multi := computeContexts(pass, funcs, scans)
+
+	// Resolve every raw access into an AccessSite tagged with the
+	// goroutine contexts its enclosing scope runs in.
+	accesses := map[*types.Var][]AccessSite{}
+	record := func(field *types.Var, site AccessSite) {
+		accesses[field] = append(accesses[field], site)
+	}
+	for _, fn := range funcs {
+		sc := scans[fn.obj]
+		fnCtx := sortedCtx(ctxs[fn.obj])
+		if len(fnCtx) == 0 {
+			fnCtx = []string{MainContext}
+		}
+		fnMulti := anyMulti(ctxs[fn.obj], multi)
+		for _, ra := range sc.accesses {
+			if ra.spawnID == "" && sc.firstSpawn != token.NoPos && ra.pos < sc.firstSpawn &&
+				len(fnCtx) == 1 && fnCtx[0] == MainContext && !fnMulti {
+				// Happens-before exemption: an access in the spawning
+				// function before its first `go` statement is ordered
+				// before everything the spawned goroutines do — the spawn
+				// itself is the synchronization.
+				continue
+			}
+			site := ra.site(pass, fn)
+			if ra.spawnID != "" {
+				// Inside a `go func(){...}` literal: the body runs only on
+				// that spawn's goroutine. The literal races itself when the
+				// spawn sits in a loop or the spawner runs concurrently.
+				site.Contexts = []string{ra.spawnID}
+				site.Multi = multi[ra.spawnID] || len(fnCtx) > 1 || fnMulti
+			} else {
+				site.Contexts = fnCtx
+				site.Multi = fnMulti
+			}
+			record(ra.field, site)
+		}
+	}
+
+	// Fields declared elsewhere: fold this package's sites into the
+	// field's fact for its defining package (which runs later in the
+	// reverse wave) and take no further part.
+	res := &SharedStateResult{Pkg: pass.Pkg.Path}
+	fieldObjs := make([]*types.Var, 0, len(accesses))
+	for field := range accesses {
+		fieldObjs = append(fieldObjs, field)
+	}
+	sort.Slice(fieldObjs, func(i, j int) bool { return fieldObjs[i].Pos() < fieldObjs[j].Pos() })
+	for _, field := range fieldObjs {
+		if field.Pkg() != pass.TypesPkg {
+			sharedFactMu.Lock()
+			merged := new(FieldAccessesFact)
+			pass.ImportObjectFact(field, merged)
+			merged.Sites = append(merged.Sites, accesses[field]...)
+			sortSites(merged.Sites)
+			pass.ExportObjectFact(field, merged)
+			sharedFactMu.Unlock()
+			continue
+		}
+		sites := accesses[field]
+		ext := new(FieldAccessesFact)
+		if pass.ImportObjectFact(field, ext) {
+			sites = append(sites, ext.Sites...)
+		}
+		sortSites(sites)
+		kinds := judgeField(sites)
+		if len(kinds) == 0 {
+			continue
+		}
+		declPos := pass.Fset.Position(field.Pos())
+		id := fieldID(pass, field)
+		res.Fields = append(res.Fields, SharedField{
+			Field: id, File: declPos.Filename, Line: declPos.Line,
+			Kinds: kinds, Sites: sites,
+		})
+		pass.Reportf(field.Pos(), "%s", fieldMessage(id, kinds, sites))
+	}
+	return res, nil
+}
+
+// judgeField decides whether a field's access sites are inconsistent.
+// Preconditions for any finding: the field is reachable from more than
+// one goroutine (≥2 distinct contexts, or a multi-instance context) and
+// at least one access writes.
+func judgeField(sites []AccessSite) []string {
+	ctxSet := map[string]bool{}
+	sharedByMulti := false
+	hasWrite := false
+	var atomics, bare, guarded []AccessSite
+	for _, s := range sites {
+		for _, c := range s.Contexts {
+			ctxSet[c] = true
+		}
+		sharedByMulti = sharedByMulti || s.Multi
+		hasWrite = hasWrite || s.Write
+		switch {
+		case s.Atomic:
+			atomics = append(atomics, s)
+		case len(s.Locks) == 0:
+			bare = append(bare, s)
+		default:
+			guarded = append(guarded, s)
+		}
+	}
+	if (!sharedByMulti && len(ctxSet) < 2) || !hasWrite {
+		return nil
+	}
+	var kinds []string
+	if len(guarded) > 0 && len(bare) > 0 {
+		kinds = append(kinds, KindGuardGap)
+	}
+	if len(bare) == 0 && len(atomics) == 0 && len(guarded) > 1 && lockIntersection(guarded) == 0 {
+		kinds = append(kinds, KindDisjoint)
+	}
+	if len(atomics) > 0 && len(bare)+len(guarded) > 0 {
+		kinds = append(kinds, KindAtomicMix)
+	}
+	return kinds
+}
+
+// lockIntersection counts the mutexes held at *every* guarded site.
+func lockIntersection(guarded []AccessSite) int {
+	common := map[string]int{}
+	for _, s := range guarded {
+		for _, l := range s.Locks {
+			common[l]++
+		}
+	}
+	n := 0
+	for _, c := range common {
+		if c == len(guarded) {
+			n++
+		}
+	}
+	return n
+}
+
+// fieldMessage renders the one-per-field diagnostic, naming a concrete
+// conflicting pair per kind so the report is actionable without rerun.
+func fieldMessage(id string, kinds []string, sites []AccessSite) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "field %s is shared across goroutines with inconsistent locksets: ", id)
+	var parts []string
+	for _, k := range kinds {
+		switch k {
+		case KindGuardGap:
+			g := firstWhere(sites, func(s AccessSite) bool { return !s.Atomic && len(s.Locks) > 0 })
+			u := firstWhere(sites, func(s AccessSite) bool { return !s.Atomic && len(s.Locks) == 0 })
+			parts = append(parts, fmt.Sprintf("guarded by %s at %s but bare at %s",
+				strings.Join(g.Locks, "+"), siteRef(g), siteRef(u)))
+		case KindDisjoint:
+			a := sites[0]
+			var c AccessSite
+			for _, s := range sites[1:] {
+				if len(s.Locks) > 0 && disjointLocks(a.Locks, s.Locks) {
+					c = s
+					break
+				}
+			}
+			parts = append(parts, fmt.Sprintf("guarded by disjoint locks %s at %s vs %s at %s",
+				strings.Join(a.Locks, "+"), siteRef(a), strings.Join(c.Locks, "+"), siteRef(c)))
+		case KindAtomicMix:
+			at := firstWhere(sites, func(s AccessSite) bool { return s.Atomic })
+			pl := firstWhere(sites, func(s AccessSite) bool { return !s.Atomic })
+			parts = append(parts, fmt.Sprintf("atomic at %s but plain at %s",
+				siteRef(at), siteRef(pl)))
+		}
+	}
+	b.WriteString(strings.Join(parts, "; "))
+	b.WriteString(" — every cross-goroutine access needs one consistent discipline, " +
+		"or justify with //lint:ignore sharedstate <reason>")
+	return b.String()
+}
+
+func firstWhere(sites []AccessSite, ok func(AccessSite) bool) AccessSite {
+	for _, s := range sites {
+		if ok(s) {
+			return s
+		}
+	}
+	return AccessSite{}
+}
+
+func disjointLocks(a, b []string) bool {
+	set := map[string]bool{}
+	for _, l := range a {
+		set[l] = true
+	}
+	for _, l := range b {
+		if set[l] {
+			return false
+		}
+	}
+	return true
+}
+
+func siteRef(s AccessSite) string {
+	ref := trimPath(s.File) + ":" + fmt.Sprint(s.Line)
+	if s.Func != "" {
+		ref += " (" + s.Func + ")"
+	}
+	return ref
+}
+
+func trimPath(p string) string {
+	if i := strings.LastIndexAny(p, `/\`); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// fieldID names a field structurally, matching lockorder's mutex ids:
+// "pkg.Type.field".
+func fieldID(pass *analysis.Pass, field *types.Var) string {
+	base := pkgBase(pass.Pkg.Path)
+	// Find the named type owning the field, if any, by scanning the
+	// package scope: struct fields do not link back to their parent.
+	scope := pass.TypesPkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return base + "." + tn.Name() + "." + field.Name()
+			}
+		}
+	}
+	return base + "." + field.Name()
+}
+
+func sortSites(sites []AccessSite) {
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].File != sites[j].File {
+			return sites[i].File < sites[j].File
+		}
+		return sites[i].Line < sites[j].Line
+	})
+}
+
+func sortedCtx(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func anyMulti(set map[string]bool, multi map[string]bool) bool {
+	for c := range set {
+		if multi[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Per-function body scan.
+
+// rawAccess is one field access before context resolution.
+type rawAccess struct {
+	field   *types.Var
+	pos     token.Pos
+	locks   []string // sorted snapshot of the held set
+	atomic  bool
+	write   bool
+	spawnID string // non-empty: inside the `go` literal spawned at this site
+}
+
+func (ra rawAccess) site(pass *analysis.Pass, fn fnInfo) AccessSite {
+	pos := pass.Fset.Position(ra.pos)
+	start := pass.Fset.Position(fn.decl.Pos())
+	end := pass.Fset.Position(fn.decl.End())
+	return AccessSite{
+		File: pos.Filename, Line: pos.Line,
+		Func: fn.obj.Name(), FuncStart: start.Line, FuncEnd: end.Line,
+		Locks: ra.locks, Atomic: ra.atomic, Write: ra.write,
+	}
+}
+
+// fnScan is one function's scan result.
+type fnScan struct {
+	accesses []rawAccess
+	// normCalls are in-package call/reference edges on the function's own
+	// goroutine (go-literal bodies excluded — their edges carry the
+	// literal's spawn context instead).
+	normCalls []*types.Func
+	// extCalls are the same edges to functions of imported packages.
+	extCalls []*types.Func
+	// litCalls maps a spawn id to the calls made inside that literal.
+	litCalls map[string][]*types.Func
+	litExt   map[string][]*types.Func
+	// spawns are the `go` statements in the body (literal and named).
+	spawns []SpawnSite
+	// firstSpawn is the position of the first `go` statement, or NoPos.
+	// Accesses before it are ordered before everything the goroutine
+	// does (the spawn is a happens-before edge), so they are exempt.
+	firstSpawn token.Pos
+}
+
+// scanState carries the walk's mutable state.
+type scanState struct {
+	pass    *analysis.Pass
+	fn      fnInfo
+	impl    *implIndex
+	scan    *fnScan
+	writes  map[ast.Node]bool // selector nodes in write position
+	locked  bool              // function inherits its guard (*Locked)
+	spawnID string            // current go-literal context ("" = main body)
+	held    []string          // structural mutex ids currently held
+}
+
+// scanFunc walks one function body in source order, tracking the held
+// lockset, and collects accesses, call edges and spawns.
+func scanFunc(pass *analysis.Pass, fn fnInfo, impl *implIndex) *fnScan {
+	sc := &fnScan{litCalls: map[string][]*types.Func{}, litExt: map[string][]*types.Func{}}
+	st := &scanState{
+		pass: pass, fn: fn, impl: impl, scan: sc,
+		writes: map[ast.Node]bool{},
+		locked: strings.HasSuffix(fn.obj.Name(), "Locked"),
+	}
+	st.prepass(fn.decl.Body)
+	st.walk(fn.decl.Body)
+	return sc
+}
+
+// prepass classifies expression positions the main walk cannot judge
+// from a single node: write targets.
+func (st *scanState) prepass(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range nn.Lhs {
+				st.markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			st.markWrite(nn.X)
+		case *ast.UnaryExpr:
+			if nn.Op == token.AND {
+				// Address taken: someone may write through the pointer.
+				// Atomic calls are recognized separately and recorded as
+				// atomic accesses instead.
+				st.markWrite(nn.X)
+			}
+		}
+		return true
+	})
+}
+
+func (st *scanState) markWrite(e ast.Expr) {
+	e = ast.Unparen(e)
+	if star, ok := e.(*ast.StarExpr); ok {
+		// *s.p = v writes through the pointer, reads the field itself.
+		_ = star
+		return
+	}
+	st.writes[e] = true
+}
+
+// walk is the main source-order traversal: a statement walker that
+// tracks the held lockset with branch sensitivity where it matters. A
+// purely linear scan would treat the ubiquitous early-exit idiom
+//
+//	mu.Lock()
+//	if bad {
+//		mu.Unlock()
+//		return err
+//	}
+//	... // still under mu
+//
+// as unlocked after the if: the held set is therefore snapshotted
+// around branches that cannot fall through (return/break/continue/
+// panic) — their lock effects are local to the abandoned path. Switch
+// and select cases are alternatives, not a sequence, so each is walked
+// against the entry lockset.
+func (st *scanState) walk(body *ast.BlockStmt) {
+	for _, s := range body.List {
+		st.stmt(s)
+	}
+}
+
+func (st *scanState) stmt(s ast.Stmt) {
+	switch nn := s.(type) {
+	case *ast.BlockStmt:
+		st.walk(nn)
+	case *ast.LabeledStmt:
+		st.stmt(nn.Stmt)
+	case *ast.IfStmt:
+		if nn.Init != nil {
+			st.stmt(nn.Init)
+		}
+		st.walkExprs(nn.Cond)
+		st.branch(nn.Body)
+		if nn.Else != nil {
+			if blk, ok := nn.Else.(*ast.BlockStmt); ok {
+				st.branch(blk)
+			} else {
+				st.stmt(nn.Else) // else-if chain
+			}
+		}
+	case *ast.ForStmt:
+		if nn.Init != nil {
+			st.stmt(nn.Init)
+		}
+		if nn.Cond != nil {
+			st.walkExprs(nn.Cond)
+		}
+		st.walk(nn.Body)
+		if nn.Post != nil {
+			st.stmt(nn.Post)
+		}
+	case *ast.RangeStmt:
+		st.walkExprs(nn.X)
+		if nn.Key != nil {
+			st.walkExprs(nn.Key)
+		}
+		if nn.Value != nil {
+			st.walkExprs(nn.Value)
+		}
+		st.walk(nn.Body)
+	case *ast.SwitchStmt:
+		if nn.Init != nil {
+			st.stmt(nn.Init)
+		}
+		if nn.Tag != nil {
+			st.walkExprs(nn.Tag)
+		}
+		for _, c := range nn.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				st.walkExprs(e)
+			}
+			st.alt(cc.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if nn.Init != nil {
+			st.stmt(nn.Init)
+		}
+		st.stmt(nn.Assign)
+		for _, c := range nn.Body.List {
+			cc := c.(*ast.CaseClause)
+			st.alt(cc.Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range nn.Body.List {
+			cc := c.(*ast.CommClause)
+			snap := st.snapshot()
+			if cc.Comm != nil {
+				st.stmt(cc.Comm)
+			}
+			for _, s2 := range cc.Body {
+				st.stmt(s2)
+			}
+			st.restore(snap)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock holds the mutex to function end; walk the
+		// deferred call for accesses but ignore its unlocks.
+		if recv, op, ok := mutexOp(st.pass, nn.Call); ok {
+			if op == "lock" {
+				if id := mutexID(st.pass, recv); id != "" {
+					st.held = append(st.held, id)
+				}
+			}
+			st.access(recv, false)
+			return
+		}
+		st.walkExprs(nn.Call)
+	case *ast.GoStmt:
+		st.goStmt(nn)
+	default:
+		if s != nil {
+			st.walkExprs(s)
+		}
+	}
+}
+
+// branch walks one if-arm; when the arm cannot fall through, its
+// lockset effects are discarded for the code after the if.
+func (st *scanState) branch(body *ast.BlockStmt) {
+	snap := st.snapshot()
+	st.walk(body)
+	if terminates(body.List) {
+		st.restore(snap)
+	}
+}
+
+// alt walks a switch/select alternative against the entry lockset.
+func (st *scanState) alt(body []ast.Stmt) {
+	snap := st.snapshot()
+	for _, s := range body {
+		st.stmt(s)
+	}
+	st.restore(snap)
+}
+
+func (st *scanState) snapshot() []string { return append([]string(nil), st.held...) }
+
+func (st *scanState) restore(snap []string) { st.held = snap }
+
+// terminates reports whether a statement list cannot fall through: it
+// ends in a return, an unconditional transfer, a panic/exit call, or an
+// if whose arms both terminate.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	case *ast.IfStmt:
+		blk, ok := last.Else.(*ast.BlockStmt)
+		return ok && terminates(last.Body.List) && terminates(blk.List)
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "Exit", "Goexit", "Fatal", "Fatalf":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// walkExprs walks a statement or expression subtree that contains no
+// block structure of its own — except function literals, whose bodies
+// are walked as nested scopes whose lockset effects stay local (a
+// callback defined under the lock usually runs under it, e.g. a
+// sort.Slice comparator, but its locks must not leak into the linear
+// scan of the enclosing body).
+func (st *scanState) walkExprs(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			snap := st.snapshot()
+			st.walk(nn.Body)
+			st.restore(snap)
+			return false
+		case *ast.CallExpr:
+			return st.call(nn)
+		case *ast.SelectorExpr:
+			st.access(nn, true)
+			return false
+		}
+		return true
+	})
+}
+
+// goStmt records the spawn and, for literals, walks the body as a fresh
+// goroutine scope: empty lockset, context = this spawn site.
+func (st *scanState) goStmt(g *ast.GoStmt) {
+	site := SpawnSite{Go: g, Enclosing: st.fn.obj, InLoop: inLoop(st.fn.decl.Body, g)}
+	if st.scan.firstSpawn == token.NoPos {
+		st.scan.firstSpawn = g.Pos()
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		site.Lit = fun
+		st.scan.spawns = append(st.scan.spawns, site)
+		id := site.ID(st.pass.Fset)
+		inner := &scanState{
+			pass: st.pass, fn: st.fn, impl: st.impl, scan: st.scan,
+			writes: st.writes,
+			locked: st.locked, spawnID: id,
+		}
+		inner.prepass(fun.Body)
+		inner.walk(fun.Body)
+	default:
+		site.Callee = calleeFuncOf(st.pass, g.Call)
+		st.scan.spawns = append(st.scan.spawns, site)
+	}
+	// Arguments are evaluated on the spawning goroutine.
+	for _, arg := range g.Call.Args {
+		st.walkExprs(arg)
+	}
+}
+
+// call handles one call expression: mutex ops mutate the held set,
+// sync/atomic calls become atomic accesses, everything else becomes a
+// call edge. Returns whether Inspect should descend into children.
+func (st *scanState) call(call *ast.CallExpr) bool {
+	if recv, op, ok := mutexOp(st.pass, call); ok {
+		id := mutexID(st.pass, recv)
+		if id != "" {
+			switch op {
+			case "lock":
+				st.held = append(st.held, id)
+			case "unlock":
+				for i := len(st.held) - 1; i >= 0; i-- {
+					if st.held[i] == id {
+						st.held = append(st.held[:i], st.held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		// The receiver chain (s.mu) is itself a selector; sync-typed
+		// fields are exempt, but the path to them may read other fields.
+		st.access(recv, false)
+		return false
+	}
+	if st.atomicCall(call) {
+		return false
+	}
+	if callee := calleeFuncOf(st.pass, call); callee != nil {
+		if isInterfaceMethod(callee) {
+			for _, m := range st.impl.implementations(callee) {
+				st.edge(m)
+			}
+		} else {
+			st.edge(callee)
+		}
+	}
+	// Descend: arguments may access fields, nested calls, etc.
+	for _, arg := range call.Args {
+		st.walkExprs(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method receiver expression: s.jobs[id].phase() reads fields on
+		// the way to the method.
+		st.walkExprs(sel.X)
+	}
+	return false
+}
+
+// edge records a call/reference edge in the current scope.
+func (st *scanState) edge(callee *types.Func) {
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if callee.Pkg() == st.pass.TypesPkg {
+		if st.spawnID != "" {
+			st.scan.litCalls[st.spawnID] = append(st.scan.litCalls[st.spawnID], callee)
+		} else {
+			st.scan.normCalls = append(st.scan.normCalls, callee)
+		}
+		return
+	}
+	// Only in-module packages matter; stdlib callees are opaque.
+	if !strings.HasPrefix(callee.Pkg().Path(), modulePathPrefix(st.pass)) {
+		return
+	}
+	if st.spawnID != "" {
+		st.scan.litExt[st.spawnID] = append(st.scan.litExt[st.spawnID], callee)
+	} else {
+		st.scan.extCalls = append(st.scan.extCalls, callee)
+	}
+}
+
+// modulePathPrefix derives the module prefix from the package path
+// ("iddqsyn/internal/serve" → "iddqsyn/"). Testdata-mode packages have
+// single-element paths and get an empty prefix (everything in-module).
+func modulePathPrefix(pass *analysis.Pass) string {
+	path := pass.Pkg.Path
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i+1]
+	}
+	return ""
+}
+
+// atomicCall recognizes sync/atomic calls over a field address and
+// records them as atomic accesses. Returns true when handled.
+func (st *scanState) atomicCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := st.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	write := strings.HasPrefix(name, "Store") || strings.HasPrefix(name, "Add") ||
+		strings.HasPrefix(name, "Swap") || strings.HasPrefix(name, "CompareAndSwap") ||
+		strings.HasPrefix(name, "Or") || strings.HasPrefix(name, "And")
+	for _, arg := range call.Args {
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if target, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+				st.recordAccess(target, true, write)
+				st.walkExprs(target.X) // the path to the field still reads
+				continue
+			}
+		}
+		st.walkExprs(arg)
+	}
+	return true
+}
+
+// access records a selector chain: the final selector plus every field
+// read on the path to it.
+func (st *scanState) access(e ast.Expr, descend bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		if descend {
+			if inner := ast.Unparen(e); inner != e {
+				st.walkExprs(inner)
+			}
+		}
+		return
+	}
+	st.recordAccess(sel, false, st.writes[sel])
+	st.walkExprs(sel.X)
+}
+
+// recordAccess appends one raw access if the selector resolves to a
+// non-exempt struct field.
+func (st *scanState) recordAccess(sel *ast.SelectorExpr, atomic, write bool) {
+	field, ok := st.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !field.IsField() || field.Name() == "_" || field.Pkg() == nil {
+		return
+	}
+	if st.locked {
+		return // *Locked: the caller holds the guard (mutexguard's contract)
+	}
+	if syncType(field.Type()) {
+		return // mutexes, wait groups, atomic.Int64 & co guard themselves
+	}
+	if st.constructorLocal(sel.X) {
+		return // freshly built value, not shared yet
+	}
+	if st.valueCopyBase(sel.X) {
+		return // field of a by-value parameter/receiver: frame-local copy
+	}
+	locks := append([]string(nil), st.held...)
+	sort.Strings(locks)
+	st.scan.accesses = append(st.scan.accesses, rawAccess{
+		field: field, pos: sel.Sel.Pos(), locks: locks,
+		atomic: atomic, write: write, spawnID: st.spawnID,
+	})
+}
+
+// constructorLocal reports whether the access base bottoms out in a
+// local variable that demonstrably holds a freshly constructed value: a
+// composite literal, new(), or a New*/make* constructor call assigned
+// inside this function body. A local that aliases shared state (a range
+// element, a map lookup, a plain parameter copy) does not count.
+func (st *scanState) constructorLocal(base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := st.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	body := st.fn.decl.Body
+	if obj.Pos() < body.Pos() || obj.Pos() > body.End() {
+		return false
+	}
+	fresh := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fresh {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range nn.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || st.pass.TypesInfo.Defs[lid] != obj {
+					continue
+				}
+				if i < len(nn.Rhs) && freshExpr(st.pass, nn.Rhs[i]) {
+					fresh = true
+				} else if len(nn.Rhs) == 1 && freshExpr(st.pass, nn.Rhs[0]) {
+					fresh = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range nn.Names {
+				if st.pass.TypesInfo.Defs[name] != obj {
+					continue
+				}
+				if i < len(nn.Values) && freshExpr(st.pass, nn.Values[i]) {
+					fresh = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// valueCopyBase reports whether the access base is a by-value
+// parameter or receiver of struct type: its fields live in this frame's
+// copy, so mutating them (the TracerConfig.withDefaults pattern —
+// value receiver, fill in defaults, return the copy) shares nothing.
+func (st *scanState) valueCopyBase(base ast.Expr) bool {
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := st.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return false
+	}
+	decl := st.fn.decl
+	if obj.Pos() < decl.Pos() || obj.Pos() >= decl.Body.Pos() {
+		return false // not declared in the signature
+	}
+	_, isStruct := obj.Type().Underlying().(*types.Struct)
+	return isStruct
+}
+
+// freshExpr reports whether the expression constructs a new value.
+func freshExpr(pass *analysis.Pass, e ast.Expr) bool {
+	switch nn := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if nn.Op == token.AND {
+			_, lit := ast.Unparen(nn.X).(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new" || b.Name() == "make"
+			}
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				return strings.HasPrefix(fn.Name(), "New") || strings.HasPrefix(fn.Name(), "new")
+			}
+		}
+		if sel, ok := ast.Unparen(nn.Fun).(*ast.SelectorExpr); ok {
+			return strings.HasPrefix(sel.Sel.Name, "New") || strings.HasPrefix(sel.Sel.Name, "new")
+		}
+	}
+	return false
+}
+
+// syncType reports whether the (dereferenced) type is declared in sync
+// or sync/atomic — fields of those types synchronize themselves.
+func syncType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// inLoop reports whether pos-bearing node g sits inside a for/range
+// statement of body.
+func inLoop(body *ast.BlockStmt, g *ast.GoStmt) bool {
+	in := false
+	var walk func(n ast.Node, loop bool)
+	walk = func(n ast.Node, loop bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if in {
+				return false
+			}
+			switch nn := n.(type) {
+			case *ast.ForStmt:
+				walk(nn.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(nn.Body, true)
+				return false
+			case *ast.GoStmt:
+				if nn == g && loop {
+					in = true
+				}
+			}
+			return !in
+		})
+	}
+	walk(body, false)
+	return in
+}
+
+// ---------------------------------------------------------------------
+// Goroutine-context propagation.
+
+// computeContexts assigns every package function the set of goroutine
+// contexts it may run in: MainContext for functions callable from the
+// original goroutine (exported, main/init, or normally referenced), and
+// a spawn-site id per `go` statement that reaches it. The sets
+// propagate through normal call edges to a fixpoint; cross-package
+// spawns arrive via SpawnedFact (imported, from dependents analyzed
+// earlier in the reverse wave) and leave via the same fact for
+// imported callees.
+func computeContexts(pass *analysis.Pass, funcs []fnInfo, scans map[*types.Func]*fnScan) (map[*types.Func]map[string]bool, map[string]bool) {
+	ctx := map[*types.Func]map[string]bool{}
+	multi := map[string]bool{}
+	addCtx := func(fn *types.Func, c string) bool {
+		if ctx[fn] == nil {
+			ctx[fn] = map[string]bool{}
+		}
+		if ctx[fn][c] {
+			return false
+		}
+		ctx[fn][c] = true
+		return true
+	}
+
+	// Which in-package functions are referenced at all, and how.
+	referenced := map[*types.Func]bool{}
+	for _, sc := range scans {
+		for _, callee := range sc.normCalls {
+			referenced[callee] = true
+		}
+		for _, calls := range sc.litCalls {
+			for _, callee := range calls {
+				referenced[callee] = true
+			}
+		}
+		for _, sp := range sc.spawns {
+			if sp.Callee != nil {
+				referenced[sp.Callee] = true
+			}
+		}
+	}
+
+	// Seeds.
+	for _, fn := range funcs {
+		name := fn.obj.Name()
+		if ast.IsExported(name) || name == "main" || name == "init" || !referenced[fn.obj] {
+			addCtx(fn.obj, MainContext)
+		}
+		fact := new(SpawnedFact)
+		if pass.ImportObjectFact(fn.obj, fact) {
+			for _, id := range fact.Sites {
+				addCtx(fn.obj, id)
+				if fact.Multi {
+					multi[id] = true
+				}
+			}
+		}
+	}
+	for _, fn := range funcs {
+		sc := scans[fn.obj]
+		for _, sp := range sc.spawns {
+			if sp.Callee == nil || sp.Callee.Pkg() != pass.TypesPkg {
+				continue
+			}
+			id := sp.ID(pass.Fset)
+			addCtx(sp.Callee, id)
+			if sp.InLoop {
+				multi[id] = true
+			}
+		}
+		for id := range sc.litCalls {
+			// Calls inside a go-literal run in that literal's context.
+			for _, callee := range sc.litCalls[id] {
+				addCtx(callee, id)
+			}
+		}
+		for _, sp := range sc.spawns {
+			if sp.Lit != nil && sp.InLoop {
+				multi[sp.ID(pass.Fset)] = true
+			}
+		}
+	}
+
+	// Fixpoint over normal call edges: a callee runs wherever its
+	// callers run.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range funcs {
+			from := ctx[fn.obj]
+			if len(from) == 0 {
+				continue
+			}
+			for _, callee := range scans[fn.obj].normCalls {
+				if callee.Pkg() != pass.TypesPkg {
+					continue
+				}
+				for c := range from {
+					if addCtx(callee, c) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Export spawn facts for imported callees: direct spawns, calls from
+	// go-literals, and normal calls made while running in a goroutine
+	// context. The callee's package runs after this one in the reverse
+	// wave and folds the fact into its own seeds.
+	export := map[*types.Func]*SpawnedFact{}
+	note := func(callee *types.Func, ids []string, m bool) {
+		if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.TypesPkg {
+			return
+		}
+		f := export[callee]
+		if f == nil {
+			f = &SpawnedFact{}
+			export[callee] = f
+		}
+		f.Sites = append(f.Sites, ids...)
+		f.Multi = f.Multi || m
+	}
+	for _, fn := range funcs {
+		sc := scans[fn.obj]
+		for _, sp := range sc.spawns {
+			if sp.Callee != nil && sp.Callee.Pkg() != pass.TypesPkg {
+				id := sp.ID(pass.Fset)
+				note(sp.Callee, []string{id}, sp.InLoop || multi[id])
+			}
+		}
+		for id, callees := range sc.litExt {
+			for _, callee := range callees {
+				note(callee, []string{id}, multi[id])
+			}
+		}
+		goCtx := make([]string, 0, len(ctx[fn.obj]))
+		m := false
+		for c := range ctx[fn.obj] {
+			if c != MainContext {
+				goCtx = append(goCtx, c)
+				m = m || multi[c]
+			}
+		}
+		if len(goCtx) > 0 {
+			for _, callee := range sc.extCalls {
+				note(callee, goCtx, m)
+			}
+		}
+	}
+	for callee, fact := range export {
+		sharedFactMu.Lock()
+		merged := new(SpawnedFact)
+		pass.ImportObjectFact(callee, merged)
+		merged.Sites = dedupSorted(append(merged.Sites, fact.Sites...))
+		merged.Multi = merged.Multi || fact.Multi
+		pass.ExportObjectFact(callee, merged)
+		sharedFactMu.Unlock()
+	}
+	return ctx, multi
+}
+
+func dedupSorted(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+//go:build raceseeds
+
+// Package raceseeds is the seeded intentional-race corpus: one type per
+// lockset-inconsistency shape the sharedstate analyzer claims to catch.
+// The corpus is the contract between the static and dynamic halves of
+// the race cross-check:
+//
+//   - sharedstate must flag every seeded field (the zero-false-negative
+//     assertion in TestRaceSeedCorpusFullyFlagged, plus line-anchored
+//     want comments via TestSharedStateRaceSeeds);
+//   - the hammer test (races_test.go) must make the race detector
+//     observe every seed, and RaceCheck must re-attribute each GORACE
+//     report back to the seeded field's static finding.
+//
+// The build tag keeps the deliberately racy code out of every normal
+// build; only the racecheck seeds scope (and an explicit
+// `go test -race -tags raceseeds` on this directory) compiles it. The
+// analysis loader parses files ignoring build tags, so the analyzer
+// sees the corpus unconditionally.
+package raceseeds
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// UnguardedCounter seeds the guarded+bare shape: the background
+// goroutine increments under Mu, Peek reads bare — the mutex protects
+// nothing.
+type UnguardedCounter struct {
+	Mu sync.Mutex
+	N  int // want `field raceseeds\.UnguardedCounter\.N is shared across goroutines with inconsistent locksets: guarded by .* but bare`
+}
+
+// Spin increments guarded on a spawned goroutine until stop closes.
+func (c *UnguardedCounter) Spin(stop chan struct{}) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Mu.Lock()
+			c.N++
+			c.Mu.Unlock()
+		}
+	}()
+	return &wg
+}
+
+// Peek reads N with no lock — one half of the seeded race.
+func (c *UnguardedCounter) Peek() int {
+	return c.N
+}
+
+// DisjointPair seeds the disjoint-locks shape: the writer holds WMu,
+// the reader holds RMu, and the two locksets never intersect — both
+// sides are "locked" and the accesses are still unordered.
+type DisjointPair struct {
+	WMu sync.Mutex
+	RMu sync.Mutex
+	V   int // want `field raceseeds\.DisjointPair\.V is shared across goroutines with inconsistent locksets: guarded by disjoint locks`
+}
+
+// Churn writes V under WMu on a spawned goroutine until stop closes.
+func (d *DisjointPair) Churn(stop chan struct{}) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go d.churn(stop, &wg)
+	return &wg
+}
+
+func (d *DisjointPair) churn(stop chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		// Batch the writes per acquisition: mutex operations under heavy
+		// contention can manufacture incidental happens-before edges
+		// through the runtime's shared semaphore table, hiding the race
+		// from the detector; many accesses per critical section keep most
+		// read/write pairs unordered.
+		d.WMu.Lock()
+		for i := 0; i < 64; i++ {
+			d.V++
+		}
+		d.WMu.Unlock()
+	}
+}
+
+// Sum reads V under the wrong mutex — the other half of the seed.
+func (d *DisjointPair) Sum() int {
+	d.RMu.Lock()
+	defer d.RMu.Unlock()
+	s := 0
+	for i := 0; i < 64; i++ {
+		s += d.V
+	}
+	return s
+}
+
+// MixedFlag seeds the atomic+plain shape: the publisher goroutine
+// advances Flag through sync/atomic, Raw loads it bare — the plain read
+// breaks the atomic half's ordering promise.
+type MixedFlag struct {
+	Flag int64 // want `field raceseeds\.MixedFlag\.Flag is shared across goroutines with inconsistent locksets: atomic at .* but plain at`
+}
+
+// Publish advances Flag atomically on a spawned goroutine until stop
+// closes.
+func (m *MixedFlag) Publish(stop chan struct{}) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			atomic.AddInt64(&m.Flag, 1)
+		}
+	}()
+	return &wg
+}
+
+// Raw reads Flag without the atomic — the seeded mix.
+func (m *MixedFlag) Raw() int64 {
+	return m.Flag
+}

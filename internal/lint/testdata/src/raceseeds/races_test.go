@@ -1,0 +1,65 @@
+//go:build raceseeds
+
+package raceseeds
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// hammerWindow is how long each seed's reader races its background
+// writer. A few milliseconds is millions of overlapping accesses —
+// far past what the race detector needs to observe each seed.
+const hammerWindow = 30 * time.Millisecond
+
+// TestSeededRaces drives every seeded race hard enough for the race
+// detector to observe all of them. Run it as
+//
+//	go test -race -tags raceseeds ./internal/lint/testdata/src/raceseeds/
+//
+// and it MUST fail with one DATA RACE report per seed — a passing run
+// under -race means a seed went unobserved, which is itself a finding
+// against the corpus. RaceCheck's seeds scope asserts exactly that,
+// then re-attributes each report to the seeded field's static finding.
+func TestSeededRaces(t *testing.T) {
+	t.Run("guarded+bare", func(t *testing.T) {
+		var c UnguardedCounter
+		stop := make(chan struct{})
+		wg := c.Spin(stop)
+		sink := 0
+		for deadline := time.Now().Add(hammerWindow); time.Now().Before(deadline); {
+			sink += c.Peek()
+			runtime.Gosched() // single-CPU schedulers need the nudge to interleave
+		}
+		close(stop)
+		wg.Wait()
+		_ = sink
+	})
+	t.Run("disjoint-locks", func(t *testing.T) {
+		var d DisjointPair
+		stop := make(chan struct{})
+		wg := d.Churn(stop)
+		sink := 0
+		for deadline := time.Now().Add(hammerWindow); time.Now().Before(deadline); {
+			sink += d.Sum()
+			runtime.Gosched()
+		}
+		close(stop)
+		wg.Wait()
+		_ = sink
+	})
+	t.Run("atomic+plain", func(t *testing.T) {
+		var m MixedFlag
+		stop := make(chan struct{})
+		wg := m.Publish(stop)
+		var sink int64
+		for deadline := time.Now().Add(hammerWindow); time.Now().Before(deadline); {
+			sink += m.Raw()
+			runtime.Gosched()
+		}
+		close(stop)
+		wg.Wait()
+		_ = sink
+	})
+}

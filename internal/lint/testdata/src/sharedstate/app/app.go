@@ -1,0 +1,21 @@
+// Package app spawns the goroutine that touches lib.Store.Val bare —
+// the access site and its spawn context flow to lib (which runs later
+// in the reverse wave) as facts on the field object.
+package app
+
+import "sharedstate/lib"
+
+// Run leaks a bare increment into a goroutine; lib.Get reads the same
+// field under lib.Store.Mu.
+func Run(s *lib.Store, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s.Val++
+		}
+	}()
+}

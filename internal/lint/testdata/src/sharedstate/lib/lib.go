@@ -1,0 +1,19 @@
+// Package lib declares the shared struct; the spawning happens in the
+// dependent package app, so the finding can only exist if app's spawn
+// context and bare access crossed the package boundary as facts.
+package lib
+
+import "sync"
+
+type Store struct {
+	Mu  sync.Mutex
+	Val int // want `field lib\.Store\.Val is shared across goroutines with inconsistent locksets: guarded by lib\.Store\.Mu .* but bare`
+}
+
+// Get reads under the mutex — locally this package is consistent; the
+// bare write arrives from app via FieldAccessesFact.
+func (s *Store) Get() int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.Val
+}

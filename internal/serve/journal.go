@@ -316,7 +316,7 @@ func OpenJournal(dir string, opt JournalOptions) (*Journal, error) {
 			continue
 		}
 		last := i == len(segIdxs)-1
-		size, serr := j.replaySegment(idx, last)
+		size, serr := j.replaySegmentLocked(idx, last)
 		if serr != nil {
 			return nil, serr
 		}
@@ -381,11 +381,13 @@ func (j *Journal) scanDir() (baseIdx int, segIdxs []int, err error) {
 	return baseIdx, segIdxs, nil
 }
 
-// replaySegment reads one append segment with salvage, appending its
-// surviving records to j.recs. active marks the highest segment, whose
+// replaySegmentLocked reads one append segment with salvage, appending
+// its surviving records to j.recs — the caller (open-time replay, like
+// the other *Locked helpers it runs beside) guarantees exclusive access
+// to the journal. active marks the highest segment, whose
 // torn tail is truncated in place (the crash-mid-append case) rather
 // than quarantined. Returns the segment's on-disk size after repair.
-func (j *Journal) replaySegment(idx int, active bool) (int64, error) {
+func (j *Journal) replaySegmentLocked(idx int, active bool) (int64, error) {
 	path := segPath(j.dir, idx)
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -857,11 +859,15 @@ func (j *Journal) RemoveJobFiles(id string) error {
 // (finished/failed) is missing replays as queued-or-running — exactly
 // the work a restarted server must pick back up.
 func (j *Journal) Replay() []*ReplayedJob {
+	// Snapshot the sequence under the lock, fold outside it: the replayed
+	// states are confined to this call until returned, so only the shared
+	// record slice needs the critical section.
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	recs := append([]Record(nil), j.recs...)
+	j.mu.Unlock()
 	byID := make(map[string]*ReplayedJob)
 	var order []*ReplayedJob
-	for _, r := range j.recs {
+	for _, r := range recs {
 		job := byID[r.Job]
 		if job == nil {
 			job = &ReplayedJob{ID: r.Job}

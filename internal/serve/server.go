@@ -160,8 +160,8 @@ type Config struct {
 type job struct {
 	id string
 	// tenant and spec are written at creation and rewritten only when a
-	// failed (terminal, unqueued) job is resubmitted; the queue's mutex
-	// orders that rewrite before any worker reads them.
+	// failed (terminal, unqueued) job is resubmitted — under mu, like the
+	// rest of the mutable state; workers read them through jobSpec().
 	tenant string
 	spec   *JobSpec
 
@@ -206,6 +206,21 @@ func (j *job) rootSpan() *obs.TraceSpan {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.root
+}
+
+// jobSpec is the job's spec under the lock: a failed-job resubmission
+// rewrites it, and the claiming worker must observe the rewrite.
+func (j *job) jobSpec() *JobSpec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spec
+}
+
+// attemptCount is the attempts recorded so far, under the lock.
+func (j *job) attemptCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
 }
 
 // setTrace installs the trace state for one admitted lifecycle.
@@ -674,7 +689,7 @@ func (j *job) finish(phase JobPhase, detail string) {
 // next process picks it up.
 func (s *Server) runJob(id string) {
 	j := s.lookup(id)
-	if j == nil || j.spec == nil {
+	if j == nil || j.jobSpec() == nil {
 		s.o.Log().Error("queued job has no state", "job", id)
 		return
 	}
@@ -687,8 +702,9 @@ func (s *Server) runJob(id string) {
 	}
 	s.o.Gauge(MetricQueueDepth).Set(float64(s.queue.Len()))
 	root := j.rootSpan()
-	maxAttempts := j.attempts + s.cfg.JobAttempts // replayed attempts don't count against this run
-	for attempt := j.attempts + 1; attempt <= maxAttempts; attempt++ {
+	replayed := j.attemptCount() // replayed attempts don't count against this run
+	maxAttempts := replayed + s.cfg.JobAttempts
+	for attempt := replayed + 1; attempt <= maxAttempts; attempt++ {
 		if s.ctx.Err() != nil {
 			return // shutdown before the attempt started: stays queued in the journal
 		}
@@ -776,7 +792,7 @@ func (s *Server) backoff(attempt int) {
 // phases attach their own children. Returns (nil, nil) when the attempt
 // was interrupted by server shutdown — resumable, not failed.
 func (s *Server) attempt(j *job, sp *obs.TraceSpan) (*JobResult, error) {
-	spec := j.spec
+	spec := j.jobSpec()
 	c, err := spec.Circuit()
 	if err != nil {
 		return nil, err

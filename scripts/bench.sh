@@ -2,8 +2,10 @@
 # Perf trajectory (`make bench-json`): run the canonical benchmarks —
 # BenchmarkEvolve (one full c432 evolution per iteration),
 # BenchmarkServeSubmit/BenchmarkServeSubmitCached (the serving layer's
-# durable admission path and its cache hit) and BenchmarkJournalAppend
-# (one fsynced record on the segmented journal's O(1) append path) —
+# durable admission path and its cache hit), BenchmarkJournalAppend
+# (one fsynced record on the segmented journal's O(1) append path) and
+# BenchmarkLintRepo (a full load + type-check + analyzer-suite pass,
+# the cost every CI run and pre-commit hook pays) —
 # and render the results as BENCH_<n>.json so every PR leaves a
 # comparable perf point on disk (ROADMAP item: the BENCH_*.json
 # trajectory).
@@ -14,11 +16,11 @@
 # trajectory tracks what a client feels, not only what the optimizer
 # costs per op.
 #
-# BENCH_PR sets <n> (default 9); BENCH_OUT overrides the output path.
+# BENCH_PR sets <n> (default 10); BENCH_OUT overrides the output path.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCH_PR="${BENCH_PR:-9}"
+BENCH_PR="${BENCH_PR:-10}"
 BENCH_OUT="${BENCH_OUT:-BENCH_${BENCH_PR}.json}"
 raw="$(mktemp /tmp/iddqsyn-bench.XXXXXX)"
 sum="$(mktemp /tmp/iddqsyn-bench-lat.XXXXXX)"
@@ -28,6 +30,7 @@ echo "== go test -bench (serving layer + optimizer) -> $BENCH_OUT"
 go test -run '^$' -bench '^BenchmarkServeSubmit$|^BenchmarkServeSubmitCached$|^BenchmarkJournalAppend$' \
     -benchmem -benchtime 50x ./internal/serve/ | tee "$raw"
 go test -run '^$' -bench '^BenchmarkEvolve$' -benchmem -benchtime 3x . | tee -a "$raw"
+go test -run '^$' -bench '^BenchmarkLintRepo$' -benchmem -benchtime 3x ./internal/lint/ | tee -a "$raw"
 
 echo "== iddqload smoke (serve e2e latency percentiles)"
 go run ./cmd/iddqload -inprocess -rate 10 -duration 3s -gens 6 -seed 1 \
